@@ -1,0 +1,57 @@
+// Ablation for the Figure 12 "m = 24 bump" analysis (§6.3): full CSS-trees
+// with 24-int (96-byte) nodes are slower than both 16- and 32-int trees
+// because (a) nodes are not a multiple of the cache line, so a node can
+// straddle an extra line, and (b) child-offset arithmetic needs real
+// multiply/divide instead of shifts. This bench separates the two effects:
+// the same node size is measured cache-line-aligned and deliberately
+// misaligned, across node sizes.
+
+#include <string>
+#include <vector>
+
+#include "core/full_css_tree.h"
+#include "harness.h"
+#include "workload/key_gen.h"
+#include "workload/lookup_gen.h"
+
+namespace cssidx::bench {
+namespace {
+
+template <int M>
+void Run(Table& table, const std::vector<Key>& keys,
+         const std::vector<Key>& lookups, int repeats) {
+  cssidx::FullCssTree<M> aligned(keys.data(), keys.size());
+  cssidx::FullCssTree<M> misaligned(keys.data(), keys.size(),
+                                    /*misalign_offset=*/20);
+  double t_a = MinFindSeconds(aligned, lookups, repeats);
+  double t_m = MinFindSeconds(misaligned, lookups, repeats);
+  table.AddRow({std::to_string(M), std::to_string(M * 4) + "B",
+                Table::Num(t_a), Table::Num(t_m),
+                Table::Num(100.0 * (t_m - t_a) / t_a, 3) + "%"});
+}
+
+}  // namespace
+}  // namespace cssidx::bench
+
+int main(int argc, char** argv) {
+  using namespace cssidx::bench;
+  Options options = Options::Parse(argc, argv);
+  PrintHeader("Ablation: node alignment",
+              "aligned vs misaligned directories; the Figure 12 m=24 bump",
+              options);
+  size_t n = options.n ? options.n : 2'000'000;
+  if (options.quick) n = 300'000;
+  auto keys = cssidx::workload::DistinctSortedKeys(n, options.seed, 4);
+  auto lookups = cssidx::workload::MatchingLookups(keys, options.lookups,
+                                                   options.seed + 1);
+
+  Table table(
+      {"entries/node", "node bytes", "aligned (s)", "misaligned (s)",
+       "misalignment cost"});
+  Run<8>(table, keys, lookups, options.repeats);
+  Run<16>(table, keys, lookups, options.repeats);
+  Run<24>(table, keys, lookups, options.repeats);  // div/mul + straddling
+  Run<32>(table, keys, lookups, options.repeats);
+  table.Print("Alignment ablation (full CSS-tree), n = " + std::to_string(n));
+  return 0;
+}

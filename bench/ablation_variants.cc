@@ -1,0 +1,100 @@
+// Two variant ablations the paper discusses in prose:
+//
+// 1. §6.2 / [LC86b]: "We implemented the improved version of T-Tree,
+//    which is a little bit better than the basic version." The improved
+//    search compares only the smallest key per node (one line touched);
+//    the basic search also compares the largest (a second line on every
+//    right-descent).
+//
+// 2. §3.5: "Skewed data can seriously affect the performance of hash
+//    indices unless we have a relatively sophisticated hash function,
+//    which will increase the computation time." Low-order-bit hashing vs
+//    multiplicative (Fibonacci) hashing, on uniform and on stride-aligned
+//    (low-bit-degenerate) keys.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "baselines/chained_hash.h"
+#include "baselines/t_tree.h"
+#include "harness.h"
+#include "util/timer.h"
+#include "workload/key_gen.h"
+#include "workload/lookup_gen.h"
+
+namespace cssidx::bench {
+namespace {
+
+template <int M>
+void TTreeVariantRow(Table& table, const std::vector<Key>& keys,
+                     const std::vector<Key>& lookups, int repeats) {
+  cssidx::TTreeIndex<M> tree(keys);
+  double improved = 1e300, basic = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    uint64_t sum = 0;
+    cssidx::Timer t1;
+    for (Key k : lookups) sum += tree.LowerBound(k);
+    improved = std::min(improved, t1.Seconds());
+    cssidx::Timer t2;
+    for (Key k : lookups) sum += tree.LowerBoundBasic(k);
+    basic = std::min(basic, t2.Seconds());
+    g_sink = g_sink + sum;
+  }
+  table.AddRow({std::to_string(M), Table::Num(improved), Table::Num(basic),
+                Table::Num(100.0 * (basic - improved) / improved, 3) + "%"});
+}
+
+void HashRow(Table& table, const std::string& label,
+             const std::vector<Key>& keys, const std::vector<Key>& lookups,
+             int dir_bits, cssidx::HashFunction fn, int repeats) {
+  cssidx::ChainedHashIndex<64> hash(keys.data(), keys.size(), dir_bits, fn);
+  double best = MinFindSeconds(hash, lookups, repeats);
+  table.AddRow({label, Table::Num(best),
+                std::to_string(hash.MaxChainBuckets()),
+                Table::Bytes(static_cast<double>(hash.SpaceBytes()))});
+}
+
+}  // namespace
+}  // namespace cssidx::bench
+
+int main(int argc, char** argv) {
+  using namespace cssidx::bench;
+  Options options = Options::Parse(argc, argv);
+  PrintHeader("Variant ablations",
+              "basic vs improved T-tree; hash function vs skew", options);
+  size_t n = options.n ? options.n : 2'000'000;
+  if (options.quick) n = 300'000;
+
+  auto keys = cssidx::workload::DistinctSortedKeys(n, options.seed, 4);
+  auto lookups = cssidx::workload::MatchingLookups(keys, options.lookups,
+                                                   options.seed + 1);
+  Table ttree({"entries/node", "improved (s)", "basic (s)", "basic cost"});
+  TTreeVariantRow<8>(ttree, keys, lookups, options.repeats);
+  TTreeVariantRow<16>(ttree, keys, lookups, options.repeats);
+  TTreeVariantRow<32>(ttree, keys, lookups, options.repeats);
+  ttree.Print("T-tree: improved (LC86b) vs basic search, n = " +
+              std::to_string(n));
+
+  // Hash skew: stride-64 keys have constant low 6 bits.
+  std::vector<cssidx::Key> strided(n);
+  for (size_t i = 0; i < n; ++i) {
+    strided[i] = static_cast<cssidx::Key>(i) * 64;
+  }
+  auto strided_lookups = cssidx::workload::MatchingLookups(
+      strided, options.lookups, options.seed + 2);
+  int bits = 4;
+  while ((size_t{1} << bits) < n && bits < 22) ++bits;
+
+  Table hash({"config", "time (s)", "max chain", "space"});
+  HashRow(hash, "uniform keys, low-bits", keys, lookups, bits,
+          cssidx::HashFunction::kLowOrderBits, options.repeats);
+  HashRow(hash, "uniform keys, multiplicative", keys, lookups, bits,
+          cssidx::HashFunction::kMultiplicative, options.repeats);
+  HashRow(hash, "strided keys, low-bits", strided, strided_lookups, bits,
+          cssidx::HashFunction::kLowOrderBits, options.repeats);
+  HashRow(hash, "strided keys, multiplicative", strided, strided_lookups,
+          bits, cssidx::HashFunction::kMultiplicative, options.repeats);
+  hash.Print("Chained hash: function vs skew, n = " + std::to_string(n));
+  return 0;
+}

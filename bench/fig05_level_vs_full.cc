@@ -1,0 +1,60 @@
+// Figure 5: analytic comparison ratio and cache-access ratio between level
+// and full CSS-trees as a function of node size m, plus a measured
+// head-to-head (the paper: level trees were up to 8% faster on the Ultra,
+// and the two swap places depending on node size vs line size).
+
+#include <string>
+#include <vector>
+
+#include "analytic/ratio_model.h"
+#include "core/full_css_tree.h"
+#include "core/level_css_tree.h"
+#include "harness.h"
+#include "workload/key_gen.h"
+#include "workload/lookup_gen.h"
+
+namespace cssidx::bench {
+namespace {
+
+template <int M>
+void MeasuredRow(Table& table, const std::vector<Key>& keys,
+                 const std::vector<Key>& lookups, int repeats) {
+  double full = MinFindSeconds(cssidx::FullCssTree<M>(keys), lookups, repeats);
+  double level =
+      MinFindSeconds(cssidx::LevelCssTree<M>(keys), lookups, repeats);
+  table.AddRow({std::to_string(M), Table::Num(full), Table::Num(level),
+                Table::Num(level / full, 3)});
+}
+
+}  // namespace
+}  // namespace cssidx::bench
+
+int main(int argc, char** argv) {
+  using namespace cssidx::bench;
+  namespace analytic = cssidx::analytic;
+  Options options = Options::Parse(argc, argv);
+  PrintHeader("Figure 5", "level vs full CSS-trees: analytic ratios + measured",
+              options);
+
+  Table ratios({"m", "comparison ratio (level/full)",
+                "cache access ratio (level/full)"});
+  for (int m = 4; m <= 64; m += 2) {
+    ratios.AddRow({std::to_string(m),
+                   Table::Num(analytic::ComparisonRatio(m), 5),
+                   Table::Num(analytic::CacheAccessRatio(m), 5)});
+  }
+  ratios.Print("Figure 5: analytic ratios vs m");
+
+  size_t n = options.n ? options.n : 2'000'000;
+  if (options.quick) n = 300'000;
+  auto keys = cssidx::workload::DistinctSortedKeys(n, options.seed, 4);
+  auto lookups = cssidx::workload::MatchingLookups(keys, options.lookups,
+                                                   options.seed + 1);
+  Table measured({"m", "full (s)", "level (s)", "level/full"});
+  MeasuredRow<8>(measured, keys, lookups, options.repeats);
+  MeasuredRow<16>(measured, keys, lookups, options.repeats);
+  MeasuredRow<32>(measured, keys, lookups, options.repeats);
+  MeasuredRow<64>(measured, keys, lookups, options.repeats);
+  measured.Print("Measured head-to-head, n = " + std::to_string(n));
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 7: the space analysis table — indirect and direct space for every
+// method under the Table 1 typical values — plus a check against the space
+// actually allocated by the implementations.
+
+#include <string>
+#include <vector>
+
+#include "analytic/params.h"
+#include "analytic/space_model.h"
+#include "baselines/bplus_tree.h"
+#include "baselines/chained_hash.h"
+#include "baselines/t_tree.h"
+#include "core/full_css_tree.h"
+#include "core/level_css_tree.h"
+#include "harness.h"
+#include "workload/key_gen.h"
+
+int main(int argc, char** argv) {
+  using namespace cssidx::bench;
+  namespace analytic = cssidx::analytic;
+  Options options = Options::Parse(argc, argv);
+  PrintHeader("Figure 7", "space analysis: model and measured", options);
+
+  analytic::Params p = analytic::Table1();
+  Table model({"method", "space (indirect)", "space (direct)",
+               "RID-ordered access"});
+  for (const auto& row : analytic::SpaceModel(p, p.SlotsPerNode())) {
+    model.AddRow({row.method, Table::Bytes(row.indirect_bytes),
+                  Table::Bytes(row.direct_bytes),
+                  row.rid_ordered_access ? "Y" : "N"});
+  }
+  model.Print("Figure 7: analytic, n = 1e7, 64B nodes");
+
+  // Measured structure sizes at a buildable n.
+  size_t n = options.quick ? 200'000 : 2'000'000;
+  auto keys = cssidx::workload::DistinctSortedKeys(n, options.seed, 4);
+  analytic::Params pm = p;
+  pm.n = static_cast<double>(n);
+
+  Table measured({"method", "model bytes", "measured bytes", "ratio"});
+  auto add = [&](const std::string& name, double model_bytes,
+                 double measured_bytes) {
+    measured.AddRow({name, Table::Bytes(model_bytes),
+                     Table::Bytes(measured_bytes),
+                     Table::Num(measured_bytes / model_bytes, 3)});
+  };
+  add("full CSS-tree", analytic::FullCssSpace(pm, 16),
+      static_cast<double>(cssidx::FullCssTree<16>(keys).SpaceBytes()));
+  add("level CSS-tree", analytic::LevelCssSpace(pm, 16),
+      static_cast<double>(cssidx::LevelCssTree<16>(keys).SpaceBytes()));
+  add("B+-tree", analytic::BPlusSpace(pm, 16),
+      static_cast<double>(cssidx::BPlusTree<16>(keys).SpaceBytes()));
+  add("T-tree (direct)", analytic::TTreeSpaceDirect(pm, 16),
+      static_cast<double>(cssidx::TTreeIndex<16>(keys).SpaceBytes()) +
+          static_cast<double>(n) * 4);  // + the RID list kept for order
+  {
+    // Hash sized like the paper: directory ~ n/2 buckets.
+    int bits = 1;
+    while ((size_t{1} << bits) < n / 2) ++bits;
+    cssidx::ChainedHashIndex<64> hash(keys, bits);
+    add("hash (direct)", analytic::HashSpaceDirect(pm) * 2,
+        static_cast<double>(hash.SpaceBytes()));
+  }
+  measured.Print("Model vs measured, n = " + std::to_string(n));
+  return 0;
+}

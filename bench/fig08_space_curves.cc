@@ -1,0 +1,41 @@
+// Figure 8: space vs number of indexed records, indirect (a) and direct
+// (b) accounting, n from 1e7 to 9e7 — pure model curves (the same formulas
+// Figure 7 instantiates at n = 1e7).
+
+#include <string>
+#include <vector>
+
+#include "analytic/params.h"
+#include "analytic/space_model.h"
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace cssidx::bench;
+  namespace analytic = cssidx::analytic;
+  Options options = Options::Parse(argc, argv);
+  PrintHeader("Figure 8", "space vs n, indirect and direct", options);
+
+  analytic::Params p = analytic::Table1();
+  double m = p.SlotsPerNode();
+
+  for (bool direct : {false, true}) {
+    Table table({"n", "binary/interp", "T-tree", "B+-tree", "full CSS",
+                 "level CSS", "hash"});
+    for (double n = 1e7; n <= 9e7 + 1; n += 2e7) {
+      analytic::Params pn = p;
+      pn.n = n;
+      double ttree = direct ? analytic::TTreeSpaceDirect(pn, m)
+                            : analytic::TTreeSpaceIndirect(pn, m);
+      double hash = direct ? analytic::HashSpaceDirect(pn)
+                           : analytic::HashSpaceIndirect(pn);
+      table.AddRow({Table::Num(n, 3), "0", Table::Num(ttree, 6),
+                    Table::Num(analytic::BPlusSpace(pn, m), 6),
+                    Table::Num(analytic::FullCssSpace(pn, m), 6),
+                    Table::Num(analytic::LevelCssSpace(pn, m), 6),
+                    Table::Num(hash, 6)});
+    }
+    table.Print(direct ? "Figure 8(b): direct space (bytes)"
+                       : "Figure 8(a): indirect space (bytes)");
+  }
+  return 0;
+}

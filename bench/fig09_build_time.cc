@@ -1,0 +1,68 @@
+// Figure 9: time to build a CSS-tree from a sorted array, as a function of
+// the array size, for full and level CSS-trees (16 entries per node, the
+// cache-line size used in the paper's build experiment).
+//
+// Expected shape (paper): both curves linear in n; level trees cheaper
+// because the spare-slot trick avoids walking a rightmost path per entry;
+// 25M keys build in well under a second on a modern machine. For context,
+// the batch-update merge (§2.2's OLAP maintenance story) is timed too.
+
+#include <string>
+#include <vector>
+
+#include "core/full_css_tree.h"
+#include "core/level_css_tree.h"
+#include "harness.h"
+#include "util/timer.h"
+#include "workload/batch_update.h"
+#include "workload/key_gen.h"
+
+namespace cssidx::bench {
+namespace {
+
+template <typename TreeT>
+double MinBuildSeconds(const std::vector<Key>& keys, int repeats) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    Timer timer;
+    TreeT tree(keys);
+    double sec = timer.Seconds();
+    g_sink = g_sink + tree.SpaceBytes();
+    if (sec < best) best = sec;
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace cssidx::bench
+
+int main(int argc, char** argv) {
+  using namespace cssidx::bench;
+  using cssidx::FullCssTree;
+  using cssidx::LevelCssTree;
+  Options options = Options::Parse(argc, argv);
+  PrintHeader("Figure 9", "CSS-tree build time vs sorted array size",
+              options);
+
+  std::vector<size_t> sizes{2'500'000, 5'000'000, 10'000'000, 15'000'000,
+                            20'000'000, 25'000'000};
+  if (options.quick) sizes = {1'000'000, 2'000'000, 4'000'000};
+
+  Table table({"n", "full CSS-tree build (s)", "level CSS-tree build (s)",
+               "batch merge 1% (s)"});
+  for (size_t n : sizes) {
+    auto keys = cssidx::workload::DistinctSortedKeys(n, options.seed, 4);
+    double full = MinBuildSeconds<FullCssTree<16>>(keys, options.repeats);
+    double level = MinBuildSeconds<LevelCssTree<16>>(keys, options.repeats);
+    // The other half of the OLAP rebuild story: merging a 1% batch.
+    auto batch = cssidx::workload::RandomBatch(keys, 0.01, options.seed + 9);
+    cssidx::Timer timer;
+    auto merged = cssidx::workload::ApplyBatch(keys, batch);
+    double merge = timer.Seconds();
+    g_sink = g_sink + merged.size();
+    table.AddRow({std::to_string(n), Table::Num(full), Table::Num(level),
+                  Table::Num(merge)});
+  }
+  table.Print("Figure 9: build time (min of repeats), 16 entries/node");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Figures 10 and 11: lookup time for 100,000 random successful searches as
+// a function of the sorted-array size, for all eight methods, at node sizes
+// of 8 and 16 integers (32B and 64B nodes — the two cache-line sizes of the
+// paper's machines). One host replaces the paper's two machines; the
+// machine-specific miss counts are reproduced separately by
+// tbl_cache_misses using the simulated Ultra Sparc II and Pentium II
+// caches.
+//
+// Expected shape (paper): all methods tie while the array fits in cache;
+// as n grows, T-tree and binary search (array and pointer) degrade
+// fastest, B+-trees sit in the middle, CSS-trees are the best ordered
+// method (~2x faster than binary search), hash is ~3x faster than CSS but
+// pays ~20x space.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/binary_search.h"
+#include "baselines/binary_tree.h"
+#include "baselines/bplus_tree.h"
+#include "baselines/chained_hash.h"
+#include "baselines/interpolation_search.h"
+#include "baselines/t_tree.h"
+#include "core/full_css_tree.h"
+#include "core/level_css_tree.h"
+#include "harness.h"
+#include "workload/key_gen.h"
+#include "workload/lookup_gen.h"
+
+namespace cssidx::bench {
+namespace {
+
+template <int M>
+void RunSeries(const Options& options, const std::vector<size_t>& sizes) {
+  Table table({"n", "array binary search", "tree binary search",
+               "interpolation", "T-tree", "B+-tree", "full CSS-tree",
+               "level CSS-tree", "hash"});
+  for (size_t n : sizes) {
+    auto keys = workload::DistinctSortedKeys(n, options.seed, 4);
+    auto lookups = workload::MatchingLookups(keys, options.lookups,
+                                             options.seed + 1);
+    const int r = options.repeats;
+    double t_bs = MinFindSeconds(BinarySearchIndex(keys), lookups, r);
+    double t_bst = MinFindSeconds(BinaryTreeIndex(keys), lookups, r);
+    double t_is =
+        MinFindSeconds(InterpolationSearchIndex(keys), lookups, r);
+    double t_tt = MinFindSeconds(TTreeIndex<M>(keys), lookups, r);
+    double t_bp = MinFindSeconds(BPlusTree<M>(keys), lookups, r);
+    double t_fc = MinFindSeconds(FullCssTree<M>(keys), lookups, r);
+    double t_lc = MinFindSeconds(LevelCssTree<M>(keys), lookups, r);
+    // Paper: 4M-entry hash directory at n = 5M-10M; scale dir to ~n.
+    int dir_bits = 4;
+    while ((size_t{1} << dir_bits) < n && dir_bits < 22) ++dir_bits;
+    double t_h =
+        MinFindSeconds(ChainedHashIndex<64>(keys, dir_bits), lookups, r);
+    table.AddRow({std::to_string(n), Table::Num(t_bs), Table::Num(t_bst),
+                  Table::Num(t_is), Table::Num(t_tt), Table::Num(t_bp),
+                  Table::Num(t_fc), Table::Num(t_lc), Table::Num(t_h)});
+  }
+  table.Print("Figures 10/11: time (s) for " +
+              std::to_string(options.lookups) + " lookups, " +
+              std::to_string(M) + " integers per node");
+}
+
+// §6.3: "we also did some tests on non-uniform data and interpolation
+// search performs even worse than binary search." On modern hardware
+// division is cheap, so interpolation looks good on uniform data; the
+// paper's negative verdict shows on skewed distributions.
+void RunSkewedSeries(const Options& options,
+                     const std::vector<size_t>& sizes) {
+  Table table({"n", "array binary search", "interpolation",
+               "full CSS-tree"});
+  for (size_t n : sizes) {
+    auto keys = workload::SkewedKeys(n, options.seed);
+    auto lookups = workload::MatchingLookups(keys, options.lookups,
+                                             options.seed + 1);
+    const int r = options.repeats;
+    double t_bs = MinFindSeconds(BinarySearchIndex(keys), lookups, r);
+    double t_is =
+        MinFindSeconds(InterpolationSearchIndex(keys), lookups, r);
+    double t_fc = MinFindSeconds(FullCssTree<16>(keys), lookups, r);
+    table.AddRow({std::to_string(n), Table::Num(t_bs), Table::Num(t_is),
+                  Table::Num(t_fc)});
+  }
+  table.Print(
+      "§6.3 aside: non-uniform (quadratically skewed) data breaks "
+      "interpolation search");
+}
+
+}  // namespace
+}  // namespace cssidx::bench
+
+int main(int argc, char** argv) {
+  using namespace cssidx::bench;
+  Options options = Options::Parse(argc, argv);
+  PrintHeader("Figures 10 & 11",
+              "lookup time vs sorted array size, all methods", options);
+  std::vector<size_t> sizes{100, 1'000, 10'000, 100'000, 1'000'000,
+                            3'000'000};
+  if (options.full) sizes.push_back(10'000'000);
+  if (options.quick) sizes = {100, 10'000, 300'000};
+  RunSeries<8>(options, sizes);
+  RunSeries<16>(options, sizes);
+  RunSkewedSeries(options, sizes);
+  return 0;
+}

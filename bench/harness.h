@@ -1,0 +1,81 @@
+#ifndef CSSIDX_BENCH_HARNESS_H_
+#define CSSIDX_BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/index.h"
+#include "util/cli.h"
+#include "util/timer.h"
+
+// Shared scaffolding for the figure-reproduction benches.
+//
+// Measurement protocol follows §6.1: lookup keys are generated in advance,
+// each timing is the wall-clock for the whole batch of successful random
+// lookups, each configuration is repeated and the *minimum* is reported.
+// Results feed a `volatile` sink so the optimizer cannot delete the loop.
+
+namespace cssidx::bench {
+
+/// Defeats dead-code elimination of the measured lookups.
+extern volatile uint64_t g_sink;
+
+/// Common command-line knobs. Every bench accepts:
+///   --n=<rows> --lookups=<count> --repeats=<r> --quick --seed=<s> --full
+struct Options {
+  size_t n = 0;          // 0 = bench-specific default
+  size_t lookups = 100'000;
+  int repeats = 3;
+  bool quick = false;    // trim sweeps for smoke runs
+  bool full = false;     // paper-scale sweeps (minutes)
+  uint64_t seed = 17;
+
+  static Options Parse(int argc, char** argv);
+};
+
+/// Minimum wall-clock seconds over `repeats` runs of the full lookup batch
+/// using Find (successful exact-match lookups, the paper's workload).
+template <typename IndexT>
+double MinFindSeconds(const IndexT& index, const std::vector<Key>& lookups,
+                      int repeats) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    uint64_t sum = 0;
+    Timer timer;
+    for (Key k : lookups) {
+      sum += static_cast<uint64_t>(index.Find(k));
+    }
+    double sec = timer.Seconds();
+    g_sink = g_sink + sum;
+    if (sec < best) best = sec;
+  }
+  return best;
+}
+
+/// Fixed-width text table writer that prints both a human-readable table
+/// and machine-readable CSV (prefixed "csv,") so EXPERIMENTS.md and plots
+/// can be produced from the same run.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  void AddRow(const std::vector<std::string>& cells);
+  /// Prints the aligned table to stdout, then the CSV block.
+  void Print(const std::string& title) const;
+
+  static std::string Num(double v, int precision = 4);
+  static std::string Bytes(double bytes);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints the standard bench header (what figure, what parameters).
+void PrintHeader(const std::string& figure, const std::string& description,
+                 const Options& options);
+
+}  // namespace cssidx::bench
+
+#endif  // CSSIDX_BENCH_HARNESS_H_

@@ -1,0 +1,72 @@
+// §5 parameter study: the key width K. A 64-byte node holds sc/K keys, so
+// doubling K halves the branching factor and adds roughly
+// log_{9}(n)/log_{17}(n) more levels. This bench holds the node byte
+// budget fixed (one cache line) and compares 4-byte against 8-byte keys.
+
+#include <string>
+#include <vector>
+
+#include "core/full_css_tree.h"
+#include "core/level_css_tree.h"
+#include "harness.h"
+#include "util/rng.h"
+#include "workload/key_gen.h"
+#include "workload/lookup_gen.h"
+
+namespace cssidx::bench {
+namespace {
+
+template <typename TreeT, typename KeyT>
+double Time(const std::vector<KeyT>& keys, const std::vector<KeyT>& lookups,
+            int repeats, double* space) {
+  TreeT tree(keys);
+  *space = static_cast<double>(tree.SpaceBytes());
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    uint64_t sum = 0;
+    cssidx::Timer timer;
+    for (KeyT k : lookups) sum += tree.LowerBound(k);
+    double sec = timer.Seconds();
+    g_sink = g_sink + sum;
+    if (sec < best) best = sec;
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace cssidx::bench
+
+int main(int argc, char** argv) {
+  using namespace cssidx::bench;
+  Options options = Options::Parse(argc, argv);
+  PrintHeader("Key-width sweep (§5's K parameter)",
+              "4-byte vs 8-byte keys at a fixed 64B node budget", options);
+  size_t n = options.n ? options.n : 2'000'000;
+  if (options.quick) n = 300'000;
+
+  auto keys32 = cssidx::workload::DistinctSortedKeys(n, options.seed, 4);
+  auto lookups32 = cssidx::workload::MatchingLookups(keys32, options.lookups,
+                                                     options.seed + 1);
+  std::vector<uint64_t> keys64(keys32.begin(), keys32.end());
+  for (auto& k : keys64) k |= (1ull << 40);  // force genuinely wide keys
+  std::vector<uint64_t> lookups64(lookups32.begin(), lookups32.end());
+  for (auto& k : lookups64) k |= (1ull << 40);
+
+  Table table({"tree", "K", "keys/node", "time (s)", "directory"});
+  double space = 0;
+  double t;
+  t = Time<cssidx::FullCssTree<16>>(keys32, lookups32, options.repeats,
+                                    &space);
+  table.AddRow({"full CSS", "4", "16", Table::Num(t), Table::Bytes(space)});
+  t = Time<cssidx::FullCssTree64<8>>(keys64, lookups64, options.repeats,
+                                     &space);
+  table.AddRow({"full CSS", "8", "8", Table::Num(t), Table::Bytes(space)});
+  t = Time<cssidx::LevelCssTree<16>>(keys32, lookups32, options.repeats,
+                                     &space);
+  table.AddRow({"level CSS", "4", "16", Table::Num(t), Table::Bytes(space)});
+  t = Time<cssidx::LevelCssTree64<8>>(keys64, lookups64, options.repeats,
+                                      &space);
+  table.AddRow({"level CSS", "8", "8", Table::Num(t), Table::Bytes(space)});
+  table.Print("Key width at fixed node bytes, n = " + std::to_string(n));
+  return 0;
+}

@@ -1,0 +1,129 @@
+// google-benchmark microbenchmarks: per-lookup latency of every method at
+// a few array sizes. Complements the figure benches (which reproduce the
+// paper's batch-of-100k protocol) with statistically managed per-op
+// numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <vector>
+
+#include "baselines/binary_search.h"
+#include "baselines/binary_tree.h"
+#include "baselines/bplus_tree.h"
+#include "baselines/chained_hash.h"
+#include "baselines/interpolation_search.h"
+#include "baselines/t_tree.h"
+#include "core/full_css_tree.h"
+#include "core/level_css_tree.h"
+#include "workload/key_gen.h"
+#include "workload/lookup_gen.h"
+
+namespace cssidx {
+namespace {
+
+struct Workload {
+  std::vector<Key> keys;
+  std::vector<Key> lookups;
+};
+
+const Workload& GetWorkload(size_t n) {
+  static auto* cache = new std::map<size_t, Workload>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    Workload w;
+    w.keys = workload::DistinctSortedKeys(n, 17, 4);
+    w.lookups = workload::MatchingLookups(w.keys, 4096, 18);
+    it = cache->emplace(n, std::move(w)).first;
+  }
+  return it->second;
+}
+
+template <typename IndexT>
+void RunLookups(benchmark::State& state, const IndexT& index,
+                const Workload& w) {
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Find(w.lookups[i]));
+    i = (i + 1) & 4095;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_BinarySearch(benchmark::State& state) {
+  const auto& w = GetWorkload(static_cast<size_t>(state.range(0)));
+  BinarySearchIndex index(w.keys);
+  RunLookups(state, index, w);
+}
+
+void BM_TreeBinarySearch(benchmark::State& state) {
+  const auto& w = GetWorkload(static_cast<size_t>(state.range(0)));
+  BinaryTreeIndex index(w.keys);
+  RunLookups(state, index, w);
+}
+
+void BM_Interpolation(benchmark::State& state) {
+  const auto& w = GetWorkload(static_cast<size_t>(state.range(0)));
+  InterpolationSearchIndex index(w.keys);
+  RunLookups(state, index, w);
+}
+
+void BM_TTree(benchmark::State& state) {
+  const auto& w = GetWorkload(static_cast<size_t>(state.range(0)));
+  TTreeIndex<16> index(w.keys);
+  RunLookups(state, index, w);
+}
+
+void BM_BPlusTree(benchmark::State& state) {
+  const auto& w = GetWorkload(static_cast<size_t>(state.range(0)));
+  BPlusTree<16> index(w.keys);
+  RunLookups(state, index, w);
+}
+
+void BM_FullCss(benchmark::State& state) {
+  const auto& w = GetWorkload(static_cast<size_t>(state.range(0)));
+  FullCssTree<16> index(w.keys);
+  RunLookups(state, index, w);
+}
+
+void BM_LevelCss(benchmark::State& state) {
+  const auto& w = GetWorkload(static_cast<size_t>(state.range(0)));
+  LevelCssTree<16> index(w.keys);
+  RunLookups(state, index, w);
+}
+
+void BM_Hash(benchmark::State& state) {
+  const auto& w = GetWorkload(static_cast<size_t>(state.range(0)));
+  int bits = 4;
+  while ((size_t{1} << bits) < w.keys.size() && bits < 22) ++bits;
+  ChainedHashIndex<64> index(w.keys, bits);
+  RunLookups(state, index, w);
+}
+
+void BM_FullCssBuild(benchmark::State& state) {
+  const auto& w = GetWorkload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    FullCssTree<16> index(w.keys);
+    benchmark::DoNotOptimize(index.SpaceBytes());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+constexpr int64_t kSmall = 100'000;
+constexpr int64_t kLarge = 4'000'000;
+
+BENCHMARK(BM_BinarySearch)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_TreeBinarySearch)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_Interpolation)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_TTree)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_BPlusTree)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_FullCss)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_LevelCss)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_Hash)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_FullCssBuild)->Arg(kLarge);
+
+}  // namespace
+}  // namespace cssidx
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// §5.1 claim: "If a bunch of searches are performed in sequence, the top
+// level nodes will stay in the cache. Since CSS-trees have fewer levels
+// than all the other methods, it will also gain the most benefit from a
+// warm cache." Zipf-skewed lookup streams concentrate probes on popular
+// keys and keep paths resident; this bench compares uniform vs skewed
+// streams per method.
+
+#include <string>
+#include <vector>
+
+#include "baselines/binary_search.h"
+#include "baselines/bplus_tree.h"
+#include "baselines/t_tree.h"
+#include "core/full_css_tree.h"
+#include "harness.h"
+#include "workload/key_gen.h"
+#include "workload/lookup_gen.h"
+
+namespace cssidx::bench {
+namespace {
+
+template <typename IndexT>
+void Run(Table& table, const std::string& name, const IndexT& index,
+         const std::vector<Key>& uniform, const std::vector<Key>& skewed,
+         int repeats) {
+  double u = MinFindSeconds(index, uniform, repeats);
+  double s = MinFindSeconds(index, skewed, repeats);
+  table.AddRow({name, Table::Num(u), Table::Num(s),
+                Table::Num(100.0 * (u - s) / u, 3) + "%"});
+}
+
+}  // namespace
+}  // namespace cssidx::bench
+
+int main(int argc, char** argv) {
+  using namespace cssidx::bench;
+  Options options = Options::Parse(argc, argv);
+  PrintHeader("Warm-cache / skew benefit (§5.1)",
+              "uniform vs Zipf(0.99) lookup streams", options);
+  size_t n = options.n ? options.n : 2'000'000;
+  if (options.quick) n = 300'000;
+  auto keys = cssidx::workload::DistinctSortedKeys(n, options.seed, 4);
+  auto uniform = cssidx::workload::MatchingLookups(keys, options.lookups,
+                                                   options.seed + 1);
+  auto skewed = cssidx::workload::SkewedLookups(keys, options.lookups, 0.99,
+                                                options.seed + 2);
+
+  Table table({"method", "uniform (s)", "zipf 0.99 (s)", "skew speedup"});
+  Run(table, "array binary search", cssidx::BinarySearchIndex(keys), uniform,
+      skewed, options.repeats);
+  Run(table, "T-tree", cssidx::TTreeIndex<16>(keys), uniform, skewed,
+      options.repeats);
+  Run(table, "B+-tree", cssidx::BPlusTree<16>(keys), uniform, skewed,
+      options.repeats);
+  Run(table, "full CSS-tree", cssidx::FullCssTree<16>(keys), uniform, skewed,
+      options.repeats);
+  table.Print("Uniform vs skewed lookups, n = " + std::to_string(n));
+  return 0;
+}

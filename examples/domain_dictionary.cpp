@@ -1,0 +1,74 @@
+// Domain dictionary encoding (§2.1): the paper's main-memory DBMS keeps
+// each column's distinct values in a *sorted* external "domain" and stores
+// only integer domain IDs in place. Loading data therefore needs one
+// sorted-domain search per cell — exactly the workload CSS-trees are built
+// for — and because the domain stays sorted, range predicates evaluate
+// directly on the IDs.
+//
+//   $ ./domain_dictionary [--rows=2000000] [--distinct=100000]
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/full_css_tree.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/timer.h"
+#include "workload/key_gen.h"
+
+int main(int argc, char** argv) {
+  using namespace cssidx;
+  CliArgs args(argc, argv);
+  size_t rows = static_cast<size_t>(args.GetInt("rows", 2'000'000));
+  size_t distinct = static_cast<size_t>(args.GetInt("distinct", 100'000));
+
+  // The domain: sorted distinct values of, say, a "price" column.
+  std::vector<Key> domain = workload::DistinctSortedKeys(distinct, 7, 16);
+  FullCssTree<16> dictionary(domain);
+  std::printf("domain: %zu distinct values, dictionary directory %.1f KB\n",
+              distinct, dictionary.SpaceBytes() / 1e3);
+
+  // Raw column data arriving at load time: row values drawn from the
+  // domain (a real loader would add new values to the domain batch-wise).
+  Pcg32 rng(11);
+  std::vector<Key> raw(rows);
+  for (auto& v : raw) {
+    v = domain[rng.Below(static_cast<uint32_t>(distinct))];
+  }
+
+  // Encode: value -> domain ID via dictionary search. This is the §2.2
+  // "transforming domain values to domain IDs requires searching on the
+  // domain" path.
+  std::vector<uint32_t> encoded(rows);
+  Timer timer;
+  for (size_t i = 0; i < rows; ++i) {
+    encoded[i] = static_cast<uint32_t>(dictionary.Find(raw[i]));
+  }
+  double sec = timer.Seconds();
+  std::printf("encoded %zu rows in %.3f s (%.0f ns/value)\n", rows, sec,
+              sec / static_cast<double>(rows) * 1e9);
+
+  // The column now stores 4-byte IDs; equality AND inequality predicates
+  // work on IDs because the domain is sorted (the paper's improvement over
+  // unsorted domains, §2.1). Example: price < P.
+  Key cutoff_value = domain[distinct / 4];
+  auto cutoff_id = static_cast<uint32_t>(dictionary.LowerBound(cutoff_value));
+  size_t hits = 0;
+  for (uint32_t id : encoded) {
+    if (id < cutoff_id) ++hits;  // no dictionary access needed per row
+  }
+  std::printf("predicate value < %u: %zu of %zu rows (%.1f%%), evaluated on "
+              "IDs only\n",
+              cutoff_value, hits, rows, 100.0 * hits / rows);
+
+  // Decode spot-check: IDs map back through the domain array.
+  for (size_t i = 0; i < rows; i += rows / 7 + 1) {
+    if (domain[encoded[i]] != raw[i]) {
+      std::printf("DECODE MISMATCH at row %zu\n", i);
+      return 1;
+    }
+  }
+  std::printf("decode spot-checks passed\n");
+  return 0;
+}

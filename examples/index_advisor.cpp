@@ -1,0 +1,104 @@
+// Index advisor: the operational version of Figure 14's stepped line.
+// Given a space budget (bytes of extra memory available beyond the sorted
+// RID list), measure every method that fits and recommend the fastest —
+// "the stepped line basically tells us how to find the optimal searching
+// time for a given amount of space" (§7).
+//
+//   $ ./index_advisor --budget=2000000 [--n=2000000] [--lookups=50000]
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/builder.h"
+#include "util/cli.h"
+#include "util/timer.h"
+#include "workload/key_gen.h"
+#include "workload/lookup_gen.h"
+
+namespace {
+
+using namespace cssidx;
+
+struct Candidate {
+  std::string name;
+  size_t space;
+  double seconds;
+  bool ordered;
+};
+
+double TimeLookups(const IndexHandle& index, const std::vector<Key>& lookups) {
+  uint64_t sink = 0;
+  Timer timer;
+  for (Key k : lookups) sink += static_cast<uint64_t>(index.Find(k));
+  double sec = timer.Seconds();
+  if (sink == 0xdeadbeef) std::printf("!");  // keep the loop alive
+  return sec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  size_t n = static_cast<size_t>(args.GetInt("n", 2'000'000));
+  size_t budget = static_cast<size_t>(args.GetInt("budget", 2'000'000));
+  size_t num_lookups = static_cast<size_t>(args.GetInt("lookups", 50'000));
+  bool need_order = args.GetBool("need-ordered-access", false);
+
+  auto keys = workload::DistinctSortedKeys(n, 3, 4);
+  auto lookups = workload::MatchingLookups(keys, num_lookups, 4);
+  std::printf("advising for n=%zu keys, space budget %.2f MB%s\n\n", n,
+              budget / 1e6, need_order ? ", ordered access required" : "");
+
+  // Enumerate the menu: every method at every node size / directory size.
+  std::vector<Candidate> candidates;
+  auto consider = [&](Method method, BuildOptions opts) {
+    auto index = BuildIndex(method, keys, opts);
+    if (!index) return;
+    Candidate c{index->Name(), index->SpaceBytes(), 0,
+                index->SupportsOrderedAccess()};
+    if (c.space > budget) return;              // over budget: skip
+    if (need_order && !c.ordered) return;      // hash can't serve order
+    c.seconds = TimeLookups(*index, lookups);
+    candidates.push_back(std::move(c));
+  };
+
+  BuildOptions opts;
+  consider(Method::kBinarySearch, opts);
+  consider(Method::kInterpolation, opts);
+  consider(Method::kTreeBinarySearch, opts);
+  for (int m : {8, 16, 32, 64}) {
+    opts.node_entries = m;
+    consider(Method::kTTree, opts);
+    consider(Method::kBPlusTree, opts);
+    consider(Method::kFullCss, opts);
+    if ((m & (m - 1)) == 0) consider(Method::kLevelCss, opts);
+  }
+  for (int bits : {16, 18, 20, 22}) {
+    opts.hash_dir_bits = bits;
+    consider(Method::kHash, opts);
+  }
+
+  if (candidates.empty()) {
+    std::printf("nothing fits the budget — binary search (0 bytes) always "
+                "works; raise the budget.\n");
+    return 1;
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.seconds < b.seconds;
+            });
+
+  std::printf("%-24s %12s %12s %8s\n", "method", "space (MB)", "time (s)",
+              "ordered");
+  for (const auto& c : candidates) {
+    std::printf("%-24s %12.2f %12.4f %8s\n", c.name.c_str(), c.space / 1e6,
+                c.seconds, c.ordered ? "Y" : "N");
+  }
+  std::printf("\nrecommendation: %s (%.2f MB, %.4f s per %zu lookups)\n",
+              candidates.front().name.c_str(),
+              candidates.front().space / 1e6, candidates.front().seconds,
+              num_lookups);
+  return 0;
+}

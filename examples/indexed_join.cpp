@@ -1,0 +1,92 @@
+// Indexed nested-loop join (§2.2): "cheaper random access makes indexed
+// nested loop joins more affordable in main memory databases ... This
+// approach requires a lot of searching through indexes on the inner
+// relation." This example joins an orders table against a customers table
+// through each of the suite's index structures and reports the probe cost,
+// reproducing the paper's motivation in miniature.
+//
+//   $ ./indexed_join [--inner=1000000] [--outer=4000000]
+
+#include <cstdio>
+#include <vector>
+
+#include "baselines/binary_search.h"
+#include "baselines/chained_hash.h"
+#include "baselines/t_tree.h"
+#include "core/full_css_tree.h"
+#include "util/cli.h"
+#include "util/timer.h"
+#include "workload/key_gen.h"
+#include "workload/lookup_gen.h"
+
+namespace {
+
+using cssidx::Key;
+
+struct JoinResult {
+  size_t matches = 0;
+  double seconds = 0;
+};
+
+template <typename IndexT>
+JoinResult Join(const IndexT& index, const std::vector<Key>& outer_keys) {
+  JoinResult r;
+  cssidx::Timer timer;
+  for (Key k : outer_keys) {
+    if (index.Find(k) != cssidx::kNotFound) {
+      ++r.matches;  // a real executor would emit the joined row here
+    }
+  }
+  r.seconds = timer.Seconds();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cssidx;
+  CliArgs args(argc, argv);
+  size_t inner_n = static_cast<size_t>(args.GetInt("inner", 1'000'000));
+  size_t outer_n = static_cast<size_t>(args.GetInt("outer", 4'000'000));
+
+  // Inner relation: customers, keyed by customer id (sorted RID list).
+  auto customers = workload::DistinctSortedKeys(inner_n, 5, 4);
+  // Outer relation: orders; 80% reference an existing customer.
+  auto orders = workload::MixedLookups(customers, outer_n, 0.8, 6);
+  std::printf("join: %zu orders |><| %zu customers (80%% match rate)\n\n",
+              outer_n, inner_n);
+
+  std::printf("%-22s %12s %12s %14s\n", "inner index", "matches", "time (s)",
+              "probe ns/row");
+  auto report = [&](const char* name, const JoinResult& r, size_t space) {
+    std::printf("%-22s %12zu %12.3f %14.0f   (index space %.1f MB)\n", name,
+                r.matches, r.seconds,
+                r.seconds / static_cast<double>(outer_n) * 1e9, space / 1e6);
+  };
+
+  {
+    BinarySearchIndex index(customers);
+    report("array binary search", Join(index, orders), index.SpaceBytes());
+  }
+  {
+    TTreeIndex<16> index(customers);
+    report("T-tree", Join(index, orders), index.SpaceBytes());
+  }
+  {
+    FullCssTree<16> index(customers);
+    report("full CSS-tree", Join(index, orders), index.SpaceBytes());
+  }
+  {
+    int bits = 4;
+    while ((size_t{1} << bits) < inner_n && bits < 22) ++bits;
+    ChainedHashIndex<64> index(customers, bits);
+    report("chained hash", Join(index, orders), index.SpaceBytes());
+  }
+
+  std::printf("\nThe CSS-tree probes at a fraction of binary search's cost "
+              "with ~%.1f%% space overhead;\nhash is faster still but costs "
+              "an order of magnitude more memory (Figure 14's trade-off).\n",
+              100.0 * FullCssTree<16>(customers).SpaceBytes() /
+                  (inner_n * sizeof(Key)));
+  return 0;
+}

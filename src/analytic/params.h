@@ -1,0 +1,29 @@
+#ifndef CSSIDX_ANALYTIC_PARAMS_H_
+#define CSSIDX_ANALYTIC_PARAMS_H_
+
+#include <cstdint>
+
+// Table 1: parameters of the §5 analytic models and their typical values.
+
+namespace cssidx::analytic {
+
+struct Params {
+  double R = 4;        // bytes per record identifier
+  double K = 4;        // bytes per key
+  double P = 4;        // bytes per child pointer
+  double n = 1e7;      // records indexed
+  double h = 1.2;      // hashing fudge factor (table is 20% over raw data)
+  double c = 64;       // cache line bytes
+  double s = 1;        // node size in cache lines
+
+  /// Node size in bytes.
+  double NodeBytes() const { return s * c; }
+  /// Key slots per node, m = sc/K.
+  double SlotsPerNode() const { return NodeBytes() / K; }
+};
+
+inline Params Table1() { return Params{}; }
+
+}  // namespace cssidx::analytic
+
+#endif  // CSSIDX_ANALYTIC_PARAMS_H_

@@ -1,0 +1,16 @@
+#include "analytic/ratio_model.h"
+
+#include <cmath>
+
+namespace cssidx::analytic {
+
+double ComparisonRatio(double m) {
+  double log_m_m1 = std::log(m + 1.0) / std::log(m);
+  return (m + 1.0) * log_m_m1 / (m + 3.0);
+}
+
+double CacheAccessRatio(double m) {
+  return std::log(m + 1.0) / std::log(m);
+}
+
+}  // namespace cssidx::analytic

@@ -1,0 +1,21 @@
+#ifndef CSSIDX_ANALYTIC_RATIO_MODEL_H_
+#define CSSIDX_ANALYTIC_RATIO_MODEL_H_
+
+// §4.2 / Figure 5: analytic comparison of level vs full CSS-trees as a
+// function of the node size m.
+
+namespace cssidx::analytic {
+
+/// Ratio of total comparisons, level tree over full tree:
+/// (m+1) * log_m(m+1) / (m+3). Always < 1 for m >= 2 — the level tree's
+/// perfect intra-node binary tree wins comparisons.
+double ComparisonRatio(double m);
+
+/// Ratio of cache accesses (= node visits = levels), level over full:
+/// log_m(N) / log_{m+1}(N) = log(m+1)/log(m). Always > 1 — the level
+/// tree's smaller fanout costs levels.
+double CacheAccessRatio(double m);
+
+}  // namespace cssidx::analytic
+
+#endif  // CSSIDX_ANALYTIC_RATIO_MODEL_H_

@@ -1,0 +1,51 @@
+#include "analytic/space_model.h"
+
+namespace cssidx::analytic {
+
+// Figure 7 formulas, written with sc = m*K substituted where convenient.
+
+double FullCssSpace(const Params& p, double m) {
+  double sc = m * p.K;
+  return p.n * p.K * p.K / sc;  // nK^2 / sc
+}
+
+double LevelCssSpace(const Params& p, double m) {
+  double sc = m * p.K;
+  return p.n * p.K * p.K / (sc - p.K);  // nK^2 / (sc - K)
+}
+
+double BPlusSpace(const Params& p, double m) {
+  double sc = m * p.K;
+  return p.n * p.K * (p.P + p.K) / (sc - p.P - p.K);  // nK(P+K)/(sc-P-K)
+}
+
+double HashSpaceIndirect(const Params& p) { return (p.h - 1.0) * p.n * p.R; }
+
+double HashSpaceDirect(const Params& p) { return p.h * p.n * p.R; }
+
+double TTreeSpaceIndirect(const Params& p, double m) {
+  double sc = m * p.K;
+  return 2.0 * p.n * p.P * (p.K + p.R) / (sc - 2.0 * p.P);
+}
+
+double TTreeSpaceDirect(const Params& p, double m) {
+  return TTreeSpaceIndirect(p, m) + p.n * p.R;
+}
+
+std::vector<SpaceRow> SpaceModel(const Params& p, double m) {
+  std::vector<SpaceRow> rows;
+  rows.push_back({"binary search", 0, 0, true});
+  rows.push_back({"interpolation search", 0, 0, true});
+  rows.push_back(
+      {"full CSS-tree", FullCssSpace(p, m), FullCssSpace(p, m), true});
+  rows.push_back(
+      {"level CSS-tree", LevelCssSpace(p, m), LevelCssSpace(p, m), true});
+  rows.push_back({"B+-tree", BPlusSpace(p, m), BPlusSpace(p, m), true});
+  rows.push_back(
+      {"hash table", HashSpaceIndirect(p), HashSpaceDirect(p), false});
+  rows.push_back({"T-tree", TTreeSpaceIndirect(p, m), TTreeSpaceDirect(p, m),
+                  true});
+  return rows;
+}
+
+}  // namespace cssidx::analytic

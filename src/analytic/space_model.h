@@ -1,0 +1,42 @@
+#ifndef CSSIDX_ANALYTIC_SPACE_MODEL_H_
+#define CSSIDX_ANALYTIC_SPACE_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "analytic/params.h"
+
+// §5.2 / Figures 7 and 8: space each method needs beyond what sequential
+// access already requires.
+//
+//   "indirect": the structure indexes a rearrangeable RID list, so methods
+//     may absorb the RIDs into their own nodes; the RID storage itself is
+//     not charged (all methods share it).
+//   "direct": the indexed records cannot be rearranged, so methods that
+//     must keep RIDs inside their structure (T-trees) or that need a
+//     separate ordered RID list anyway (hash) are charged for it.
+
+namespace cssidx::analytic {
+
+struct SpaceRow {
+  std::string method;
+  double indirect_bytes = 0;
+  double direct_bytes = 0;
+  bool rid_ordered_access = true;
+};
+
+/// One row per method (paper's Figure 7 order). `m` = slots per node.
+std::vector<SpaceRow> SpaceModel(const Params& p, double m);
+
+/// Individual formulas, exposed for the Figure 8 sweeps and tests.
+double FullCssSpace(const Params& p, double m);
+double LevelCssSpace(const Params& p, double m);
+double BPlusSpace(const Params& p, double m);
+double HashSpaceIndirect(const Params& p);
+double HashSpaceDirect(const Params& p);
+double TTreeSpaceIndirect(const Params& p, double m);
+double TTreeSpaceDirect(const Params& p, double m);
+
+}  // namespace cssidx::analytic
+
+#endif  // CSSIDX_ANALYTIC_SPACE_MODEL_H_

@@ -1,0 +1,37 @@
+#ifndef CSSIDX_ANALYTIC_TIME_MODEL_H_
+#define CSSIDX_ANALYTIC_TIME_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "analytic/params.h"
+
+// §5.1 / Figure 6: per-lookup cost decomposition for each method, as a
+// function of the number of slots per node m. Three components: key
+// comparisons, cost of moving across levels (in units of the per-method
+// move operation), and cache misses. The miss column switches formula when
+// a node outgrows a cache line: a node of s lines costs log2(s) + 1/s
+// misses per visit.
+
+namespace cssidx::analytic {
+
+struct TimeBreakdown {
+  std::string method;
+  double branching = 0;       // branching factor
+  double levels = 0;          // number of levels traversed
+  double comparisons = 0;     // total key comparisons
+  double moves = 0;           // number of across-level moves
+  double cache_misses = 0;    // expected misses per cold lookup
+};
+
+/// One row per method, in the paper's order. `m` is slots per node (so the
+/// B+-tree's branching factor is m/2 and the full CSS-tree's is m+1).
+std::vector<TimeBreakdown> TimeModel(const Params& p, double m);
+
+/// Expected misses per node visit when a node spans `node_bytes` and a
+/// line holds `line_bytes`: 1 if it fits, else log2(s) + 1/s (§5.1).
+double MissesPerNode(double node_bytes, double line_bytes);
+
+}  // namespace cssidx::analytic
+
+#endif  // CSSIDX_ANALYTIC_TIME_MODEL_H_

@@ -1,0 +1,166 @@
+#ifndef CSSIDX_BASELINES_CHAINED_HASH_H_
+#define CSSIDX_BASELINES_CHAINED_HASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/index.h"
+#include "util/bits.h"
+#include "util/macros.h"
+
+// Chained bucket hashing (§3.5), implemented the way §6.2 describes,
+// following [GBC98]: the bucket size equals the cache line size, each
+// bucket holds an occupancy counter, an overflow link, and as many
+// (key, RID) pairs as fit; the hash function is the key's low-order bits
+// (cheap, but vulnerable to skew — a point the paper makes).
+//
+// Hashing is the time winner (about 3x faster than CSS-trees at the
+// paper's 5M scale) but needs ~20x the space and provides no ordered
+// access, so it cannot replace the sorted RID list — its space is pure
+// addition (Figure 7's "direct" column).
+//
+// `LineBytes` should match the target cache line (32 on the paper's
+// machines, 64 on modern x86-64).
+
+namespace cssidx {
+
+/// §3.5: "Skewed data can seriously affect the performance of hash indices
+/// unless we have a relatively sophisticated hash function, which will
+/// increase the computation time."
+enum class HashFunction {
+  /// The paper's choice: low-order bits of the key. One AND; collapses
+  /// when keys share low bits (e.g. stride-aligned keys).
+  kLowOrderBits,
+  /// Fibonacci (multiplicative) hashing: one multiply + shift. Scrambles
+  /// all input bits into the directory index — skew-resistant at a small
+  /// per-probe compute cost.
+  kMultiplicative,
+};
+
+template <int LineBytes = kCacheLineBytes>
+class ChainedHashIndex {
+  static_assert(LineBytes >= 16 && IsPowerOfTwo(LineBytes));
+
+ public:
+  static constexpr int kPairsPerBucket = (LineBytes - 8) / 8;
+  static constexpr uint32_t kNoNext = 0xffffffffu;
+
+  struct Pair {
+    Key key;
+    uint32_t rid;
+  };
+  struct alignas(LineBytes) Bucket {
+    uint32_t count;
+    uint32_t next;  // arena index of the overflow bucket, or kNoNext
+    Pair pairs[kPairsPerBucket];
+  };
+  static_assert(sizeof(Bucket) == LineBytes);
+
+  /// Builds a table with 2^dir_bits directory buckets over keys[0..n).
+  /// RIDs are array positions; duplicates keep insertion (= array) order,
+  /// so the first match found is the leftmost occurrence.
+  ChainedHashIndex(const Key* keys, size_t n, int dir_bits,
+                   HashFunction fn = HashFunction::kLowOrderBits)
+      : n_(n), dir_bits_(dir_bits), mask_((1u << dir_bits) - 1), fn_(fn) {
+    size_t dir_size = size_t{1} << dir_bits;
+    arena_.resize(dir_size);
+    for (Bucket& b : arena_) {
+      b.count = 0;
+      b.next = kNoNext;
+    }
+    for (size_t i = 0; i < n; ++i) Insert(keys[i], static_cast<uint32_t>(i));
+  }
+  ChainedHashIndex(const std::vector<Key>& keys, int dir_bits)
+      : ChainedHashIndex(keys.data(), keys.size(), dir_bits) {}
+
+  int64_t Find(Key k) const {
+    const Bucket* bucket = &arena_[Slot(k)];
+    while (true) {
+      uint32_t count = bucket->count;
+      for (uint32_t i = 0; i < count; ++i) {
+        if (bucket->pairs[i].key == k) return bucket->pairs[i].rid;
+      }
+      if (bucket->next == kNoNext) return kNotFound;
+      bucket = &arena_[bucket->next];
+    }
+  }
+
+  /// §3.6: hashing scans the whole chain for all matches.
+  size_t CountEqual(Key k) const {
+    size_t count = 0;
+    const Bucket* bucket = &arena_[Slot(k)];
+    while (true) {
+      for (uint32_t i = 0; i < bucket->count; ++i) {
+        if (bucket->pairs[i].key == k) ++count;
+      }
+      if (bucket->next == kNoNext) return count;
+      bucket = &arena_[bucket->next];
+    }
+  }
+
+  template <typename Tracer>
+  int64_t FindTraced(Key k, const Tracer& tracer) const {
+    const Bucket* bucket = &arena_[Slot(k)];
+    while (true) {
+      tracer.Touch(bucket, sizeof(Bucket));
+      for (uint32_t i = 0; i < bucket->count; ++i) {
+        if (bucket->pairs[i].key == k) return bucket->pairs[i].rid;
+      }
+      if (bucket->next == kNoNext) return kNotFound;
+      bucket = &arena_[bucket->next];
+    }
+  }
+
+  size_t SpaceBytes() const { return arena_.capacity() * sizeof(Bucket); }
+  size_t size() const { return n_; }
+
+  /// Longest chain length in buckets — the skew diagnostic of §3.5.
+  size_t MaxChainBuckets() const {
+    size_t dir_size = static_cast<size_t>(mask_) + 1;
+    size_t longest = 0;
+    for (size_t b = 0; b < dir_size; ++b) {
+      size_t len = 1;
+      const Bucket* bucket = &arena_[b];
+      while (bucket->next != kNoNext) {
+        ++len;
+        bucket = &arena_[bucket->next];
+      }
+      if (len > longest) longest = len;
+    }
+    return longest;
+  }
+
+ private:
+  CSSIDX_ALWAYS_INLINE uint32_t Slot(Key k) const {
+    if (fn_ == HashFunction::kLowOrderBits || dir_bits_ == 0) {
+      return k & mask_;
+    }
+    // Knuth's multiplicative constant (2^32 / golden ratio); the top
+    // dir_bits_ bits of the product index the directory.
+    return static_cast<uint32_t>((k * 2654435761u) >> (32 - dir_bits_)) &
+           mask_;
+  }
+
+  void Insert(Key k, uint32_t rid) {
+    uint32_t b = Slot(k);
+    while (arena_[b].next != kNoNext) b = arena_[b].next;
+    if (arena_[b].count == kPairsPerBucket) {
+      auto fresh = static_cast<uint32_t>(arena_.size());
+      arena_.push_back(Bucket{0, kNoNext, {}});
+      arena_[b].next = fresh;
+      b = fresh;
+    }
+    Bucket& bucket = arena_[b];
+    bucket.pairs[bucket.count++] = Pair{k, rid};
+  }
+
+  size_t n_;
+  int dir_bits_;
+  uint32_t mask_;
+  HashFunction fn_;
+  std::vector<Bucket> arena_;
+};
+
+}  // namespace cssidx
+
+#endif  // CSSIDX_BASELINES_CHAINED_HASH_H_

@@ -1,0 +1,102 @@
+#ifndef CSSIDX_BASELINES_INTERPOLATION_SEARCH_H_
+#define CSSIDX_BASELINES_INTERPOLATION_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/index.h"
+
+// Interpolation search (§1, §6.3): estimates the probe position from the
+// key's value assuming a linear key distribution. O(log log n) expected on
+// uniform data, but degrades badly — worse than binary search — on skewed
+// data, which is why the paper "would not recommend using [it] in
+// practice". A pure interpolation loop is O(n) worst case (each step can
+// shave a single element off the bracket); after kMaxInterpolationSteps
+// probes we fall back to binary halving so adversarial inputs stay
+// O(log n) while mildly skewed inputs still exhibit the paper's slowdown.
+
+namespace cssidx {
+
+class InterpolationSearchIndex {
+ public:
+  InterpolationSearchIndex(const Key* keys, size_t n) : a_(keys), n_(n) {}
+  explicit InterpolationSearchIndex(const std::vector<Key>& keys)
+      : InterpolationSearchIndex(keys.data(), keys.size()) {}
+
+  size_t LowerBound(Key k) const {
+    NullProbe probe;
+    return LowerBoundImpl(k, probe);
+  }
+
+  int64_t Find(Key k) const {
+    size_t pos = LowerBound(k);
+    if (pos < n_ && a_[pos] == k) return static_cast<int64_t>(pos);
+    return kNotFound;
+  }
+
+  size_t CountEqual(Key k) const {
+    return ::cssidx::CountEqual(*this, a_, n_, k);
+  }
+
+  template <typename Tracer>
+  size_t LowerBoundTraced(Key k, const Tracer& tracer) const {
+    TracerProbe<Tracer> probe{&tracer};
+    return LowerBoundImpl(k, probe);
+  }
+
+  size_t SpaceBytes() const { return 0; }
+  size_t size() const { return n_; }
+
+ private:
+  static constexpr int kMaxInterpolationSteps = 64;
+
+  struct NullProbe {
+    void operator()(const Key*) const {}
+  };
+  template <typename Tracer>
+  struct TracerProbe {
+    const Tracer* tracer;
+    void operator()(const Key* p) const { tracer->Touch(p, sizeof(Key)); }
+  };
+
+  template <typename Probe>
+  size_t LowerBoundImpl(Key k, const Probe& probe) const {
+    if (n_ == 0) return 0;
+    // Invariant: the answer lies in [lo, hi]; a_[lo] and a_[hi] are live.
+    size_t lo = 0;
+    size_t hi = n_ - 1;
+    probe(a_ + lo);
+    if (a_[lo] >= k) return 0;
+    probe(a_ + hi);
+    if (a_[hi] < k) return n_;  // k beyond the last key
+    // Here a_[lo] < k <= a_[hi].
+    int interp_steps = 0;
+    while (hi - lo > 1) {
+      uint64_t span = a_[hi] - a_[lo];
+      size_t mid;
+      if (span == 0 || ++interp_steps > kMaxInterpolationSteps) {
+        mid = lo + (hi - lo) / 2;  // flat run or slow progress: bisect
+      } else {
+        uint64_t offset = static_cast<uint64_t>(k - a_[lo]) * (hi - lo) / span;
+        mid = lo + static_cast<size_t>(offset);
+        // Keep the invariant endpoints strictly inside the bracket.
+        if (mid <= lo) mid = lo + 1;
+        if (mid >= hi) mid = hi - 1;
+      }
+      probe(a_ + mid);
+      if (a_[mid] >= k) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    return hi;  // first position with a_[pos] >= k
+  }
+
+  const Key* a_;
+  size_t n_;
+};
+
+}  // namespace cssidx
+
+#endif  // CSSIDX_BASELINES_INTERPOLATION_SEARCH_H_

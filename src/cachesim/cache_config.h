@@ -1,0 +1,48 @@
+#ifndef CSSIDX_CACHESIM_CACHE_CONFIG_H_
+#define CSSIDX_CACHESIM_CACHE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+// Cache geometry descriptions, parameterized exactly as the paper does:
+// <capacity, block (line) size, associativity> (§3.1, §6.1).
+
+namespace cssidx::cachesim {
+
+struct CacheConfig {
+  std::string name;
+  uint64_t capacity_bytes = 0;
+  uint32_t line_bytes = 0;
+  uint32_t associativity = 0;  // 0 means fully associative
+
+  uint64_t NumLines() const { return capacity_bytes / line_bytes; }
+  uint64_t NumSets() const {
+    uint32_t ways = associativity == 0
+                        ? static_cast<uint32_t>(NumLines())
+                        : associativity;
+    return NumLines() / ways;
+  }
+};
+
+/// The four cache levels measured in the paper (§6.1) plus a representative
+/// modern geometry, so benches can show both the 1999 and present-day miss
+/// profiles.
+///
+/// Ultra Sparc II:  L1 <16K, 32B, 1>,  L2 <1M, 64B, 1>
+/// Pentium II:      L1 <16K, 32B, 4>,  L2 <512K, 32B, 4>
+inline CacheConfig UltraSparcL1() { return {"ultra-l1", 16 * 1024, 32, 1}; }
+inline CacheConfig UltraSparcL2() { return {"ultra-l2", 1024 * 1024, 64, 1}; }
+inline CacheConfig PentiumIIL1() { return {"pentium-l1", 16 * 1024, 32, 4}; }
+inline CacheConfig PentiumIIL2() { return {"pentium-l2", 512 * 1024, 32, 4}; }
+inline CacheConfig ModernL1() { return {"modern-l1", 32 * 1024, 64, 8}; }
+inline CacheConfig ModernL2() { return {"modern-l2", 1024 * 1024, 64, 16}; }
+
+/// Two-level hierarchies matching each experimental machine in §6.1.
+std::vector<CacheConfig> UltraSparcHierarchy();
+std::vector<CacheConfig> PentiumIIHierarchy();
+std::vector<CacheConfig> ModernHierarchy();
+
+}  // namespace cssidx::cachesim
+
+#endif  // CSSIDX_CACHESIM_CACHE_CONFIG_H_

@@ -1,0 +1,111 @@
+#include "cachesim/cache_sim.h"
+
+#include <cassert>
+
+#include "util/bits.h"
+
+namespace cssidx::cachesim {
+
+std::vector<CacheConfig> UltraSparcHierarchy() {
+  return {UltraSparcL1(), UltraSparcL2()};
+}
+std::vector<CacheConfig> PentiumIIHierarchy() {
+  return {PentiumIIL1(), PentiumIIL2()};
+}
+std::vector<CacheConfig> ModernHierarchy() { return {ModernL1(), ModernL2()}; }
+
+CacheSim::CacheSim(const CacheConfig& config) : config_(config) {
+  assert(IsPowerOfTwo(config.line_bytes));
+  assert(config.capacity_bytes % config.line_bytes == 0);
+  uint64_t lines = config.NumLines();
+  ways_ = config.associativity == 0 ? static_cast<uint32_t>(lines)
+                                    : config.associativity;
+  assert(lines % ways_ == 0);
+  num_sets_ = lines / ways_;
+  slots_.resize(num_sets_ * ways_);
+}
+
+bool CacheSim::AccessLine(uint64_t line_addr) {
+  ++accesses_;
+  ++tick_;
+  uint64_t set = line_addr % num_sets_;
+  Way* base = &slots_[set * ways_];
+  Way* victim = base;
+  for (uint32_t w = 0; w < ways_; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == line_addr) {
+      way.last_use = tick_;
+      return true;  // hit
+    }
+    if (!way.valid) {
+      victim = &way;
+    } else if (victim->valid && way.last_use < victim->last_use) {
+      victim = &way;
+    }
+  }
+  ++misses_;
+  victim->tag = line_addr;
+  victim->last_use = tick_;
+  victim->valid = true;
+  return false;
+}
+
+uint64_t CacheSim::Access(const void* addr, uint64_t size) {
+  if (size == 0) size = 1;
+  auto start = reinterpret_cast<uint64_t>(addr);
+  uint64_t first = start / config_.line_bytes;
+  uint64_t last = (start + size - 1) / config_.line_bytes;
+  uint64_t miss_count = 0;
+  for (uint64_t line = first; line <= last; ++line) {
+    if (!AccessLine(line)) ++miss_count;
+  }
+  return miss_count;
+}
+
+void CacheSim::FlushContents() {
+  for (Way& w : slots_) w.valid = false;
+}
+
+void CacheSim::ResetCounters() {
+  accesses_ = 0;
+  misses_ = 0;
+}
+
+CacheHierarchy::CacheHierarchy(const std::vector<CacheConfig>& configs) {
+  levels_.reserve(configs.size());
+  for (const auto& c : configs) levels_.emplace_back(c);
+}
+
+void CacheHierarchy::Access(const void* addr, uint64_t size) {
+  // An access proceeds to the next level only for the lines it missed.
+  // Modelling per-line propagation exactly: touch each level with the same
+  // span; a line that hits in L1 would not reach L2, so we stop the chain
+  // per line. For simplicity and because spans here are <= a few lines, we
+  // iterate line by line.
+  if (size == 0) size = 1;
+  auto start = reinterpret_cast<uint64_t>(addr);
+  uint32_t line0 = levels_.front().config().line_bytes;
+  uint64_t first = start / line0;
+  uint64_t last = (start + size - 1) / line0;
+  for (uint64_t line = first; line <= last; ++line) {
+    const void* p = reinterpret_cast<const void*>(line * line0);
+    for (auto& level : levels_) {
+      uint64_t missed = level.Access(p, 1);
+      if (missed == 0) break;  // satisfied at this level
+    }
+  }
+}
+
+void CacheHierarchy::FlushContents() {
+  for (auto& l : levels_) l.FlushContents();
+}
+
+void CacheHierarchy::ResetCounters() {
+  for (auto& l : levels_) l.ResetCounters();
+}
+
+uint64_t CacheHierarchy::MemoryFetches() const {
+  return levels_.back().misses();
+}
+
+}  // namespace cssidx::cachesim

@@ -1,0 +1,80 @@
+#ifndef CSSIDX_CORE_ANY_INDEX_H_
+#define CSSIDX_CORE_ANY_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/index.h"
+
+// Type erasure over the index templates, for code that selects a method at
+// run time (examples, space sweeps, the index advisor). Timing benches use
+// the templates directly — a virtual call per probe would tax every method
+// equally but would still pollute the small-n end of Figures 10/11.
+
+namespace cssidx {
+
+/// Runtime interface over any index in the suite.
+class IndexHandle {
+ public:
+  virtual ~IndexHandle() = default;
+
+  /// First position >= key. Unordered methods (hash) return size().
+  virtual size_t LowerBound(Key k) const = 0;
+  /// Leftmost match or kNotFound.
+  virtual int64_t Find(Key k) const = 0;
+  /// Number of occurrences (§3.6).
+  virtual size_t CountEqual(Key k) const = 0;
+  /// Extra bytes beyond the sorted array.
+  virtual size_t SpaceBytes() const = 0;
+  virtual size_t size() const = 0;
+  virtual const std::string& Name() const = 0;
+  /// False for hash (Figure 7's "RID-Ordered Access" column).
+  virtual bool SupportsOrderedAccess() const = 0;
+};
+
+/// Wraps an OrderedIndex template instance.
+template <typename IndexT>
+class OrderedIndexHandle final : public IndexHandle {
+ public:
+  OrderedIndexHandle(IndexT index, std::string name)
+      : index_(std::move(index)), name_(std::move(name)) {}
+
+  size_t LowerBound(Key k) const override { return index_.LowerBound(k); }
+  int64_t Find(Key k) const override { return index_.Find(k); }
+  size_t CountEqual(Key k) const override { return index_.CountEqual(k); }
+  size_t SpaceBytes() const override { return index_.SpaceBytes(); }
+  size_t size() const override { return index_.size(); }
+  const std::string& Name() const override { return name_; }
+  bool SupportsOrderedAccess() const override { return true; }
+
+  const IndexT& get() const { return index_; }
+
+ private:
+  IndexT index_;
+  std::string name_;
+};
+
+/// Wraps a hash index (no ordered access).
+template <typename HashT>
+class HashIndexHandle final : public IndexHandle {
+ public:
+  HashIndexHandle(HashT index, std::string name)
+      : index_(std::move(index)), name_(std::move(name)) {}
+
+  size_t LowerBound(Key) const override { return index_.size(); }
+  int64_t Find(Key k) const override { return index_.Find(k); }
+  size_t CountEqual(Key k) const override { return index_.CountEqual(k); }
+  size_t SpaceBytes() const override { return index_.SpaceBytes(); }
+  size_t size() const override { return index_.size(); }
+  const std::string& Name() const override { return name_; }
+  bool SupportsOrderedAccess() const override { return false; }
+
+ private:
+  HashT index_;
+  std::string name_;
+};
+
+}  // namespace cssidx
+
+#endif  // CSSIDX_CORE_ANY_INDEX_H_

@@ -1,0 +1,78 @@
+#ifndef CSSIDX_CORE_CSS_LAYOUT_H_
+#define CSSIDX_CORE_CSS_LAYOUT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/bits.h"
+
+// Node-numbering arithmetic shared by full and level CSS-trees (§4.1,
+// Lemma 4.1) and by the analytic space model.
+//
+// Nodes are numbered from 0 (the root) level by level, left to right.
+// A node has `fanout` children; child j of node b is node b*fanout + 1 + j.
+// Nodes occupy `stride` key slots in the directory array. Leaves are the
+// sorted array itself, conceptually chopped into chunks of `stride` keys.
+//
+// Because leaves are kept in key order in a *separate* contiguous array
+// (the sorted array is given to us and must stay sorted — §4.1), leaf node
+// numbers map to array offsets through the "region switch" of Figure 3:
+// leaves at the deepest level (node numbers >= mark) hold the *front* of
+// the array; the leftover leaves one level up (node numbers in
+// [internal_nodes, mark)) hold the *back*.
+//
+// The paper assumes n is a multiple of stride; we support general n by
+// clamping the trailing partial leaf, which the property tests sweep
+// exhaustively.
+
+namespace cssidx {
+
+struct CssLayout {
+  size_t n = 0;       // number of keys in the sorted array
+  int stride = 0;     // key slots per node
+  int fanout = 0;     // children per internal node
+  uint64_t num_leaves = 0;      // B = ceil(n / stride)
+  int levels = 0;               // k = ceil(log_fanout(B)); directory depth
+  uint64_t mark = 0;            // F = (fanout^k - 1) / (fanout - 1)
+  uint64_t shallow_leaves = 0;  // S = floor((fanout^k - B) / (fanout - 1))
+  uint64_t internal_nodes = 0;  // I = F - S
+  uint64_t deep_leaves = 0;     // D = B - S
+  uint64_t deep_end = 0;        // array length of the deep (front) region
+
+  static CssLayout Compute(size_t n, int stride, int fanout) {
+    CssLayout l;
+    l.n = n;
+    l.stride = stride;
+    l.fanout = fanout;
+    if (n == 0) return l;
+    l.num_leaves = CeilDiv(n, static_cast<uint64_t>(stride));
+    l.levels = CeilLogBase(static_cast<uint64_t>(fanout), l.num_leaves);
+    uint64_t full = IntPow(static_cast<uint64_t>(fanout), l.levels);
+    l.mark = (full - 1) / static_cast<uint64_t>(fanout - 1);
+    l.shallow_leaves =
+        (full - l.num_leaves) / static_cast<uint64_t>(fanout - 1);
+    l.internal_nodes = l.mark - l.shallow_leaves;
+    l.deep_leaves = l.num_leaves - l.shallow_leaves;
+    uint64_t deep_keys = l.deep_leaves * static_cast<uint64_t>(stride);
+    l.deep_end = deep_keys < n ? deep_keys : n;
+    return l;
+  }
+
+  /// First array position covered by leaf node `leaf` (>= internal_nodes).
+  /// May be >= n for dangling leaves (reachable only when the search key
+  /// exceeds every key; callers clamp).
+  int64_t LeafArrayPos(uint64_t leaf) const {
+    auto diff = (static_cast<int64_t>(leaf) - static_cast<int64_t>(mark)) *
+                stride;
+    return diff >= 0 ? diff : static_cast<int64_t>(n) + diff;
+  }
+
+  /// Directory size in key slots.
+  uint64_t DirectorySlots() const {
+    return internal_nodes * static_cast<uint64_t>(stride);
+  }
+};
+
+}  // namespace cssidx
+
+#endif  // CSSIDX_CORE_CSS_LAYOUT_H_

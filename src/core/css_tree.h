@@ -1,0 +1,252 @@
+#ifndef CSSIDX_CORE_CSS_TREE_H_
+#define CSSIDX_CORE_CSS_TREE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/css_layout.h"
+#include "core/index.h"
+#include "core/node_search.h"
+#include "util/aligned_buffer.h"
+#include "util/macros.h"
+
+// Cache-Sensitive Search Trees (§4), the paper's contribution.
+//
+// One engine implements both variants; they differ only in how many of a
+// node's `Stride` key slots carry routing keys:
+//
+//   Full CSS-tree  (§4.1): Fanout = Stride + 1. All Stride slots are keys.
+//   Level CSS-tree (§4.2): Fanout = Stride, Stride a power of two. Only
+//     Stride - 1 slots are keys, so the intra-node search is a *perfect*
+//     binary tree (log2(Stride) comparisons on every path). The spare slot
+//     stores the largest key of the node's last branch, which turns the
+//     build-time "descend the rightmost path to find a subtree's max" walk
+//     into a single array read — exactly the trick in §4.2 that makes level
+//     trees cheaper to build (Figure 9).
+//
+// In both cases internal nodes carry Fanout - 1 keys: key j is the largest
+// key in the subtree of child j. Child j of node b is node b*Fanout + 1 + j
+// — no pointers are stored anywhere (§4.1's offset arithmetic). Routing
+// takes the *first* branch whose key is >= the probe, which lands on the
+// leftmost match under duplicates (§4.1.2).
+//
+// `KeyT` is any unsigned integer type; the §5 model treats the key width K
+// as a parameter, and wider keys simply mean fewer keys per cache line
+// (pick Stride = line_bytes / sizeof(KeyT)).
+
+namespace cssidx {
+
+template <typename KeyT, int Stride, int Fanout>
+class BasicCssTree {
+  static_assert(Stride >= 2, "a node must hold at least two keys");
+  static_assert(Fanout == Stride + 1 || Fanout == Stride,
+                "full (Stride+1) or level (Stride) trees only");
+
+ public:
+  using key_type = KeyT;
+  static constexpr int kStride = Stride;
+  static constexpr int kFanout = Fanout;
+  static constexpr int kInternalKeys = Fanout - 1;
+  static constexpr bool kHasSpareSlot = kInternalKeys < Stride;
+
+  /// Builds the directory over `keys[0..n)`, which must be sorted and must
+  /// outlive this object (the tree stores no copy of the data — that is the
+  /// point of the structure).
+  ///
+  /// `misalign_offset` shifts the directory off its cache-line alignment by
+  /// that many bytes. It exists only for the alignment ablation bench
+  /// (reproducing the Figure 12 bump analysis); leave it 0.
+  BasicCssTree(const KeyT* keys, size_t n, size_t misalign_offset = 0)
+      : a_(keys), n_(n), misalign_offset_(misalign_offset) {
+    Build();
+  }
+  explicit BasicCssTree(const std::vector<KeyT>& keys)
+      : BasicCssTree(keys.data(), keys.size()) {}
+
+  BasicCssTree(BasicCssTree&&) noexcept = default;
+  BasicCssTree& operator=(BasicCssTree&&) noexcept = default;
+
+  /// First position p with a_[p] >= k, or size() if none (oracle-equivalent
+  /// to std::lower_bound on the array).
+  size_t LowerBound(KeyT k) const {
+    if (CSSIDX_UNLIKELY(n_ == 0)) return 0;
+    uint64_t d = 0;
+    const uint64_t internal = layout_.internal_nodes;
+    const KeyT* dir = dir_keys_;
+    while (d < internal) {
+      const KeyT* node = dir + d * Stride;
+      int j = UnrolledLowerBound<kInternalKeys, 1, KeyT>(node, k);
+      d = d * Fanout + 1 + static_cast<uint64_t>(j);
+    }
+    return SearchLeaf(d, k);
+  }
+
+  /// Position of the leftmost occurrence of `k`, or kNotFound.
+  int64_t Find(KeyT k) const {
+    size_t pos = LowerBound(k);
+    if (pos < n_ && a_[pos] == k) return static_cast<int64_t>(pos);
+    return kNotFound;
+  }
+
+  /// §3.6: number of occurrences of `k` (leftmost match + rightward scan).
+  size_t CountEqual(KeyT k) const {
+    size_t pos = LowerBound(k);
+    size_t count = 0;
+    while (pos + count < n_ && a_[pos + count] == k) ++count;
+    return count;
+  }
+
+  /// LowerBound with generic (runtime-loop) intra-node searches instead of
+  /// the unrolled ones — the "generic code" §6.2 found 20-45% slower. Kept
+  /// for the node-search ablation bench; results are identical.
+  size_t LowerBoundGeneric(KeyT k) const {
+    if (CSSIDX_UNLIKELY(n_ == 0)) return 0;
+    uint64_t d = 0;
+    const uint64_t internal = layout_.internal_nodes;
+    const KeyT* dir = dir_keys_;
+    while (d < internal) {
+      const KeyT* node = dir + d * Stride;
+      int j = GenericLowerBound(node, kInternalKeys, k);
+      d = d * Fanout + 1 + static_cast<uint64_t>(j);
+    }
+    auto [lo, hi] = LeafRange(d);
+    int j = GenericLowerBound(a_ + lo, static_cast<int>(hi - lo), k);
+    return lo + static_cast<size_t>(j);
+  }
+
+  /// Replays the exact memory reference stream of LowerBound(k) into a
+  /// tracer (used by the cache simulator benches). Touches each *compared*
+  /// key, which reproduces the partial-node access pattern the §5 model
+  /// assumes for nodes larger than a cache line.
+  template <typename Tracer>
+  size_t LowerBoundTraced(KeyT k, const Tracer& tracer) const {
+    if (n_ == 0) return 0;
+    uint64_t d = 0;
+    const uint64_t internal = layout_.internal_nodes;
+    while (d < internal) {
+      const KeyT* node = dir_keys_ + d * Stride;
+      int j = TracedLowerBound(node, kInternalKeys, k, tracer);
+      d = d * Fanout + 1 + static_cast<uint64_t>(j);
+    }
+    auto [lo, hi] = LeafRange(d);
+    int j = TracedLowerBound(a_ + lo, static_cast<int>(hi - lo), k, tracer);
+    return lo + static_cast<size_t>(j);
+  }
+
+  /// Directory bytes (the structure's only space cost beyond the array).
+  size_t SpaceBytes() const {
+    return layout_.DirectorySlots() * sizeof(KeyT);
+  }
+
+  size_t size() const { return n_; }
+  const CssLayout& layout() const { return layout_; }
+  const KeyT* directory() const { return dir_keys_; }
+
+ private:
+  void Build() {
+    layout_ = CssLayout::Compute(n_, Stride, Fanout);
+    const uint64_t internal = layout_.internal_nodes;
+    if (internal == 0) return;
+    dir_buf_ = AlignedBuffer(internal * Stride * sizeof(KeyT),
+                             kCacheLineBytes, misalign_offset_);
+    dir_keys_ = dir_buf_.as<KeyT>();
+    // Fill right-to-left so that, for level trees, every child's spare slot
+    // is complete before its parent reads it (children have larger node
+    // numbers than their parent).
+    for (int64_t i = static_cast<int64_t>(internal) * Stride - 1; i >= 0;
+         --i) {
+      auto d = static_cast<uint64_t>(i) / Stride;
+      int slot = static_cast<int>(static_cast<uint64_t>(i) % Stride);
+      // Entry `slot` routes child `slot`; the spare slot (level trees only)
+      // caches the max of the *last* branch.
+      int branch = (kHasSpareSlot && slot == Stride - 1) ? Fanout - 1 : slot;
+      uint64_t child = d * Fanout + 1 + static_cast<uint64_t>(branch);
+      dir_keys_[i] = SubtreeMax(child);
+    }
+  }
+
+  /// Largest key in the subtree rooted at `node`, clamped for dangling
+  /// subtrees (Algorithm 4.1's duplicate-fill of ancestors of the last
+  /// deepest-level leaf).
+  KeyT SubtreeMax(uint64_t node) const {
+    const uint64_t internal = layout_.internal_nodes;
+    if constexpr (kHasSpareSlot) {
+      if (node < internal) return dir_keys_[node * Stride + Stride - 1];
+    } else {
+      while (node < internal) {
+        node = node * Fanout + Fanout;  // rightmost branch (§4.1.1)
+      }
+    }
+    return LeafMax(node);
+  }
+
+  KeyT LeafMax(uint64_t leaf) const {
+    int64_t pos = layout_.LeafArrayPos(leaf);
+    if (leaf >= layout_.mark) {
+      // Deep leaf: front region of the array.
+      auto deep_end = static_cast<int64_t>(layout_.deep_end);
+      if (pos >= deep_end) return a_[deep_end - 1];  // dangling subtree
+      int64_t end = pos + Stride < deep_end ? pos + Stride : deep_end;
+      return a_[end - 1];
+    }
+    // Shallow leaf: back region; always non-empty.
+    auto limit = static_cast<int64_t>(n_);
+    int64_t end = pos + Stride < limit ? pos + Stride : limit;
+    return a_[end - 1];
+  }
+
+  /// [lo, hi) array range of a (possibly partial or dangling) leaf.
+  std::pair<size_t, size_t> LeafRange(uint64_t leaf) const {
+    int64_t pos = layout_.LeafArrayPos(leaf);
+    auto limit = static_cast<int64_t>(n_);
+    int64_t lo = pos < limit ? pos : limit;
+    int64_t hi = pos + Stride < limit ? pos + Stride : limit;
+    return {static_cast<size_t>(lo), static_cast<size_t>(hi)};
+  }
+
+  CSSIDX_ALWAYS_INLINE size_t SearchLeaf(uint64_t leaf, KeyT k) const {
+    auto [lo, hi] = LeafRange(leaf);
+    int j;
+    if (CSSIDX_LIKELY(hi - lo == Stride)) {
+      j = UnrolledLowerBound<Stride, 1, KeyT>(a_ + lo, k);
+    } else {
+      j = GenericLowerBound(a_ + lo, static_cast<int>(hi - lo), k);
+    }
+    return lo + static_cast<size_t>(j);
+  }
+
+  template <typename Tracer>
+  static int TracedLowerBound(const KeyT* keys, int count, KeyT k,
+                              const Tracer& tracer) {
+    int lo = 0;
+    int len = count;
+    while (len > 0) {
+      int half = len / 2;
+      tracer.Touch(keys + lo + half, sizeof(KeyT));
+      if (keys[lo + half] >= k) {
+        len = half;
+      } else {
+        lo += half + 1;
+        len -= half + 1;
+      }
+    }
+    return lo;
+  }
+
+  const KeyT* a_ = nullptr;
+  size_t n_ = 0;
+  size_t misalign_offset_ = 0;
+  CssLayout layout_;
+  AlignedBuffer dir_buf_;
+  KeyT* dir_keys_ = nullptr;
+};
+
+/// The paper's configuration: 4-byte keys (domain IDs, §2.1).
+template <int Stride, int Fanout>
+using CssTree = BasicCssTree<Key, Stride, Fanout>;
+
+}  // namespace cssidx
+
+#endif  // CSSIDX_CORE_CSS_TREE_H_

@@ -1,0 +1,23 @@
+#ifndef CSSIDX_CORE_FULL_CSS_TREE_H_
+#define CSSIDX_CORE_FULL_CSS_TREE_H_
+
+#include "core/css_tree.h"
+
+// Full CSS-tree (§4.1): every slot of an m-key node carries a key and the
+// branching factor is m + 1. With 4-byte keys, m = 16 makes a node exactly
+// one 64-byte cache line — the sweet spot in Figures 12/13.
+
+namespace cssidx {
+
+/// `NodeKeys` = m, the number of keys per node.
+template <int NodeKeys>
+using FullCssTree = CssTree<NodeKeys, NodeKeys + 1>;
+
+/// Full CSS-tree over 8-byte keys: same cache-line discipline, half the
+/// keys per line (K doubles, so m = sc/K halves — §5's parameterization).
+template <int NodeKeys>
+using FullCssTree64 = BasicCssTree<uint64_t, NodeKeys, NodeKeys + 1>;
+
+}  // namespace cssidx
+
+#endif  // CSSIDX_CORE_FULL_CSS_TREE_H_

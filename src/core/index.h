@@ -1,0 +1,45 @@
+#ifndef CSSIDX_CORE_INDEX_H_
+#define CSSIDX_CORE_INDEX_H_
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+
+// Common vocabulary for every index in the suite.
+//
+// All structures index an immutable sorted array of 4-byte keys (§2.1: keys
+// are domain IDs; §5: K = R = 4 bytes). The position of a key in the array
+// *is* its RID: the paper's "list of record-identifiers sorted by the
+// attribute" means position i of the index maps to RID list entry i.
+// Indexes therefore return array positions.
+
+namespace cssidx {
+
+using Key = uint32_t;
+
+/// Returned by Find when the key is absent.
+inline constexpr int64_t kNotFound = -1;
+
+/// Every ordered index view satisfies this. The array outlives the index
+/// (non-owning views, like std::string_view over the table's RID list).
+template <typename T>
+concept OrderedIndex = requires(const T& t, Key k) {
+  { t.LowerBound(k) } -> std::same_as<size_t>;
+  { t.Find(k) } -> std::same_as<int64_t>;
+  { t.SpaceBytes() } -> std::same_as<size_t>;
+  { t.size() } -> std::same_as<size_t>;
+};
+
+/// §3.6 duplicate handling, shared by all ordered methods: find the
+/// leftmost match, then scan right. Runs against the underlying array.
+template <typename IndexT>
+size_t CountEqual(const IndexT& index, const Key* keys, size_t n, Key k) {
+  size_t pos = index.LowerBound(k);
+  size_t count = 0;
+  while (pos + count < n && keys[pos + count] == k) ++count;
+  return count;
+}
+
+}  // namespace cssidx
+
+#endif  // CSSIDX_CORE_INDEX_H_

@@ -1,0 +1,31 @@
+#ifndef CSSIDX_CORE_LEVEL_CSS_TREE_H_
+#define CSSIDX_CORE_LEVEL_CSS_TREE_H_
+
+#include "core/css_tree.h"
+#include "util/bits.h"
+
+// Level CSS-tree (§4.2): m a power of two, m - 1 keys per node, branching
+// factor m. Trades one wasted slot per node (slightly more space, one more
+// potential level) for a perfect intra-node binary search — log2(m)
+// comparisons on every path instead of the skewed (1 + 2/(m+1))*log2(m) of
+// the full tree — and shift-only child arithmetic.
+
+namespace cssidx {
+
+/// `NodeSlots` = m, the number of 4-byte slots per node (power of two).
+/// The node carries m - 1 keys.
+template <int NodeSlots>
+using LevelCssTree = CssTree<NodeSlots, NodeSlots>;
+
+/// Level CSS-tree over 8-byte keys.
+template <int NodeSlots>
+using LevelCssTree64 = BasicCssTree<uint64_t, NodeSlots, NodeSlots>;
+
+// Level trees only make sense for power-of-two m (§4.2); enforce at the
+// alias's natural uses via this helper.
+template <int NodeSlots>
+inline constexpr bool kValidLevelNodeSlots = IsPowerOfTwo(NodeSlots);
+
+}  // namespace cssidx
+
+#endif  // CSSIDX_CORE_LEVEL_CSS_TREE_H_

@@ -1,0 +1,82 @@
+#ifndef CSSIDX_CORE_RANGE_H_
+#define CSSIDX_CORE_RANGE_H_
+
+#include <cstddef>
+#include <type_traits>
+
+#include "core/index.h"
+
+// Range-query helpers over any ordered index (§2.2: "searching an index is
+// still useful for answering single value selection queries and range
+// queries"; ordered access through the sorted RID list is the reason every
+// method but hash keeps it).
+//
+// All helpers work purely through LowerBound plus the underlying array, so
+// they apply uniformly to binary search, trees and CSS-trees.
+
+namespace cssidx {
+
+struct PositionRange {
+  size_t begin = 0;  // first position in the range
+  size_t end = 0;    // one past the last
+  size_t size() const { return end - begin; }
+  bool empty() const { return begin == end; }
+};
+
+/// Positions of all keys equal to `k` (the §3.6 duplicate scan as a range).
+template <typename IndexT>
+PositionRange EqualRange(const IndexT& index, const Key* keys, size_t n,
+                         Key k) {
+  size_t lo = index.LowerBound(k);
+  size_t hi = lo;
+  while (hi < n && keys[hi] == k) ++hi;
+  return {lo, hi};
+}
+
+/// Positions of all keys in [lo_key, hi_key).
+template <typename IndexT>
+PositionRange HalfOpenRange(const IndexT& index, Key lo_key, Key hi_key) {
+  if (hi_key <= lo_key) return {0, 0};
+  return {index.LowerBound(lo_key), index.LowerBound(hi_key)};
+}
+
+/// Positions of all keys in [lo_key, hi_key], handling hi_key = UINT32_MAX
+/// (where the half-open trick would overflow).
+template <typename IndexT>
+PositionRange ClosedRange(const IndexT& index, const Key* keys, size_t n,
+                          Key lo_key, Key hi_key) {
+  (void)keys;
+  if (hi_key < lo_key) return {0, 0};
+  size_t begin = index.LowerBound(lo_key);
+  size_t end;
+  if (hi_key == static_cast<Key>(-1)) {
+    end = n;
+  } else {
+    end = index.LowerBound(hi_key + 1);
+  }
+  if (end < begin) end = begin;
+  return {begin, end};
+}
+
+/// Visits every (position, key) with key in [lo_key, hi_key). `fn` returns
+/// void or bool; returning false stops early. Returns rows visited.
+template <typename IndexT, typename Fn>
+size_t ScanRange(const IndexT& index, const Key* keys, size_t n, Key lo_key,
+                 Key hi_key, Fn&& fn) {
+  PositionRange r = HalfOpenRange(index, lo_key, hi_key);
+  (void)n;
+  size_t visited = 0;
+  for (size_t pos = r.begin; pos < r.end; ++pos) {
+    ++visited;
+    if constexpr (std::is_same_v<decltype(fn(pos, keys[pos])), bool>) {
+      if (!fn(pos, keys[pos])) break;
+    } else {
+      fn(pos, keys[pos]);
+    }
+  }
+  return visited;
+}
+
+}  // namespace cssidx
+
+#endif  // CSSIDX_CORE_RANGE_H_

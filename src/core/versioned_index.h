@@ -1,0 +1,83 @@
+#ifndef CSSIDX_CORE_VERSIONED_INDEX_H_
+#define CSSIDX_CORE_VERSIONED_INDEX_H_
+
+#include <atomic>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/index.h"
+#include "workload/batch_update.h"
+
+// Read-optimized concurrency for the OLAP rebuild story.
+//
+// The paper's maintenance model (§2.3, §4.1.1) is: queries run against an
+// immutable index; batch updates arrive occasionally; the index is rebuilt
+// from scratch. In a live system readers must not block while the writer
+// rebuilds, so we version the (keys, directory) pair behind an atomic
+// shared_ptr: readers grab a snapshot (one atomic load), the writer merges
+// the batch, builds a fresh version off to the side, and publishes it with
+// one atomic store. Old versions die when their last reader drops them.
+//
+// Single writer, any number of readers. IndexT is any index in the suite
+// constructible from (const Key*, size_t).
+
+namespace cssidx {
+
+template <typename IndexT>
+class VersionedIndex {
+ public:
+  /// An immutable (keys, index) pair. The index's non-owning view points
+  /// at `keys`, which lives and dies with the same Version object.
+  class Version {
+   public:
+    explicit Version(std::vector<Key> keys)
+        : keys_(std::move(keys)), index_(keys_.data(), keys_.size()) {}
+    Version(const Version&) = delete;
+    Version& operator=(const Version&) = delete;
+
+    const IndexT& index() const { return index_; }
+    const std::vector<Key>& keys() const { return keys_; }
+
+   private:
+    std::vector<Key> keys_;
+    IndexT index_;
+  };
+
+  explicit VersionedIndex(std::vector<Key> sorted_keys)
+      : current_(std::make_shared<const Version>(std::move(sorted_keys))) {}
+
+  /// Readers: one atomic load; the snapshot stays valid (and immutable)
+  /// for as long as the caller holds it, regardless of writer activity.
+  std::shared_ptr<const Version> Snapshot() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Convenience point lookup against the current version.
+  int64_t Find(Key k) const { return Snapshot()->index().Find(k); }
+  size_t LowerBound(Key k) const { return Snapshot()->index().LowerBound(k); }
+
+  /// Writer: merge the batch and publish a rebuilt version. Callers must
+  /// serialize writers externally (single-writer model).
+  void ApplyBatch(const workload::UpdateBatch& batch) {
+    auto old = Snapshot();
+    auto merged = workload::ApplyBatch(old->keys(), batch);
+    auto fresh = std::make_shared<const Version>(std::move(merged));
+    current_.store(std::move(fresh), std::memory_order_release);
+  }
+
+  /// Replace the dataset outright (bulk reload).
+  void Rebuild(std::vector<Key> sorted_keys) {
+    current_.store(std::make_shared<const Version>(std::move(sorted_keys)),
+                   std::memory_order_release);
+  }
+
+  size_t size() const { return Snapshot()->keys().size(); }
+
+ private:
+  std::atomic<std::shared_ptr<const Version>> current_;
+};
+
+}  // namespace cssidx
+
+#endif  // CSSIDX_CORE_VERSIONED_INDEX_H_

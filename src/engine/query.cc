@@ -1,0 +1,98 @@
+#include "engine/query.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace cssidx::engine {
+
+std::vector<Rid> SelectEqual(const Table& table, const std::string& column,
+                             uint32_t value) {
+  if (table.HasSortIndex(column)) {
+    return table.GetSortIndex(column).Equal(value);
+  }
+  std::vector<Rid> out;
+  const auto& col = table.Column(column);
+  for (size_t i = 0; i < col.size(); ++i) {
+    if (col[i] == value) out.push_back(static_cast<Rid>(i));
+  }
+  return out;
+}
+
+std::vector<Rid> SelectRange(const Table& table, const std::string& column,
+                             uint32_t lo, uint32_t hi) {
+  if (table.HasSortIndex(column)) {
+    return table.GetSortIndex(column).Range(lo, hi);
+  }
+  std::vector<Rid> out;
+  const auto& col = table.Column(column);
+  for (size_t i = 0; i < col.size(); ++i) {
+    if (col[i] >= lo && col[i] < hi) out.push_back(static_cast<Rid>(i));
+  }
+  return out;
+}
+
+std::vector<JoinedPair> IndexedJoin(const Table& outer,
+                                    const std::string& outer_column,
+                                    const Table& inner,
+                                    const std::string& inner_column) {
+  const SortIndex& index = inner.GetSortIndex(inner_column);
+  const auto& outer_col = outer.Column(outer_column);
+  std::vector<JoinedPair> out;
+  // Pipelined probe loop: one index search per outer row, duplicates in
+  // the inner relation handled by the rightward scan (§3.6).
+  const auto& sorted = index.sorted_keys();
+  const auto& rids = index.rids();
+  for (size_t i = 0; i < outer_col.size(); ++i) {
+    uint32_t k = outer_col[i];
+    size_t pos = index.LowerBound(k);
+    while (pos < sorted.size() && sorted[pos] == k) {
+      out.push_back({static_cast<Rid>(i), rids[pos]});
+      ++pos;
+    }
+  }
+  return out;
+}
+
+Aggregates Aggregate(const Table& table, const std::string& column,
+                     const std::vector<Rid>& rids) {
+  Aggregates agg;
+  const auto& col = table.Column(column);
+  agg.min = std::numeric_limits<uint32_t>::max();
+  agg.max = 0;
+  for (Rid r : rids) {
+    uint32_t v = col[r];
+    ++agg.count;
+    agg.sum += v;
+    agg.min = std::min(agg.min, v);
+    agg.max = std::max(agg.max, v);
+  }
+  if (agg.count == 0) agg.min = 0;
+  return agg;
+}
+
+std::vector<Aggregates> GroupBy(const Table& table,
+                                const std::string& group_column,
+                                const std::string& value_column,
+                                uint32_t num_groups) {
+  std::vector<Aggregates> groups(num_groups);
+  for (auto& g : groups) {
+    g.min = std::numeric_limits<uint32_t>::max();
+  }
+  const auto& keys = table.Column(group_column);
+  const auto& values = table.Column(value_column);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (keys[i] >= num_groups) continue;  // outside the dense domain
+    Aggregates& g = groups[keys[i]];
+    uint32_t v = values[i];
+    ++g.count;
+    g.sum += v;
+    g.min = std::min(g.min, v);
+    g.max = std::max(g.max, v);
+  }
+  for (auto& g : groups) {
+    if (g.count == 0) g.min = 0;
+  }
+  return groups;
+}
+
+}  // namespace cssidx::engine

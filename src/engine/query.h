@@ -1,0 +1,59 @@
+#ifndef CSSIDX_ENGINE_QUERY_H_
+#define CSSIDX_ENGINE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/table.h"
+
+// Decision-support operators over Table (§2.2): selection through a sort
+// index, indexed nested-loop join ("the only join method used in [WK90]",
+// pipelinable and storage-light), and simple aggregation. Everything runs
+// against immutable tables; maintenance is rebuild-on-batch.
+
+namespace cssidx::engine {
+
+/// RIDs of rows in `table` where `column` == value. Uses the sort index if
+/// present, else scans.
+std::vector<Rid> SelectEqual(const Table& table, const std::string& column,
+                             uint32_t value);
+
+/// RIDs of rows where lo <= column < hi. Indexed if possible, else scan.
+std::vector<Rid> SelectRange(const Table& table, const std::string& column,
+                             uint32_t lo, uint32_t hi);
+
+struct JoinedPair {
+  Rid outer;
+  Rid inner;
+};
+
+/// Indexed nested-loop equi-join: for each outer row, probe the inner
+/// table's sort index on `inner_column`; emits every matching pair.
+/// The inner table must have a sort index built on `inner_column`.
+std::vector<JoinedPair> IndexedJoin(const Table& outer,
+                                    const std::string& outer_column,
+                                    const Table& inner,
+                                    const std::string& inner_column);
+
+struct Aggregates {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint32_t min = 0;
+  uint32_t max = 0;
+};
+
+/// COUNT/SUM/MIN/MAX of `column` over the given rows.
+Aggregates Aggregate(const Table& table, const std::string& column,
+                     const std::vector<Rid>& rids);
+
+/// GROUP BY `group_column` (dense domain IDs expected) computing COUNT and
+/// SUM(value_column) per group. Returns a vector indexed by group ID.
+std::vector<Aggregates> GroupBy(const Table& table,
+                                const std::string& group_column,
+                                const std::string& value_column,
+                                uint32_t num_groups);
+
+}  // namespace cssidx::engine
+
+#endif  // CSSIDX_ENGINE_QUERY_H_

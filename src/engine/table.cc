@@ -1,0 +1,116 @@
+#include "engine/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace cssidx::engine {
+
+SortIndex::SortIndex(const std::vector<uint32_t>& column_values) {
+  const size_t n = column_values.size();
+  rids_.resize(n);
+  std::iota(rids_.begin(), rids_.end(), 0);
+  // Stable sort keeps equal-valued rows in RID order, which is what makes
+  // Equal()'s output deterministic and the leftmost-match semantics of the
+  // tree line up with the smallest RID.
+  std::stable_sort(rids_.begin(), rids_.end(),
+                   [&](Rid a, Rid b) { return column_values[a] < column_values[b]; });
+  sorted_keys_.resize(n);
+  for (size_t i = 0; i < n; ++i) sorted_keys_[i] = column_values[rids_[i]];
+  tree_ = std::make_unique<FullCssTree<16>>(sorted_keys_.data(), n);
+}
+
+std::vector<Rid> SortIndex::Equal(uint32_t v) const {
+  std::vector<Rid> out;
+  size_t pos = tree_->LowerBound(v);
+  while (pos < sorted_keys_.size() && sorted_keys_[pos] == v) {
+    out.push_back(rids_[pos]);
+    ++pos;
+  }
+  return out;
+}
+
+std::vector<Rid> SortIndex::Range(uint32_t lo, uint32_t hi) const {
+  std::vector<Rid> out;
+  if (hi <= lo) return out;
+  size_t begin = tree_->LowerBound(lo);
+  size_t end = tree_->LowerBound(hi);
+  out.assign(rids_.begin() + static_cast<ptrdiff_t>(begin),
+             rids_.begin() + static_cast<ptrdiff_t>(end));
+  return out;
+}
+
+size_t SortIndex::SpaceBytes() const {
+  return sorted_keys_.capacity() * sizeof(uint32_t) +
+         rids_.capacity() * sizeof(Rid) + tree_->SpaceBytes();
+}
+
+void Table::AddColumn(const std::string& name, std::vector<uint32_t> values) {
+  if (!columns_.empty() && values.size() != num_rows_) {
+    throw std::invalid_argument("column " + name + " has " +
+                                std::to_string(values.size()) +
+                                " rows, table has " +
+                                std::to_string(num_rows_));
+  }
+  num_rows_ = values.size();
+  columns_[name] = std::move(values);
+}
+
+void Table::AppendRows(
+    const std::map<std::string, std::vector<uint32_t>>& rows) {
+  if (rows.size() != columns_.size()) {
+    throw std::invalid_argument("batch column count mismatch");
+  }
+  size_t batch_rows = rows.begin()->second.size();
+  for (const auto& [name, values] : rows) {
+    if (columns_.count(name) == 0) {
+      throw std::invalid_argument("batch has unknown column " + name);
+    }
+    if (values.size() != batch_rows) {
+      throw std::invalid_argument("ragged batch column " + name);
+    }
+  }
+  for (const auto& [name, values] : rows) {
+    auto& col = columns_[name];
+    col.insert(col.end(), values.begin(), values.end());
+  }
+  num_rows_ += batch_rows;
+  // Rebuild-on-batch (§2.3): every existing sort index is rebuilt from
+  // scratch rather than updated in place.
+  for (auto& [name, index] : indexes_) {
+    index = std::make_unique<SortIndex>(Column(name));
+  }
+}
+
+bool Table::HasColumn(const std::string& name) const {
+  return columns_.count(name) != 0;
+}
+
+const std::vector<uint32_t>& Table::Column(const std::string& name) const {
+  auto it = columns_.find(name);
+  if (it == columns_.end()) {
+    throw std::out_of_range("no column named " + name);
+  }
+  return it->second;
+}
+
+const SortIndex& Table::BuildSortIndex(const std::string& column) {
+  auto& slot = indexes_[column];
+  slot = std::make_unique<SortIndex>(Column(column));
+  return *slot;
+}
+
+const SortIndex& Table::GetSortIndex(const std::string& column) const {
+  auto it = indexes_.find(column);
+  if (it == indexes_.end()) {
+    throw std::out_of_range("no sort index on column " + column);
+  }
+  return *it->second;
+}
+
+bool Table::HasSortIndex(const std::string& column) const {
+  return indexes_.count(column) != 0;
+}
+
+}  // namespace cssidx::engine

@@ -1,0 +1,84 @@
+#ifndef CSSIDX_ENGINE_TABLE_H_
+#define CSSIDX_ENGINE_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/full_css_tree.h"
+#include "core/index.h"
+
+// Minimal columnar main-memory table, the §2 system context: columns store
+// 4-byte values (raw integers or domain IDs), and ordered access to a
+// column goes through a *sort index* — "a list of record identifiers
+// sorted by some columns" (§2.2) — with a CSS-tree directory over the
+// sorted key list.
+
+namespace cssidx::engine {
+
+using Rid = uint32_t;
+
+/// Ordered secondary index on one column: the column's values sorted, the
+/// matching RID permutation, and a CSS-tree over the sorted values. This
+/// is exactly the paper's indexed representation: the sorted key list
+/// supports range/ordered access, the directory accelerates lookups, and
+/// position i of the key list pairs with rids[i].
+class SortIndex {
+ public:
+  SortIndex(const std::vector<uint32_t>& column_values);
+
+  /// RIDs of rows whose value equals `v`, in RID-list order.
+  std::vector<Rid> Equal(uint32_t v) const;
+
+  /// RIDs of rows with value in [lo, hi).
+  std::vector<Rid> Range(uint32_t lo, uint32_t hi) const;
+
+  /// Leftmost sorted position of `v`, or kNotFound.
+  int64_t Find(uint32_t v) const { return tree_->Find(v); }
+  size_t LowerBound(uint32_t v) const { return tree_->LowerBound(v); }
+
+  const std::vector<uint32_t>& sorted_keys() const { return sorted_keys_; }
+  const std::vector<Rid>& rids() const { return rids_; }
+  size_t SpaceBytes() const;
+
+ private:
+  std::vector<uint32_t> sorted_keys_;
+  std::vector<Rid> rids_;
+  std::unique_ptr<FullCssTree<16>> tree_;
+};
+
+/// Column-store table: named uint32 columns of equal length.
+class Table {
+ public:
+  Table() = default;
+
+  /// Adds a column; all columns must have the same row count.
+  void AddColumn(const std::string& name, std::vector<uint32_t> values);
+
+  /// Appends a batch of rows (one value per existing column, keyed by
+  /// name) and rebuilds every sort index — the OLAP maintenance cycle.
+  /// Throws if the batch's columns do not match the table's.
+  void AppendRows(const std::map<std::string, std::vector<uint32_t>>& rows);
+
+  size_t NumRows() const { return num_rows_; }
+  size_t NumColumns() const { return columns_.size(); }
+  bool HasColumn(const std::string& name) const;
+  const std::vector<uint32_t>& Column(const std::string& name) const;
+
+  /// Builds (or rebuilds, after batch updates) the sort index on a column.
+  const SortIndex& BuildSortIndex(const std::string& column);
+  /// The sort index previously built on `column` (must exist).
+  const SortIndex& GetSortIndex(const std::string& column) const;
+  bool HasSortIndex(const std::string& column) const;
+
+ private:
+  size_t num_rows_ = 0;
+  std::map<std::string, std::vector<uint32_t>> columns_;
+  std::map<std::string, std::unique_ptr<SortIndex>> indexes_;
+};
+
+}  // namespace cssidx::engine
+
+#endif  // CSSIDX_ENGINE_TABLE_H_

@@ -1,0 +1,41 @@
+#include "util/aligned_buffer.h"
+
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+namespace cssidx {
+
+AlignedBuffer::AlignedBuffer(size_t bytes, size_t alignment,
+                             size_t misalign_offset) {
+  if (bytes == 0) return;
+  // Over-allocate so both the aligned case and the deliberately misaligned
+  // case fit. `std::aligned_alloc` requires the size to be a multiple of the
+  // alignment, so we just use malloc + manual rounding.
+  size_t total = bytes + alignment + misalign_offset;
+  raw_ = static_cast<std::byte*>(std::malloc(total));
+  if (raw_ == nullptr) throw std::bad_alloc();
+  auto addr = reinterpret_cast<uintptr_t>(raw_);
+  uintptr_t aligned = (addr + alignment - 1) / alignment * alignment;
+  payload_ = reinterpret_cast<std::byte*>(aligned + misalign_offset);
+  bytes_ = bytes;
+}
+
+AlignedBuffer::~AlignedBuffer() { std::free(raw_); }
+
+AlignedBuffer::AlignedBuffer(AlignedBuffer&& other) noexcept
+    : raw_(std::exchange(other.raw_, nullptr)),
+      payload_(std::exchange(other.payload_, nullptr)),
+      bytes_(std::exchange(other.bytes_, 0)) {}
+
+AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
+  if (this != &other) {
+    std::free(raw_);
+    raw_ = std::exchange(other.raw_, nullptr);
+    payload_ = std::exchange(other.payload_, nullptr);
+    bytes_ = std::exchange(other.bytes_, 0);
+  }
+  return *this;
+}
+
+}  // namespace cssidx

@@ -1,0 +1,48 @@
+#ifndef CSSIDX_UTIL_ALIGNED_BUFFER_H_
+#define CSSIDX_UTIL_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+// Cache-line aligned raw storage.
+//
+// The paper aligns the sorted array and all tree node arenas to cache-line
+// boundaries (§6.2); the m=24 "bump" in Figure 12 is partly a misalignment
+// artefact, which bench/ablation_alignment reproduces by deliberately
+// offsetting one of these buffers.
+
+namespace cssidx {
+
+/// Owning, move-only buffer whose payload starts at a caller-chosen
+/// alignment (default: one cache line). An optional `misalign_offset` shifts
+/// the payload off that boundary by the given number of bytes — used only by
+/// the alignment ablation bench.
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  AlignedBuffer(size_t bytes, size_t alignment, size_t misalign_offset = 0);
+  ~AlignedBuffer();
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept;
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept;
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  std::byte* data() const { return payload_; }
+  size_t size() const { return bytes_; }
+  bool empty() const { return bytes_ == 0; }
+
+  template <typename T>
+  T* as() const {
+    return reinterpret_cast<T*>(payload_);
+  }
+
+ private:
+  std::byte* raw_ = nullptr;
+  std::byte* payload_ = nullptr;
+  size_t bytes_ = 0;
+};
+
+}  // namespace cssidx
+
+#endif  // CSSIDX_UTIL_ALIGNED_BUFFER_H_

@@ -1,0 +1,57 @@
+#ifndef CSSIDX_UTIL_BITS_H_
+#define CSSIDX_UTIL_BITS_H_
+
+#include <cstdint>
+
+// Small integer helpers used throughout the index implementations. All are
+// constexpr so compile-time node geometry (css_layout.h) can use them.
+
+namespace cssidx {
+
+/// True if `x` is a power of two. `IsPowerOfTwo(0)` is false.
+constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// floor(log2(x)) for x >= 1.
+constexpr int FloorLog2(uint64_t x) {
+  int r = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// ceil(log2(x)) for x >= 1.
+constexpr int CeilLog2(uint64_t x) {
+  return x <= 1 ? 0 : FloorLog2(x - 1) + 1;
+}
+
+/// ceil(a / b) for b > 0.
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+/// base^exp in 64-bit arithmetic. Caller guarantees no overflow.
+constexpr uint64_t IntPow(uint64_t base, int exp) {
+  uint64_t r = 1;
+  for (int i = 0; i < exp; ++i) r *= base;
+  return r;
+}
+
+/// Smallest k with base^k >= x, i.e. ceil(log_base(x)), for x >= 1, base >= 2.
+constexpr int CeilLogBase(uint64_t base, uint64_t x) {
+  int k = 0;
+  uint64_t p = 1;
+  while (p < x) {
+    p *= base;
+    ++k;
+  }
+  return k;
+}
+
+/// Round `x` up to the next multiple of `align` (align > 0).
+constexpr uint64_t RoundUp(uint64_t x, uint64_t align) {
+  return CeilDiv(x, align) * align;
+}
+
+}  // namespace cssidx
+
+#endif  // CSSIDX_UTIL_BITS_H_

@@ -1,0 +1,32 @@
+#ifndef CSSIDX_UTIL_CLI_H_
+#define CSSIDX_UTIL_CLI_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+// Minimal --flag=value / --flag value command-line parsing shared by the
+// bench binaries and examples. No third-party flag library is available
+// offline, and the benches only need a handful of integer/string knobs.
+
+namespace cssidx {
+
+class CliArgs {
+ public:
+  /// Parses argv. Flags look like `--name=value`, `--name value`, or bare
+  /// `--name` (boolean true). Unrecognized positional arguments are ignored.
+  CliArgs(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  std::string GetString(const std::string& name, const std::string& def) const;
+  bool GetBool(const std::string& name, bool def = false) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace cssidx
+
+#endif  // CSSIDX_UTIL_CLI_H_

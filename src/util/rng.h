@@ -1,0 +1,62 @@
+#ifndef CSSIDX_UTIL_RNG_H_
+#define CSSIDX_UTIL_RNG_H_
+
+#include <cstdint>
+
+// Deterministic random number generation. Benches and tests must be
+// reproducible run-to-run, so everything takes an explicit seed and we do
+// not use std::random_device anywhere.
+
+namespace cssidx {
+
+/// PCG32 (O'Neill). Small state, good statistical quality, and cheap enough
+/// that key generation never dominates a measurement.
+class Pcg32 {
+ public:
+  explicit Pcg32(uint64_t seed = 0x853c49e6748fea9bULL,
+                 uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0;
+    inc_ = (stream << 1) | 1;
+    Next();
+    state_ += seed;
+    Next();
+  }
+
+  uint32_t Next() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18) ^ old) >> 27);
+    uint32_t rot = static_cast<uint32_t>(old >> 59);
+    return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+  }
+
+  uint64_t Next64() { return (static_cast<uint64_t>(Next()) << 32) | Next(); }
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  uint32_t Below(uint32_t bound) {
+    uint64_t m = static_cast<uint64_t>(Next()) * bound;
+    auto lo = static_cast<uint32_t>(m);
+    if (lo < bound) {
+      uint32_t t = -bound % bound;
+      while (lo < t) {
+        m = static_cast<uint64_t>(Next()) * bound;
+        lo = static_cast<uint32_t>(m);
+      }
+    }
+    return static_cast<uint32_t>(m >> 32);
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  uint32_t InRange(uint32_t lo, uint32_t hi) { return lo + Below(hi - lo + 1); }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return Next() * (1.0 / 4294967296.0); }
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+}  // namespace cssidx
+
+#endif  // CSSIDX_UTIL_RNG_H_

@@ -1,0 +1,30 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cssidx {
+
+RunStats Summarize(std::vector<double> samples) {
+  RunStats s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.count = samples.size();
+  s.min = samples.front();
+  s.max = samples.back();
+  size_t mid = samples.size() / 2;
+  s.median = (samples.size() % 2 == 1)
+                 ? samples[mid]
+                 : 0.5 * (samples[mid - 1] + samples[mid]);
+  double sum = 0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  double ss = 0;
+  for (double v : samples) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = samples.size() > 1
+                 ? std::sqrt(ss / static_cast<double>(samples.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+}  // namespace cssidx

@@ -1,0 +1,27 @@
+#ifndef CSSIDX_UTIL_STATS_H_
+#define CSSIDX_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+// Aggregation of repeated measurements. The paper repeats each timing five
+// times and reports the minimum (§6.1); RunStats implements exactly that
+// plus the usual summaries for EXPERIMENTS.md commentary.
+
+namespace cssidx {
+
+struct RunStats {
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double median = 0;
+  double stddev = 0;
+  size_t count = 0;
+};
+
+/// Summarize a set of repeated measurements. Empty input yields all zeros.
+RunStats Summarize(std::vector<double> samples);
+
+}  // namespace cssidx
+
+#endif  // CSSIDX_UTIL_STATS_H_

@@ -1,0 +1,31 @@
+#ifndef CSSIDX_UTIL_TIMER_H_
+#define CSSIDX_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace cssidx {
+
+/// Monotonic wall-clock stopwatch. The paper reports wall-clock time of
+/// 100,000 lookups (§6.1); benches use this, not CPU time, to match.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+  double Nanos() const { return Seconds() * 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cssidx
+
+#endif  // CSSIDX_UTIL_TIMER_H_

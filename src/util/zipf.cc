@@ -1,0 +1,41 @@
+#include "util/zipf.h"
+
+#include <cmath>
+
+namespace cssidx {
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  // Rejection-inversion constants; see Hörmann & Derflinger (1996),
+  // "Rejection-inversion to generate variates from monotone discrete
+  // distributions". Ranks here are 1-based internally.
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n_) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -theta_));
+}
+
+double ZipfGenerator::H(double x) const {
+  if (theta_ == 1.0) return std::log(x);
+  return (std::pow(x, 1.0 - theta_) - 1.0) / (1.0 - theta_);
+}
+
+double ZipfGenerator::HInverse(double x) const {
+  if (theta_ == 1.0) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - theta_), 1.0 / (1.0 - theta_));
+}
+
+uint64_t ZipfGenerator::Next() {
+  while (true) {
+    double u = h_n_ + rng_.NextDouble() * (h_x1_ - h_n_);
+    double x = HInverse(u);
+    auto k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    double kd = static_cast<double>(k);
+    if (kd - x <= s_ || u >= H(kd + 0.5) - std::pow(kd, -theta_)) {
+      return k - 1;  // back to 0-based rank
+    }
+  }
+}
+
+}  // namespace cssidx

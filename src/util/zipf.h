@@ -1,0 +1,41 @@
+#ifndef CSSIDX_UTIL_ZIPF_H_
+#define CSSIDX_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+// Zipf-distributed sampling over ranks [0, n). Used to build the skewed
+// workloads of §3.5 (hash under skew) and §6.3 (interpolation search on
+// non-uniform data).
+
+namespace cssidx {
+
+/// Samples ranks with P(rank = k) proportional to 1/(k+1)^theta.
+/// Uses the rejection-inversion method of Hörmann & Derflinger, which needs
+/// no O(n) precomputation and is exact for theta != 1 as well.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 1);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double theta_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+  Pcg32 rng_;
+};
+
+}  // namespace cssidx
+
+#endif  // CSSIDX_UTIL_ZIPF_H_

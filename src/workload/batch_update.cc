@@ -1,0 +1,48 @@
+#include "workload/batch_update.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace cssidx::workload {
+
+std::vector<uint32_t> ApplyBatch(const std::vector<uint32_t>& sorted_keys,
+                                 const UpdateBatch& batch) {
+  std::vector<uint32_t> deletes = batch.deletes;
+  std::sort(deletes.begin(), deletes.end());
+  std::vector<uint32_t> inserts = batch.inserts;
+  std::sort(inserts.begin(), inserts.end());
+
+  std::vector<uint32_t> survivors;
+  survivors.reserve(sorted_keys.size() + inserts.size());
+  for (uint32_t k : sorted_keys) {
+    if (!std::binary_search(deletes.begin(), deletes.end(), k)) {
+      survivors.push_back(k);
+    }
+  }
+  std::vector<uint32_t> result(survivors.size() + inserts.size());
+  std::merge(survivors.begin(), survivors.end(), inserts.begin(),
+             inserts.end(), result.begin());
+  return result;
+}
+
+UpdateBatch RandomBatch(const std::vector<uint32_t>& sorted_keys,
+                        double fraction, uint64_t seed) {
+  Pcg32 rng(seed);
+  UpdateBatch batch;
+  auto n = sorted_keys.size();
+  auto touched = static_cast<size_t>(static_cast<double>(n) * fraction);
+  size_t dels = touched / 2;
+  size_t ins = touched - dels;
+  for (size_t i = 0; i < dels && n > 0; ++i) {
+    batch.deletes.push_back(
+        sorted_keys[rng.Below(static_cast<uint32_t>(n))]);
+  }
+  uint32_t max_key = sorted_keys.empty() ? 1000 : sorted_keys.back();
+  for (size_t i = 0; i < ins; ++i) {
+    batch.inserts.push_back(rng.Below(max_key + 1000));
+  }
+  return batch;
+}
+
+}  // namespace cssidx::workload

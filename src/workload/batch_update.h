@@ -1,0 +1,33 @@
+#ifndef CSSIDX_WORKLOAD_BATCH_UPDATE_H_
+#define CSSIDX_WORKLOAD_BATCH_UPDATE_H_
+
+#include <cstdint>
+#include <vector>
+
+// OLAP batch maintenance (§2.2/§4.1.1): indexes are not updated in place;
+// instead a batch of inserts and deletes is merged into the sorted key
+// array and the directory is rebuilt from scratch. This module implements
+// the merge; rebuild cost is what Figure 9 measures.
+
+namespace cssidx::workload {
+
+struct UpdateBatch {
+  std::vector<uint32_t> inserts;  // need not be sorted
+  std::vector<uint32_t> deletes;  // keys; every occurrence is removed
+};
+
+/// Applies `batch` to `sorted_keys` and returns the new sorted array.
+/// Deletes are applied first, then inserts (so inserting a deleted key
+/// keeps it). Duplicate inserts are kept — the structures support
+/// duplicates per §3.6. Runs in O((n + |batch|) log |batch|).
+std::vector<uint32_t> ApplyBatch(const std::vector<uint32_t>& sorted_keys,
+                                 const UpdateBatch& batch);
+
+/// Generates a random batch touching roughly `fraction` of the keys:
+/// half deletes of existing keys, half fresh inserts.
+UpdateBatch RandomBatch(const std::vector<uint32_t>& sorted_keys,
+                        double fraction, uint64_t seed);
+
+}  // namespace cssidx::workload
+
+#endif  // CSSIDX_WORKLOAD_BATCH_UPDATE_H_

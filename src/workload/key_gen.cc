@@ -1,0 +1,94 @@
+#include "workload/key_gen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace cssidx::workload {
+
+std::vector<uint32_t> DistinctSortedKeys(size_t n, uint64_t seed,
+                                         uint32_t mean_gap) {
+  assert(mean_gap >= 1);
+  Pcg32 rng(seed);
+  std::vector<uint32_t> keys(n);
+  uint32_t cur = 0;
+  uint32_t span = mean_gap * 2;  // gaps uniform in [1, 2*mean_gap)
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t gap = mean_gap == 1 ? 1 : 1 + rng.Below(span - 1);
+    cur += gap;
+    keys[i] = cur;
+  }
+  return keys;
+}
+
+std::vector<uint32_t> LinearKeys(size_t n, uint32_t start, uint32_t stride) {
+  std::vector<uint32_t> keys(n);
+  uint32_t cur = start;
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = cur;
+    cur += stride;
+  }
+  return keys;
+}
+
+std::vector<uint32_t> SkewedKeys(size_t n, uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<uint32_t> keys(n);
+  // Quadratic stretch: position p in [0,1) maps to p^2 * range, so the
+  // first half of the array is ~4x denser than linear interpolation
+  // predicts. Jitter keeps keys distinct without changing the shape.
+  const double range = 3.0e9;
+  uint32_t prev = 0;
+  for (size_t i = 0; i < n; ++i) {
+    double p = (static_cast<double>(i) + 1.0) / static_cast<double>(n);
+    auto base = static_cast<uint32_t>(p * p * range);
+    uint32_t jitter = rng.Below(3);
+    uint32_t k = std::max(base + jitter, prev + 1);
+    keys[i] = k;
+    prev = k;
+  }
+  return keys;
+}
+
+std::vector<uint32_t> KeysWithDuplicates(size_t n, size_t distinct,
+                                         uint64_t seed) {
+  assert(distinct >= 1);
+  Pcg32 rng(seed);
+  std::vector<uint32_t> values = DistinctSortedKeys(distinct, seed ^ 0x9e37, 8);
+  std::vector<uint32_t> keys;
+  keys.reserve(n);
+  // Random multiplicities; the tail is padded with the last value so the
+  // total is exactly n.
+  for (size_t v = 0; v < distinct && keys.size() < n; ++v) {
+    size_t remaining_values = distinct - v;
+    size_t remaining_slots = n - keys.size();
+    size_t max_rep = std::max<size_t>(1, 2 * remaining_slots / remaining_values);
+    size_t reps = 1 + rng.Below(static_cast<uint32_t>(max_rep));
+    reps = std::min(reps, remaining_slots);
+    keys.insert(keys.end(), reps, values[v]);
+  }
+  while (keys.size() < n) keys.push_back(values.back());
+  return keys;
+}
+
+std::vector<uint32_t> ClusteredKeys(size_t n, size_t clusters, uint64_t seed) {
+  assert(clusters >= 1);
+  Pcg32 rng(seed);
+  std::vector<uint32_t> keys(n);
+  size_t per = n / clusters;
+  uint32_t cur = 0;
+  size_t idx = 0;
+  for (size_t c = 0; c < clusters; ++c) {
+    cur += 1u << 24;  // wide void between clusters
+    size_t count = (c + 1 == clusters) ? n - idx : per;
+    for (size_t i = 0; i < count; ++i) {
+      cur += 1 + rng.Below(2);  // dense run
+      keys[idx++] = cur;
+    }
+  }
+  return keys;
+}
+
+}  // namespace cssidx::workload

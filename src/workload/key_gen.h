@@ -1,0 +1,46 @@
+#ifndef CSSIDX_WORKLOAD_KEY_GEN_H_
+#define CSSIDX_WORKLOAD_KEY_GEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+// Sorted key array generators for the experiments in §6.
+//
+// The paper indexes "a sorted array of distinct integers chosen randomly"
+// (§6.1) and additionally stresses interpolation search with linear and
+// non-uniform distributions (§6.3). Every generator is deterministic in its
+// seed.
+
+namespace cssidx::workload {
+
+/// Distinct, sorted, pseudo-random keys. Successive keys differ by a random
+/// gap in [1, 2*mean_gap), so keys are "random" but generation is O(n) even
+/// for the paper's 25M-key build experiment. mean_gap = 1 degenerates to a
+/// dense 0..n-1 range.
+std::vector<uint32_t> DistinctSortedKeys(size_t n, uint64_t seed,
+                                         uint32_t mean_gap = 4);
+
+/// Exactly linear keys: key[i] = start + stride * i. Interpolation search's
+/// best case.
+std::vector<uint32_t> LinearKeys(size_t n, uint32_t start = 0,
+                                 uint32_t stride = 4);
+
+/// Non-uniform ("behaves badly for interpolation") keys: quadratically
+/// stretched so density varies by orders of magnitude across the range,
+/// with random jitter. Distinct and sorted.
+std::vector<uint32_t> SkewedKeys(size_t n, uint64_t seed);
+
+/// Sorted keys with duplicates: `distinct` unique values, each repeated a
+/// random number of times summing to n. Exercises the §3.6 duplicate
+/// handling (leftmost-match semantics).
+std::vector<uint32_t> KeysWithDuplicates(size_t n, size_t distinct,
+                                         uint64_t seed);
+
+/// Clustered keys: `clusters` dense runs separated by wide voids. Stresses
+/// hash skew and interpolation search.
+std::vector<uint32_t> ClusteredKeys(size_t n, size_t clusters, uint64_t seed);
+
+}  // namespace cssidx::workload
+
+#endif  // CSSIDX_WORKLOAD_KEY_GEN_H_

@@ -1,0 +1,62 @@
+#include "workload/lookup_gen.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace cssidx::workload {
+
+std::vector<uint32_t> MatchingLookups(const std::vector<uint32_t>& sorted_keys,
+                                      size_t count, uint64_t seed) {
+  assert(!sorted_keys.empty());
+  Pcg32 rng(seed);
+  std::vector<uint32_t> lookups(count);
+  auto n = static_cast<uint32_t>(sorted_keys.size());
+  for (size_t i = 0; i < count; ++i) lookups[i] = sorted_keys[rng.Below(n)];
+  return lookups;
+}
+
+std::vector<uint32_t> MissingLookups(const std::vector<uint32_t>& sorted_keys,
+                                     size_t count, uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<uint32_t> lookups;
+  lookups.reserve(count);
+  uint32_t max_key = sorted_keys.empty() ? 0 : sorted_keys.back();
+  while (lookups.size() < count) {
+    uint32_t candidate = rng.Below(max_key + 2);
+    if (!std::binary_search(sorted_keys.begin(), sorted_keys.end(), candidate)) {
+      lookups.push_back(candidate);
+    }
+  }
+  return lookups;
+}
+
+std::vector<uint32_t> SkewedLookups(const std::vector<uint32_t>& sorted_keys,
+                                    size_t count, double theta, uint64_t seed) {
+  assert(!sorted_keys.empty());
+  ZipfGenerator zipf(sorted_keys.size(), theta, seed);
+  std::vector<uint32_t> lookups(count);
+  for (size_t i = 0; i < count; ++i) {
+    lookups[i] = sorted_keys[zipf.Next()];
+  }
+  return lookups;
+}
+
+std::vector<uint32_t> MixedLookups(const std::vector<uint32_t>& sorted_keys,
+                                   size_t count, double hit_fraction,
+                                   uint64_t seed) {
+  auto hits = static_cast<size_t>(static_cast<double>(count) * hit_fraction);
+  std::vector<uint32_t> lookups = MatchingLookups(sorted_keys, hits, seed);
+  std::vector<uint32_t> misses =
+      MissingLookups(sorted_keys, count - hits, seed ^ 0xabcdef);
+  lookups.insert(lookups.end(), misses.begin(), misses.end());
+  Pcg32 rng(seed ^ 0x1234);
+  for (size_t i = lookups.size(); i > 1; --i) {
+    std::swap(lookups[i - 1], lookups[rng.Below(static_cast<uint32_t>(i))]);
+  }
+  return lookups;
+}
+
+}  // namespace cssidx::workload

@@ -1,0 +1,33 @@
+#ifndef CSSIDX_WORKLOAD_LOOKUP_GEN_H_
+#define CSSIDX_WORKLOAD_LOOKUP_GEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+// Lookup key streams. §6.1: "The keys to look up are generated in advance
+// to prevent the key generating time from affecting our measurements. We
+// performed 100,000 searches on randomly chosen matching keys."
+
+namespace cssidx::workload {
+
+/// `count` keys drawn uniformly from `sorted_keys` (all lookups succeed).
+std::vector<uint32_t> MatchingLookups(const std::vector<uint32_t>& sorted_keys,
+                                      size_t count, uint64_t seed);
+
+/// `count` keys guaranteed absent from `sorted_keys` (all lookups fail).
+std::vector<uint32_t> MissingLookups(const std::vector<uint32_t>& sorted_keys,
+                                     size_t count, uint64_t seed);
+
+/// Matching lookups with Zipf-skewed popularity over array positions.
+std::vector<uint32_t> SkewedLookups(const std::vector<uint32_t>& sorted_keys,
+                                    size_t count, double theta, uint64_t seed);
+
+/// A hit_fraction mix of matching and missing lookups, shuffled.
+std::vector<uint32_t> MixedLookups(const std::vector<uint32_t>& sorted_keys,
+                                   size_t count, double hit_fraction,
+                                   uint64_t seed);
+
+}  // namespace cssidx::workload
+
+#endif  // CSSIDX_WORKLOAD_LOOKUP_GEN_H_

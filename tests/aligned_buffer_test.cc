@@ -1,0 +1,61 @@
+#include "util/aligned_buffer.h"
+
+#include <cstdint>
+#include <utility>
+
+#include "gtest/gtest.h"
+
+namespace cssidx {
+namespace {
+
+TEST(AlignedBuffer, EmptyIsEmpty) {
+  AlignedBuffer buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.data(), nullptr);
+}
+
+TEST(AlignedBuffer, RespectsAlignment) {
+  for (size_t alignment : {8u, 16u, 64u, 128u, 4096u}) {
+    AlignedBuffer buf(1000, alignment);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(buf.data()) % alignment, 0u)
+        << "alignment=" << alignment;
+    EXPECT_EQ(buf.size(), 1000u);
+  }
+}
+
+TEST(AlignedBuffer, MisalignOffsetShiftsPayload) {
+  AlignedBuffer buf(256, 64, /*misalign_offset=*/20);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(buf.data()) % 64, 20u);
+}
+
+TEST(AlignedBuffer, PayloadIsWritable) {
+  AlignedBuffer buf(64 * sizeof(uint32_t), 64);
+  auto* p = buf.as<uint32_t>();
+  for (uint32_t i = 0; i < 64; ++i) p[i] = i * 3;
+  for (uint32_t i = 0; i < 64; ++i) EXPECT_EQ(p[i], i * 3);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer a(128, 64);
+  auto* data = a.data();
+  AlignedBuffer b(std::move(a));
+  EXPECT_EQ(b.data(), data);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_TRUE(a.empty());
+
+  AlignedBuffer c;
+  c = std::move(b);
+  EXPECT_EQ(c.data(), data);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(AlignedBuffer, MoveAssignReleasesOld) {
+  AlignedBuffer a(128, 64);
+  AlignedBuffer b(256, 64);
+  a = std::move(b);  // old 128-byte allocation must be freed (ASAN-checked)
+  EXPECT_EQ(a.size(), 256u);
+}
+
+}  // namespace
+}  // namespace cssidx

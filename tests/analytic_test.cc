@@ -1,0 +1,145 @@
+// The §5 analytic models must reproduce the paper's own numbers (Figure 7's
+// "Typical Value" column, Figure 5's ratio shapes) and stay consistent with
+// the structures actually built.
+
+#include <cmath>
+
+#include "analytic/params.h"
+#include "analytic/ratio_model.h"
+#include "analytic/space_model.h"
+#include "analytic/time_model.h"
+#include "gtest/gtest.h"
+
+namespace cssidx::analytic {
+namespace {
+
+constexpr double kMB = 1024.0 * 1024.0;
+
+TEST(SpaceModel, Figure7TypicalValues) {
+  Params p = Table1();  // n = 1e7, K = R = P = 4, c = 64, s = 1, h = 1.2
+  double m = p.SlotsPerNode();
+  EXPECT_DOUBLE_EQ(m, 16);
+  // The paper reports MB values rounded to one decimal (10^6-based).
+  EXPECT_NEAR(FullCssSpace(p, m) / 1e6, 2.5, 0.05);
+  EXPECT_NEAR(LevelCssSpace(p, m) / 1e6, 2.7, 0.05);
+  EXPECT_NEAR(BPlusSpace(p, m) / 1e6, 5.7, 0.05);
+  EXPECT_NEAR(HashSpaceIndirect(p) / 1e6, 8.0, 0.05);
+  EXPECT_NEAR(HashSpaceDirect(p) / 1e6, 48.0, 0.05);
+  EXPECT_NEAR(TTreeSpaceIndirect(p, m) / 1e6, 11.4, 0.05);
+  EXPECT_NEAR(TTreeSpaceDirect(p, m) / 1e6, 51.4, 0.05);
+}
+
+TEST(SpaceModel, RowsCarryOrderedAccessFlags) {
+  Params p = Table1();
+  auto rows = SpaceModel(p, 16);
+  int unordered = 0;
+  for (const auto& r : rows) {
+    if (!r.rid_ordered_access) {
+      ++unordered;
+      EXPECT_EQ(r.method, "hash table");
+    }
+    EXPECT_GE(r.direct_bytes, r.indirect_bytes) << r.method;
+  }
+  EXPECT_EQ(unordered, 1);
+}
+
+TEST(SpaceModel, CssDominatesBPlusAtEveryNodeSize) {
+  Params p = Table1();
+  for (double m : {8.0, 16.0, 32.0, 64.0, 128.0}) {
+    EXPECT_LT(FullCssSpace(p, m), BPlusSpace(p, m)) << m;
+    EXPECT_LT(LevelCssSpace(p, m), BPlusSpace(p, m)) << m;
+  }
+}
+
+TEST(RatioModel, LevelTreeWinsComparisonsLosesCacheAccesses) {
+  // Figure 5: comparison ratio < 1, cache access ratio > 1, both -> 1.
+  for (double m : {4.0, 8.0, 16.0, 32.0, 64.0}) {
+    EXPECT_LT(ComparisonRatio(m), 1.0) << m;
+    EXPECT_GT(CacheAccessRatio(m), 1.0) << m;
+  }
+  EXPECT_NEAR(ComparisonRatio(64), 1.0, 0.05);
+  EXPECT_NEAR(CacheAccessRatio(64), 1.0, 0.01);
+  // Monotone approach to 1 from each side.
+  EXPECT_LT(ComparisonRatio(8), ComparisonRatio(32));
+  EXPECT_GT(CacheAccessRatio(8), CacheAccessRatio(32));
+}
+
+TEST(TimeModel, MissesPerNodeFormula) {
+  EXPECT_DOUBLE_EQ(MissesPerNode(32, 64), 1.0);   // fits in a line
+  EXPECT_DOUBLE_EQ(MissesPerNode(64, 64), 1.0);
+  EXPECT_DOUBLE_EQ(MissesPerNode(128, 64), 1.5);  // log2(2) + 1/2
+  EXPECT_DOUBLE_EQ(MissesPerNode(256, 64), 2.25);
+}
+
+TEST(TimeModel, CssHasFewestMissesAtLineSizedNodes) {
+  Params p = Table1();
+  auto rows = TimeModel(p, 16);
+  double bsearch = 0, ttree = 0, bplus = 0, full = 0, level = 0;
+  for (const auto& r : rows) {
+    if (r.method == "binary search") bsearch = r.cache_misses;
+    if (r.method == "T-tree") ttree = r.cache_misses;
+    if (r.method == "B+-tree") bplus = r.cache_misses;
+    if (r.method == "full CSS-tree") full = r.cache_misses;
+    if (r.method == "level CSS-tree") level = r.cache_misses;
+  }
+  // Figure 6's story: CSS < B+ < T-tree = binary search.
+  EXPECT_LT(full, bplus);
+  EXPECT_LT(level, bplus);
+  EXPECT_LT(bplus, ttree);
+  EXPECT_DOUBLE_EQ(ttree, bsearch);
+  // Full CSS has one extra branch per node: fewer levels than level CSS.
+  EXPECT_LT(full, level);
+  // Concretely: log2(1e7) ~ 23.25 misses for binary search vs
+  // log17(1e7) ~ 5.7 for the full CSS-tree — the paper's ">2x" headline.
+  EXPECT_NEAR(bsearch, 23.25, 0.1);
+  EXPECT_NEAR(full, std::log(1e7) / std::log(17.0), 0.1);
+}
+
+TEST(TimeModel, ComparisonsRoughlyEqualAcrossMethods) {
+  // §5.1: "the comparison cost is more or less the same for all methods".
+  Params p = Table1();
+  auto rows = TimeModel(p, 16);
+  double log2n = std::log2(p.n);
+  for (const auto& r : rows) {
+    EXPECT_NEAR(r.comparisons, log2n, log2n * 0.25) << r.method;
+  }
+}
+
+TEST(TimeModel, LargeNodesDegradeTowardBinarySearch) {
+  // As m grows, CSS misses grow toward log2 n (§5.1's closing
+  // observation): monotone in m and bounded by the binary-search count.
+  Params p = Table1();
+  double log2n = std::log2(p.n);
+  double prev = 0;
+  for (double m : {16.0, 64.0, 256.0, 1024.0, 4096.0}) {
+    double misses = TimeModel(p, m)[3].cache_misses;  // full CSS-tree row
+    EXPECT_GT(misses, prev) << m;
+    EXPECT_LT(misses, log2n) << m;
+    prev = misses;
+  }
+  EXPECT_GT(prev, 0.6 * log2n);  // m = 4096 is already close
+}
+
+TEST(SpaceModel, Figure8ShapesAreLinearInN) {
+  Params p = Table1();
+  Params p2 = p;
+  p2.n = 2 * p.n;
+  EXPECT_NEAR(FullCssSpace(p2, 16), 2 * FullCssSpace(p, 16), 1.0);
+  EXPECT_NEAR(HashSpaceDirect(p2), 2 * HashSpaceDirect(p), 1.0);
+  EXPECT_NEAR(TTreeSpaceDirect(p2, 16), 2 * TTreeSpaceDirect(p, 16), 1.0);
+}
+
+TEST(Params, Table1Defaults) {
+  Params p = Table1();
+  EXPECT_EQ(p.R, 4);
+  EXPECT_EQ(p.K, 4);
+  EXPECT_EQ(p.P, 4);
+  EXPECT_EQ(p.n, 1e7);
+  EXPECT_EQ(p.h, 1.2);
+  EXPECT_EQ(p.c, 64);
+  EXPECT_EQ(p.s, 1);
+  (void)kMB;
+}
+
+}  // namespace
+}  // namespace cssidx::analytic

@@ -1,0 +1,88 @@
+#include "workload/batch_update.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "workload/key_gen.h"
+
+namespace cssidx::workload {
+namespace {
+
+TEST(BatchUpdate, InsertOnly) {
+  std::vector<uint32_t> keys{10, 20, 30};
+  UpdateBatch batch;
+  batch.inserts = {25, 5, 35};
+  auto result = ApplyBatch(keys, batch);
+  EXPECT_EQ(result, (std::vector<uint32_t>{5, 10, 20, 25, 30, 35}));
+}
+
+TEST(BatchUpdate, DeleteOnly) {
+  std::vector<uint32_t> keys{10, 20, 30, 40};
+  UpdateBatch batch;
+  batch.deletes = {20, 40};
+  auto result = ApplyBatch(keys, batch);
+  EXPECT_EQ(result, (std::vector<uint32_t>{10, 30}));
+}
+
+TEST(BatchUpdate, DeleteRemovesAllOccurrences) {
+  std::vector<uint32_t> keys{10, 20, 20, 20, 30};
+  UpdateBatch batch;
+  batch.deletes = {20};
+  auto result = ApplyBatch(keys, batch);
+  EXPECT_EQ(result, (std::vector<uint32_t>{10, 30}));
+}
+
+TEST(BatchUpdate, InsertAfterDeleteKeepsKey) {
+  std::vector<uint32_t> keys{10, 20, 30};
+  UpdateBatch batch;
+  batch.deletes = {20};
+  batch.inserts = {20};
+  auto result = ApplyBatch(keys, batch);
+  EXPECT_EQ(result, (std::vector<uint32_t>{10, 20, 30}));
+}
+
+TEST(BatchUpdate, DuplicateInsertsKept) {
+  std::vector<uint32_t> keys{10};
+  UpdateBatch batch;
+  batch.inserts = {10, 10};
+  auto result = ApplyBatch(keys, batch);
+  EXPECT_EQ(result, (std::vector<uint32_t>{10, 10, 10}));
+}
+
+TEST(BatchUpdate, DeleteAbsentKeyIsNoop) {
+  std::vector<uint32_t> keys{10, 30};
+  UpdateBatch batch;
+  batch.deletes = {20};
+  EXPECT_EQ(ApplyBatch(keys, batch), keys);
+}
+
+TEST(BatchUpdate, EmptyEverything) {
+  EXPECT_TRUE(ApplyBatch({}, {}).empty());
+  std::vector<uint32_t> keys{1, 2};
+  EXPECT_EQ(ApplyBatch(keys, {}), keys);
+}
+
+TEST(BatchUpdate, ResultAlwaysSorted) {
+  auto keys = DistinctSortedKeys(5000, 3, 4);
+  UpdateBatch batch = RandomBatch(keys, 0.2, 99);
+  auto result = ApplyBatch(keys, batch);
+  EXPECT_TRUE(std::is_sorted(result.begin(), result.end()));
+}
+
+TEST(BatchUpdate, RandomBatchTouchesRequestedFraction) {
+  auto keys = DistinctSortedKeys(10000, 3, 4);
+  UpdateBatch batch = RandomBatch(keys, 0.1, 7);
+  EXPECT_EQ(batch.deletes.size() + batch.inserts.size(), 1000u);
+}
+
+TEST(BatchUpdate, SizeAccounting) {
+  auto keys = DistinctSortedKeys(2000, 3, 4);
+  UpdateBatch batch;
+  batch.inserts = {keys.back() + 1, keys.back() + 2};
+  batch.deletes = {keys[0], keys[1], keys[2]};
+  auto result = ApplyBatch(keys, batch);
+  EXPECT_EQ(result.size(), keys.size() - 3 + 2);
+}
+
+}  // namespace
+}  // namespace cssidx::workload

@@ -1,0 +1,76 @@
+#include "baselines/binary_search.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "workload/key_gen.h"
+
+namespace cssidx {
+namespace {
+
+TEST(BinarySearch, OracleSweep) {
+  for (size_t n = 0; n <= 400; ++n) {
+    auto keys = workload::DistinctSortedKeys(n, 17 + n, 3);
+    BinarySearchIndex index(keys);
+    for (Key k = 0; k <= (n ? keys.back() + 2 : 2); ++k) {
+      auto expected = static_cast<size_t>(
+          std::lower_bound(keys.begin(), keys.end(), k) - keys.begin());
+      ASSERT_EQ(index.LowerBound(k), expected) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(BinarySearch, FindSemantics) {
+  auto keys = workload::DistinctSortedKeys(1000, 4, 4);
+  BinarySearchIndex index(keys);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(index.Find(keys[i]), static_cast<int64_t>(i));
+  }
+  EXPECT_EQ(index.Find(0), kNotFound);
+  EXPECT_EQ(index.Find(keys.back() + 1), kNotFound);
+}
+
+TEST(BinarySearch, Duplicates) {
+  auto keys = workload::KeysWithDuplicates(2000, 80, 3);
+  BinarySearchIndex index(keys);
+  for (Key k : keys) {
+    auto [lo, hi] = std::equal_range(keys.begin(), keys.end(), k);
+    EXPECT_EQ(index.Find(k), lo - keys.begin());
+    EXPECT_EQ(index.CountEqual(k), static_cast<size_t>(hi - lo));
+  }
+}
+
+TEST(BinarySearch, ZeroSpace) {
+  auto keys = workload::DistinctSortedKeys(100, 1, 4);
+  EXPECT_EQ(BinarySearchIndex(keys).SpaceBytes(), 0u);
+}
+
+TEST(BinarySearch, EmptyAndTiny) {
+  std::vector<Key> empty;
+  BinarySearchIndex e(empty);
+  EXPECT_EQ(e.LowerBound(7), 0u);
+  EXPECT_EQ(e.Find(7), kNotFound);
+
+  std::vector<Key> one{5};
+  BinarySearchIndex o(one);
+  EXPECT_EQ(o.Find(5), 0);
+  EXPECT_EQ(o.LowerBound(6), 1u);
+}
+
+TEST(BinarySearch, SequentialTailRegion) {
+  // Arrays of size 1..6 exercise the sub-5 sequential scan exclusively.
+  for (size_t n = 1; n <= 6; ++n) {
+    std::vector<Key> keys;
+    for (size_t i = 0; i < n; ++i) keys.push_back(10 * (1 + (Key)i));
+    BinarySearchIndex index(keys);
+    for (Key k = 0; k <= keys.back() + 5; ++k) {
+      auto expected = static_cast<size_t>(
+          std::lower_bound(keys.begin(), keys.end(), k) - keys.begin());
+      ASSERT_EQ(index.LowerBound(k), expected);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cssidx

@@ -1,0 +1,75 @@
+#include "baselines/binary_tree.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "workload/key_gen.h"
+
+namespace cssidx {
+namespace {
+
+void OracleCheck(const std::vector<Key>& keys) {
+  BinaryTreeIndex index(keys);
+  std::vector<Key> probes;
+  for (Key k : keys) {
+    probes.push_back(k);
+    if (k > 0) probes.push_back(k - 1);
+    probes.push_back(k + 1);
+  }
+  probes.push_back(0);
+  if (!keys.empty()) probes.push_back(keys.back() + 5);
+  for (Key k : probes) {
+    auto expected = static_cast<size_t>(
+        std::lower_bound(keys.begin(), keys.end(), k) - keys.begin());
+    ASSERT_EQ(index.LowerBound(k), expected) << "k=" << k;
+  }
+}
+
+TEST(BinaryTree, OracleSweepSmall) {
+  for (size_t n = 0; n <= 300; ++n) {
+    OracleCheck(workload::DistinctSortedKeys(n, 55 + n, 3));
+  }
+}
+
+TEST(BinaryTree, OracleMedium) {
+  OracleCheck(workload::DistinctSortedKeys(50'000, 5, 4));
+}
+
+TEST(BinaryTree, DuplicatesLeftmost) {
+  auto keys = workload::KeysWithDuplicates(1500, 40, 13);
+  BinaryTreeIndex index(keys);
+  for (Key k : keys) {
+    auto [lo, hi] = std::equal_range(keys.begin(), keys.end(), k);
+    EXPECT_EQ(index.Find(k), lo - keys.begin());
+    EXPECT_EQ(index.CountEqual(k), static_cast<size_t>(hi - lo));
+  }
+}
+
+TEST(BinaryTree, SpaceIsOneNodePerElement) {
+  auto keys = workload::DistinctSortedKeys(1000, 1, 4);
+  BinaryTreeIndex index(keys);
+  // key + rid + 2 child refs per element.
+  EXPECT_GE(index.SpaceBytes(), 1000 * sizeof(BinaryTreeIndex::Node));
+}
+
+TEST(BinaryTree, BalancedDepth) {
+  // A 2^k - 1 element tree must have every probe terminate within k hops:
+  // indirectly verified by building a large tree and checking lookups work
+  // (an unbalanced recursion would blow the stack during Build).
+  auto keys = workload::DistinctSortedKeys((1u << 17) - 1, 2, 3);
+  BinaryTreeIndex index(keys);
+  EXPECT_EQ(index.Find(keys[0]), 0);
+  EXPECT_EQ(index.Find(keys.back()),
+            static_cast<int64_t>(keys.size()) - 1);
+}
+
+TEST(BinaryTree, EmptyArray) {
+  std::vector<Key> empty;
+  BinaryTreeIndex index(empty);
+  EXPECT_EQ(index.LowerBound(1), 0u);
+  EXPECT_EQ(index.Find(1), kNotFound);
+}
+
+}  // namespace
+}  // namespace cssidx

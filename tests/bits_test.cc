@@ -1,0 +1,82 @@
+#include "util/bits.h"
+
+#include <cstdint>
+
+#include "gtest/gtest.h"
+
+namespace cssidx {
+namespace {
+
+TEST(Bits, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(4));
+  EXPECT_FALSE(IsPowerOfTwo(6));
+  EXPECT_TRUE(IsPowerOfTwo(1ull << 40));
+  EXPECT_FALSE(IsPowerOfTwo((1ull << 40) + 1));
+}
+
+TEST(Bits, FloorLog2) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(4), 2);
+  EXPECT_EQ(FloorLog2(1023), 9);
+  EXPECT_EQ(FloorLog2(1024), 10);
+  EXPECT_EQ(FloorLog2(1ull << 62), 62);
+}
+
+TEST(Bits, CeilLog2) {
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(4), 2);
+  EXPECT_EQ(CeilLog2(5), 3);
+  EXPECT_EQ(CeilLog2(1025), 11);
+}
+
+TEST(Bits, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 4), 0u);
+  EXPECT_EQ(CeilDiv(1, 4), 1u);
+  EXPECT_EQ(CeilDiv(4, 4), 1u);
+  EXPECT_EQ(CeilDiv(5, 4), 2u);
+  EXPECT_EQ(CeilDiv(100, 3), 34u);
+}
+
+TEST(Bits, IntPow) {
+  EXPECT_EQ(IntPow(2, 0), 1u);
+  EXPECT_EQ(IntPow(2, 10), 1024u);
+  EXPECT_EQ(IntPow(5, 3), 125u);
+  EXPECT_EQ(IntPow(17, 4), 83521u);
+}
+
+TEST(Bits, CeilLogBase) {
+  // Smallest k with base^k >= x.
+  EXPECT_EQ(CeilLogBase(5, 1), 0);
+  EXPECT_EQ(CeilLogBase(5, 5), 1);
+  EXPECT_EQ(CeilLogBase(5, 6), 2);
+  EXPECT_EQ(CeilLogBase(5, 25), 2);
+  EXPECT_EQ(CeilLogBase(5, 26), 3);
+  EXPECT_EQ(CeilLogBase(5, 65), 3);  // Figure 3's example: 65 leaves, k = 3
+  EXPECT_EQ(CeilLogBase(2, 1024), 10);
+  EXPECT_EQ(CeilLogBase(2, 1025), 11);
+}
+
+TEST(Bits, RoundUp) {
+  EXPECT_EQ(RoundUp(0, 64), 0u);
+  EXPECT_EQ(RoundUp(1, 64), 64u);
+  EXPECT_EQ(RoundUp(64, 64), 64u);
+  EXPECT_EQ(RoundUp(65, 64), 128u);
+}
+
+TEST(Bits, ConstexprUsable) {
+  static_assert(IsPowerOfTwo(64));
+  static_assert(CeilLogBase(5, 65) == 3);
+  static_assert(IntPow(5, 3) == 125);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace cssidx

@@ -1,0 +1,113 @@
+#include "baselines/bplus_tree.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "workload/key_gen.h"
+
+namespace cssidx {
+namespace {
+
+template <int Slots>
+void OracleCheck(const std::vector<Key>& keys) {
+  BPlusTree<Slots> index(keys);
+  std::vector<Key> probes;
+  for (Key k : keys) {
+    probes.push_back(k);
+    if (k > 0) probes.push_back(k - 1);
+    probes.push_back(k + 1);
+  }
+  probes.push_back(0);
+  if (!keys.empty()) probes.push_back(keys.back() + 5);
+  for (Key k : probes) {
+    auto expected = static_cast<size_t>(
+        std::lower_bound(keys.begin(), keys.end(), k) - keys.begin());
+    ASSERT_EQ(index.LowerBound(k), expected)
+        << "slots=" << Slots << " n=" << keys.size() << " k=" << k;
+  }
+}
+
+template <int Slots>
+void SweepSizes(size_t max_n) {
+  for (size_t n = 0; n <= max_n; ++n) {
+    OracleCheck<Slots>(workload::DistinctSortedKeys(n, 31 + n, 3));
+  }
+}
+
+TEST(BPlusTree, OracleSweepSlots4) { SweepSizes<4>(300); }
+TEST(BPlusTree, OracleSweepSlots5) { SweepSizes<5>(300); }
+TEST(BPlusTree, OracleSweepSlots8) { SweepSizes<8>(500); }
+TEST(BPlusTree, OracleSweepSlots16) { SweepSizes<16>(600); }
+TEST(BPlusTree, OracleMediumSlots32) {
+  OracleCheck<32>(workload::DistinctSortedKeys(60'000, 8, 4));
+}
+TEST(BPlusTree, OracleMediumSlots24) {
+  OracleCheck<24>(workload::DistinctSortedKeys(30'000, 9, 4));
+}
+
+TEST(BPlusTree, FanoutMatchesPaperFormula) {
+  // Branching factor m/2 for even node sizes ("one more pointer than keys,
+  // leave one slot empty"), (m+1)/2 for odd.
+  EXPECT_EQ(BPlusTree<16>::kFanout, 8);
+  EXPECT_EQ(BPlusTree<8>::kFanout, 4);
+  EXPECT_EQ(BPlusTree<9>::kFanout, 5);
+  EXPECT_EQ(BPlusTree<16>::kRoutingKeys, 7);
+}
+
+TEST(BPlusTree, HeightShrinksWithNodeSize) {
+  auto keys = workload::DistinctSortedKeys(100'000, 3, 4);
+  BPlusTree<8> small(keys);
+  BPlusTree<64> large(keys);
+  EXPECT_GT(small.height(), large.height());
+}
+
+TEST(BPlusTree, SpaceRoughlyMatchesFigure7) {
+  // nK(P+K)/(sc - P - K): for 16-slot (64B) nodes, ~0.571 bytes per key.
+  auto keys = workload::DistinctSortedKeys(500'000, 4, 4);
+  BPlusTree<16> index(keys);
+  double expected = 500'000.0 * 4 * 8 / (64 - 8);
+  EXPECT_NEAR(static_cast<double>(index.SpaceBytes()), expected,
+              expected * 0.25);
+}
+
+TEST(BPlusTree, MoreSpaceThanCssForSameNodeSize) {
+  // The headline: half the keys per node means roughly twice the space.
+  auto keys = workload::DistinctSortedKeys(200'000, 5, 4);
+  BPlusTree<16> bplus(keys);
+  EXPECT_GT(bplus.SpaceBytes(), 200'000u * 4 / 16);  // > full CSS directory
+}
+
+TEST(BPlusTree, Duplicates) {
+  auto keys = workload::KeysWithDuplicates(2000, 50, 23);
+  BPlusTree<8> index(keys);
+  for (Key k : keys) {
+    auto [lo, hi] = std::equal_range(keys.begin(), keys.end(), k);
+    EXPECT_EQ(index.Find(k), lo - keys.begin());
+    EXPECT_EQ(index.CountEqual(k), static_cast<size_t>(hi - lo));
+  }
+}
+
+TEST(BPlusTree, EmptySingleAndChunkBoundaries) {
+  std::vector<Key> empty;
+  BPlusTree<8> e(empty);
+  EXPECT_EQ(e.LowerBound(3), 0u);
+  EXPECT_EQ(e.Find(3), kNotFound);
+  EXPECT_EQ(e.SpaceBytes(), 0u);
+
+  // Exactly one chunk: no internal nodes at all.
+  auto keys = workload::DistinctSortedKeys(8, 1, 4);
+  BPlusTree<8> one(keys);
+  EXPECT_EQ(one.height(), 0);
+  EXPECT_EQ(one.SpaceBytes(), 0u);
+  OracleCheck<8>(keys);
+
+  // One key over a chunk: a root appears.
+  auto keys9 = workload::DistinctSortedKeys(9, 1, 4);
+  BPlusTree<8> two(keys9);
+  EXPECT_EQ(two.height(), 1);
+  OracleCheck<8>(keys9);
+}
+
+}  // namespace
+}  // namespace cssidx

@@ -1,0 +1,93 @@
+#include "core/builder.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "workload/key_gen.h"
+
+namespace cssidx {
+namespace {
+
+TEST(Builder, BuildsEveryMethod) {
+  auto keys = workload::DistinctSortedKeys(5000, 3, 4);
+  BuildOptions opts;
+  opts.node_entries = 16;
+  opts.hash_dir_bits = 8;
+  for (Method m : AllMethods()) {
+    auto index = BuildIndex(m, keys, opts);
+    ASSERT_NE(index, nullptr) << MethodName(m);
+    EXPECT_EQ(index->size(), keys.size());
+    // Every method finds present keys at the right position.
+    for (size_t i = 0; i < keys.size(); i += 97) {
+      ASSERT_EQ(index->Find(keys[i]), static_cast<int64_t>(i))
+          << MethodName(m);
+    }
+    EXPECT_EQ(index->Find(keys.back() + 1), kNotFound) << MethodName(m);
+  }
+}
+
+TEST(Builder, OrderedMethodsSupportLowerBound) {
+  auto keys = workload::DistinctSortedKeys(2000, 5, 4);
+  BuildOptions opts;
+  opts.hash_dir_bits = 6;
+  for (Method m : AllMethods()) {
+    auto index = BuildIndex(m, keys, opts);
+    ASSERT_NE(index, nullptr);
+    if (m == Method::kHash) {
+      EXPECT_FALSE(index->SupportsOrderedAccess());
+      continue;
+    }
+    EXPECT_TRUE(index->SupportsOrderedAccess()) << MethodName(m);
+    Key probe = keys[1000] + 1;
+    auto expected = static_cast<size_t>(
+        std::lower_bound(keys.begin(), keys.end(), probe) - keys.begin());
+    EXPECT_EQ(index->LowerBound(probe), expected) << MethodName(m);
+  }
+}
+
+TEST(Builder, NodeSizeMenu) {
+  auto keys = workload::DistinctSortedKeys(100, 1, 4);
+  BuildOptions opts;
+  for (int m : {4, 8, 16, 24, 32, 64, 128}) {
+    opts.node_entries = m;
+    EXPECT_NE(BuildIndex(Method::kFullCss, keys, opts), nullptr) << m;
+    EXPECT_NE(BuildIndex(Method::kTTree, keys, opts), nullptr) << m;
+    EXPECT_NE(BuildIndex(Method::kBPlusTree, keys, opts), nullptr) << m;
+  }
+  // Level CSS-trees reject non-powers of two.
+  opts.node_entries = 24;
+  EXPECT_EQ(BuildIndex(Method::kLevelCss, keys, opts), nullptr);
+  opts.node_entries = 32;
+  EXPECT_NE(BuildIndex(Method::kLevelCss, keys, opts), nullptr);
+  // Off-menu sizes are rejected outright.
+  opts.node_entries = 12;
+  EXPECT_EQ(BuildIndex(Method::kFullCss, keys, opts), nullptr);
+}
+
+TEST(Builder, NamesCarryNodeSize) {
+  auto keys = workload::DistinctSortedKeys(100, 1, 4);
+  BuildOptions opts;
+  opts.node_entries = 32;
+  auto index = BuildIndex(Method::kFullCss, keys, opts);
+  EXPECT_NE(index->Name().find("m=32"), std::string::npos);
+}
+
+TEST(Builder, SpaceOrderingMatchesFigure2) {
+  // At the same node size: full CSS < level CSS < B+-tree < T-tree < hash.
+  auto keys = workload::DistinctSortedKeys(100'000, 7, 4);
+  BuildOptions opts;
+  opts.node_entries = 16;
+  opts.hash_dir_bits = 17;  // ~ n/keys-per-bucket, the paper's sizing
+  auto full = BuildIndex(Method::kFullCss, keys, opts);
+  auto level = BuildIndex(Method::kLevelCss, keys, opts);
+  auto bplus = BuildIndex(Method::kBPlusTree, keys, opts);
+  auto ttree = BuildIndex(Method::kTTree, keys, opts);
+  auto hash = BuildIndex(Method::kHash, keys, opts);
+  EXPECT_LT(full->SpaceBytes(), level->SpaceBytes());
+  EXPECT_LT(level->SpaceBytes(), bplus->SpaceBytes());
+  EXPECT_LT(bplus->SpaceBytes(), ttree->SpaceBytes());
+  EXPECT_LT(ttree->SpaceBytes(), hash->SpaceBytes());
+}
+
+}  // namespace
+}  // namespace cssidx

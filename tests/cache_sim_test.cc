@@ -1,0 +1,154 @@
+// The cache simulator is the substrate standing in for the paper's two
+// machines, so its replacement behaviour is verified against hand-computed
+// traces before any miss numbers are trusted.
+
+#include "cachesim/cache_sim.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace cssidx::cachesim {
+namespace {
+
+// A tiny direct-mapped cache: 4 lines of 64 bytes.
+CacheConfig Tiny() { return {"tiny", 256, 64, 1}; }
+// 2-way version: 2 sets of 2 ways.
+CacheConfig Tiny2Way() { return {"tiny2", 256, 64, 2}; }
+
+const void* Addr(uint64_t a) { return reinterpret_cast<const void*>(a); }
+
+TEST(CacheSim, ColdMissThenHit) {
+  CacheSim sim(Tiny());
+  EXPECT_EQ(sim.Access(Addr(0), 4), 1u);  // cold miss
+  EXPECT_EQ(sim.Access(Addr(0), 4), 0u);  // hit
+  EXPECT_EQ(sim.Access(Addr(60), 4), 0u);  // same line (0..63), mostly
+  EXPECT_EQ(sim.misses(), 1u);
+}
+
+TEST(CacheSim, SpanningAccessTouchesTwoLines) {
+  CacheSim sim(Tiny());
+  // Bytes 60..67 span lines 0 and 1.
+  EXPECT_EQ(sim.Access(Addr(60), 8), 2u);
+  EXPECT_EQ(sim.accesses(), 2u);
+  EXPECT_EQ(sim.Access(Addr(64), 4), 0u);  // line 1 now resident
+}
+
+TEST(CacheSim, DirectMappedConflict) {
+  CacheSim sim(Tiny());
+  // Lines 0 and 4 map to the same set in a 4-set direct-mapped cache.
+  sim.Access(Addr(0), 1);
+  sim.Access(Addr(4 * 64), 1);   // evicts line 0
+  EXPECT_EQ(sim.Access(Addr(0), 1), 1u);  // miss again
+  EXPECT_EQ(sim.misses(), 3u);
+}
+
+TEST(CacheSim, TwoWayToleratesOneConflict) {
+  CacheSim sim(Tiny2Way());
+  // Lines 0 and 2 map to set 0 (2 sets); both fit in the 2 ways.
+  sim.Access(Addr(0), 1);
+  sim.Access(Addr(2 * 64), 1);
+  EXPECT_EQ(sim.Access(Addr(0), 1), 0u);
+  EXPECT_EQ(sim.Access(Addr(2 * 64), 1), 0u);
+  EXPECT_EQ(sim.misses(), 2u);  // only the two cold misses
+}
+
+TEST(CacheSim, LruEvictsLeastRecentlyUsed) {
+  CacheSim sim(Tiny2Way());
+  sim.Access(Addr(0), 1);        // set 0, way A
+  sim.Access(Addr(2 * 64), 1);   // set 0, way B
+  sim.Access(Addr(0), 1);        // touch A: B is now LRU
+  sim.Access(Addr(4 * 64), 1);   // set 0: evicts B (line 2*64)
+  EXPECT_EQ(sim.Access(Addr(0), 1), 0u);        // A still resident
+  EXPECT_EQ(sim.Access(Addr(2 * 64), 1), 1u);   // B was evicted
+}
+
+TEST(CacheSim, FlushDropsContentsKeepsCounters) {
+  CacheSim sim(Tiny());
+  sim.Access(Addr(0), 1);
+  sim.FlushContents();
+  EXPECT_EQ(sim.Access(Addr(0), 1), 1u);  // miss again after flush
+  EXPECT_EQ(sim.accesses(), 2u);
+  EXPECT_EQ(sim.misses(), 2u);
+}
+
+TEST(CacheSim, ResetCountersKeepsContents) {
+  CacheSim sim(Tiny());
+  sim.Access(Addr(0), 1);
+  sim.ResetCounters();
+  EXPECT_EQ(sim.accesses(), 0u);
+  EXPECT_EQ(sim.Access(Addr(0), 1), 0u);  // still resident
+}
+
+TEST(CacheSim, FullyAssociativeHoldsCapacityLines) {
+  CacheConfig fa{"fa", 256, 64, 0};  // 4 lines, fully associative
+  CacheSim sim(fa);
+  for (uint64_t i = 0; i < 4; ++i) sim.Access(Addr(i * 64), 1);
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(sim.Access(Addr(i * 64), 1), 0u) << i;
+  }
+  sim.Access(Addr(4 * 64), 1);              // evicts LRU = line 0
+  EXPECT_EQ(sim.Access(Addr(0), 1), 1u);
+}
+
+TEST(CacheHierarchy, L2CatchesL1Misses) {
+  // L1: 2 lines direct-mapped; L2: 8 lines direct-mapped, same line size.
+  CacheHierarchy h({{"l1", 128, 64, 1}, {"l2", 512, 64, 1}});
+  h.Access(Addr(0), 1);            // miss both levels
+  h.Access(Addr(2 * 64), 1);       // conflicts with line 0 in L1, not L2
+  h.Access(Addr(0), 1);            // L1 miss, L2 hit
+  EXPECT_EQ(h.Level(0).misses(), 3u);
+  EXPECT_EQ(h.Level(1).misses(), 2u);
+  EXPECT_EQ(h.MemoryFetches(), 2u);
+}
+
+TEST(CacheHierarchy, HitInL1NeverReachesL2) {
+  CacheHierarchy h({{"l1", 128, 64, 1}, {"l2", 512, 64, 1}});
+  h.Access(Addr(0), 1);
+  h.Access(Addr(0), 1);
+  h.Access(Addr(0), 1);
+  EXPECT_EQ(h.Level(0).accesses(), 3u);
+  EXPECT_EQ(h.Level(1).accesses(), 1u);  // only the initial miss
+}
+
+TEST(CacheHierarchy, MixedLineSizes) {
+  // The Ultra Sparc II has 32B L1 lines and 64B L2 lines: two adjacent L1
+  // lines share one L2 line, so the second L1 miss within a 64B block must
+  // hit in L2.
+  CacheHierarchy h({{"l1", 16 * 1024, 32, 1}, {"l2", 1024 * 1024, 64, 1}});
+  h.Access(Addr(0), 1);    // L1 miss, L2 miss
+  h.Access(Addr(32), 1);   // different L1 line, same L2 line: L2 hit
+  EXPECT_EQ(h.Level(0).misses(), 2u);
+  EXPECT_EQ(h.Level(1).misses(), 1u);
+  EXPECT_EQ(h.Level(1).accesses(), 2u);
+  // A 40-byte object at offset 28 (bytes 28..67) spans three 32B L1 lines
+  // (0, 1, 2) but only two 64B L2 lines (0 and 1).
+  h.FlushContents();
+  h.ResetCounters();
+  h.Access(Addr(28), 40);
+  EXPECT_EQ(h.Level(0).misses(), 3u);
+  EXPECT_EQ(h.Level(1).accesses(), 3u);
+  EXPECT_EQ(h.Level(1).misses(), 2u);
+}
+
+TEST(CacheSim, PaperGeometriesConstruct) {
+  for (const auto& cfg : {UltraSparcL1(), UltraSparcL2(), PentiumIIL1(),
+                          PentiumIIL2(), ModernL1(), ModernL2()}) {
+    CacheSim sim(cfg);
+    EXPECT_EQ(sim.misses(), 0u) << cfg.name;
+    EXPECT_GT(cfg.NumSets(), 0u) << cfg.name;
+  }
+}
+
+TEST(CacheSim, SequentialScanMissesOncePerLine) {
+  // Spatial locality: scanning 64 ints (256B) with a 64B line = 4 misses.
+  CacheSim sim({"scan", 16 * 1024, 64, 4});
+  std::vector<uint32_t> data(64);
+  uint64_t misses = 0;
+  for (const auto& v : data) misses += sim.Access(&v, sizeof(v));
+  EXPECT_EQ(misses, (64 * sizeof(uint32_t)) / 64);
+}
+
+}  // namespace
+}  // namespace cssidx::cachesim

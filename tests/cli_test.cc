@@ -1,0 +1,56 @@
+#include "util/cli.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace cssidx {
+namespace {
+
+CliArgs Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return CliArgs(static_cast<int>(args.size()),
+                 const_cast<char**>(args.data()));
+}
+
+TEST(Cli, EqualsForm) {
+  CliArgs args = Parse({"--n=500", "--name=foo", "--rate=2.5"});
+  EXPECT_EQ(args.GetInt("n", 0), 500);
+  EXPECT_EQ(args.GetString("name", ""), "foo");
+  EXPECT_DOUBLE_EQ(args.GetDouble("rate", 0), 2.5);
+}
+
+TEST(Cli, SpaceForm) {
+  CliArgs args = Parse({"--n", "123", "--label", "abc"});
+  EXPECT_EQ(args.GetInt("n", 0), 123);
+  EXPECT_EQ(args.GetString("label", ""), "abc");
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  CliArgs args = Parse({"--quick"});
+  EXPECT_TRUE(args.Has("quick"));
+  EXPECT_TRUE(args.GetBool("quick"));
+}
+
+TEST(Cli, Defaults) {
+  CliArgs args = Parse({});
+  EXPECT_FALSE(args.Has("n"));
+  EXPECT_EQ(args.GetInt("n", 42), 42);
+  EXPECT_EQ(args.GetString("s", "dflt"), "dflt");
+  EXPECT_FALSE(args.GetBool("flag", false));
+  EXPECT_TRUE(args.GetBool("flag", true));
+}
+
+TEST(Cli, ExplicitFalse) {
+  CliArgs args = Parse({"--verbose=false", "--debug=0"});
+  EXPECT_FALSE(args.GetBool("verbose", true));
+  EXPECT_FALSE(args.GetBool("debug", true));
+}
+
+TEST(Cli, NegativeNumbersViaEquals) {
+  CliArgs args = Parse({"--delta=-5"});
+  EXPECT_EQ(args.GetInt("delta", 0), -5);
+}
+
+}  // namespace
+}  // namespace cssidx

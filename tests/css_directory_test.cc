@@ -1,0 +1,130 @@
+// White-box structural checks of the CSS directory: every entry must equal
+// the true maximum of the keys reachable through its branch (or a clamped
+// duplicate of the deep region's last key for dangling branches), and the
+// union of reachable leaves must cover the whole array. This pins the
+// build algorithm independently of search behaviour.
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/css_layout.h"
+#include "core/full_css_tree.h"
+#include "core/level_css_tree.h"
+#include "gtest/gtest.h"
+#include "workload/key_gen.h"
+
+namespace cssidx {
+namespace {
+
+// Recomputes the max key of node `node`'s subtree by brute-force leaf
+// enumeration. Returns false if the subtree holds no real keys (dangling).
+template <typename TreeT>
+bool BruteForceSubtreeMax(const TreeT& tree, const std::vector<Key>& keys,
+                          uint64_t node, Key* out,
+                          std::set<size_t>* covered) {
+  const CssLayout& l = tree.layout();
+  if (node >= l.internal_nodes) {
+    // Leaf: reconstruct its clamped array range.
+    int64_t pos = l.LeafArrayPos(node);
+    auto limit = static_cast<int64_t>(keys.size());
+    int64_t lo = std::min(pos, limit);
+    int64_t hi = std::min<int64_t>(pos + TreeT::kStride, limit);
+    if (node >= l.mark) {
+      hi = std::min<int64_t>(hi, static_cast<int64_t>(l.deep_end));
+      lo = std::min<int64_t>(lo, hi);
+    }
+    if (lo >= hi) return false;
+    for (int64_t p = lo; p < hi; ++p) covered->insert(static_cast<size_t>(p));
+    *out = keys[static_cast<size_t>(hi - 1)];
+    return true;
+  }
+  bool any = false;
+  Key best = 0;
+  for (int j = 0; j < TreeT::kFanout; ++j) {
+    uint64_t child = node * TreeT::kFanout + 1 + static_cast<uint64_t>(j);
+    Key child_max;
+    if (BruteForceSubtreeMax(tree, keys, child, &child_max, covered)) {
+      best = any ? std::max(best, child_max) : child_max;
+      any = true;
+    }
+  }
+  if (any) *out = best;
+  return any;
+}
+
+template <typename TreeT>
+void CheckDirectory(const std::vector<Key>& keys) {
+  TreeT tree(keys);
+  const CssLayout& l = tree.layout();
+  if (l.internal_nodes == 0) return;
+  const Key* dir = tree.directory();
+  std::set<size_t> covered;
+  Key root_max;
+  ASSERT_TRUE(BruteForceSubtreeMax(tree, keys, 0, &root_max, &covered));
+  // Coverage: every array position reachable from the root.
+  ASSERT_EQ(covered.size(), keys.size());
+
+  Key deep_last = keys[l.deep_end - 1];
+  for (uint64_t d = 0; d < l.internal_nodes; ++d) {
+    for (int slot = 0; slot < TreeT::kStride; ++slot) {
+      int branch = (TreeT::kHasSpareSlot && slot == TreeT::kStride - 1)
+                       ? TreeT::kFanout - 1
+                       : slot;
+      uint64_t child = d * TreeT::kFanout + 1 + static_cast<uint64_t>(branch);
+      Key entry = dir[d * TreeT::kStride + static_cast<uint64_t>(slot)];
+      std::set<size_t> scratch;
+      Key expected;
+      if (BruteForceSubtreeMax(tree, keys, child, &expected, &scratch)) {
+        ASSERT_EQ(entry, expected)
+            << "node " << d << " slot " << slot << " n=" << keys.size();
+      } else {
+        // Dangling branch: clamped to the deep region's last key.
+        ASSERT_EQ(entry, deep_last)
+            << "dangling node " << d << " slot " << slot;
+      }
+    }
+  }
+}
+
+TEST(CssDirectory, FullTreeEntriesAreSubtreeMaxima) {
+  for (size_t n : {1u, 3u, 4u, 5u, 16u, 17u, 20u, 21u, 64u, 85u, 100u,
+                   200u, 341u, 500u}) {
+    CheckDirectory<FullCssTree<4>>(
+        workload::DistinctSortedKeys(n, 7 + n, 3));
+  }
+}
+
+TEST(CssDirectory, LevelTreeEntriesAreSubtreeMaxima) {
+  for (size_t n : {1u, 3u, 4u, 5u, 16u, 17u, 63u, 64u, 65u, 100u, 255u,
+                   256u, 257u, 500u}) {
+    CheckDirectory<LevelCssTree<4>>(
+        workload::DistinctSortedKeys(n, 11 + n, 3));
+  }
+}
+
+TEST(CssDirectory, WithDuplicateKeys) {
+  for (size_t n : {20u, 100u, 300u}) {
+    CheckDirectory<FullCssTree<4>>(workload::KeysWithDuplicates(n, 7, n));
+    CheckDirectory<LevelCssTree<8>>(workload::KeysWithDuplicates(n, 5, n));
+  }
+}
+
+TEST(CssDirectory, LevelSpareSlotHoldsLastBranchMax) {
+  // Direct check of the §4.2 build trick on a concrete tree.
+  auto keys = workload::DistinctSortedKeys(4 * 4 * 4, 3, 2);  // 3 levels, m=4
+  LevelCssTree<4> tree(keys);
+  const CssLayout& l = tree.layout();
+  const Key* dir = tree.directory();
+  for (uint64_t d = 0; d < l.internal_nodes; ++d) {
+    Key spare = dir[d * 4 + 3];
+    std::set<size_t> scratch;
+    Key expected;
+    ASSERT_TRUE(BruteForceSubtreeMax(tree, keys, d * 4 + 4, &expected,
+                                     &scratch));
+    ASSERT_EQ(spare, expected) << "node " << d;
+  }
+}
+
+}  // namespace
+}  // namespace cssidx

@@ -1,0 +1,107 @@
+// The layout arithmetic of Lemma 4.1, checked against the paper's worked
+// example (Figure 3) and structural invariants over a wide sweep.
+
+#include "core/css_layout.h"
+
+#include "gtest/gtest.h"
+
+namespace cssidx {
+namespace {
+
+TEST(CssLayout, PaperFigure3Example) {
+  // m = 4 (stride), fanout 5, 65 leaves * 4 keys = 260 elements.
+  auto l = CssLayout::Compute(260, 4, 5);
+  EXPECT_EQ(l.num_leaves, 65u);
+  EXPECT_EQ(l.levels, 3);            // k = ceil(log5 65) = 3
+  EXPECT_EQ(l.mark, 31u);            // first deepest-level leaf = node 31
+  EXPECT_EQ(l.internal_nodes, 16u);  // nodes 0..15 internal
+  EXPECT_EQ(l.shallow_leaves, 15u);  // nodes 16..30
+  EXPECT_EQ(l.deep_leaves, 50u);     // nodes 31..80
+  EXPECT_EQ(l.deep_end, 200u);       // 50 deep leaves * 4 keys
+}
+
+TEST(CssLayout, Figure3LeafMapping) {
+  auto l = CssLayout::Compute(260, 4, 5);
+  // Deep leaves start at the front of the array...
+  EXPECT_EQ(l.LeafArrayPos(31), 0);
+  EXPECT_EQ(l.LeafArrayPos(32), 4);
+  EXPECT_EQ(l.LeafArrayPos(80), 196);
+  // ...and shallow leaves cover the back (region switch).
+  EXPECT_EQ(l.LeafArrayPos(16), 200);
+  EXPECT_EQ(l.LeafArrayPos(30), 256);
+}
+
+TEST(CssLayout, SingleLeaf) {
+  auto l = CssLayout::Compute(3, 4, 5);
+  EXPECT_EQ(l.num_leaves, 1u);
+  EXPECT_EQ(l.levels, 0);
+  EXPECT_EQ(l.internal_nodes, 0u);
+  EXPECT_EQ(l.deep_leaves, 1u);
+  EXPECT_EQ(l.shallow_leaves, 0u);
+  EXPECT_EQ(l.LeafArrayPos(0), 0);
+}
+
+TEST(CssLayout, EmptyArray) {
+  auto l = CssLayout::Compute(0, 16, 17);
+  EXPECT_EQ(l.num_leaves, 0u);
+  EXPECT_EQ(l.internal_nodes, 0u);
+  EXPECT_EQ(l.DirectorySlots(), 0u);
+}
+
+TEST(CssLayout, ExactPowerHasNoShallowLeaves) {
+  // B = fanout^k exactly: every leaf is at the deepest level.
+  auto l = CssLayout::Compute(5 * 5 * 5 * 4, 4, 5);  // 125 leaves of 4
+  EXPECT_EQ(l.num_leaves, 125u);
+  EXPECT_EQ(l.shallow_leaves, 0u);
+  EXPECT_EQ(l.deep_leaves, 125u);
+  EXPECT_EQ(l.internal_nodes, l.mark);
+}
+
+struct SweepCase {
+  int stride;
+  int fanout;
+};
+
+class CssLayoutSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(CssLayoutSweep, StructuralInvariants) {
+  auto [stride, fanout] = GetParam();
+  for (size_t n = 1; n <= 3000; ++n) {
+    auto l = CssLayout::Compute(n, stride, fanout);
+    ASSERT_EQ(l.shallow_leaves + l.deep_leaves, l.num_leaves);
+    ASSERT_EQ(l.internal_nodes + l.shallow_leaves, l.mark);
+    ASSERT_GE(l.deep_leaves, 1u);
+    // Deep leaves cover [0, deep_end); shallow leaves cover
+    // [n - S*stride, n). When n is not a multiple of the stride the two
+    // regions overlap by exactly the padding (B*stride - n), which is
+    // benign: ranges stay sorted and routing entries use the same mapping.
+    ASSERT_LE(l.deep_end, n);
+    if (l.shallow_leaves > 0) {
+      uint64_t pad = l.num_leaves * stride - n;
+      ASSERT_LT(pad, static_cast<uint64_t>(stride));
+      ASSERT_EQ(l.LeafArrayPos(l.internal_nodes),
+                static_cast<int64_t>(l.deep_end - pad));
+      ASSERT_LT(l.LeafArrayPos(l.mark - 1), static_cast<int64_t>(n));
+    }
+    // The deepest leaf level starts at array position 0.
+    ASSERT_EQ(l.LeafArrayPos(l.mark), 0);
+    // Every internal node's child range stays within the node universe.
+    if (l.internal_nodes > 0) {
+      uint64_t last_child =
+          (l.internal_nodes - 1) * fanout + static_cast<uint64_t>(fanout);
+      ASSERT_GE(last_child, l.mark);  // last internal reaches the leaf level
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CssLayoutSweep,
+                         ::testing::Values(SweepCase{2, 3}, SweepCase{2, 2},
+                                           SweepCase{4, 5}, SweepCase{4, 4},
+                                           SweepCase{8, 9}, SweepCase{8, 8},
+                                           SweepCase{16, 17},
+                                           SweepCase{16, 16},
+                                           SweepCase{24, 25},
+                                           SweepCase{32, 33}));
+
+}  // namespace
+}  // namespace cssidx

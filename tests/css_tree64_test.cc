@@ -1,0 +1,101 @@
+// CSS-trees over 8-byte keys: the §5 model's K parameter in practice.
+// Correctness against oracles, including keys beyond 2^32, plus the
+// structural consequences (half the keys per line, bigger directory).
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/full_css_tree.h"
+#include "core/level_css_tree.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace cssidx {
+namespace {
+
+std::vector<uint64_t> WideKeys(size_t n, uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<uint64_t> keys(n);
+  uint64_t cur = 0x100000000ull;  // start above the 32-bit range
+  for (size_t i = 0; i < n; ++i) {
+    cur += 1 + rng.Below(1000);
+    keys[i] = cur;
+  }
+  return keys;
+}
+
+template <typename TreeT>
+void OracleCheck(const std::vector<uint64_t>& keys) {
+  TreeT tree(keys);
+  std::vector<uint64_t> probes;
+  for (uint64_t k : keys) {
+    probes.push_back(k);
+    probes.push_back(k - 1);
+    probes.push_back(k + 1);
+  }
+  probes.push_back(0);
+  for (uint64_t k : probes) {
+    auto expected = static_cast<size_t>(
+        std::lower_bound(keys.begin(), keys.end(), k) - keys.begin());
+    ASSERT_EQ(tree.LowerBound(k), expected) << "k=" << k;
+  }
+}
+
+TEST(CssTree64, FullTreeOracleSweep) {
+  for (size_t n : {0u, 1u, 7u, 8u, 9u, 64u, 100u, 1000u, 5000u}) {
+    OracleCheck<FullCssTree64<8>>(WideKeys(n, 3 + n));
+  }
+}
+
+TEST(CssTree64, LevelTreeOracleSweep) {
+  for (size_t n : {0u, 1u, 7u, 8u, 9u, 64u, 100u, 1000u, 5000u}) {
+    OracleCheck<LevelCssTree64<8>>(WideKeys(n, 7 + n));
+  }
+}
+
+TEST(CssTree64, KeysAboveUint32RangeWork) {
+  std::vector<uint64_t> keys{1ull << 40, (1ull << 40) + 5, 1ull << 50,
+                             0xffffffffffffff00ull};
+  FullCssTree64<4> tree(keys);
+  EXPECT_EQ(tree.Find(1ull << 50), 2);
+  EXPECT_EQ(tree.Find((1ull << 50) + 1), kNotFound);
+  EXPECT_EQ(tree.LowerBound(0xffffffffffffffffull), 4u);
+}
+
+TEST(CssTree64, DirectoryDoublesVersusNarrowKeys) {
+  // Same node *byte* budget (64B): 16 narrow keys vs 8 wide keys. The wide
+  // tree's branching halves, so its directory (in bytes) is larger for the
+  // same n — the §5 space model's K dependence.
+  size_t n = 100'000;
+  std::vector<uint32_t> narrow(n);
+  std::vector<uint64_t> wide(n);
+  for (size_t i = 0; i < n; ++i) {
+    narrow[i] = static_cast<uint32_t>(3 * i);
+    wide[i] = 3 * i;
+  }
+  FullCssTree<16> t32(narrow);
+  FullCssTree64<8> t64(wide);
+  EXPECT_GT(t64.SpaceBytes(), 1.8 * static_cast<double>(t32.SpaceBytes()));
+  // nK^2/sc with K=8, sc=64: n bytes. Within 25%.
+  EXPECT_NEAR(static_cast<double>(t64.SpaceBytes()), static_cast<double>(n),
+              0.25 * static_cast<double>(n));
+}
+
+TEST(CssTree64, DuplicatesLeftmost) {
+  std::vector<uint64_t> keys;
+  for (int run = 0; run < 30; ++run) {
+    for (int i = 0; i < 6; ++i) {
+      keys.push_back((1ull << 33) + static_cast<uint64_t>(run) * 10);
+    }
+  }
+  FullCssTree64<8> tree(keys);
+  for (int run = 0; run < 30; ++run) {
+    uint64_t k = (1ull << 33) + static_cast<uint64_t>(run) * 10;
+    EXPECT_EQ(tree.Find(k), run * 6);
+    EXPECT_EQ(tree.CountEqual(k), 6u);
+  }
+}
+
+}  // namespace
+}  // namespace cssidx

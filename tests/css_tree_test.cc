@@ -1,0 +1,204 @@
+// Correctness of full and level CSS-trees (§4) against STL oracles.
+//
+// The layout math (marks, shallow/deep regions, dangling-entry clamps) is
+// easy to get subtly wrong for array sizes that are not powers of the
+// branching factor, so these tests sweep *every* n in a contiguous range
+// for several node sizes, plus targeted boundary shapes.
+
+#include "core/css_tree.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/full_css_tree.h"
+#include "core/level_css_tree.h"
+#include "gtest/gtest.h"
+#include "workload/key_gen.h"
+
+namespace cssidx {
+namespace {
+
+template <typename TreeT>
+void CheckAgainstOracle(const std::vector<Key>& keys) {
+  TreeT tree(keys);
+  ASSERT_EQ(tree.size(), keys.size());
+  // Probe every present key, every present key +/- 1, below-min and
+  // above-max.
+  std::vector<Key> probes;
+  for (Key k : keys) {
+    probes.push_back(k);
+    if (k > 0) probes.push_back(k - 1);
+    probes.push_back(k + 1);
+  }
+  probes.push_back(0);
+  if (!keys.empty()) probes.push_back(keys.back() + 100);
+  for (Key k : probes) {
+    auto expected = static_cast<size_t>(
+        std::lower_bound(keys.begin(), keys.end(), k) - keys.begin());
+    ASSERT_EQ(tree.LowerBound(k), expected)
+        << "n=" << keys.size() << " key=" << k;
+    bool present = expected < keys.size() && keys[expected] == k;
+    ASSERT_EQ(tree.Find(k),
+              present ? static_cast<int64_t>(expected) : kNotFound)
+        << "n=" << keys.size() << " key=" << k;
+  }
+}
+
+template <typename TreeT>
+void SweepSizes(int max_n) {
+  for (int n = 0; n <= max_n; ++n) {
+    auto keys = workload::DistinctSortedKeys(static_cast<size_t>(n),
+                                             /*seed=*/42 + n, /*mean_gap=*/3);
+    CheckAgainstOracle<TreeT>(keys);
+  }
+}
+
+TEST(FullCssTree, ExhaustiveSmallSizesM2) { SweepSizes<FullCssTree<2>>(300); }
+TEST(FullCssTree, ExhaustiveSmallSizesM3) { SweepSizes<FullCssTree<3>>(300); }
+TEST(FullCssTree, ExhaustiveSmallSizesM4) { SweepSizes<FullCssTree<4>>(400); }
+TEST(FullCssTree, ExhaustiveSmallSizesM5) { SweepSizes<FullCssTree<5>>(400); }
+TEST(FullCssTree, ExhaustiveSmallSizesM8) { SweepSizes<FullCssTree<8>>(800); }
+TEST(FullCssTree, ExhaustiveSmallSizesM16) {
+  SweepSizes<FullCssTree<16>>(900);
+}
+
+TEST(LevelCssTree, ExhaustiveSmallSizesM2) { SweepSizes<LevelCssTree<2>>(300); }
+TEST(LevelCssTree, ExhaustiveSmallSizesM4) { SweepSizes<LevelCssTree<4>>(400); }
+TEST(LevelCssTree, ExhaustiveSmallSizesM8) { SweepSizes<LevelCssTree<8>>(800); }
+TEST(LevelCssTree, ExhaustiveSmallSizesM16) {
+  SweepSizes<LevelCssTree<16>>(900);
+}
+
+// Sizes around exact powers of the branching factor are where the
+// shallow/deep split degenerates (S = 0 or D minimal).
+template <typename TreeT, int Fanout, int Stride>
+void PowerBoundarySweep() {
+  for (int k = 1; k <= 4; ++k) {
+    int64_t leaves = 1;
+    for (int i = 0; i < k; ++i) leaves *= Fanout;
+    for (int64_t delta = -Stride - 1; delta <= Stride + 1; ++delta) {
+      int64_t n = leaves * Stride + delta;
+      if (n < 0) continue;
+      auto keys = workload::DistinctSortedKeys(static_cast<size_t>(n),
+                                               /*seed=*/7, /*mean_gap=*/2);
+      CheckAgainstOracle<TreeT>(keys);
+    }
+  }
+}
+
+TEST(FullCssTree, PowerOfFanoutBoundaries) {
+  PowerBoundarySweep<FullCssTree<4>, 5, 4>();
+}
+TEST(LevelCssTree, PowerOfFanoutBoundaries) {
+  PowerBoundarySweep<LevelCssTree<4>, 4, 4>();
+}
+
+TEST(FullCssTree, MediumRandomArray) {
+  auto keys = workload::DistinctSortedKeys(200'000, 11, 5);
+  CheckAgainstOracle<FullCssTree<16>>(
+      std::vector<Key>(keys.begin(), keys.begin() + 100'000));
+}
+
+TEST(LevelCssTree, MediumRandomArray) {
+  auto keys = workload::DistinctSortedKeys(100'000, 12, 5);
+  CheckAgainstOracle<LevelCssTree<16>>(keys);
+}
+
+TEST(FullCssTree, LargeNodes) {
+  auto keys = workload::DistinctSortedKeys(50'000, 13, 4);
+  CheckAgainstOracle<FullCssTree<64>>(keys);
+  CheckAgainstOracle<FullCssTree<128>>(keys);
+}
+
+TEST(FullCssTree, NonPowerOfTwoNodes) {
+  auto keys = workload::DistinctSortedKeys(50'000, 14, 4);
+  CheckAgainstOracle<FullCssTree<24>>(keys);
+}
+
+TEST(CssTree, DuplicatesReturnLeftmost) {
+  for (size_t distinct : {1u, 2u, 7u, 40u}) {
+    auto keys = workload::KeysWithDuplicates(500, distinct, 99);
+    FullCssTree<4> full(keys);
+    LevelCssTree<4> level(keys);
+    for (Key k : keys) {
+      auto expected = static_cast<size_t>(
+          std::lower_bound(keys.begin(), keys.end(), k) - keys.begin());
+      EXPECT_EQ(full.LowerBound(k), expected);
+      EXPECT_EQ(level.LowerBound(k), expected);
+      EXPECT_EQ(full.Find(k), static_cast<int64_t>(expected));
+      EXPECT_EQ(level.Find(k), static_cast<int64_t>(expected));
+    }
+  }
+}
+
+TEST(CssTree, CountEqualMatchesEqualRange) {
+  auto keys = workload::KeysWithDuplicates(1000, 60, 5);
+  FullCssTree<8> tree(keys);
+  for (Key k : keys) {
+    auto [lo, hi] = std::equal_range(keys.begin(), keys.end(), k);
+    EXPECT_EQ(tree.CountEqual(k), static_cast<size_t>(hi - lo));
+  }
+  EXPECT_EQ(tree.CountEqual(keys.back() + 1000), 0u);
+}
+
+TEST(CssTree, EmptyArray) {
+  std::vector<Key> empty;
+  FullCssTree<16> full(empty);
+  LevelCssTree<16> level(empty);
+  EXPECT_EQ(full.LowerBound(5), 0u);
+  EXPECT_EQ(level.LowerBound(5), 0u);
+  EXPECT_EQ(full.Find(5), kNotFound);
+  EXPECT_EQ(level.Find(5), kNotFound);
+  EXPECT_EQ(full.SpaceBytes(), 0u);
+}
+
+TEST(CssTree, SingleElement) {
+  std::vector<Key> one{42};
+  FullCssTree<16> tree(one);
+  EXPECT_EQ(tree.Find(42), 0);
+  EXPECT_EQ(tree.Find(41), kNotFound);
+  EXPECT_EQ(tree.LowerBound(43), 1u);
+  EXPECT_EQ(tree.LowerBound(0), 0u);
+}
+
+TEST(CssTree, SpaceMatchesLayout) {
+  auto keys = workload::DistinctSortedKeys(100'000, 3, 4);
+  FullCssTree<16> full(keys);
+  EXPECT_EQ(full.SpaceBytes(),
+            full.layout().internal_nodes * 16 * sizeof(Key));
+  // Directory ~ n*K/m for full trees: within 20% of the analytic value.
+  double expected = 100'000.0 * 4 / 16;
+  EXPECT_NEAR(static_cast<double>(full.SpaceBytes()), expected,
+              expected * 0.2);
+
+  LevelCssTree<16> level(keys);
+  // Level tree stores 15 useful keys per 16-slot node: more space.
+  EXPECT_GT(level.SpaceBytes(), full.SpaceBytes());
+}
+
+TEST(CssTree, MisalignedDirectoryStillCorrect) {
+  // The alignment ablation deliberately shifts the directory off the
+  // cache-line boundary; results must be unaffected (only speed changes).
+  auto keys = workload::DistinctSortedKeys(10'000, 21, 4);
+  FullCssTree<16> aligned(keys.data(), keys.size());
+  FullCssTree<16> shifted(keys.data(), keys.size(), /*misalign_offset=*/20);
+  for (Key k : keys) {
+    ASSERT_EQ(shifted.LowerBound(k), aligned.LowerBound(k));
+  }
+  EXPECT_EQ(shifted.Find(keys[777]), 777);
+}
+
+TEST(CssTree, MaxKeyBoundary) {
+  // Keys at the top of the 32-bit range must not overflow probing.
+  std::vector<Key> keys;
+  for (uint32_t i = 0; i < 100; ++i) {
+    keys.push_back(0xffffff00u + i);
+  }
+  FullCssTree<4> tree(keys);
+  EXPECT_EQ(tree.Find(0xffffff00u), 0);
+  EXPECT_EQ(tree.Find(0xffffff63u), 99);
+  EXPECT_EQ(tree.LowerBound(0xffffffffu), 100u);
+}
+
+}  // namespace
+}  // namespace cssidx

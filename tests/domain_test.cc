@@ -1,0 +1,119 @@
+#include "domain/domain.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "workload/key_gen.h"
+
+namespace cssidx::domain {
+namespace {
+
+TEST(IntDomain, BuildSortsAndDedups) {
+  auto d = IntDomain::FromValues({5, 3, 9, 3, 5, 1});
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_EQ(d.values(), (std::vector<uint32_t>{1, 3, 5, 9}));
+}
+
+TEST(IntDomain, EncodeDecodeRoundTrip) {
+  auto values = workload::DistinctSortedKeys(10'000, 3, 8);
+  auto d = IntDomain::FromValues(values);
+  for (size_t i = 0; i < values.size(); i += 53) {
+    auto id = d.Encode(values[i]);
+    ASSERT_TRUE(id.has_value());
+    EXPECT_EQ(*id, i);
+    EXPECT_EQ(d.Decode(*id), values[i]);
+  }
+  EXPECT_FALSE(d.Encode(values.back() + 1).has_value());
+}
+
+TEST(IntDomain, IdsAreOrderPreserving) {
+  auto d = IntDomain::FromValues({100, 50, 200, 10});
+  // §2.1: inequality predicates evaluate on IDs directly.
+  EXPECT_LT(*d.Encode(10), *d.Encode(50));
+  EXPECT_LT(*d.Encode(50), *d.Encode(100));
+  EXPECT_LT(*d.Encode(100), *d.Encode(200));
+}
+
+TEST(IntDomain, EncodeColumnReportsMissing) {
+  auto d = IntDomain::FromValues({10, 20, 30});
+  std::vector<size_t> missing;
+  auto ids = d.EncodeColumn({10, 99, 30, 77}, &missing);
+  EXPECT_EQ(ids[0], 0u);
+  EXPECT_EQ(ids[2], 2u);
+  EXPECT_EQ(missing, (std::vector<size_t>{1, 3}));
+}
+
+TEST(IntDomain, LowerBoundIdForRangePredicates) {
+  auto d = IntDomain::FromValues({10, 20, 30, 40});
+  EXPECT_EQ(d.LowerBoundId(25), 2u);  // first value >= 25 is 30 (id 2)
+  EXPECT_EQ(d.LowerBoundId(10), 0u);
+  EXPECT_EQ(d.LowerBoundId(41), 4u);  // past the end
+}
+
+TEST(IntDomain, AddBatchRemapsOldIds) {
+  auto d = IntDomain::FromValues({10, 30, 50});
+  std::vector<uint32_t> old_values{10, 30, 50};
+  auto remap = d.AddBatch({20, 40});
+  EXPECT_EQ(d.size(), 5u);
+  // Every old ID's value is still reachable through the remap.
+  for (size_t old_id = 0; old_id < old_values.size(); ++old_id) {
+    EXPECT_EQ(d.Decode(remap[old_id]), old_values[old_id]);
+  }
+  // New values are encodable and ordering still holds.
+  EXPECT_TRUE(d.Encode(20).has_value());
+  EXPECT_LT(*d.Encode(20), *d.Encode(30));
+}
+
+TEST(IntDomain, AddBatchWithDuplicatesIsIdempotent) {
+  auto d = IntDomain::FromValues({1, 2, 3});
+  d.AddBatch({2, 3, 3, 4});
+  EXPECT_EQ(d.size(), 4u);
+}
+
+TEST(StringDomain, EncodeDecode) {
+  auto d = StringDomain::FromValues({"cherry", "apple", "banana", "apple"});
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(*d.Encode("apple"), 0u);
+  EXPECT_EQ(*d.Encode("banana"), 1u);
+  EXPECT_EQ(*d.Encode("cherry"), 2u);
+  EXPECT_FALSE(d.Encode("durian").has_value());
+  EXPECT_EQ(d.Decode(1), "banana");
+}
+
+TEST(StringDomain, OrderPreservingForStrings) {
+  auto d = StringDomain::FromValues({"delta", "alpha", "charlie", "bravo"});
+  EXPECT_LT(*d.Encode("alpha"), *d.Encode("bravo"));
+  EXPECT_LT(*d.Encode("bravo"), *d.Encode("charlie"));
+  // Range predicate name < "c" on IDs:
+  uint32_t cutoff = d.LowerBoundId("c");
+  EXPECT_EQ(cutoff, 2u);  // alpha, bravo are below
+}
+
+TEST(StringDomain, AddBatchRemap) {
+  auto d = StringDomain::FromValues({"b", "d"});
+  auto remap = d.AddBatch({"a", "c", "e"});
+  EXPECT_EQ(d.size(), 5u);
+  EXPECT_EQ(d.Decode(remap[0]), "b");
+  EXPECT_EQ(d.Decode(remap[1]), "d");
+}
+
+TEST(IntDomain, LargeDomainEncodeThroughput) {
+  // Sanity-scale test: a million-value domain encodes a column correctly.
+  auto values = workload::DistinctSortedKeys(1'000'000, 7, 4);
+  auto d = IntDomain::FromValues(values);
+  std::vector<uint32_t> column;
+  for (size_t i = 0; i < 10'000; ++i) {
+    column.push_back(values[(i * 101) % values.size()]);
+  }
+  std::vector<size_t> missing;
+  auto ids = d.EncodeColumn(column, &missing);
+  EXPECT_TRUE(missing.empty());
+  for (size_t i = 0; i < column.size(); ++i) {
+    ASSERT_EQ(d.Decode(ids[i]), column[i]);
+  }
+}
+
+}  // namespace
+}  // namespace cssidx::domain

@@ -1,0 +1,91 @@
+// §3.6 duplicate handling, stressed beyond the generic property suite:
+// extreme multiplicities, duplicates exactly on node boundaries, and
+// all-equal arrays for every method.
+
+#include <algorithm>
+#include <vector>
+
+#include "core/builder.h"
+#include "gtest/gtest.h"
+
+namespace cssidx {
+namespace {
+
+void CheckAll(const std::vector<Key>& keys, int node_entries = 8) {
+  BuildOptions opts;
+  opts.node_entries = node_entries;
+  opts.hash_dir_bits = 6;
+  for (Method m : AllMethods()) {
+    if (m == Method::kLevelCss && (node_entries & (node_entries - 1)) != 0) {
+      continue;
+    }
+    auto index = BuildIndex(m, keys, opts);
+    ASSERT_NE(index, nullptr) << MethodName(m);
+    std::vector<Key> probes(keys.begin(), keys.end());
+    if (!keys.empty()) {
+      probes.push_back(keys.front() - 1);
+      probes.push_back(keys.back() + 1);
+    }
+    for (Key k : probes) {
+      auto [lo, hi] = std::equal_range(keys.begin(), keys.end(), k);
+      bool present = lo != hi;
+      ASSERT_EQ(index->Find(k),
+                present ? static_cast<int64_t>(lo - keys.begin()) : kNotFound)
+          << index->Name() << " k=" << k;
+      ASSERT_EQ(index->CountEqual(k), static_cast<size_t>(hi - lo))
+          << index->Name() << " k=" << k;
+    }
+  }
+}
+
+TEST(Duplicates, AllEqualArray) {
+  CheckAll(std::vector<Key>(500, 42));
+}
+
+TEST(Duplicates, TwoValuesSplit) {
+  std::vector<Key> keys(300, 10);
+  keys.resize(600, 20);
+  CheckAll(keys);
+}
+
+TEST(Duplicates, RunExactlyOnNodeBoundary) {
+  // 8-entry nodes; a run of 8 duplicates aligned to a node, runs straddling
+  // node boundaries, and a run covering multiple whole nodes.
+  std::vector<Key> keys;
+  for (int i = 0; i < 8; ++i) keys.push_back(100);   // node 0 exactly
+  for (int i = 0; i < 4; ++i) keys.push_back(200);
+  for (int i = 0; i < 12; ++i) keys.push_back(300);  // straddles
+  for (int i = 0; i < 24; ++i) keys.push_back(400);  // 3 full nodes
+  keys.push_back(500);
+  CheckAll(keys);
+}
+
+TEST(Duplicates, SingletonAmongRuns) {
+  std::vector<Key> keys;
+  for (int i = 0; i < 100; ++i) keys.push_back(7);
+  keys.push_back(8);  // the needle
+  for (int i = 0; i < 100; ++i) keys.push_back(9);
+  CheckAll(keys);
+  CheckAll(keys, 16);
+}
+
+TEST(Duplicates, LeftmostIsStable) {
+  // Find must always return the first array position of the run, which is
+  // what makes rightward scans (§3.6) complete.
+  std::vector<Key> keys;
+  for (int run = 0; run < 50; ++run) {
+    for (int i = 0; i < 7; ++i) keys.push_back(1000 + run * 10);
+  }
+  BuildOptions opts;
+  opts.node_entries = 16;
+  for (Method m : AllMethods()) {
+    auto index = BuildIndex(m, keys, opts);
+    for (int run = 0; run < 50; ++run) {
+      Key k = 1000 + run * 10;
+      ASSERT_EQ(index->Find(k), run * 7) << index->Name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cssidx

@@ -1,0 +1,233 @@
+#include "engine/query.h"
+#include "engine/table.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+#include "workload/key_gen.h"
+
+namespace cssidx::engine {
+namespace {
+
+Table MakeOrders(size_t rows, uint32_t num_customers, uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<uint32_t> customer(rows), amount(rows), day(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    customer[i] = rng.Below(num_customers);
+    amount[i] = 1 + rng.Below(1000);
+    day[i] = rng.Below(365);
+  }
+  Table t;
+  t.AddColumn("customer", std::move(customer));
+  t.AddColumn("amount", std::move(amount));
+  t.AddColumn("day", std::move(day));
+  return t;
+}
+
+TEST(SortIndex, EqualReturnsAllMatchingRids) {
+  std::vector<uint32_t> col{5, 3, 5, 9, 3, 5};
+  SortIndex index(col);
+  EXPECT_EQ(index.Equal(5), (std::vector<Rid>{0, 2, 5}));
+  EXPECT_EQ(index.Equal(3), (std::vector<Rid>{1, 4}));
+  EXPECT_EQ(index.Equal(9), (std::vector<Rid>{3}));
+  EXPECT_TRUE(index.Equal(7).empty());
+}
+
+TEST(SortIndex, RangeReturnsRidsOfValuesInRange) {
+  std::vector<uint32_t> col{50, 10, 30, 20, 40};
+  SortIndex index(col);
+  auto rids = index.Range(15, 45);  // values 20, 30, 40
+  std::sort(rids.begin(), rids.end());
+  EXPECT_EQ(rids, (std::vector<Rid>{2, 3, 4}));
+  EXPECT_TRUE(index.Range(45, 45).empty());
+  EXPECT_TRUE(index.Range(45, 15).empty());
+}
+
+TEST(SortIndex, SortedKeysAreSortedAndComplete) {
+  Pcg32 rng(3);
+  std::vector<uint32_t> col(5000);
+  for (auto& v : col) v = rng.Below(1000);
+  SortIndex index(col);
+  EXPECT_TRUE(std::is_sorted(index.sorted_keys().begin(),
+                             index.sorted_keys().end()));
+  EXPECT_EQ(index.sorted_keys().size(), col.size());
+  // Permutation check: rids cover 0..n-1 exactly once.
+  std::vector<Rid> rids = index.rids();
+  std::sort(rids.begin(), rids.end());
+  for (size_t i = 0; i < rids.size(); ++i) ASSERT_EQ(rids[i], i);
+}
+
+TEST(Table, ColumnManagement) {
+  Table t;
+  t.AddColumn("a", {1, 2, 3});
+  EXPECT_EQ(t.NumRows(), 3u);
+  EXPECT_TRUE(t.HasColumn("a"));
+  EXPECT_FALSE(t.HasColumn("b"));
+  EXPECT_THROW(t.Column("b"), std::out_of_range);
+  EXPECT_THROW(t.AddColumn("bad", {1, 2}), std::invalid_argument);
+  t.AddColumn("b", {4, 5, 6});
+  EXPECT_EQ(t.NumColumns(), 2u);
+}
+
+TEST(Table, AppendRowsRebuildsIndexes) {
+  Table t;
+  t.AddColumn("k", {10, 20, 30});
+  t.AddColumn("v", {1, 2, 3});
+  t.BuildSortIndex("k");
+  t.AppendRows({{"k", {15, 25}}, {"v", {4, 5}}});
+  EXPECT_EQ(t.NumRows(), 5u);
+  // The rebuilt index sees the new rows.
+  auto rids = t.GetSortIndex("k").Range(12, 27);
+  std::sort(rids.begin(), rids.end());
+  EXPECT_EQ(rids, (std::vector<Rid>{1, 3, 4}));  // 20, 15, 25
+}
+
+TEST(Table, AppendRowsValidatesBatchShape) {
+  Table t;
+  t.AddColumn("a", {1});
+  t.AddColumn("b", {2});
+  EXPECT_THROW(t.AppendRows({{"a", {1}}}), std::invalid_argument);
+  EXPECT_THROW(t.AppendRows({{"a", {1}}, {"z", {1}}}),
+               std::invalid_argument);
+  EXPECT_THROW(t.AppendRows({{"a", {1, 2}}, {"b", {1}}}),
+               std::invalid_argument);
+  t.AppendRows({{"a", {7}}, {"b", {8}}});
+  EXPECT_EQ(t.NumRows(), 2u);
+}
+
+TEST(Query, SelectEqualIndexedMatchesScan) {
+  Table t = MakeOrders(20'000, 500, 7);
+  auto scan = SelectEqual(t, "customer", 42);  // no index yet: scan path
+  t.BuildSortIndex("customer");
+  auto indexed = SelectEqual(t, "customer", 42);
+  EXPECT_EQ(scan, indexed);
+  EXPECT_FALSE(indexed.empty());
+}
+
+TEST(Query, SelectRangeIndexedMatchesScan) {
+  Table t = MakeOrders(20'000, 500, 9);
+  auto scan = SelectRange(t, "day", 100, 200);
+  t.BuildSortIndex("day");
+  auto indexed = SelectRange(t, "day", 100, 200);
+  std::sort(indexed.begin(), indexed.end());
+  std::sort(scan.begin(), scan.end());
+  EXPECT_EQ(scan, indexed);
+}
+
+TEST(Query, IndexedJoinMatchesNestedLoop) {
+  Table orders = MakeOrders(5'000, 200, 11);
+  // Customers: ids 0..199 with a region column.
+  Table customers;
+  {
+    std::vector<uint32_t> id(200), region(200);
+    Pcg32 rng(13);
+    for (uint32_t i = 0; i < 200; ++i) {
+      id[i] = i;
+      region[i] = rng.Below(10);
+    }
+    customers.AddColumn("id", std::move(id));
+    customers.AddColumn("region", std::move(region));
+  }
+  customers.BuildSortIndex("id");
+
+  auto pairs = IndexedJoin(orders, "customer", customers, "id");
+  // Oracle: nested loop.
+  size_t expected = 0;
+  const auto& oc = orders.Column("customer");
+  const auto& ic = customers.Column("id");
+  for (size_t i = 0; i < oc.size(); ++i) {
+    for (size_t j = 0; j < ic.size(); ++j) {
+      if (oc[i] == ic[j]) ++expected;
+    }
+  }
+  EXPECT_EQ(pairs.size(), expected);
+  EXPECT_EQ(pairs.size(), 5'000u);  // id is a key: exactly one match each
+  for (const auto& p : pairs) {
+    ASSERT_EQ(orders.Column("customer")[p.outer],
+              customers.Column("id")[p.inner]);
+  }
+}
+
+TEST(Query, JoinWithDuplicateInnerKeys) {
+  Table outer;
+  outer.AddColumn("k", {1, 2, 3});
+  Table inner;
+  inner.AddColumn("k", {2, 2, 9, 1});
+  inner.BuildSortIndex("k");
+  auto pairs = IndexedJoin(outer, "k", inner, "k");
+  // outer row 0 (k=1) -> inner 3; outer row 1 (k=2) -> inner 0 and 1.
+  EXPECT_EQ(pairs.size(), 3u);
+}
+
+TEST(Query, AggregateBasics) {
+  Table t;
+  t.AddColumn("v", {10, 20, 30, 40});
+  Aggregates a = Aggregate(t, "v", {0, 2, 3});
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_EQ(a.sum, 80u);
+  EXPECT_EQ(a.min, 10u);
+  EXPECT_EQ(a.max, 40u);
+  Aggregates empty = Aggregate(t, "v", {});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.min, 0u);
+}
+
+TEST(Query, GroupByCountsAndSums) {
+  Table t;
+  t.AddColumn("g", {0, 1, 0, 2, 1, 0});
+  t.AddColumn("v", {5, 10, 15, 20, 25, 35});
+  auto groups = GroupBy(t, "g", "v", 3);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].count, 3u);
+  EXPECT_EQ(groups[0].sum, 55u);
+  EXPECT_EQ(groups[1].count, 2u);
+  EXPECT_EQ(groups[1].sum, 35u);
+  EXPECT_EQ(groups[2].count, 1u);
+  EXPECT_EQ(groups[2].max, 20u);
+}
+
+TEST(Query, DecisionSupportPipeline) {
+  // The paper's motivating workload end to end: restrict orders to a day
+  // range, join to customers, aggregate revenue per region.
+  Table orders = MakeOrders(30'000, 300, 21);
+  orders.BuildSortIndex("day");
+  Table customers;
+  {
+    std::vector<uint32_t> id(300), region(300);
+    Pcg32 rng(23);
+    for (uint32_t i = 0; i < 300; ++i) {
+      id[i] = i;
+      region[i] = rng.Below(5);
+    }
+    customers.AddColumn("id", std::move(id));
+    customers.AddColumn("region", std::move(region));
+  }
+  customers.BuildSortIndex("id");
+
+  auto in_window = SelectRange(orders, "day", 50, 150);
+  EXPECT_GT(in_window.size(), 5'000u);
+
+  // Restrict + join + group: revenue per region for the window.
+  std::vector<uint64_t> revenue(5, 0);
+  const auto& amount = orders.Column("amount");
+  const auto& customer = orders.Column("customer");
+  const auto& region = customers.Column("region");
+  const SortIndex& cidx = customers.GetSortIndex("id");
+  uint64_t total = 0;
+  for (Rid r : in_window) {
+    auto matches = cidx.Equal(customer[r]);
+    ASSERT_EQ(matches.size(), 1u);
+    revenue[region[matches[0]]] += amount[r];
+    total += amount[r];
+  }
+  uint64_t sum_check = 0;
+  for (uint64_t v : revenue) sum_check += v;
+  EXPECT_EQ(sum_check, total);
+  EXPECT_GT(total, 0u);
+}
+
+}  // namespace
+}  // namespace cssidx::engine

@@ -1,0 +1,140 @@
+// Randomized differential testing: many random configurations (size,
+// distribution, node size), thousands of random probes, every method
+// checked against every other and against the STL oracle — plus randomized
+// batch-update/rebuild cycles where a plain std::vector is the model.
+// Deterministic seeds; failures print the reproducing configuration.
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/builder.h"
+#include "core/full_css_tree.h"
+#include "core/versioned_index.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+#include "workload/batch_update.h"
+#include "workload/key_gen.h"
+
+namespace cssidx {
+namespace {
+
+std::vector<Key> RandomKeys(Pcg32& rng, size_t n) {
+  switch (rng.Below(4)) {
+    case 0:
+      return workload::DistinctSortedKeys(n, rng.Next(), 1 + rng.Below(16));
+    case 1:
+      return workload::KeysWithDuplicates(n, 1 + rng.Below(64), rng.Next());
+    case 2:
+      return workload::LinearKeys(n, rng.Below(1000), 1 + rng.Below(8));
+    default:
+      return n >= 10 ? workload::ClusteredKeys(n, 1 + rng.Below(8), rng.Next())
+                     : workload::DistinctSortedKeys(n, rng.Next(), 2);
+  }
+}
+
+TEST(FuzzDifferential, AllMethodsAgreeWithOracle) {
+  Pcg32 rng(0xfeedface);
+  const std::vector<int> node_menu{4, 8, 16, 24, 32};
+  for (int trial = 0; trial < 60; ++trial) {
+    size_t n = rng.Below(3000);
+    auto keys = RandomKeys(rng, n);
+    n = keys.size();
+    BuildOptions opts;
+    opts.node_entries = node_menu[rng.Below(
+        static_cast<uint32_t>(node_menu.size()))];
+    opts.hash_dir_bits = static_cast<int>(rng.Below(10));
+
+    std::vector<std::unique_ptr<IndexHandle>> indexes;
+    for (Method m : AllMethods()) {
+      auto idx = BuildIndex(m, keys, opts);
+      if (idx) indexes.push_back(std::move(idx));
+    }
+    ASSERT_GE(indexes.size(), 7u);  // level CSS may drop out on m=24
+
+    uint32_t probe_ceiling = keys.empty() ? 100 : keys.back() + 3;
+    for (int p = 0; p < 400; ++p) {
+      Key k = rng.Below(probe_ceiling);
+      auto lo = std::lower_bound(keys.begin(), keys.end(), k);
+      auto hi = std::upper_bound(keys.begin(), keys.end(), k);
+      bool present = lo != keys.end() && *lo == k;
+      int64_t want_find =
+          present ? static_cast<int64_t>(lo - keys.begin()) : kNotFound;
+      auto want_count = static_cast<size_t>(hi - lo);
+      for (const auto& index : indexes) {
+        ASSERT_EQ(index->Find(k), want_find)
+            << index->Name() << " trial=" << trial << " n=" << n
+            << " m=" << opts.node_entries << " k=" << k;
+        ASSERT_EQ(index->CountEqual(k), want_count)
+            << index->Name() << " trial=" << trial << " k=" << k;
+        if (index->SupportsOrderedAccess()) {
+          ASSERT_EQ(index->LowerBound(k),
+                    static_cast<size_t>(lo - keys.begin()))
+              << index->Name() << " trial=" << trial << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(FuzzDifferential, BatchUpdateCyclesMatchVectorModel) {
+  Pcg32 rng(0xc0ffee);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto keys = workload::DistinctSortedKeys(500 + rng.Below(2000),
+                                             rng.Next(), 3);
+    std::vector<Key> model = keys;  // the oracle state
+    VersionedIndex<FullCssTree<8>> index(keys);
+
+    for (int round = 0; round < 15; ++round) {
+      workload::UpdateBatch batch;
+      uint32_t dels = rng.Below(20);
+      for (uint32_t i = 0; i < dels && !model.empty(); ++i) {
+        batch.deletes.push_back(
+            model[rng.Below(static_cast<uint32_t>(model.size()))]);
+      }
+      uint32_t ins = rng.Below(20);
+      for (uint32_t i = 0; i < ins; ++i) {
+        batch.inserts.push_back(rng.Below(1u << 16));
+      }
+      model = workload::ApplyBatch(model, batch);
+      index.ApplyBatch(batch);
+
+      auto snap = index.Snapshot();
+      ASSERT_EQ(snap->keys(), model) << "trial=" << trial
+                                     << " round=" << round;
+      // Spot-probe the rebuilt index.
+      for (int p = 0; p < 50; ++p) {
+        Key k = rng.Below(1u << 16);
+        auto lo = std::lower_bound(model.begin(), model.end(), k);
+        ASSERT_EQ(snap->index().LowerBound(k),
+                  static_cast<size_t>(lo - model.begin()))
+            << "trial=" << trial << " round=" << round << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(FuzzDifferential, ExtremeValueKeys) {
+  // Keys hugging 0 and UINT32_MAX, every method.
+  std::vector<Key> keys{0,          1,          2,          100,
+                        0x7fffffff, 0x80000000, 0xfffffffe, 0xffffffffu};
+  BuildOptions opts;
+  opts.node_entries = 4;
+  opts.hash_dir_bits = 3;
+  for (Method m : AllMethods()) {
+    auto index = BuildIndex(m, keys, opts);
+    ASSERT_NE(index, nullptr);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      ASSERT_EQ(index->Find(keys[i]), static_cast<int64_t>(i))
+          << index->Name();
+    }
+    ASSERT_EQ(index->Find(3), kNotFound) << index->Name();
+    if (index->SupportsOrderedAccess()) {
+      ASSERT_EQ(index->LowerBound(0xffffffffu), 7u) << index->Name();
+      ASSERT_EQ(index->LowerBound(0), 0u) << index->Name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cssidx

@@ -1,0 +1,120 @@
+// End-to-end flows across modules: the OLAP batch-update-and-rebuild cycle,
+// range queries through LowerBound, domain-dictionary encoding, and an
+// indexed nested-loop join — the §2.2 use cases the examples demonstrate.
+
+#include <algorithm>
+#include <vector>
+
+#include "core/builder.h"
+#include "core/full_css_tree.h"
+#include "gtest/gtest.h"
+#include "workload/batch_update.h"
+#include "workload/key_gen.h"
+#include "workload/lookup_gen.h"
+
+namespace cssidx {
+namespace {
+
+TEST(Integration, BatchUpdateRebuildCycle) {
+  auto keys = workload::DistinctSortedKeys(20'000, 3, 4);
+  FullCssTree<16> index(keys);
+
+  // Apply three rounds of batch updates, rebuilding each time (§4.1.1:
+  // "when batch updates arrive, we can afford to rebuild the CSS-tree").
+  for (uint64_t round = 0; round < 3; ++round) {
+    auto batch = workload::RandomBatch(keys, 0.1, 100 + round);
+    keys = workload::ApplyBatch(keys, batch);
+    index = FullCssTree<16>(keys);
+    ASSERT_EQ(index.size(), keys.size());
+    // Every inserted key is findable; every deleted-and-not-reinserted key
+    // is gone.
+    for (Key k : batch.inserts) {
+      ASSERT_NE(index.Find(k), kNotFound) << "round " << round;
+    }
+    for (Key k : batch.deletes) {
+      bool reinserted = std::find(batch.inserts.begin(), batch.inserts.end(),
+                                  k) != batch.inserts.end();
+      if (!reinserted) {
+        ASSERT_EQ(index.Find(k), kNotFound) << "round " << round;
+      }
+    }
+  }
+}
+
+TEST(Integration, RangeQueryViaLowerBound) {
+  auto keys = workload::DistinctSortedKeys(50'000, 7, 4);
+  FullCssTree<16> index(keys);
+  // Range [lo_key, hi_key): positions [LowerBound(lo), LowerBound(hi)).
+  for (int trial = 0; trial < 50; ++trial) {
+    Key lo_key = keys[(trial * 997) % keys.size()];
+    Key hi_key = lo_key + 500;
+    size_t lo = index.LowerBound(lo_key);
+    size_t hi = index.LowerBound(hi_key);
+    auto expected_lo = std::lower_bound(keys.begin(), keys.end(), lo_key);
+    auto expected_hi = std::lower_bound(keys.begin(), keys.end(), hi_key);
+    ASSERT_EQ(lo, static_cast<size_t>(expected_lo - keys.begin()));
+    ASSERT_EQ(hi, static_cast<size_t>(expected_hi - keys.begin()));
+    for (size_t i = lo; i < hi; ++i) {
+      ASSERT_GE(keys[i], lo_key);
+      ASSERT_LT(keys[i], hi_key);
+    }
+  }
+}
+
+TEST(Integration, DomainDictionaryEncoding) {
+  // §2.1: map column values to domain IDs by searching the sorted domain.
+  auto domain = workload::DistinctSortedKeys(10'000, 9, 16);
+  FullCssTree<16> dict(domain);
+  auto column = workload::MatchingLookups(domain, 5'000, 10);
+  for (Key value : column) {
+    int64_t id = dict.Find(value);
+    ASSERT_NE(id, kNotFound);
+    ASSERT_EQ(domain[static_cast<size_t>(id)], value);
+  }
+  // Domain IDs preserve order (the paper keeps domain values sorted so
+  // inequality predicates work on IDs directly).
+  ASSERT_LT(dict.Find(domain[10]), dict.Find(domain[4000]));
+}
+
+TEST(Integration, IndexedNestedLoopJoin) {
+  // §2.2: indexed nested-loop join probing a CSS-tree on the inner table.
+  auto inner_keys = workload::DistinctSortedKeys(8'000, 11, 4);
+  FullCssTree<16> inner_index(inner_keys);
+  // Outer table: 70% of rows join, 30% dangle.
+  auto outer = workload::MixedLookups(inner_keys, 20'000, 0.7, 12);
+
+  size_t matches = 0;
+  for (Key k : outer) {
+    if (inner_index.Find(k) != kNotFound) ++matches;
+  }
+  size_t expected = 0;
+  for (Key k : outer) {
+    if (std::binary_search(inner_keys.begin(), inner_keys.end(), k)) {
+      ++expected;
+    }
+  }
+  EXPECT_EQ(matches, expected);
+  EXPECT_EQ(matches, 14'000u);  // MixedLookups' exact hit count
+}
+
+TEST(Integration, AllMethodsAgreeOnARealWorkload) {
+  auto keys = workload::DistinctSortedKeys(30'000, 13, 4);
+  auto lookups = workload::MixedLookups(keys, 5'000, 0.5, 14);
+  BuildOptions opts;
+  opts.node_entries = 16;
+  opts.hash_dir_bits = 12;
+
+  std::vector<std::unique_ptr<IndexHandle>> indexes;
+  for (Method m : AllMethods()) {
+    indexes.push_back(BuildIndex(m, keys, opts));
+  }
+  for (Key k : lookups) {
+    int64_t expected = indexes[0]->Find(k);
+    for (const auto& index : indexes) {
+      ASSERT_EQ(index->Find(k), expected) << index->Name() << " k=" << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cssidx

@@ -1,0 +1,82 @@
+#include "baselines/interpolation_search.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "workload/key_gen.h"
+
+namespace cssidx {
+namespace {
+
+void OracleCheck(const std::vector<Key>& keys) {
+  InterpolationSearchIndex index(keys);
+  std::vector<Key> probes;
+  for (Key k : keys) {
+    probes.push_back(k);
+    if (k > 0) probes.push_back(k - 1);
+    probes.push_back(k + 1);
+  }
+  probes.push_back(0);
+  if (!keys.empty()) probes.push_back(keys.back() + 1000);
+  for (Key k : probes) {
+    auto expected = static_cast<size_t>(
+        std::lower_bound(keys.begin(), keys.end(), k) - keys.begin());
+    ASSERT_EQ(index.LowerBound(k), expected) << "k=" << k;
+  }
+}
+
+TEST(InterpolationSearch, UniformData) {
+  OracleCheck(workload::DistinctSortedKeys(5000, 3, 4));
+}
+
+TEST(InterpolationSearch, LinearData) {
+  OracleCheck(workload::LinearKeys(5000, 100, 7));
+}
+
+TEST(InterpolationSearch, SkewedData) {
+  OracleCheck(workload::SkewedKeys(5000, 5));
+}
+
+TEST(InterpolationSearch, ClusteredData) {
+  OracleCheck(workload::ClusteredKeys(3000, 5, 9));
+}
+
+TEST(InterpolationSearch, DuplicateHeavyData) {
+  OracleCheck(workload::KeysWithDuplicates(2000, 30, 11));
+}
+
+TEST(InterpolationSearch, SmallSizesSweep) {
+  for (size_t n = 0; n <= 64; ++n) {
+    OracleCheck(workload::DistinctSortedKeys(n, 100 + n, 5));
+  }
+}
+
+TEST(InterpolationSearch, AllEqualArray) {
+  std::vector<Key> keys(100, 7);
+  InterpolationSearchIndex index(keys);
+  EXPECT_EQ(index.LowerBound(7), 0u);
+  EXPECT_EQ(index.LowerBound(6), 0u);
+  EXPECT_EQ(index.LowerBound(8), 100u);
+  EXPECT_EQ(index.CountEqual(7), 100u);
+}
+
+TEST(InterpolationSearch, AdversarialProgressBound) {
+  // One far outlier makes every interpolation probe land at index 1; the
+  // bisect fallback must keep this fast and correct.
+  std::vector<Key> keys;
+  for (Key i = 0; i < 20000; ++i) keys.push_back(i);
+  keys.push_back(0xf0000000u);
+  InterpolationSearchIndex index(keys);
+  EXPECT_EQ(index.Find(19999), 19999);
+  EXPECT_EQ(index.Find(0xf0000000u), 20000);
+  EXPECT_EQ(index.LowerBound(30000), 20000u);
+}
+
+TEST(InterpolationSearch, ZeroSpace) {
+  auto keys = workload::DistinctSortedKeys(10, 1, 4);
+  EXPECT_EQ(InterpolationSearchIndex(keys).SpaceBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace cssidx

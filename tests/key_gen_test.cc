@@ -1,0 +1,88 @@
+#include "workload/key_gen.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+
+namespace cssidx::workload {
+namespace {
+
+TEST(KeyGen, DistinctSortedKeysAreDistinctAndSorted) {
+  auto keys = DistinctSortedKeys(10000, 1, 4);
+  ASSERT_EQ(keys.size(), 10000u);
+  for (size_t i = 1; i < keys.size(); ++i) {
+    ASSERT_LT(keys[i - 1], keys[i]) << i;
+  }
+}
+
+TEST(KeyGen, Deterministic) {
+  EXPECT_EQ(DistinctSortedKeys(1000, 5, 4), DistinctSortedKeys(1000, 5, 4));
+  EXPECT_NE(DistinctSortedKeys(1000, 5, 4), DistinctSortedKeys(1000, 6, 4));
+}
+
+TEST(KeyGen, MeanGapOneIsDense) {
+  auto keys = DistinctSortedKeys(100, 3, 1);
+  for (size_t i = 1; i < keys.size(); ++i) {
+    EXPECT_EQ(keys[i], keys[i - 1] + 1);
+  }
+}
+
+TEST(KeyGen, GapsRoughlyMatchMean) {
+  auto keys = DistinctSortedKeys(100000, 9, 8);
+  double avg_gap =
+      static_cast<double>(keys.back() - keys.front()) / (keys.size() - 1);
+  EXPECT_NEAR(avg_gap, 8.0, 0.5);
+}
+
+TEST(KeyGen, EmptyAndSingle) {
+  EXPECT_TRUE(DistinctSortedKeys(0, 1).empty());
+  EXPECT_EQ(DistinctSortedKeys(1, 1).size(), 1u);
+}
+
+TEST(KeyGen, LinearKeysAreExactlyLinear) {
+  auto keys = LinearKeys(1000, 7, 3);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(keys[i], 7u + 3u * i);
+  }
+}
+
+TEST(KeyGen, SkewedKeysSortedDistinctAndNonLinear) {
+  auto keys = SkewedKeys(10000, 3);
+  for (size_t i = 1; i < keys.size(); ++i) {
+    ASSERT_LT(keys[i - 1], keys[i]);
+  }
+  // Quadratic stretch: the top decile must span far more key space than
+  // the bottom decile — that is what breaks interpolation search.
+  uint64_t low_span = keys[1000] - keys[0];
+  uint64_t high_span = keys[9999] - keys[8999];
+  EXPECT_GT(high_span, 5 * low_span);
+}
+
+TEST(KeyGen, DuplicatesSortedWithRequestedCardinality) {
+  auto keys = KeysWithDuplicates(5000, 100, 17);
+  ASSERT_EQ(keys.size(), 5000u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  size_t distinct = 1;
+  for (size_t i = 1; i < keys.size(); ++i) {
+    if (keys[i] != keys[i - 1]) ++distinct;
+  }
+  EXPECT_LE(distinct, 100u);
+  EXPECT_GT(distinct, 10u);  // the generator must actually spread values
+}
+
+TEST(KeyGen, ClusteredKeysSortedDistinct) {
+  auto keys = ClusteredKeys(10000, 8, 21);
+  ASSERT_EQ(keys.size(), 10000u);
+  for (size_t i = 1; i < keys.size(); ++i) {
+    ASSERT_LT(keys[i - 1], keys[i]);
+  }
+  // There must be at least `clusters - 1` wide voids.
+  int voids = 0;
+  for (size_t i = 1; i < keys.size(); ++i) {
+    if (keys[i] - keys[i - 1] > (1u << 20)) ++voids;
+  }
+  EXPECT_EQ(voids, 7);
+}
+
+}  // namespace
+}  // namespace cssidx::workload

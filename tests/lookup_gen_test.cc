@@ -1,0 +1,69 @@
+#include "workload/lookup_gen.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "workload/key_gen.h"
+
+namespace cssidx::workload {
+namespace {
+
+TEST(LookupGen, MatchingLookupsAllPresent) {
+  auto keys = DistinctSortedKeys(1000, 1, 4);
+  auto lookups = MatchingLookups(keys, 5000, 2);
+  ASSERT_EQ(lookups.size(), 5000u);
+  for (uint32_t k : lookups) {
+    ASSERT_TRUE(std::binary_search(keys.begin(), keys.end(), k));
+  }
+}
+
+TEST(LookupGen, MatchingLookupsCoverTheArray) {
+  auto keys = DistinctSortedKeys(100, 1, 4);
+  auto lookups = MatchingLookups(keys, 10000, 3);
+  // Every key should appear at least once in 10k draws over 100 keys.
+  for (uint32_t k : keys) {
+    EXPECT_NE(std::find(lookups.begin(), lookups.end(), k), lookups.end());
+  }
+}
+
+TEST(LookupGen, MissingLookupsAllAbsent) {
+  auto keys = DistinctSortedKeys(1000, 1, 4);
+  auto lookups = MissingLookups(keys, 2000, 5);
+  ASSERT_EQ(lookups.size(), 2000u);
+  for (uint32_t k : lookups) {
+    ASSERT_FALSE(std::binary_search(keys.begin(), keys.end(), k));
+  }
+}
+
+TEST(LookupGen, SkewedLookupsArePresentAndSkewed) {
+  auto keys = DistinctSortedKeys(10000, 1, 4);
+  auto lookups = SkewedLookups(keys, 20000, 1.0, 7);
+  size_t rank0_hits = 0;
+  for (uint32_t k : lookups) {
+    ASSERT_TRUE(std::binary_search(keys.begin(), keys.end(), k));
+    if (k == keys[0]) ++rank0_hits;
+  }
+  // Zipf theta=1 over 10k ranks gives rank 0 about 1/H_n ~ 10% of draws;
+  // uniform would give 0.01%.
+  EXPECT_GT(rank0_hits, 20000u / 50);
+}
+
+TEST(LookupGen, MixedLookupsHitFraction) {
+  auto keys = DistinctSortedKeys(5000, 1, 4);
+  auto lookups = MixedLookups(keys, 4000, 0.75, 9);
+  ASSERT_EQ(lookups.size(), 4000u);
+  size_t hits = 0;
+  for (uint32_t k : lookups) {
+    if (std::binary_search(keys.begin(), keys.end(), k)) ++hits;
+  }
+  EXPECT_EQ(hits, 3000u);
+}
+
+TEST(LookupGen, Deterministic) {
+  auto keys = DistinctSortedKeys(100, 1, 4);
+  EXPECT_EQ(MatchingLookups(keys, 100, 4), MatchingLookups(keys, 100, 4));
+  EXPECT_NE(MatchingLookups(keys, 100, 4), MatchingLookups(keys, 100, 5));
+}
+
+}  // namespace
+}  // namespace cssidx::workload

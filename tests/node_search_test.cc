@@ -1,0 +1,100 @@
+// The unrolled intra-node search must agree with std::lower_bound for every
+// node size used anywhere in the suite, both dense and strided layouts.
+
+#include "core/node_search.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace cssidx {
+namespace {
+
+template <int Count>
+void CheckDense() {
+  Pcg32 rng(Count);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Key> keys(Count);
+    uint32_t cur = rng.Below(10);
+    for (int i = 0; i < Count; ++i) {
+      cur += rng.Below(3);  // allows duplicates
+      keys[i] = cur;
+    }
+    for (Key probe = 0; probe <= cur + 2; ++probe) {
+      int expected = static_cast<int>(
+          std::lower_bound(keys.begin(), keys.end(), probe) - keys.begin());
+      ASSERT_EQ((UnrolledLowerBound<Count, 1>(keys.data(), probe)), expected)
+          << "Count=" << Count << " probe=" << probe;
+      ASSERT_EQ(GenericLowerBound(keys.data(), Count, probe), expected);
+    }
+  }
+}
+
+TEST(NodeSearch, Dense1) { CheckDense<1>(); }
+TEST(NodeSearch, Dense2) { CheckDense<2>(); }
+TEST(NodeSearch, Dense3) { CheckDense<3>(); }
+TEST(NodeSearch, Dense4) { CheckDense<4>(); }
+TEST(NodeSearch, Dense5) { CheckDense<5>(); }
+TEST(NodeSearch, Dense7) { CheckDense<7>(); }
+TEST(NodeSearch, Dense8) { CheckDense<8>(); }
+TEST(NodeSearch, Dense15) { CheckDense<15>(); }
+TEST(NodeSearch, Dense16) { CheckDense<16>(); }
+TEST(NodeSearch, Dense23) { CheckDense<23>(); }
+TEST(NodeSearch, Dense24) { CheckDense<24>(); }
+TEST(NodeSearch, Dense31) { CheckDense<31>(); }
+TEST(NodeSearch, Dense32) { CheckDense<32>(); }
+TEST(NodeSearch, Dense63) { CheckDense<63>(); }
+TEST(NodeSearch, Dense64) { CheckDense<64>(); }
+TEST(NodeSearch, Dense127) { CheckDense<127>(); }
+TEST(NodeSearch, Dense128) { CheckDense<128>(); }
+
+template <int Count>
+void CheckStrided() {
+  // B+-tree layout: keys at odd slots of a 2-strided array.
+  Pcg32 rng(Count * 977);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Key> slots(2 * Count, 0xdeadbeef);
+    std::vector<Key> keys(Count);
+    uint32_t cur = rng.Below(5);
+    for (int i = 0; i < Count; ++i) {
+      cur += 1 + rng.Below(4);
+      keys[i] = cur;
+      slots[2 * i] = cur;  // stride-2 positions 0, 2, 4, ...
+    }
+    for (Key probe = 0; probe <= cur + 2; ++probe) {
+      int expected = static_cast<int>(
+          std::lower_bound(keys.begin(), keys.end(), probe) - keys.begin());
+      ASSERT_EQ((UnrolledLowerBound<Count, 2>(slots.data(), probe)), expected);
+      ASSERT_EQ(GenericLowerBound(slots.data(), Count, probe, 2), expected);
+    }
+  }
+}
+
+TEST(NodeSearch, Strided3) { CheckStrided<3>(); }
+TEST(NodeSearch, Strided7) { CheckStrided<7>(); }
+TEST(NodeSearch, Strided11) { CheckStrided<11>(); }
+TEST(NodeSearch, Strided15) { CheckStrided<15>(); }
+TEST(NodeSearch, Strided63) { CheckStrided<63>(); }
+
+TEST(NodeSearch, ZeroCount) {
+  Key keys[1] = {5};
+  EXPECT_EQ((UnrolledLowerBound<0, 1>(keys, Key{3})), 0);
+  EXPECT_EQ(GenericLowerBound(keys, 0, Key{3}), 0);
+}
+
+TEST(NodeSearch, AllEqualReturnsZero) {
+  std::vector<Key> keys(16, 7);
+  EXPECT_EQ((UnrolledLowerBound<16, 1>(keys.data(), Key{7})), 0);
+  EXPECT_EQ((UnrolledLowerBound<16, 1>(keys.data(), Key{8})), 16);
+  EXPECT_EQ((UnrolledLowerBound<16, 1>(keys.data(), Key{6})), 0);
+}
+
+TEST(NodeSearch, MaxKeyProbe) {
+  std::vector<Key> keys{1, 2, 0xffffffffu};
+  EXPECT_EQ((UnrolledLowerBound<3, 1>(keys.data(), 0xffffffffu)), 2);
+}
+
+}  // namespace
+}  // namespace cssidx

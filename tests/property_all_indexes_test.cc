@@ -1,0 +1,144 @@
+// Cross-method property suite: every ordered index in the suite, over every
+// key distribution, node size on the menu, and a sweep of array sizes, must
+// agree exactly with std::lower_bound / std::equal_range. This is the
+// paper's implicit contract — all eight methods compute the same function,
+// they only differ in time and space.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/builder.h"
+#include "gtest/gtest.h"
+#include "workload/key_gen.h"
+#include "workload/lookup_gen.h"
+
+namespace cssidx {
+namespace {
+
+enum class Distribution { kUniform, kLinear, kSkewed, kDuplicates, kClustered };
+
+const char* DistributionName(Distribution d) {
+  switch (d) {
+    case Distribution::kUniform:
+      return "uniform";
+    case Distribution::kLinear:
+      return "linear";
+    case Distribution::kSkewed:
+      return "skewed";
+    case Distribution::kDuplicates:
+      return "duplicates";
+    case Distribution::kClustered:
+      return "clustered";
+  }
+  return "?";
+}
+
+std::vector<Key> MakeKeys(Distribution d, size_t n, uint64_t seed) {
+  switch (d) {
+    case Distribution::kUniform:
+      return workload::DistinctSortedKeys(n, seed, 4);
+    case Distribution::kLinear:
+      return workload::LinearKeys(n, 5, 3);
+    case Distribution::kSkewed:
+      return workload::SkewedKeys(n, seed);
+    case Distribution::kDuplicates:
+      return workload::KeysWithDuplicates(n, std::max<size_t>(1, n / 8),
+                                          seed);
+    case Distribution::kClustered:
+      return workload::ClusteredKeys(n, std::max<size_t>(1, n / 100), seed);
+  }
+  return {};
+}
+
+struct Case {
+  Method method;
+  int node_entries;
+  Distribution dist;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
+  std::string name = MethodName(info.param.method);
+  for (char& c : name) {
+    if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name + "_m" + std::to_string(info.param.node_entries) + "_" +
+         DistributionName(info.param.dist);
+}
+
+class AllIndexesProperty : public ::testing::TestWithParam<Case> {};
+
+TEST_P(AllIndexesProperty, AgreesWithStlOracles) {
+  const Case& c = GetParam();
+  BuildOptions opts;
+  opts.node_entries = c.node_entries;
+  opts.hash_dir_bits = 8;
+  for (size_t n : {size_t{0}, size_t{1}, size_t{2}, size_t{5}, size_t{16},
+                   size_t{17}, size_t{100}, size_t{257}, size_t{1000},
+                   size_t{4096}, size_t{10000}}) {
+    if (c.dist == Distribution::kClustered && n < 100) continue;
+    auto keys = MakeKeys(c.dist, n, /*seed=*/n * 31 + 7);
+    auto index = BuildIndex(c.method, keys, opts);
+    ASSERT_NE(index, nullptr);
+    ASSERT_EQ(index->size(), keys.size());
+
+    std::vector<Key> probes;
+    if (!keys.empty()) {
+      probes = workload::MatchingLookups(keys, 200, n + 1);
+      auto missing = workload::MissingLookups(keys, 100, n + 2);
+      probes.insert(probes.end(), missing.begin(), missing.end());
+      probes.push_back(keys.front());
+      probes.push_back(keys.back());
+      probes.push_back(keys.back() + 1);
+    }
+    probes.push_back(0);
+
+    for (Key k : probes) {
+      auto lo = std::lower_bound(keys.begin(), keys.end(), k);
+      auto hi = std::upper_bound(keys.begin(), keys.end(), k);
+      bool present = lo != keys.end() && *lo == k;
+      int64_t expected_find =
+          present ? static_cast<int64_t>(lo - keys.begin()) : kNotFound;
+      ASSERT_EQ(index->Find(k), expected_find)
+          << index->Name() << " n=" << n << " k=" << k;
+      ASSERT_EQ(index->CountEqual(k), static_cast<size_t>(hi - lo))
+          << index->Name() << " n=" << n << " k=" << k;
+      if (index->SupportsOrderedAccess()) {
+        ASSERT_EQ(index->LowerBound(k),
+                  static_cast<size_t>(lo - keys.begin()))
+            << index->Name() << " n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+std::vector<Case> AllCases() {
+  std::vector<Case> cases;
+  std::vector<Distribution> dists{Distribution::kUniform,
+                                  Distribution::kLinear, Distribution::kSkewed,
+                                  Distribution::kDuplicates,
+                                  Distribution::kClustered};
+  for (Distribution d : dists) {
+    // Methods without a node-size knob: one case each.
+    for (Method m : {Method::kBinarySearch, Method::kTreeBinarySearch,
+                     Method::kInterpolation, Method::kHash}) {
+      cases.push_back({m, 16, d});
+    }
+    // Node-sized methods: sweep the menu (level CSS: powers of two only).
+    for (int entries : {4, 8, 16, 24, 32, 64, 128}) {
+      cases.push_back({Method::kFullCss, entries, d});
+      cases.push_back({Method::kTTree, entries, d});
+      cases.push_back({Method::kBPlusTree, entries, d});
+      if ((entries & (entries - 1)) == 0) {
+        cases.push_back({Method::kLevelCss, entries, d});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AllIndexesProperty,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
+}  // namespace
+}  // namespace cssidx

@@ -1,0 +1,96 @@
+#include "core/range.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "baselines/binary_search.h"
+#include "core/full_css_tree.h"
+#include "gtest/gtest.h"
+#include "workload/key_gen.h"
+
+namespace cssidx {
+namespace {
+
+TEST(Range, EqualRangeMatchesStl) {
+  auto keys = workload::KeysWithDuplicates(3000, 100, 3);
+  FullCssTree<16> tree(keys);
+  for (Key k : keys) {
+    auto [lo, hi] = std::equal_range(keys.begin(), keys.end(), k);
+    PositionRange r = EqualRange(tree, keys.data(), keys.size(), k);
+    ASSERT_EQ(r.begin, static_cast<size_t>(lo - keys.begin()));
+    ASSERT_EQ(r.end, static_cast<size_t>(hi - keys.begin()));
+  }
+  PositionRange miss =
+      EqualRange(tree, keys.data(), keys.size(), keys.back() + 7);
+  EXPECT_TRUE(miss.empty());
+}
+
+TEST(Range, HalfOpenRangeMatchesStl) {
+  auto keys = workload::DistinctSortedKeys(5000, 5, 4);
+  FullCssTree<16> tree(keys);
+  for (int trial = 0; trial < 100; ++trial) {
+    Key lo_key = keys[static_cast<size_t>(trial) * 37 % keys.size()];
+    Key hi_key = lo_key + static_cast<Key>(trial * 13);
+    PositionRange r = HalfOpenRange(tree, lo_key, hi_key);
+    auto lo = std::lower_bound(keys.begin(), keys.end(), lo_key);
+    auto hi = std::lower_bound(keys.begin(), keys.end(), hi_key);
+    if (hi_key <= lo_key) {
+      ASSERT_TRUE(r.empty());
+    } else {
+      ASSERT_EQ(r.begin, static_cast<size_t>(lo - keys.begin()));
+      ASSERT_EQ(r.end, static_cast<size_t>(hi - keys.begin()));
+    }
+  }
+}
+
+TEST(Range, EmptyAndInvertedRanges) {
+  auto keys = workload::DistinctSortedKeys(100, 1, 4);
+  BinarySearchIndex index(keys);
+  EXPECT_TRUE(HalfOpenRange(index, 50, 50).empty());
+  EXPECT_TRUE(HalfOpenRange(index, 50, 10).empty());
+  EXPECT_TRUE(
+      ClosedRange(index, keys.data(), keys.size(), 50, 10).empty());
+}
+
+TEST(Range, ClosedRangeIncludesUpperEndpoint) {
+  std::vector<Key> keys{10, 20, 30, 40};
+  BinarySearchIndex index(keys);
+  PositionRange r = ClosedRange(index, keys.data(), keys.size(), 20, 30);
+  EXPECT_EQ(r.begin, 1u);
+  EXPECT_EQ(r.end, 3u);  // includes the key 30
+}
+
+TEST(Range, ClosedRangeAtMaxKey) {
+  std::vector<Key> keys{10, 0xfffffff0u, 0xffffffffu};
+  BinarySearchIndex index(keys);
+  PositionRange r =
+      ClosedRange(index, keys.data(), keys.size(), 11, 0xffffffffu);
+  EXPECT_EQ(r.begin, 1u);
+  EXPECT_EQ(r.end, 3u);  // UINT32_MAX endpoint must not overflow
+}
+
+TEST(Range, ScanRangeVisitsInOrder) {
+  auto keys = workload::DistinctSortedKeys(1000, 9, 4);
+  FullCssTree<8> tree(keys);
+  Key lo_key = keys[100];
+  Key hi_key = keys[200];
+  std::vector<Key> seen;
+  size_t visited = ScanRange(tree, keys.data(), keys.size(), lo_key, hi_key,
+                             [&](size_t, Key k) { seen.push_back(k); });
+  EXPECT_EQ(visited, 100u);
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+  EXPECT_EQ(seen.front(), lo_key);
+  EXPECT_EQ(seen.back(), keys[199]);
+}
+
+TEST(Range, ScanRangeEarlyStop) {
+  auto keys = workload::DistinctSortedKeys(1000, 9, 4);
+  FullCssTree<8> tree(keys);
+  size_t count = 0;
+  ScanRange(tree, keys.data(), keys.size(), keys[0], keys.back() + 1,
+            [&](size_t, Key) -> bool { return ++count < 10; });
+  EXPECT_EQ(count, 10u);
+}
+
+}  // namespace
+}  // namespace cssidx

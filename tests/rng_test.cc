@@ -1,0 +1,73 @@
+#include "util/rng.h"
+
+#include <map>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace cssidx {
+namespace {
+
+TEST(Pcg32, DeterministicForSeed) {
+  Pcg32 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Pcg32, DifferentSeedsDiffer) {
+  Pcg32 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, BelowStaysInBounds) {
+  Pcg32 rng(7);
+  for (uint32_t bound : {1u, 2u, 3u, 10u, 1000u, 1u << 31}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Below(bound), bound);
+    }
+  }
+}
+
+TEST(Pcg32, BelowOneIsAlwaysZero) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.Below(1), 0u);
+}
+
+TEST(Pcg32, InRangeInclusive) {
+  Pcg32 rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    uint32_t v = rng.InRange(10, 13);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 13u);
+    saw_lo |= (v == 10);
+    saw_hi |= (v == 13);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Pcg32, RoughlyUniform) {
+  Pcg32 rng(11);
+  constexpr int kBuckets = 16;
+  constexpr int kDraws = 160000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.Below(kBuckets)];
+  // Expected 10000 per bucket; allow 5% deviation (generous for PCG).
+  for (int c : counts) EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets / 20);
+}
+
+TEST(Pcg32, NextDoubleInUnitInterval) {
+  Pcg32 rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace cssidx

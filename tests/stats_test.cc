@@ -1,0 +1,55 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace cssidx {
+namespace {
+
+TEST(Stats, EmptyInput) {
+  RunStats s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.min, 0);
+  EXPECT_EQ(s.mean, 0);
+}
+
+TEST(Stats, SingleSample) {
+  RunStats s = Summarize({3.5});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.median, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, OddCountMedian) {
+  RunStats s = Summarize({5, 1, 3});
+  EXPECT_DOUBLE_EQ(s.median, 3);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 5);
+  EXPECT_DOUBLE_EQ(s.mean, 3);
+}
+
+TEST(Stats, EvenCountMedian) {
+  RunStats s = Summarize({4, 1, 3, 2});
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(Stats, KnownStddev) {
+  // Sample stddev of {2, 4, 4, 4, 5, 5, 7, 9} is sqrt(32/7).
+  RunStats s = Summarize({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+}
+
+TEST(Stats, MinIsThePaperMetric) {
+  // §6.1: "We repeated each test five times and report the minimal time."
+  RunStats s = Summarize({0.22, 0.21, 0.25, 0.20, 0.23});
+  EXPECT_DOUBLE_EQ(s.min, 0.20);
+  EXPECT_EQ(s.count, 5u);
+}
+
+}  // namespace
+}  // namespace cssidx

@@ -1,0 +1,118 @@
+#include "baselines/t_tree.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "workload/key_gen.h"
+
+namespace cssidx {
+namespace {
+
+template <int Entries>
+void OracleCheck(const std::vector<Key>& keys) {
+  TTreeIndex<Entries> index(keys);
+  std::vector<Key> probes;
+  for (Key k : keys) {
+    probes.push_back(k);
+    if (k > 0) probes.push_back(k - 1);
+    probes.push_back(k + 1);
+  }
+  probes.push_back(0);
+  if (!keys.empty()) probes.push_back(keys.back() + 5);
+  for (Key k : probes) {
+    auto expected = static_cast<size_t>(
+        std::lower_bound(keys.begin(), keys.end(), k) - keys.begin());
+    ASSERT_EQ(index.LowerBound(k), expected)
+        << "entries=" << Entries << " n=" << keys.size() << " k=" << k;
+  }
+}
+
+template <int Entries>
+void SweepSizes(size_t max_n) {
+  for (size_t n = 0; n <= max_n; ++n) {
+    OracleCheck<Entries>(workload::DistinctSortedKeys(n, 71 + n, 3));
+  }
+}
+
+TEST(TTree, OracleSweepEntries2) { SweepSizes<2>(200); }
+TEST(TTree, OracleSweepEntries4) { SweepSizes<4>(300); }
+TEST(TTree, OracleSweepEntries8) { SweepSizes<8>(500); }
+TEST(TTree, OracleSweepEntries16) { SweepSizes<16>(600); }
+TEST(TTree, OracleMediumEntries32) {
+  OracleCheck<32>(workload::DistinctSortedKeys(40'000, 6, 4));
+}
+
+TEST(TTree, BasicSearchAgreesWithImproved) {
+  // The pre-LC86b two-comparison search must compute the same function as
+  // the improved one-comparison search on every input shape.
+  for (size_t n : {0u, 1u, 7u, 8u, 9u, 100u, 1000u, 5000u}) {
+    auto keys = workload::DistinctSortedKeys(n, 17 + n, 3);
+    TTreeIndex<8> tree(keys);
+    std::vector<Key> probes = keys;
+    probes.push_back(0);
+    if (!keys.empty()) probes.push_back(keys.back() + 3);
+    for (Key k : probes) {
+      ASSERT_EQ(tree.LowerBoundBasic(k), tree.LowerBound(k))
+          << "n=" << n << " k=" << k;
+      if (k > 0) {
+        ASSERT_EQ(tree.LowerBoundBasic(k - 1), tree.LowerBound(k - 1));
+      }
+    }
+  }
+  // And under duplicates.
+  auto dups = workload::KeysWithDuplicates(800, 40, 5);
+  TTreeIndex<4> tree(dups);
+  for (Key k : dups) {
+    ASSERT_EQ(tree.LowerBoundBasic(k), tree.LowerBound(k));
+  }
+}
+
+TEST(TTree, DuplicatesLeftmostAcrossNodeBoundaries) {
+  // Duplicates that straddle node chunks are the nasty case: the bounding
+  // node is not necessarily the one holding the leftmost occurrence.
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    auto keys = workload::KeysWithDuplicates(600, 25, seed);
+    TTreeIndex<4> index(keys);
+    for (Key k : keys) {
+      auto [lo, hi] = std::equal_range(keys.begin(), keys.end(), k);
+      ASSERT_EQ(index.Find(k), lo - keys.begin()) << "seed=" << seed;
+      ASSERT_EQ(index.CountEqual(k), static_cast<size_t>(hi - lo));
+    }
+  }
+}
+
+TEST(TTree, NodeLayoutKeepsChildrenNextToMinKey) {
+  // The LC86b improvement: left/right/count and keys[0] must share the
+  // first 16 bytes so one line covers the common compare-and-descend.
+  using Node = TTreeIndex<16>::Node;
+  EXPECT_EQ(offsetof(Node, left), 0u);
+  EXPECT_LE(offsetof(Node, keys), 12u);
+}
+
+TEST(TTree, SpaceGrowsWithRidsStored) {
+  auto keys = workload::DistinctSortedKeys(10'000, 2, 4);
+  TTreeIndex<16> index(keys);
+  // keys + rids + header per 16 entries: at least 8 bytes per element.
+  EXPECT_GE(index.SpaceBytes(), keys.size() * 8);
+  EXPECT_EQ(index.NumNodes(), (keys.size() + 15) / 16);
+}
+
+TEST(TTree, EmptyAndPartialFinalNode) {
+  std::vector<Key> empty;
+  TTreeIndex<8> e(empty);
+  EXPECT_EQ(e.LowerBound(3), 0u);
+  EXPECT_EQ(e.Find(3), kNotFound);
+
+  // n = 9 with 8-entry nodes: second node has a single key.
+  std::vector<Key> keys{1, 3, 5, 7, 9, 11, 13, 15, 17};
+  TTreeIndex<8> t(keys);
+  for (Key k = 0; k <= 19; ++k) {
+    auto expected = static_cast<size_t>(
+        std::lower_bound(keys.begin(), keys.end(), k) - keys.begin());
+    ASSERT_EQ(t.LowerBound(k), expected) << k;
+  }
+}
+
+}  // namespace
+}  // namespace cssidx

@@ -1,0 +1,127 @@
+// Instrumented lookups feeding the cache simulator must (a) return the same
+// answers as the plain lookups and (b) produce miss counts that match the
+// §5 analytic model's ordering: CSS-trees < B+-tree < binary search/T-tree.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "baselines/binary_search.h"
+#include "baselines/binary_tree.h"
+#include "baselines/bplus_tree.h"
+#include "baselines/t_tree.h"
+#include "cachesim/cache_sim.h"
+#include "core/full_css_tree.h"
+#include "core/level_css_tree.h"
+#include "gtest/gtest.h"
+#include "workload/key_gen.h"
+#include "workload/lookup_gen.h"
+
+namespace cssidx {
+namespace {
+
+using cachesim::CacheHierarchy;
+using cachesim::SimTracer;
+
+template <typename IndexT>
+double ColdMissesPerLookup(const IndexT& index,
+                           const std::vector<Key>& lookups) {
+  CacheHierarchy h(cachesim::UltraSparcHierarchy());
+  SimTracer tracer{&h};
+  for (Key k : lookups) {
+    h.FlushContents();  // cold cache per lookup, like the §5 analysis
+    index.LowerBoundTraced(k, tracer);
+  }
+  return static_cast<double>(h.Level(1).misses()) /
+         static_cast<double>(lookups.size());
+}
+
+TEST(TracedLookup, TracedAgreesWithPlain) {
+  auto keys = workload::DistinctSortedKeys(50'000, 3, 4);
+  auto lookups = workload::MatchingLookups(keys, 500, 9);
+  CacheHierarchy h(cachesim::ModernHierarchy());
+  SimTracer tracer{&h};
+
+  BinarySearchIndex bs(keys);
+  FullCssTree<16> full(keys);
+  LevelCssTree<16> level(keys);
+  BPlusTree<16> bplus(keys);
+  TTreeIndex<16> ttree(keys);
+  BinaryTreeIndex bst(keys);
+  for (Key k : lookups) {
+    size_t expected = bs.LowerBound(k);
+    EXPECT_EQ(bs.LowerBoundTraced(k, tracer), expected);
+    EXPECT_EQ(full.LowerBoundTraced(k, tracer), expected);
+    EXPECT_EQ(level.LowerBoundTraced(k, tracer), expected);
+    EXPECT_EQ(bplus.LowerBoundTraced(k, tracer), expected);
+    EXPECT_EQ(ttree.LowerBoundTraced(k, tracer), expected);
+    EXPECT_EQ(bst.LowerBoundTraced(k, tracer), expected);
+  }
+}
+
+TEST(TracedLookup, MissOrderingMatchesFigure6) {
+  auto keys = workload::DistinctSortedKeys(200'000, 5, 4);
+  auto lookups = workload::MatchingLookups(keys, 64, 11);
+
+  BinarySearchIndex bs(keys);
+  BinaryTreeIndex bst(keys);
+  TTreeIndex<8> ttree(keys);  // 8 entries = 32B keys + rids: 1999 sizing
+  BPlusTree<8> bplus(keys);
+  FullCssTree<8> full(keys);
+  LevelCssTree<8> level(keys);
+
+  double m_bs = ColdMissesPerLookup(bs, lookups);
+  double m_bst = ColdMissesPerLookup(bst, lookups);
+  double m_tt = ColdMissesPerLookup(ttree, lookups);
+  double m_bp = ColdMissesPerLookup(bplus, lookups);
+  double m_fc = ColdMissesPerLookup(full, lookups);
+  double m_lc = ColdMissesPerLookup(level, lookups);
+
+  // Figure 6 story at the L2 level (64B lines, 8-int nodes fit one line):
+  EXPECT_LT(m_fc, m_bp);
+  EXPECT_LT(m_lc, m_bp);
+  EXPECT_LT(m_bp, m_tt);
+  EXPECT_LT(m_bp, m_bs);
+  // Binary search and pointer BST and T-tree are all ~log2(n) misses.
+  double log2n = std::log2(200'000.0);
+  EXPECT_NEAR(m_bs, log2n, log2n * 0.35);
+  EXPECT_NEAR(m_bst, log2n, log2n * 0.35);
+  EXPECT_NEAR(m_tt, log2n * 0.8, log2n * 0.4);
+  // CSS-trees: about log_{f}(n) misses (+ leaf).
+  double expected_fc = std::log(200'000.0) / std::log(9.0);
+  EXPECT_NEAR(m_fc, expected_fc, expected_fc * 0.5);
+}
+
+TEST(TracedLookup, WarmCacheKeepsTopLevelsResident) {
+  // §5.1: "If a bunch of searches are performed in sequence, the top level
+  // nodes will stay in the cache" — run without flushing and expect far
+  // fewer misses than cold.
+  auto keys = workload::DistinctSortedKeys(200'000, 5, 4);
+  auto lookups = workload::MatchingLookups(keys, 2000, 13);
+  FullCssTree<16> full(keys);
+
+  CacheHierarchy cold(cachesim::ModernHierarchy());
+  SimTracer cold_tracer{&cold};
+  for (Key k : lookups) {
+    cold.FlushContents();
+    full.LowerBoundTraced(k, cold_tracer);
+  }
+  CacheHierarchy warm(cachesim::ModernHierarchy());
+  SimTracer warm_tracer{&warm};
+  for (Key k : lookups) full.LowerBoundTraced(k, warm_tracer);
+
+  EXPECT_LT(warm.Level(1).misses(), cold.Level(1).misses() / 2);
+}
+
+TEST(TracedLookup, NullTracerIsFree) {
+  // Compile-time check that the null tracer path exists and agrees.
+  auto keys = workload::DistinctSortedKeys(1000, 3, 4);
+  FullCssTree<8> full(keys);
+  cachesim::NullTracer null;
+  for (Key k : {keys[0], keys[500], keys.back()}) {
+    EXPECT_EQ(full.LowerBoundTraced(k, null), full.LowerBound(k));
+  }
+}
+
+}  // namespace
+}  // namespace cssidx

@@ -1,0 +1,112 @@
+// The rebuild-and-swap concurrency wrapper: readers must always see a
+// consistent (keys, directory) pair, snapshots must survive writer churn,
+// and concurrent readers + a batching writer must never observe a torn
+// index.
+
+#include "core/versioned_index.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/full_css_tree.h"
+#include "gtest/gtest.h"
+#include "workload/key_gen.h"
+
+namespace cssidx {
+namespace {
+
+using Index = VersionedIndex<FullCssTree<16>>;
+
+TEST(VersionedIndex, BasicLookupThroughCurrentVersion) {
+  auto keys = workload::DistinctSortedKeys(10'000, 3, 4);
+  Index index(keys);
+  EXPECT_EQ(index.size(), keys.size());
+  EXPECT_EQ(index.Find(keys[123]), 123);
+  EXPECT_EQ(index.Find(keys.back() + 1), kNotFound);
+}
+
+TEST(VersionedIndex, ApplyBatchPublishesNewVersion) {
+  auto keys = workload::DistinctSortedKeys(1'000, 3, 4);
+  Index index(keys);
+  workload::UpdateBatch batch;
+  Key fresh = keys.back() + 10;
+  batch.inserts = {fresh};
+  batch.deletes = {keys[0]};
+  index.ApplyBatch(batch);
+  EXPECT_NE(index.Find(fresh), kNotFound);
+  EXPECT_EQ(index.Find(keys[0]), kNotFound);
+  EXPECT_EQ(index.size(), keys.size());  // one in, one out
+}
+
+TEST(VersionedIndex, SnapshotSurvivesWriterChurn) {
+  auto keys = workload::DistinctSortedKeys(1'000, 3, 4);
+  Index index(keys);
+  auto snapshot = index.Snapshot();
+  Key original_first = keys[0];
+
+  // Writer deletes the first key several times over.
+  for (int round = 0; round < 5; ++round) {
+    workload::UpdateBatch batch;
+    batch.deletes = {original_first};
+    batch.inserts = {keys.back() + 100 + static_cast<Key>(round)};
+    index.ApplyBatch(batch);
+  }
+  // The old snapshot still sees the pre-update world.
+  EXPECT_EQ(snapshot->index().Find(original_first), 0);
+  // The live index does not.
+  EXPECT_EQ(index.Find(original_first), kNotFound);
+}
+
+TEST(VersionedIndex, ConcurrentReadersWithWriter) {
+  auto keys = workload::DistinctSortedKeys(50'000, 5, 4);
+  Index index(keys);
+  // Keys in the front half are never touched by the writer, so every
+  // reader must find them in every version.
+  std::vector<Key> stable(keys.begin(), keys.begin() + 25'000);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reader_failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      uint64_t i = static_cast<uint64_t>(t) * 7919;
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto snap = index.Snapshot();
+        Key k = stable[i % stable.size()];
+        if (snap->index().Find(k) == kNotFound) {
+          reader_failures.fetch_add(1);
+        }
+        ++i;
+      }
+    });
+  }
+
+  // Writer: 30 rounds of batches touching only the back half.
+  for (int round = 0; round < 30; ++round) {
+    workload::UpdateBatch batch;
+    batch.deletes = {keys[30'000 + round]};
+    batch.inserts = {keys.back() + 1000 + static_cast<Key>(round)};
+    index.ApplyBatch(batch);
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(reader_failures.load(), 0u);
+  // All 30 inserts present, all 30 deletes gone.
+  for (int round = 0; round < 30; ++round) {
+    EXPECT_NE(index.Find(keys.back() + 1000 + static_cast<Key>(round)),
+              kNotFound);
+    EXPECT_EQ(index.Find(keys[30'000 + round]), kNotFound);
+  }
+}
+
+TEST(VersionedIndex, RebuildReplacesDataset) {
+  Index index(workload::DistinctSortedKeys(100, 1, 4));
+  auto fresh = workload::DistinctSortedKeys(200, 2, 4);
+  index.Rebuild(fresh);
+  EXPECT_EQ(index.size(), 200u);
+  EXPECT_EQ(index.Find(fresh[50]), 50);
+}
+
+}  // namespace
+}  // namespace cssidx

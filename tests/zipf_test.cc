@@ -1,0 +1,66 @@
+#include "util/zipf.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace cssidx {
+namespace {
+
+TEST(Zipf, RanksInRange) {
+  ZipfGenerator zipf(100, 0.99, 1);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t r = zipf.Next();
+    EXPECT_LT(r, 100u);
+  }
+}
+
+TEST(Zipf, Deterministic) {
+  ZipfGenerator a(1000, 0.8, 7), b(1000, 0.8, 7);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Zipf, SkewConcentratesOnLowRanks) {
+  ZipfGenerator zipf(10000, 0.99, 3);
+  constexpr int kDraws = 50000;
+  int top10 = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf.Next() < 10) ++top10;
+  }
+  // With theta=0.99 over 10k ranks, the top 10 ranks draw a large share
+  // (roughly 30%); uniform would give 0.1%.
+  EXPECT_GT(top10, kDraws / 10);
+}
+
+TEST(Zipf, HigherThetaIsMoreSkewed) {
+  auto Top1Share = [](double theta) {
+    ZipfGenerator zipf(1000, theta, 5);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i) {
+      if (zipf.Next() == 0) ++hits;
+    }
+    return hits;
+  };
+  EXPECT_GT(Top1Share(1.2), Top1Share(0.5));
+}
+
+TEST(Zipf, MatchesTheoreticalFrequencies) {
+  // For theta = 1, P(rank k) = (1/k) / H_n. Check rank 1 vs rank 2 ratio.
+  ZipfGenerator zipf(100, 1.0, 11);
+  std::vector<int> counts(100, 0);
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Next()];
+  double ratio = static_cast<double>(counts[0]) / counts[1];
+  EXPECT_NEAR(ratio, 2.0, 0.2);
+}
+
+TEST(Zipf, ThetaBelowOneAndAboveOneWork) {
+  for (double theta : {0.2, 0.8, 1.0, 1.5}) {
+    ZipfGenerator zipf(50, theta, 2);
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Next(), 50u);
+  }
+}
+
+}  // namespace
+}  // namespace cssidx
