@@ -1,0 +1,111 @@
+// Scalar vs batched probe throughput across the suite, the operational
+// payoff of the batch-first AnyIndex contract: group probing + software
+// prefetch overlap the per-probe cache misses the paper counts (§5), so
+// batched lookups beat one-at-a-time scalar probes on memory-bound trees.
+//
+// Sweeps batch sizes 1..1024 for every method and emits both the standard
+// table/CSV and a JSON file (default BENCH_batch_lookup.json) so the perf
+// trajectory can track batch throughput run over run.
+//
+//   $ ./bench_batch_lookup [--n=10000000] [--lookups=1000000]
+//                          [--json=BENCH_batch_lookup.json] [--quick]
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/builder.h"
+#include "harness.h"
+#include "util/bits.h"
+#include "workload/key_gen.h"
+#include "workload/lookup_gen.h"
+
+namespace {
+
+using namespace cssidx;
+
+struct Row {
+  std::string spec;
+  size_t batch;
+  double scalar_ns;
+  double batch_ns;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto options = bench::Options::Parse(argc, argv);
+  CliArgs args(argc, argv);
+  size_t n = options.n != 0 ? options.n
+                            : (options.quick ? 1'000'000 : 10'000'000);
+  std::string json_path =
+      args.GetString("json", "BENCH_batch_lookup.json");
+
+  bench::PrintHeader(
+      "batch_lookup",
+      "scalar Find loop vs FindBatch (group probing + prefetch), n=" +
+          std::to_string(n),
+      options);
+
+  auto keys = workload::DistinctSortedKeys(n, options.seed, 4);
+  auto lookups = workload::MatchingLookups(keys, options.lookups,
+                                           options.seed + 1);
+
+  // Hash directory sized the paper's way: ~n / pairs-per-bucket buckets.
+  int hash_bits = std::clamp(CeilLog2(n / 4), 4, 24);
+
+  std::vector<std::string> spec_texts{"bin",     "ttree:16", "btree:16",
+                                      "css:16",  "lcss:16",
+                                      "hash:" + std::to_string(hash_bits)};
+  std::vector<size_t> batches{1, 4, 16, 64, 256, 1024};
+  if (options.quick) batches = {1, 64, 1024};
+
+  bench::Table table({"spec", "batch", "scalar ns/probe", "batched ns/probe",
+                      "speedup"});
+  std::vector<Row> rows;
+  for (const std::string& text : spec_texts) {
+    IndexSpec spec = *IndexSpec::Parse(text);
+    AnyIndex index = BuildIndex(spec, keys);
+    // Scalar baseline: one virtual probe per key, no miss overlap.
+    double scalar_sec =
+        bench::MinFindSeconds(index, lookups, options.repeats);
+    double scalar_ns =
+        scalar_sec / static_cast<double>(lookups.size()) * 1e9;
+    for (size_t batch : batches) {
+      double batch_sec =
+          bench::MinFindBatchSeconds(index, lookups, batch, options.repeats);
+      double batch_ns =
+          batch_sec / static_cast<double>(lookups.size()) * 1e9;
+      rows.push_back({spec.ToString(), batch, scalar_ns, batch_ns});
+      table.AddRow({spec.ToString(), std::to_string(batch),
+                    bench::Table::Num(scalar_ns, 4),
+                    bench::Table::Num(batch_ns, 4),
+                    bench::Table::Num(scalar_ns / batch_ns, 3)});
+    }
+  }
+  table.Print("batched vs scalar probes, n=" + std::to_string(n));
+
+  FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::printf("cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"batch_lookup\",\n  \"n\": %zu,\n"
+               "  \"lookups\": %zu,\n  \"repeats\": %d,\n  \"results\": [\n",
+               n, lookups.size(), options.repeats);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(json,
+                 "    {\"spec\": \"%s\", \"batch\": %zu, "
+                 "\"scalar_ns_per_probe\": %.3f, "
+                 "\"batched_ns_per_probe\": %.3f, \"speedup\": %.3f}%s\n",
+                 r.spec.c_str(), r.batch, r.scalar_ns, r.batch_ns,
+                 r.scalar_ns / r.batch_ns, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return 0;
+}

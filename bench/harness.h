@@ -1,10 +1,13 @@
 #ifndef CSSIDX_BENCH_HARNESS_H_
 #define CSSIDX_BENCH_HARNESS_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "core/any_index.h"
 #include "core/index.h"
 #include "util/cli.h"
 #include "util/timer.h"
@@ -47,6 +50,27 @@ double MinFindSeconds(const IndexT& index, const std::vector<Key>& lookups,
       sum += static_cast<uint64_t>(index.Find(k));
     }
     double sec = timer.Seconds();
+    g_sink = g_sink + sum;
+    if (sec < best) best = sec;
+  }
+  return best;
+}
+
+/// Minimum wall-clock seconds over `repeats` runs of the full lookup set
+/// issued through FindBatch in blocks of `batch` probes. Works for AnyIndex
+/// and for any template with a span-based FindBatch.
+template <typename IndexT>
+double MinFindBatchSeconds(const IndexT& index,
+                           const std::vector<Key>& lookups, size_t batch,
+                           int repeats) {
+  std::vector<int64_t> out(lookups.size());
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    Timer timer;
+    FindBlocked(index, lookups, batch, out);
+    double sec = timer.Seconds();
+    uint64_t sum = 0;
+    for (int64_t v : out) sum += static_cast<uint64_t>(v);
     g_sink = g_sink + sum;
     if (sec < best) best = sec;
   }

@@ -4,11 +4,15 @@
 // "the stepped line basically tells us how to find the optimal searching
 // time for a given amount of space" (§7).
 //
+// Probes are issued through the batch API — the access pattern OLAP
+// front-ends generate — so methods with group-probing kernels are ranked
+// by their real, miss-overlapped throughput.
+//
 //   $ ./index_advisor --budget=2000000 [--n=2000000] [--lookups=50000]
+//                     [--batch=64] [--spec=css:16 --spec-only]
 
 #include <algorithm>
 #include <cstdio>
-#include <memory>
 #include <vector>
 
 #include "core/builder.h"
@@ -23,16 +27,20 @@ using namespace cssidx;
 
 struct Candidate {
   std::string name;
+  std::string spec;
   size_t space;
   double seconds;
   bool ordered;
 };
 
-double TimeLookups(const IndexHandle& index, const std::vector<Key>& lookups) {
-  uint64_t sink = 0;
+double TimeLookups(const AnyIndex& index, const std::vector<Key>& lookups,
+                   size_t batch) {
+  std::vector<int64_t> out(lookups.size());
   Timer timer;
-  for (Key k : lookups) sink += static_cast<uint64_t>(index.Find(k));
+  FindBlocked(index, lookups, batch, out);
   double sec = timer.Seconds();
+  uint64_t sink = 0;
+  for (int64_t v : out) sink += static_cast<uint64_t>(v);
   if (sink == 0xdeadbeef) std::printf("!");  // keep the loop alive
   return sec;
 }
@@ -44,40 +52,59 @@ int main(int argc, char** argv) {
   size_t n = static_cast<size_t>(args.GetInt("n", 2'000'000));
   size_t budget = static_cast<size_t>(args.GetInt("budget", 2'000'000));
   size_t num_lookups = static_cast<size_t>(args.GetInt("lookups", 50'000));
+  size_t batch = static_cast<size_t>(args.GetInt("batch", 64));
   bool need_order = args.GetBool("need-ordered-access", false);
 
   auto keys = workload::DistinctSortedKeys(n, 3, 4);
   auto lookups = workload::MatchingLookups(keys, num_lookups, 4);
-  std::printf("advising for n=%zu keys, space budget %.2f MB%s\n\n", n,
-              budget / 1e6, need_order ? ", ordered access required" : "");
+  std::printf("advising for n=%zu keys, space budget %.2f MB, batch=%zu%s\n\n",
+              n, budget / 1e6, batch,
+              need_order ? ", ordered access required" : "");
 
-  // Enumerate the menu: every method at every node size / directory size.
-  std::vector<Candidate> candidates;
-  auto consider = [&](Method method, BuildOptions opts) {
-    auto index = BuildIndex(method, keys, opts);
-    if (!index) return;
-    Candidate c{index->Name(), index->SpaceBytes(), 0,
-                index->SupportsOrderedAccess()};
-    if (c.space > budget) return;              // over budget: skip
-    if (need_order && !c.ordered) return;      // hash can't serve order
-    c.seconds = TimeLookups(*index, lookups);
-    candidates.push_back(std::move(c));
+  // Enumerate the menu: every method at every node size / directory size,
+  // deduped so an explicit --spec that is also on the menu runs once.
+  std::vector<IndexSpec> menu;
+  auto enlist = [&](const IndexSpec& spec) {
+    if (std::find(menu.begin(), menu.end(), spec) == menu.end()) {
+      menu.push_back(spec);
+    }
   };
 
-  BuildOptions opts;
-  consider(Method::kBinarySearch, opts);
-  consider(Method::kInterpolation, opts);
-  consider(Method::kTreeBinarySearch, opts);
-  for (int m : {8, 16, 32, 64}) {
-    opts.node_entries = m;
-    consider(Method::kTTree, opts);
-    consider(Method::kBPlusTree, opts);
-    consider(Method::kFullCss, opts);
-    if ((m & (m - 1)) == 0) consider(Method::kLevelCss, opts);
+  if (args.Has("spec")) {
+    // Explicit spec from the command line, e.g. --spec=lcss:64.
+    auto spec = IndexSpec::Parse(args.GetString("spec", ""));
+    if (!spec) {
+      std::printf("unparseable --spec; %s\n", IndexSpec::GrammarHelp());
+      return 1;
+    }
+    enlist(*spec);
   }
-  for (int bits : {16, 18, 20, 22}) {
-    opts.hash_dir_bits = bits;
-    consider(Method::kHash, opts);
+  if (!args.GetBool("spec-only", false)) {
+    for (const IndexSpec& spec : AllSpecs()) {
+      if (!spec.sized()) {
+        if (spec.ordered()) enlist(spec);
+        continue;
+      }
+      for (int m : {8, 16, 32, 64}) {
+        IndexSpec sized = spec.WithNodeEntries(m);
+        if (sized.OnMenu()) enlist(sized);
+      }
+    }
+    for (int bits : {16, 18, 20, 22}) {
+      enlist(*IndexSpec::Parse("hash:" + std::to_string(bits)));
+    }
+  }
+
+  std::vector<Candidate> candidates;
+  for (const IndexSpec& spec : menu) {
+    AnyIndex index = BuildIndex(spec, keys);
+    if (!index) continue;
+    Candidate c{index.Name(), spec.ToString(), index.SpaceBytes(), 0,
+                index.SupportsOrderedAccess()};
+    if (c.space > budget) continue;            // over budget: skip
+    if (need_order && !c.ordered) continue;    // hash can't serve order
+    c.seconds = TimeLookups(index, lookups, batch);
+    candidates.push_back(std::move(c));
   }
 
   if (candidates.empty()) {
@@ -90,14 +117,16 @@ int main(int argc, char** argv) {
               return a.seconds < b.seconds;
             });
 
-  std::printf("%-24s %12s %12s %8s\n", "method", "space (MB)", "time (s)",
-              "ordered");
+  std::printf("%-24s %-10s %12s %12s %8s\n", "method", "spec", "space (MB)",
+              "time (s)", "ordered");
   for (const auto& c : candidates) {
-    std::printf("%-24s %12.2f %12.4f %8s\n", c.name.c_str(), c.space / 1e6,
-                c.seconds, c.ordered ? "Y" : "N");
+    std::printf("%-24s %-10s %12.2f %12.4f %8s\n", c.name.c_str(),
+                c.spec.c_str(), c.space / 1e6, c.seconds,
+                c.ordered ? "Y" : "N");
   }
-  std::printf("\nrecommendation: %s (%.2f MB, %.4f s per %zu lookups)\n",
-              candidates.front().name.c_str(),
+  std::printf("\nrecommendation: %s (--spec=%s, %.2f MB, %.4f s per %zu "
+              "lookups)\n",
+              candidates.front().name.c_str(), candidates.front().spec.c_str(),
               candidates.front().space / 1e6, candidates.front().seconds,
               num_lookups);
   return 0;

@@ -1,7 +1,10 @@
 #ifndef CSSIDX_BASELINES_BPLUS_TREE_H_
 #define CSSIDX_BASELINES_BPLUS_TREE_H_
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/index.h"
@@ -40,6 +43,7 @@ class BPlusTree {
   /// `kFanout - 1` keys (one slot unused when Slots is even).
   static constexpr int kFanout = (Slots + 1) / 2;
   static constexpr int kRoutingKeys = kFanout - 1;
+  static constexpr size_t kGroupProbes = 8;
 
   BPlusTree(const Key* keys, size_t n) : a_(keys), n_(n) { Build(); }
   explicit BPlusTree(const std::vector<Key>& keys)
@@ -65,6 +69,48 @@ class BPlusTree {
 
   size_t CountEqual(Key k) const {
     return ::cssidx::CountEqual(*this, a_, n_, k);
+  }
+
+  /// Batched LowerBound: group probing with software prefetch. Every probe
+  /// descends the same number of levels (bulk-loaded tree), so the group
+  /// walks down in lockstep; each level's node fetches are prefetched one
+  /// level ahead across the whole group.
+  void LowerBoundBatch(std::span<const Key> keys,
+                       std::span<size_t> out) const {
+    assert(out.size() >= keys.size());
+    const size_t count = keys.size();
+    if (CSSIDX_UNLIKELY(n_ == 0)) {
+      for (size_t i = 0; i < count; ++i) out[i] = 0;
+      return;
+    }
+    size_t i = 0;
+    for (; i + kGroupProbes <= count; i += kGroupProbes) {
+      uint32_t node[kGroupProbes];
+      for (size_t g = 0; g < kGroupProbes; ++g) node[g] = root_;
+      for (int level = height_; level > 0; --level) {
+        for (size_t g = 0; g < kGroupProbes; ++g) {
+          const uint32_t* slots =
+              arena_ptr_ + static_cast<size_t>(node[g]) * Slots;
+          int j = UnrolledLowerBound<kRoutingKeys, 2>(slots + 1, keys[i + g]);
+          node[g] = slots[2 * j];
+          if (level > 1) {
+            CSSIDX_PREFETCH(arena_ptr_ + static_cast<size_t>(node[g]) * Slots);
+          } else {
+            CSSIDX_PREFETCH(a_ + static_cast<size_t>(node[g]) * Slots);
+          }
+        }
+      }
+      for (size_t g = 0; g < kGroupProbes; ++g) {
+        out[i + g] = SearchChunk(node[g], keys[i + g]);
+      }
+    }
+    for (; i < count; ++i) out[i] = LowerBound(keys[i]);
+  }
+
+  /// Batched Find over the same group-probing kernel.
+  void FindBatch(std::span<const Key> keys, std::span<int64_t> out) const {
+    assert(out.size() >= keys.size());
+    FindBatchViaLowerBound(*this, a_, n_, keys, out);
   }
 
   template <typename Tracer>

@@ -1,7 +1,9 @@
 #ifndef CSSIDX_BASELINES_CHAINED_HASH_H_
 #define CSSIDX_BASELINES_CHAINED_HASH_H_
 
+#include <cassert>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/index.h"
@@ -73,15 +75,26 @@ class ChainedHashIndex {
   ChainedHashIndex(const std::vector<Key>& keys, int dir_bits)
       : ChainedHashIndex(keys.data(), keys.size(), dir_bits) {}
 
-  int64_t Find(Key k) const {
-    const Bucket* bucket = &arena_[Slot(k)];
-    while (true) {
-      uint32_t count = bucket->count;
-      for (uint32_t i = 0; i < count; ++i) {
-        if (bucket->pairs[i].key == k) return bucket->pairs[i].rid;
+  int64_t Find(Key k) const { return FindInChain(Slot(k), k); }
+
+  /// Batched Find: compute every probe's directory slot up front and
+  /// prefetch the bucket lines, then scan the chains. By the time the scan
+  /// reaches probe i its bucket fetch has been in flight for the whole
+  /// group — the directory access pattern is random, so this is pure miss
+  /// overlap.
+  void FindBatch(std::span<const Key> keys, std::span<int64_t> out) const {
+    assert(out.size() >= keys.size());
+    constexpr size_t kGroup = 16;
+    uint32_t slot[kGroup];
+    for (size_t i = 0; i < keys.size(); i += kGroup) {
+      size_t len = keys.size() - i < kGroup ? keys.size() - i : kGroup;
+      for (size_t g = 0; g < len; ++g) {
+        slot[g] = Slot(keys[i + g]);
+        CSSIDX_PREFETCH(&arena_[slot[g]]);
       }
-      if (bucket->next == kNoNext) return kNotFound;
-      bucket = &arena_[bucket->next];
+      for (size_t g = 0; g < len; ++g) {
+        out[i + g] = FindInChain(slot[g], keys[i + g]);
+      }
     }
   }
 
@@ -131,6 +144,18 @@ class ChainedHashIndex {
   }
 
  private:
+  int64_t FindInChain(uint32_t slot, Key k) const {
+    const Bucket* bucket = &arena_[slot];
+    while (true) {
+      uint32_t count = bucket->count;
+      for (uint32_t i = 0; i < count; ++i) {
+        if (bucket->pairs[i].key == k) return bucket->pairs[i].rid;
+      }
+      if (bucket->next == kNoNext) return kNotFound;
+      bucket = &arena_[bucket->next];
+    }
+  }
+
   CSSIDX_ALWAYS_INLINE uint32_t Slot(Key k) const {
     if (fn_ == HashFunction::kLowOrderBits || dir_bits_ == 0) {
       return k & mask_;

@@ -1,79 +1,225 @@
 #ifndef CSSIDX_CORE_ANY_INDEX_H_
 #define CSSIDX_CORE_ANY_INDEX_H_
 
+#include <algorithm>
+#include <cassert>
 #include <memory>
+#include <span>
 #include <string>
 #include <utility>
 
 #include "core/index.h"
+#include "core/index_spec.h"
 
-// Type erasure over the index templates, for code that selects a method at
-// run time (examples, space sweeps, the index advisor). Timing benches use
-// the templates directly — a virtual call per probe would tax every method
-// equally but would still pollute the small-n end of Figures 10/11.
+// AnyIndex: value-semantics type erasure over the index templates, for all
+// code that selects a method at run time (the engine, the examples, space
+// sweeps, the index advisor).
+//
+// The contract is batch-first. The paper's whole argument is that lookup
+// cost is dominated by cache misses; a virtual call per probe both taxes
+// the hot path and makes miss-amortizing techniques impossible to express.
+// So the virtual boundary is FindBatch/LowerBoundBatch — one call per batch
+// of probes, which (a) amortizes dispatch to nothing and (b) lets each
+// structure overlap the misses of neighboring probes with group probing and
+// software prefetch (see the batch kernels in css_tree.h, bplus_tree.h,
+// chained_hash.h). Scalar Find/LowerBound are convenience wrappers over a
+// batch of one. Timing benches that sweep node sizes still use the
+// templates directly, as before.
 
 namespace cssidx {
 
-/// Runtime interface over any index in the suite.
-class IndexHandle {
- public:
-  virtual ~IndexHandle() = default;
+/// An index type that provides its own group-probing LowerBound kernel.
+template <typename T>
+concept HasLowerBoundBatch =
+    requires(const T& t, std::span<const Key> in, std::span<size_t> out) {
+      t.LowerBoundBatch(in, out);
+    };
 
-  /// First position >= key. Unordered methods (hash) return size().
-  virtual size_t LowerBound(Key k) const = 0;
-  /// Leftmost match or kNotFound.
-  virtual int64_t Find(Key k) const = 0;
-  /// Number of occurrences (§3.6).
-  virtual size_t CountEqual(Key k) const = 0;
-  /// Extra bytes beyond the sorted array.
-  virtual size_t SpaceBytes() const = 0;
-  virtual size_t size() const = 0;
-  virtual const std::string& Name() const = 0;
-  /// False for hash (Figure 7's "RID-Ordered Access" column).
-  virtual bool SupportsOrderedAccess() const = 0;
+/// An index type that provides its own group-probing Find kernel.
+template <typename T>
+concept HasFindBatch =
+    requires(const T& t, std::span<const Key> in, std::span<int64_t> out) {
+      t.FindBatch(in, out);
+    };
+
+/// Runtime facade over any index in the suite. Copyable and cheap to pass
+/// by value (the underlying structure is shared, immutable, and built once
+/// — the OLAP rebuild-on-batch lifecycle replaces whole objects).
+class AnyIndex {
+ public:
+  /// The virtual boundary. Implementations are batch-oriented; everything
+  /// scalar is derived.
+  class Impl {
+   public:
+    virtual ~Impl() = default;
+    /// out[i] = first position >= keys[i] (size() for unordered methods).
+    virtual void LowerBoundBatch(std::span<const Key> keys,
+                                 std::span<size_t> out) const = 0;
+    /// out[i] = leftmost position of keys[i] or kNotFound.
+    virtual void FindBatch(std::span<const Key> keys,
+                           std::span<int64_t> out) const = 0;
+    /// Number of occurrences (§3.6).
+    virtual size_t CountEqual(Key k) const = 0;
+    /// Extra bytes beyond the sorted array.
+    virtual size_t SpaceBytes() const = 0;
+    virtual size_t size() const = 0;
+    /// False for hash (Figure 7's "RID-Ordered Access" column).
+    virtual bool SupportsOrderedAccess() const = 0;
+  };
+
+  /// Empty handle; falsy. BuildIndex returns this for off-menu specs.
+  AnyIndex() = default;
+  AnyIndex(IndexSpec spec, std::shared_ptr<const Impl> impl)
+      : spec_(spec), name_(spec.DisplayName()), impl_(std::move(impl)) {}
+
+  explicit operator bool() const { return impl_ != nullptr; }
+
+  // Probing an empty handle is a caller bug (check the handle after
+  // BuildIndex); assert so it fails loudly rather than as a null deref.
+  void FindBatch(std::span<const Key> keys, std::span<int64_t> out) const {
+    assert(impl_ != nullptr);
+    impl_->FindBatch(keys, out);
+  }
+  void LowerBoundBatch(std::span<const Key> keys,
+                       std::span<size_t> out) const {
+    assert(impl_ != nullptr);
+    impl_->LowerBoundBatch(keys, out);
+  }
+
+  /// Scalar probes: batches of one.
+  int64_t Find(Key k) const {
+    int64_t out;
+    FindBatch({&k, 1}, {&out, 1});
+    return out;
+  }
+  size_t LowerBound(Key k) const {
+    size_t out;
+    LowerBoundBatch({&k, 1}, {&out, 1});
+    return out;
+  }
+
+  size_t CountEqual(Key k) const {
+    assert(impl_ != nullptr);
+    return impl_->CountEqual(k);
+  }
+  size_t SpaceBytes() const {
+    assert(impl_ != nullptr);
+    return impl_->SpaceBytes();
+  }
+  size_t size() const {
+    assert(impl_ != nullptr);
+    return impl_->size();
+  }
+  bool SupportsOrderedAccess() const {
+    assert(impl_ != nullptr);
+    return impl_->SupportsOrderedAccess();
+  }
+  const std::string& Name() const { return name_; }
+  const IndexSpec& spec() const { return spec_; }
+
+ private:
+  IndexSpec spec_{};
+  std::string name_;
+  std::shared_ptr<const Impl> impl_;
 };
 
-/// Wraps an OrderedIndex template instance.
+/// Adapter for OrderedIndex templates. Uses the structure's own batch
+/// kernels when it has them; otherwise falls back to a plain probe loop
+/// (group probing without prefetch — dispatch still amortized).
 template <typename IndexT>
-class OrderedIndexHandle final : public IndexHandle {
+class OrderedBatchImpl final : public AnyIndex::Impl {
  public:
-  OrderedIndexHandle(IndexT index, std::string name)
-      : index_(std::move(index)), name_(std::move(name)) {}
+  explicit OrderedBatchImpl(IndexT index) : index_(std::move(index)) {}
 
-  size_t LowerBound(Key k) const override { return index_.LowerBound(k); }
-  int64_t Find(Key k) const override { return index_.Find(k); }
+  void LowerBoundBatch(std::span<const Key> keys,
+                       std::span<size_t> out) const override {
+    if constexpr (HasLowerBoundBatch<IndexT>) {
+      index_.LowerBoundBatch(keys, out);
+    } else {
+      for (size_t i = 0; i < keys.size(); ++i) {
+        out[i] = index_.LowerBound(keys[i]);
+      }
+    }
+  }
+
+  void FindBatch(std::span<const Key> keys,
+                 std::span<int64_t> out) const override {
+    if constexpr (HasFindBatch<IndexT>) {
+      index_.FindBatch(keys, out);
+    } else {
+      for (size_t i = 0; i < keys.size(); ++i) {
+        out[i] = index_.Find(keys[i]);
+      }
+    }
+  }
+
   size_t CountEqual(Key k) const override { return index_.CountEqual(k); }
   size_t SpaceBytes() const override { return index_.SpaceBytes(); }
   size_t size() const override { return index_.size(); }
-  const std::string& Name() const override { return name_; }
   bool SupportsOrderedAccess() const override { return true; }
-
-  const IndexT& get() const { return index_; }
 
  private:
   IndexT index_;
-  std::string name_;
 };
 
-/// Wraps a hash index (no ordered access).
+/// Adapter for hash indexes (no ordered access): LowerBound degenerates to
+/// size(), Find still returns the leftmost array position.
 template <typename HashT>
-class HashIndexHandle final : public IndexHandle {
+class UnorderedBatchImpl final : public AnyIndex::Impl {
  public:
-  HashIndexHandle(HashT index, std::string name)
-      : index_(std::move(index)), name_(std::move(name)) {}
+  explicit UnorderedBatchImpl(HashT index) : index_(std::move(index)) {}
 
-  size_t LowerBound(Key) const override { return index_.size(); }
-  int64_t Find(Key k) const override { return index_.Find(k); }
+  void LowerBoundBatch(std::span<const Key> keys,
+                       std::span<size_t> out) const override {
+    for (size_t i = 0; i < keys.size(); ++i) out[i] = index_.size();
+  }
+
+  void FindBatch(std::span<const Key> keys,
+                 std::span<int64_t> out) const override {
+    if constexpr (HasFindBatch<HashT>) {
+      index_.FindBatch(keys, out);
+    } else {
+      for (size_t i = 0; i < keys.size(); ++i) out[i] = index_.Find(keys[i]);
+    }
+  }
+
   size_t CountEqual(Key k) const override { return index_.CountEqual(k); }
   size_t SpaceBytes() const override { return index_.SpaceBytes(); }
   size_t size() const override { return index_.size(); }
-  const std::string& Name() const override { return name_; }
   bool SupportsOrderedAccess() const override { return false; }
 
  private:
   HashT index_;
-  std::string name_;
 };
+
+/// Probes `keys` through FindBatch in blocks of at most `batch` probes,
+/// writing every result into `out` — the shared front-end loop for callers
+/// that stream a large probe set at a fixed batch size (joins, benches,
+/// the advisor). Works for AnyIndex and for any template with a span-based
+/// FindBatch.
+template <typename IndexT>
+void FindBlocked(const IndexT& index, std::span<const Key> keys,
+                 size_t batch, std::span<int64_t> out) {
+  batch = std::max<size_t>(batch, 1);  // batch == 0 must not loop forever
+  for (size_t i = 0; i < keys.size(); i += batch) {
+    size_t len = std::min(keys.size() - i, batch);
+    index.FindBatch(keys.subspan(i, len), out.subspan(i, len));
+  }
+}
+
+/// Wraps a concrete ordered index template instance into the facade.
+template <typename IndexT>
+AnyIndex MakeOrderedAnyIndex(IndexSpec spec, IndexT index) {
+  return AnyIndex(spec,
+                  std::make_shared<OrderedBatchImpl<IndexT>>(std::move(index)));
+}
+
+/// Wraps a concrete hash index instance into the facade.
+template <typename HashT>
+AnyIndex MakeUnorderedAnyIndex(IndexSpec spec, HashT index) {
+  return AnyIndex(
+      spec, std::make_shared<UnorderedBatchImpl<HashT>>(std::move(index)));
+}
 
 }  // namespace cssidx
 

@@ -1,7 +1,5 @@
 #include "core/builder.h"
 
-#include <string>
-
 #include "baselines/binary_search.h"
 #include "baselines/binary_tree.h"
 #include "baselines/bplus_tree.h"
@@ -16,20 +14,10 @@ namespace cssidx {
 
 namespace {
 
-template <typename IndexT>
-std::unique_ptr<IndexHandle> Wrap(IndexT index, std::string name) {
-  return std::make_unique<OrderedIndexHandle<IndexT>>(std::move(index),
-                                                      std::move(name));
-}
-
-std::string SizedName(const char* base, int entries) {
-  return std::string(base) + "/m=" + std::to_string(entries);
-}
-
 /// Calls `fn.template operator()<M>()` for the menu entry matching
-/// `entries`, or returns nullptr.
+/// `entries`, or returns an empty AnyIndex.
 template <typename Fn>
-std::unique_ptr<IndexHandle> DispatchNodeSize(int entries, Fn&& fn) {
+AnyIndex DispatchNodeSize(int entries, Fn&& fn) {
   switch (entries) {
     case 4:
       return fn.template operator()<4>();
@@ -46,91 +34,52 @@ std::unique_ptr<IndexHandle> DispatchNodeSize(int entries, Fn&& fn) {
     case 128:
       return fn.template operator()<128>();
     default:
-      return nullptr;
+      return {};
   }
 }
 
 }  // namespace
 
-const char* MethodName(Method method) {
-  switch (method) {
+AnyIndex BuildIndex(const IndexSpec& spec, const Key* keys, size_t n) {
+  if (!spec.OnMenu()) return {};
+  const int m = spec.node_entries();
+  switch (spec.method()) {
     case Method::kBinarySearch:
-      return "array binary search";
+      return MakeOrderedAnyIndex(spec, BinarySearchIndex(keys, n));
     case Method::kTreeBinarySearch:
-      return "tree binary search";
+      return MakeOrderedAnyIndex(spec, BinaryTreeIndex(keys, n));
     case Method::kInterpolation:
-      return "interpolation search";
+      return MakeOrderedAnyIndex(spec, InterpolationSearchIndex(keys, n));
     case Method::kTTree:
-      return "T-tree";
+      return DispatchNodeSize(m, [&]<int M>() {
+        return MakeOrderedAnyIndex(spec, TTreeIndex<M>(keys, n));
+      });
     case Method::kBPlusTree:
-      return "B+-tree";
+      return DispatchNodeSize(m, [&]<int M>() {
+        return MakeOrderedAnyIndex(spec, BPlusTree<M>(keys, n));
+      });
     case Method::kFullCss:
-      return "full CSS-tree";
+      return DispatchNodeSize(m, [&]<int M>() {
+        return MakeOrderedAnyIndex(spec, FullCssTree<M>(keys, n));
+      });
     case Method::kLevelCss:
-      return "level CSS-tree";
+      return DispatchNodeSize(m, [&]<int M>() -> AnyIndex {
+        if constexpr (IsPowerOfTwo(M)) {
+          return MakeOrderedAnyIndex(spec, LevelCssTree<M>(keys, n));
+        } else {
+          return {};
+        }
+      });
     case Method::kHash:
-      return "hash";
+      return MakeUnorderedAnyIndex(
+          spec, ChainedHashIndex<kCacheLineBytes>(keys, n,
+                                                  spec.hash_dir_bits()));
   }
-  return "?";
+  return {};
 }
 
-std::vector<Method> AllMethods() {
-  return {Method::kBinarySearch, Method::kTreeBinarySearch,
-          Method::kInterpolation, Method::kTTree,
-          Method::kBPlusTree,     Method::kFullCss,
-          Method::kLevelCss,      Method::kHash};
-}
-
-std::unique_ptr<IndexHandle> BuildIndex(Method method, const Key* keys,
-                                        size_t n,
-                                        const BuildOptions& options) {
-  const int m = options.node_entries;
-  switch (method) {
-    case Method::kBinarySearch:
-      return Wrap(BinarySearchIndex(keys, n), MethodName(method));
-    case Method::kTreeBinarySearch:
-      return Wrap(BinaryTreeIndex(keys, n), MethodName(method));
-    case Method::kInterpolation:
-      return Wrap(InterpolationSearchIndex(keys, n), MethodName(method));
-    case Method::kTTree:
-      return DispatchNodeSize(m, [&]<int M>() {
-        return Wrap(TTreeIndex<M>(keys, n), SizedName("T-tree", M));
-      });
-    case Method::kBPlusTree:
-      return DispatchNodeSize(m, [&]<int M>() -> std::unique_ptr<IndexHandle> {
-        if constexpr (M >= 4) {
-          return Wrap(BPlusTree<M>(keys, n), SizedName("B+-tree", M));
-        } else {
-          return nullptr;
-        }
-      });
-    case Method::kFullCss:
-      return DispatchNodeSize(m, [&]<int M>() {
-        return Wrap(FullCssTree<M>(keys, n), SizedName("full CSS-tree", M));
-      });
-    case Method::kLevelCss:
-      return DispatchNodeSize(m, [&]<int M>() -> std::unique_ptr<IndexHandle> {
-        if constexpr (IsPowerOfTwo(M) && M >= 4) {
-          return Wrap(LevelCssTree<M>(keys, n),
-                      SizedName("level CSS-tree", M));
-        } else {
-          return nullptr;
-        }
-      });
-    case Method::kHash: {
-      ChainedHashIndex<kCacheLineBytes> hash(keys, n, options.hash_dir_bits);
-      return std::make_unique<HashIndexHandle<ChainedHashIndex<kCacheLineBytes>>>(
-          std::move(hash),
-          "hash/dir=2^" + std::to_string(options.hash_dir_bits));
-    }
-  }
-  return nullptr;
-}
-
-std::unique_ptr<IndexHandle> BuildIndex(Method method,
-                                        const std::vector<Key>& keys,
-                                        const BuildOptions& options) {
-  return BuildIndex(method, keys.data(), keys.size(), options);
+AnyIndex BuildIndex(const IndexSpec& spec, const std::vector<Key>& keys) {
+  return BuildIndex(spec, keys.data(), keys.size());
 }
 
 }  // namespace cssidx

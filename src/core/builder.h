@@ -1,55 +1,25 @@
 #ifndef CSSIDX_CORE_BUILDER_H_
 #define CSSIDX_CORE_BUILDER_H_
 
-#include <memory>
-#include <string>
 #include <vector>
 
 #include "core/any_index.h"
 #include "core/index.h"
+#include "core/index_spec.h"
 
-// Runtime construction of any index in the suite. Node sizes are template
-// parameters (the paper specializes per node size, §6.2), so the builder
-// dispatches over a fixed menu of instantiations — the sizes swept in
-// Figures 12/13 — and rejects sizes outside the menu.
+// Runtime construction of any index in the suite, keyed by IndexSpec. Node
+// sizes are template parameters (the paper specializes per node size,
+// §6.2), so the builder dispatches over a fixed menu of instantiations —
+// the sizes swept in Figures 12/13 — and returns an empty AnyIndex for
+// specs off the menu.
 
 namespace cssidx {
 
-enum class Method {
-  kBinarySearch,
-  kTreeBinarySearch,
-  kInterpolation,
-  kTTree,
-  kBPlusTree,
-  kFullCss,
-  kLevelCss,
-  kHash,
-};
-
-struct BuildOptions {
-  /// Keys (full CSS / T-tree) or 4-byte slots (level CSS / B+-tree) per
-  /// node. Menu: 4, 8, 16, 24, 32, 64, 128 (level CSS: powers of two only;
-  /// B+-tree: >= 8).
-  int node_entries = 16;
-  /// log2 of the hash directory size.
-  int hash_dir_bits = 22;
-};
-
-/// Human-readable method name, matching the figures' legends.
-const char* MethodName(Method method);
-
-/// All methods in the figures' legend order.
-std::vector<Method> AllMethods();
-
 /// Builds the requested index over keys[0..n) (sorted, must outlive the
-/// handle). Returns nullptr if the options are not on the menu for that
-/// method.
-std::unique_ptr<IndexHandle> BuildIndex(Method method, const Key* keys,
-                                        size_t n, const BuildOptions& options);
+/// returned handle). Returns a falsy AnyIndex if !spec.OnMenu().
+AnyIndex BuildIndex(const IndexSpec& spec, const Key* keys, size_t n);
 
-std::unique_ptr<IndexHandle> BuildIndex(Method method,
-                                        const std::vector<Key>& keys,
-                                        const BuildOptions& options);
+AnyIndex BuildIndex(const IndexSpec& spec, const std::vector<Key>& keys);
 
 }  // namespace cssidx
 

@@ -1,8 +1,10 @@
 #ifndef CSSIDX_CORE_CSS_TREE_H_
 #define CSSIDX_CORE_CSS_TREE_H_
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -50,6 +52,9 @@ class BasicCssTree {
   static constexpr int kFanout = Fanout;
   static constexpr int kInternalKeys = Fanout - 1;
   static constexpr bool kHasSpareSlot = kInternalKeys < Stride;
+  /// Probes descended in lockstep by the batch kernels: enough concurrent
+  /// streams to hide one node-fetch latency behind the group's compares.
+  static constexpr size_t kGroupProbes = 8;
 
   /// Builds the directory over `keys[0..n)`, which must be sorted and must
   /// outlive this object (the tree stores no copy of the data — that is the
@@ -96,6 +101,56 @@ class BasicCssTree {
     size_t count = 0;
     while (pos + count < n_ && a_[pos + count] == k) ++count;
     return count;
+  }
+
+  /// Batched LowerBound: group probing with software prefetch. Probes are
+  /// processed kGroupProbes at a time, descending level-synchronously; as
+  /// soon as a probe's next node is known its cache line is prefetched, so
+  /// the miss it would stall on overlaps the intra-node searches of the
+  /// other probes in the group. Results are identical to scalar LowerBound.
+  void LowerBoundBatch(std::span<const KeyT> keys,
+                       std::span<size_t> out) const {
+    assert(out.size() >= keys.size());
+    const size_t count = keys.size();
+    if (CSSIDX_UNLIKELY(n_ == 0)) {
+      for (size_t i = 0; i < count; ++i) out[i] = 0;
+      return;
+    }
+    const uint64_t internal = layout_.internal_nodes;
+    const KeyT* dir = dir_keys_;
+    size_t i = 0;
+    for (; i + kGroupProbes <= count; i += kGroupProbes) {
+      uint64_t d[kGroupProbes] = {};
+      if (internal > 0) {
+        bool descending = true;
+        while (descending) {
+          descending = false;
+          for (size_t g = 0; g < kGroupProbes; ++g) {
+            if (d[g] >= internal) continue;
+            const KeyT* node = dir + d[g] * Stride;
+            int j = UnrolledLowerBound<kInternalKeys, 1, KeyT>(node,
+                                                               keys[i + g]);
+            d[g] = d[g] * Fanout + 1 + static_cast<uint64_t>(j);
+            if (d[g] < internal) {
+              CSSIDX_PREFETCH(dir + d[g] * Stride);
+              descending = true;
+            } else {
+              CSSIDX_PREFETCH(a_ + LeafRange(d[g]).first);
+            }
+          }
+        }
+      }
+      for (size_t g = 0; g < kGroupProbes; ++g) {
+        out[i + g] = SearchLeaf(d[g], keys[i + g]);
+      }
+    }
+    for (; i < count; ++i) out[i] = LowerBound(keys[i]);
+  }
+
+  /// Batched Find over the same group-probing kernel.
+  void FindBatch(std::span<const KeyT> keys, std::span<int64_t> out) const {
+    assert(out.size() >= keys.size());
+    FindBatchViaLowerBound(*this, a_, n_, keys, out);
   }
 
   /// LowerBound with generic (runtime-loop) intra-node searches instead of

@@ -1,9 +1,11 @@
 #ifndef CSSIDX_CORE_INDEX_H_
 #define CSSIDX_CORE_INDEX_H_
 
+#include <algorithm>
 #include <concepts>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 
 // Common vocabulary for every index in the suite.
 //
@@ -38,6 +40,27 @@ size_t CountEqual(const IndexT& index, const Key* keys, size_t n, Key k) {
   size_t count = 0;
   while (pos + count < n && keys[pos + count] == k) ++count;
   return count;
+}
+
+/// Shared FindBatch for tree structures whose Find is LowerBound + a
+/// compare against the backing array `a[0..n)`: run the structure's
+/// batched LowerBound kernel a chunk at a time (positions staged on the
+/// stack), then translate hits/misses.
+template <typename IndexT, typename KeyT>
+void FindBatchViaLowerBound(const IndexT& index, const KeyT* a, size_t n,
+                            std::span<const KeyT> keys,
+                            std::span<int64_t> out) {
+  constexpr size_t kChunk = 256;
+  size_t pos[kChunk];
+  for (size_t i = 0; i < keys.size(); i += kChunk) {
+    size_t len = std::min(keys.size() - i, kChunk);
+    index.LowerBoundBatch(keys.subspan(i, len), std::span<size_t>(pos, len));
+    for (size_t j = 0; j < len; ++j) {
+      out[i + j] = pos[j] < n && a[pos[j]] == keys[i + j]
+                       ? static_cast<int64_t>(pos[j])
+                       : kNotFound;
+    }
+  }
 }
 
 }  // namespace cssidx

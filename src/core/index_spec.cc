@@ -1,0 +1,210 @@
+#include "core/index_spec.h"
+
+#include <array>
+#include <charconv>
+
+#include "util/bits.h"
+
+namespace cssidx {
+
+namespace {
+
+struct MethodToken {
+  std::string_view token;
+  Method method;
+};
+
+// Accepted aliases; ToString() emits the canonical short token.
+constexpr std::array<MethodToken, 19> kTokens{{
+    {"bin", Method::kBinarySearch},
+    {"binary", Method::kBinarySearch},
+    {"binary-search", Method::kBinarySearch},
+    {"tbin", Method::kTreeBinarySearch},
+    {"tree-binary", Method::kTreeBinarySearch},
+    {"binary-tree", Method::kTreeBinarySearch},
+    {"interp", Method::kInterpolation},
+    {"interpolation", Method::kInterpolation},
+    {"ttree", Method::kTTree},
+    {"t-tree", Method::kTTree},
+    {"btree", Method::kBPlusTree},
+    {"b+tree", Method::kBPlusTree},
+    {"bplus", Method::kBPlusTree},
+    {"css", Method::kFullCss},
+    {"full-css", Method::kFullCss},
+    {"fullcss", Method::kFullCss},
+    {"lcss", Method::kLevelCss},
+    {"level-css", Method::kLevelCss},
+    {"levelcss", Method::kLevelCss},
+}};
+
+std::string_view CanonicalToken(Method method) {
+  switch (method) {
+    case Method::kBinarySearch:
+      return "bin";
+    case Method::kTreeBinarySearch:
+      return "tbin";
+    case Method::kInterpolation:
+      return "interp";
+    case Method::kTTree:
+      return "ttree";
+    case Method::kBPlusTree:
+      return "btree";
+    case Method::kFullCss:
+      return "css";
+    case Method::kLevelCss:
+      return "lcss";
+    case Method::kHash:
+      return "hash";
+  }
+  return "?";
+}
+
+std::optional<Method> MethodFromToken(std::string_view token) {
+  if (token == "hash") return Method::kHash;
+  for (const MethodToken& t : kTokens) {
+    if (t.token == token) return t.method;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kBinarySearch:
+      return "array binary search";
+    case Method::kTreeBinarySearch:
+      return "tree binary search";
+    case Method::kInterpolation:
+      return "interpolation search";
+    case Method::kTTree:
+      return "T-tree";
+    case Method::kBPlusTree:
+      return "B+-tree";
+    case Method::kFullCss:
+      return "full CSS-tree";
+    case Method::kLevelCss:
+      return "level CSS-tree";
+    case Method::kHash:
+      return "hash";
+  }
+  return "?";
+}
+
+bool IndexSpec::sized() const {
+  switch (method_) {
+    case Method::kTTree:
+    case Method::kBPlusTree:
+    case Method::kFullCss:
+    case Method::kLevelCss:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IndexSpec::OnMenu() const {
+  if (method_ == Method::kHash) {
+    return hash_dir_bits_ >= 0 && hash_dir_bits_ <= 28;
+  }
+  if (!sized()) return true;
+  bool on_menu = false;
+  for (int m : NodeSizeMenu()) on_menu = on_menu || m == node_entries_;
+  if (!on_menu) return false;
+  if (method_ == Method::kLevelCss) return IsPowerOfTwo(node_entries_);
+  return true;
+}
+
+std::optional<IndexSpec> IndexSpec::Parse(std::string_view text) {
+  std::string_view token = text;
+  std::optional<int> param;
+  if (auto colon = text.find(':'); colon != std::string_view::npos) {
+    token = text.substr(0, colon);
+    std::string_view digits = text.substr(colon + 1);
+    int value = 0;
+    auto [end, ec] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), value);
+    if (ec != std::errc() || end != digits.data() + digits.size()) {
+      return std::nullopt;
+    }
+    param = value;
+  }
+  auto method = MethodFromToken(token);
+  if (!method) return std::nullopt;
+
+  IndexSpec spec(*method);
+  if (param) {
+    // A param on an unsized, non-hash method is an error, not ignored.
+    if (*method != Method::kHash && !spec.sized()) return std::nullopt;
+    spec = IndexSpec(*method, *param);
+  }
+  if (!spec.OnMenu()) return std::nullopt;
+  return spec;
+}
+
+const char* IndexSpec::GrammarHelp() {
+  return "spec grammar: css:16, lcss:64, btree:32, ttree:16, bin, tbin, "
+         "interp, hash:22 (node sizes from {4,8,16,24,32,64,128}; level "
+         "CSS: powers of two)";
+}
+
+std::string IndexSpec::ToString() const {
+  std::string out(CanonicalToken(method_));
+  if (method_ == Method::kHash) {
+    out += ':';
+    out += std::to_string(hash_dir_bits_);
+  } else if (sized()) {
+    out += ':';
+    out += std::to_string(node_entries_);
+  }
+  return out;
+}
+
+std::string IndexSpec::DisplayName() const {
+  std::string name = MethodName(method_);
+  if (method_ == Method::kHash) {
+    return name + "/dir=2^" + std::to_string(hash_dir_bits_);
+  }
+  if (sized()) {
+    return name + "/m=" + std::to_string(node_entries_);
+  }
+  return name;
+}
+
+IndexSpec IndexSpec::WithNodeEntries(int entries) const {
+  IndexSpec spec = *this;
+  spec.node_entries_ = entries;
+  return spec;
+}
+
+IndexSpec IndexSpec::WithHashDirBits(int bits) const {
+  IndexSpec spec = *this;
+  spec.hash_dir_bits_ = bits;
+  return spec;
+}
+
+std::vector<IndexSpec> AllSpecs() {
+  std::vector<IndexSpec> specs;
+  for (Method m : {Method::kBinarySearch, Method::kTreeBinarySearch,
+                   Method::kInterpolation, Method::kTTree, Method::kBPlusTree,
+                   Method::kFullCss, Method::kLevelCss, Method::kHash}) {
+    specs.push_back(IndexSpec(m));
+  }
+  return specs;
+}
+
+std::vector<IndexSpec> AllSpecs(int node_entries, int hash_dir_bits) {
+  std::vector<IndexSpec> specs;
+  for (IndexSpec spec : AllSpecs()) {
+    specs.push_back(
+        spec.WithNodeEntries(node_entries).WithHashDirBits(hash_dir_bits));
+  }
+  return specs;
+}
+
+const std::vector<int>& NodeSizeMenu() {
+  static const std::vector<int> menu{4, 8, 16, 24, 32, 64, 128};
+  return menu;
+}
+
+}  // namespace cssidx

@@ -1,6 +1,7 @@
 #ifndef CSSIDX_ENGINE_QUERY_H_
 #define CSSIDX_ENGINE_QUERY_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -10,7 +11,9 @@
 // Decision-support operators over Table (§2.2): selection through a sort
 // index, indexed nested-loop join ("the only join method used in [WK90]",
 // pipelinable and storage-light), and simple aggregation. Everything runs
-// against immutable tables; maintenance is rebuild-on-batch.
+// against immutable tables; maintenance is rebuild-on-batch. Join probes
+// go through the sort index's batch API so the inner structure can overlap
+// the cache misses of neighboring probes.
 
 namespace cssidx::engine {
 
@@ -28,27 +31,40 @@ struct JoinedPair {
   Rid inner;
 };
 
-/// Indexed nested-loop equi-join: for each outer row, probe the inner
-/// table's sort index on `inner_column`; emits every matching pair.
+/// Indexed nested-loop equi-join: probes the inner table's sort index on
+/// `inner_column` with batches of outer keys; emits every matching pair.
 /// The inner table must have a sort index built on `inner_column`.
 std::vector<JoinedPair> IndexedJoin(const Table& outer,
                                     const std::string& outer_column,
                                     const Table& inner,
                                     const std::string& inner_column);
 
+/// COUNT/SUM/MIN/MAX accumulator. Defaults are fold identities — min
+/// starts at UINT32_MAX, not 0, so MIN over a non-empty row set is right
+/// without callers having to remember to re-initialize.
 struct Aggregates {
   uint64_t count = 0;
   uint64_t sum = 0;
-  uint32_t min = 0;
+  uint32_t min = UINT32_MAX;
   uint32_t max = 0;
+
+  void Accumulate(uint32_t v) {
+    ++count;
+    sum += v;
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
 };
 
-/// COUNT/SUM/MIN/MAX of `column` over the given rows.
+/// COUNT/SUM/MIN/MAX of `column` over the given rows. An empty row set
+/// reports min = max = 0 (SQL would say NULL; 0 is this engine's
+/// convention).
 Aggregates Aggregate(const Table& table, const std::string& column,
                      const std::vector<Rid>& rids);
 
 /// GROUP BY `group_column` (dense domain IDs expected) computing COUNT and
-/// SUM(value_column) per group. Returns a vector indexed by group ID.
+/// SUM(value_column) per group. Returns a vector indexed by group ID;
+/// empty groups report min = max = 0.
 std::vector<Aggregates> GroupBy(const Table& table,
                                 const std::string& group_column,
                                 const std::string& value_column,

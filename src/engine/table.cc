@@ -5,25 +5,47 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/builder.h"
+
 namespace cssidx::engine {
 
-SortIndex::SortIndex(const std::vector<uint32_t>& column_values) {
+SortIndex::SortIndex(const std::vector<uint32_t>& column_values,
+                     const IndexSpec& spec) {
+  if (!spec.OnMenu()) {
+    // Reject before the O(n log n) sort, not after.
+    throw std::invalid_argument("index spec off the menu: " +
+                                spec.ToString());
+  }
   const size_t n = column_values.size();
   rids_.resize(n);
   std::iota(rids_.begin(), rids_.end(), 0);
   // Stable sort keeps equal-valued rows in RID order, which is what makes
   // Equal()'s output deterministic and the leftmost-match semantics of the
-  // tree line up with the smallest RID.
+  // index line up with the smallest RID.
   std::stable_sort(rids_.begin(), rids_.end(),
                    [&](Rid a, Rid b) { return column_values[a] < column_values[b]; });
   sorted_keys_.resize(n);
   for (size_t i = 0; i < n; ++i) sorted_keys_[i] = column_values[rids_[i]];
-  tree_ = std::make_unique<FullCssTree<16>>(sorted_keys_.data(), n);
+  index_ = BuildIndex(spec, sorted_keys_);
+  if (!index_) {
+    throw std::invalid_argument("index spec off the menu: " +
+                                spec.ToString());
+  }
+}
+
+size_t SortIndex::LowerBound(uint32_t v) const {
+  if (index_.SupportsOrderedAccess()) return index_.LowerBound(v);
+  // Hash can't serve positional queries; the sorted key list still can.
+  return static_cast<size_t>(
+      std::lower_bound(sorted_keys_.begin(), sorted_keys_.end(), v) -
+      sorted_keys_.begin());
 }
 
 std::vector<Rid> SortIndex::Equal(uint32_t v) const {
   std::vector<Rid> out;
-  size_t pos = tree_->LowerBound(v);
+  int64_t found = index_.Find(v);
+  if (found == kNotFound) return out;
+  auto pos = static_cast<size_t>(found);
   while (pos < sorted_keys_.size() && sorted_keys_[pos] == v) {
     out.push_back(rids_[pos]);
     ++pos;
@@ -34,8 +56,8 @@ std::vector<Rid> SortIndex::Equal(uint32_t v) const {
 std::vector<Rid> SortIndex::Range(uint32_t lo, uint32_t hi) const {
   std::vector<Rid> out;
   if (hi <= lo) return out;
-  size_t begin = tree_->LowerBound(lo);
-  size_t end = tree_->LowerBound(hi);
+  size_t begin = LowerBound(lo);
+  size_t end = LowerBound(hi);
   out.assign(rids_.begin() + static_cast<ptrdiff_t>(begin),
              rids_.begin() + static_cast<ptrdiff_t>(end));
   return out;
@@ -43,7 +65,7 @@ std::vector<Rid> SortIndex::Range(uint32_t lo, uint32_t hi) const {
 
 size_t SortIndex::SpaceBytes() const {
   return sorted_keys_.capacity() * sizeof(uint32_t) +
-         rids_.capacity() * sizeof(Rid) + tree_->SpaceBytes();
+         rids_.capacity() * sizeof(Rid) + index_.SpaceBytes();
 }
 
 void Table::AddColumn(const std::string& name, std::vector<uint32_t> values) {
@@ -77,9 +99,10 @@ void Table::AppendRows(
   }
   num_rows_ += batch_rows;
   // Rebuild-on-batch (§2.3): every existing sort index is rebuilt from
-  // scratch rather than updated in place.
+  // scratch rather than updated in place, keeping the spec it was built
+  // with.
   for (auto& [name, index] : indexes_) {
-    index = std::make_unique<SortIndex>(Column(name));
+    index = std::make_unique<SortIndex>(Column(name), index->spec());
   }
 }
 
@@ -95,9 +118,11 @@ const std::vector<uint32_t>& Table::Column(const std::string& name) const {
   return it->second;
 }
 
-const SortIndex& Table::BuildSortIndex(const std::string& column) {
+const SortIndex& Table::BuildSortIndex(const std::string& column,
+                                       const IndexSpec& spec) {
+  auto built = std::make_unique<SortIndex>(Column(column), spec);
   auto& slot = indexes_[column];
-  slot = std::make_unique<SortIndex>(Column(column));
+  slot = std::move(built);
   return *slot;
 }
 

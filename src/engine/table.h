@@ -4,30 +4,48 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
-#include "core/full_css_tree.h"
+#include "core/any_index.h"
 #include "core/index.h"
+#include "core/index_spec.h"
 
 // Minimal columnar main-memory table, the §2 system context: columns store
 // 4-byte values (raw integers or domain IDs), and ordered access to a
 // column goes through a *sort index* — "a list of record identifiers
-// sorted by some columns" (§2.2) — with a CSS-tree directory over the
-// sorted key list.
+// sorted by some columns" (§2.2) — with a search structure over the sorted
+// key list. Which structure is an IndexSpec: any method in the suite can
+// serve a column, and probes go through the batch-first AnyIndex facade.
 
 namespace cssidx::engine {
 
 using Rid = uint32_t;
 
 /// Ordered secondary index on one column: the column's values sorted, the
-/// matching RID permutation, and a CSS-tree over the sorted values. This
+/// matching RID permutation, and an AnyIndex over the sorted values. This
 /// is exactly the paper's indexed representation: the sorted key list
 /// supports range/ordered access, the directory accelerates lookups, and
 /// position i of the key list pairs with rids[i].
+///
+/// Unordered methods (hash) still serve Equal/Find — the hash stores array
+/// positions, so the leftmost match plus a rightward scan works as for any
+/// ordered method — while Range/LowerBound fall back to binary search on
+/// the sorted key list.
 class SortIndex {
  public:
-  SortIndex(const std::vector<uint32_t>& column_values);
+  explicit SortIndex(const std::vector<uint32_t>& column_values,
+                     const IndexSpec& spec = IndexSpec());
+
+  // Move-only: the wrapped index impl holds a raw pointer into
+  // sorted_keys_'s heap buffer. A move keeps that buffer alive; a copy
+  // would share the impl while duplicating the vectors, leaving the copy
+  // probing the source's (possibly freed) buffer.
+  SortIndex(SortIndex&&) = default;
+  SortIndex& operator=(SortIndex&&) = default;
+  SortIndex(const SortIndex&) = delete;
+  SortIndex& operator=(const SortIndex&) = delete;
 
   /// RIDs of rows whose value equals `v`, in RID-list order.
   std::vector<Rid> Equal(uint32_t v) const;
@@ -36,17 +54,25 @@ class SortIndex {
   std::vector<Rid> Range(uint32_t lo, uint32_t hi) const;
 
   /// Leftmost sorted position of `v`, or kNotFound.
-  int64_t Find(uint32_t v) const { return tree_->Find(v); }
-  size_t LowerBound(uint32_t v) const { return tree_->LowerBound(v); }
+  int64_t Find(uint32_t v) const { return index_.Find(v); }
+  size_t LowerBound(uint32_t v) const;
+
+  /// Batched probes against the sorted key list — the join inner loop.
+  /// out[i] = leftmost sorted position of keys[i], or kNotFound.
+  void FindBatch(std::span<const uint32_t> keys,
+                 std::span<int64_t> out) const {
+    index_.FindBatch(keys, out);
+  }
 
   const std::vector<uint32_t>& sorted_keys() const { return sorted_keys_; }
   const std::vector<Rid>& rids() const { return rids_; }
+  const IndexSpec& spec() const { return index_.spec(); }
   size_t SpaceBytes() const;
 
  private:
   std::vector<uint32_t> sorted_keys_;
   std::vector<Rid> rids_;
-  std::unique_ptr<FullCssTree<16>> tree_;
+  AnyIndex index_;
 };
 
 /// Column-store table: named uint32 columns of equal length.
@@ -58,8 +84,9 @@ class Table {
   void AddColumn(const std::string& name, std::vector<uint32_t> values);
 
   /// Appends a batch of rows (one value per existing column, keyed by
-  /// name) and rebuilds every sort index — the OLAP maintenance cycle.
-  /// Throws if the batch's columns do not match the table's.
+  /// name) and rebuilds every sort index with its original spec — the OLAP
+  /// maintenance cycle. Throws if the batch's columns do not match the
+  /// table's.
   void AppendRows(const std::map<std::string, std::vector<uint32_t>>& rows);
 
   size_t NumRows() const { return num_rows_; }
@@ -67,8 +94,11 @@ class Table {
   bool HasColumn(const std::string& name) const;
   const std::vector<uint32_t>& Column(const std::string& name) const;
 
-  /// Builds (or rebuilds, after batch updates) the sort index on a column.
-  const SortIndex& BuildSortIndex(const std::string& column);
+  /// Builds (or rebuilds, after batch updates) the sort index on a column
+  /// using any method in the suite. Throws std::invalid_argument for specs
+  /// off the menu.
+  const SortIndex& BuildSortIndex(const std::string& column,
+                                  const IndexSpec& spec = IndexSpec());
   /// The sort index previously built on `column` (must exist).
   const SortIndex& GetSortIndex(const std::string& column) const;
   bool HasSortIndex(const std::string& column) const;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "util/aligned_buffer.h"
 
 namespace cssidx::cachesim {
 namespace {
@@ -143,10 +144,13 @@ TEST(CacheSim, PaperGeometriesConstruct) {
 
 TEST(CacheSim, SequentialScanMissesOncePerLine) {
   // Spatial locality: scanning 64 ints (256B) with a 64B line = 4 misses.
+  // The buffer must be line-aligned or the scan straddles an extra line —
+  // a plain std::vector's start address made this heap-layout-dependent.
   CacheSim sim({"scan", 16 * 1024, 64, 4});
-  std::vector<uint32_t> data(64);
+  AlignedBuffer buf(64 * sizeof(uint32_t), 64);
+  const uint32_t* data = buf.as<uint32_t>();
   uint64_t misses = 0;
-  for (const auto& v : data) misses += sim.Access(&v, sizeof(v));
+  for (size_t i = 0; i < 64; ++i) misses += sim.Access(&data[i], 4);
   EXPECT_EQ(misses, (64 * sizeof(uint32_t)) / 64);
 }
 

@@ -12,28 +12,27 @@ namespace cssidx {
 namespace {
 
 void CheckAll(const std::vector<Key>& keys, int node_entries = 8) {
-  BuildOptions opts;
-  opts.node_entries = node_entries;
-  opts.hash_dir_bits = 6;
-  for (Method m : AllMethods()) {
-    if (m == Method::kLevelCss && (node_entries & (node_entries - 1)) != 0) {
-      continue;
-    }
-    auto index = BuildIndex(m, keys, opts);
-    ASSERT_NE(index, nullptr) << MethodName(m);
+  for (const IndexSpec& spec : AllSpecs(node_entries, 6)) {
+    if (!spec.OnMenu()) continue;  // level CSS on a non-power-of-two size
+    AnyIndex index = BuildIndex(spec, keys);
+    ASSERT_TRUE(index) << spec.ToString();
     std::vector<Key> probes(keys.begin(), keys.end());
     if (!keys.empty()) {
       probes.push_back(keys.front() - 1);
       probes.push_back(keys.back() + 1);
     }
-    for (Key k : probes) {
+    std::vector<int64_t> batch(probes.size());
+    index.FindBatch(probes, batch);
+    for (size_t i = 0; i < probes.size(); ++i) {
+      Key k = probes[i];
       auto [lo, hi] = std::equal_range(keys.begin(), keys.end(), k);
       bool present = lo != hi;
-      ASSERT_EQ(index->Find(k),
-                present ? static_cast<int64_t>(lo - keys.begin()) : kNotFound)
-          << index->Name() << " k=" << k;
-      ASSERT_EQ(index->CountEqual(k), static_cast<size_t>(hi - lo))
-          << index->Name() << " k=" << k;
+      int64_t want =
+          present ? static_cast<int64_t>(lo - keys.begin()) : kNotFound;
+      ASSERT_EQ(index.Find(k), want) << index.Name() << " k=" << k;
+      ASSERT_EQ(batch[i], want) << index.Name() << " k=" << k;
+      ASSERT_EQ(index.CountEqual(k), static_cast<size_t>(hi - lo))
+          << index.Name() << " k=" << k;
     }
   }
 }
@@ -76,13 +75,12 @@ TEST(Duplicates, LeftmostIsStable) {
   for (int run = 0; run < 50; ++run) {
     for (int i = 0; i < 7; ++i) keys.push_back(1000 + run * 10);
   }
-  BuildOptions opts;
-  opts.node_entries = 16;
-  for (Method m : AllMethods()) {
-    auto index = BuildIndex(m, keys, opts);
+  for (const IndexSpec& spec : AllSpecs(16, 6)) {
+    AnyIndex index = BuildIndex(spec, keys);
+    ASSERT_TRUE(index) << spec.ToString();
     for (int run = 0; run < 50; ++run) {
       Key k = 1000 + run * 10;
-      ASSERT_EQ(index->Find(k), run * 7) << index->Name();
+      ASSERT_EQ(index.Find(k), run * 7) << index.Name();
     }
   }
 }

@@ -175,6 +175,36 @@ TEST(Query, AggregateBasics) {
   EXPECT_EQ(empty.min, 0u);
 }
 
+TEST(Query, AggregateMinMaxInitialization) {
+  // Regression: Aggregates used to default min to 0, so a fold that
+  // skipped re-initialization reported MIN = 0 for any row set. The
+  // defaults are now fold identities.
+  Aggregates a;
+  a.Accumulate(7);
+  a.Accumulate(3);
+  a.Accumulate(9);
+  EXPECT_EQ(a.min, 3u);
+  EXPECT_EQ(a.max, 9u);
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_EQ(a.sum, 19u);
+
+  // Through the operators: all values strictly positive, min must not be 0.
+  Table t;
+  t.AddColumn("v", {50, 40, 60});
+  Aggregates agg = Aggregate(t, "v", {0, 1, 2});
+  EXPECT_EQ(agg.min, 40u);
+  EXPECT_EQ(agg.max, 60u);
+  Aggregates single = Aggregate(t, "v", {2});
+  EXPECT_EQ(single.min, 60u);
+  EXPECT_EQ(single.max, 60u);
+  // GroupBy: a group whose values are all positive, plus an empty group.
+  t.AddColumn("g", {0, 0, 0});
+  auto groups = GroupBy(t, "g", "v", 2);
+  EXPECT_EQ(groups[0].min, 40u);
+  EXPECT_EQ(groups[1].count, 0u);
+  EXPECT_EQ(groups[1].min, 0u);  // empty-set convention
+}
+
 TEST(Query, GroupByCountsAndSums) {
   Table t;
   t.AddColumn("g", {0, 1, 0, 2, 1, 0});
@@ -187,6 +217,82 @@ TEST(Query, GroupByCountsAndSums) {
   EXPECT_EQ(groups[1].sum, 35u);
   EXPECT_EQ(groups[2].count, 1u);
   EXPECT_EQ(groups[2].max, 20u);
+}
+
+TEST(SortIndex, EveryMethodInTheSuiteServesAColumn) {
+  // BuildSortIndex accepts any IndexSpec, including unordered hash (whose
+  // Range/LowerBound fall back to binary search on the sorted key list).
+  Pcg32 rng(31);
+  std::vector<uint32_t> col(8000);
+  for (auto& v : col) v = rng.Below(900);
+  SortIndex oracle(col);  // default spec: full CSS-tree
+  for (const IndexSpec& spec : AllSpecs(16, 10)) {
+    SortIndex index(col, spec);
+    EXPECT_EQ(index.spec(), spec);
+    for (uint32_t v : {0u, 1u, 433u, 899u, 900u, 5000u}) {
+      ASSERT_EQ(index.Equal(v), oracle.Equal(v)) << spec.ToString();
+      ASSERT_EQ(index.Find(v), oracle.Find(v)) << spec.ToString();
+      ASSERT_EQ(index.LowerBound(v), oracle.LowerBound(v)) << spec.ToString();
+    }
+    ASSERT_EQ(index.Range(100, 300), oracle.Range(100, 300))
+        << spec.ToString();
+  }
+}
+
+TEST(Table, BuildSortIndexAcceptsSpecsAndRejectsOffMenu) {
+  Table t = MakeOrders(5'000, 100, 17);
+  auto baseline = SelectEqual(t, "customer", 42);  // scan path
+  for (const char* spec_text : {"css:16", "lcss:8", "btree:32", "ttree:16",
+                                "bin", "tbin", "interp", "hash:10"}) {
+    auto spec = IndexSpec::Parse(spec_text);
+    ASSERT_TRUE(spec.has_value()) << spec_text;
+    t.BuildSortIndex("customer", *spec);
+    EXPECT_EQ(SelectEqual(t, "customer", 42), baseline) << spec_text;
+  }
+  EXPECT_THROW(t.BuildSortIndex("customer", IndexSpec().WithNodeEntries(12)),
+               std::invalid_argument);
+  // The failed rebuild must not have clobbered the existing index.
+  EXPECT_TRUE(t.HasSortIndex("customer"));
+  EXPECT_EQ(SelectEqual(t, "customer", 42), baseline);
+}
+
+TEST(Table, AppendRowsRebuildsWithOriginalSpec) {
+  Table t;
+  t.AddColumn("k", {10, 20, 30});
+  t.BuildSortIndex("k", *IndexSpec::Parse("hash:6"));
+  t.AppendRows({{"k", {15, 25}}});
+  const SortIndex& rebuilt = t.GetSortIndex("k");
+  EXPECT_EQ(rebuilt.spec(), *IndexSpec::Parse("hash:6"));
+  EXPECT_EQ(rebuilt.Equal(15), (std::vector<Rid>{3}));
+}
+
+TEST(Query, IndexedJoinThroughEveryMethod) {
+  // The join probes the inner index through FindBatch; every method must
+  // produce the same pairs, hash included.
+  Table orders = MakeOrders(7'000, 150, 19);
+  Table customers;
+  {
+    std::vector<uint32_t> id(150), region(150);
+    Pcg32 rng(29);
+    for (uint32_t i = 0; i < 150; ++i) {
+      id[i] = i;
+      region[i] = rng.Below(10);
+    }
+    customers.AddColumn("id", std::move(id));
+    customers.AddColumn("region", std::move(region));
+  }
+  customers.BuildSortIndex("id");
+  auto expected = IndexedJoin(orders, "customer", customers, "id");
+  ASSERT_EQ(expected.size(), 7'000u);
+  for (const IndexSpec& spec : AllSpecs(8, 8)) {
+    customers.BuildSortIndex("id", spec);
+    auto pairs = IndexedJoin(orders, "customer", customers, "id");
+    ASSERT_EQ(pairs.size(), expected.size()) << spec.ToString();
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      ASSERT_EQ(pairs[i].outer, expected[i].outer) << spec.ToString();
+      ASSERT_EQ(pairs[i].inner, expected[i].inner) << spec.ToString();
+    }
+  }
 }
 
 TEST(Query, DecisionSupportPipeline) {

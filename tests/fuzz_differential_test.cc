@@ -1,11 +1,11 @@
 // Randomized differential testing: many random configurations (size,
 // distribution, node size), thousands of random probes, every method
-// checked against every other and against the STL oracle — plus randomized
-// batch-update/rebuild cycles where a plain std::vector is the model.
-// Deterministic seeds; failures print the reproducing configuration.
+// checked against every other and against the STL oracle — scalar and
+// batched probes both — plus randomized batch-update/rebuild cycles where
+// a plain std::vector is the model. Deterministic seeds; failures print
+// the reproducing configuration.
 
 #include <algorithm>
-#include <memory>
 #include <vector>
 
 #include "core/builder.h"
@@ -40,38 +40,84 @@ TEST(FuzzDifferential, AllMethodsAgreeWithOracle) {
     size_t n = rng.Below(3000);
     auto keys = RandomKeys(rng, n);
     n = keys.size();
-    BuildOptions opts;
-    opts.node_entries = node_menu[rng.Below(
+    int node_entries = node_menu[rng.Below(
         static_cast<uint32_t>(node_menu.size()))];
-    opts.hash_dir_bits = static_cast<int>(rng.Below(10));
+    int hash_dir_bits = static_cast<int>(rng.Below(10));
 
-    std::vector<std::unique_ptr<IndexHandle>> indexes;
-    for (Method m : AllMethods()) {
-      auto idx = BuildIndex(m, keys, opts);
-      if (idx) indexes.push_back(std::move(idx));
+    std::vector<AnyIndex> indexes;
+    for (const IndexSpec& spec : AllSpecs(node_entries, hash_dir_bits)) {
+      AnyIndex index = BuildIndex(spec, keys);
+      if (index) indexes.push_back(std::move(index));
     }
     ASSERT_GE(indexes.size(), 7u);  // level CSS may drop out on m=24
 
     uint32_t probe_ceiling = keys.empty() ? 100 : keys.back() + 3;
-    for (int p = 0; p < 400; ++p) {
-      Key k = rng.Below(probe_ceiling);
-      auto lo = std::lower_bound(keys.begin(), keys.end(), k);
-      auto hi = std::upper_bound(keys.begin(), keys.end(), k);
-      bool present = lo != keys.end() && *lo == k;
-      int64_t want_find =
+    std::vector<Key> probes(400);
+    for (Key& k : probes) k = rng.Below(probe_ceiling);
+
+    // STL oracle, computed once per probe.
+    std::vector<int64_t> want_find(probes.size());
+    std::vector<size_t> want_lower(probes.size());
+    std::vector<size_t> want_count(probes.size());
+    for (size_t p = 0; p < probes.size(); ++p) {
+      auto lo = std::lower_bound(keys.begin(), keys.end(), probes[p]);
+      auto hi = std::upper_bound(keys.begin(), keys.end(), probes[p]);
+      bool present = lo != keys.end() && *lo == probes[p];
+      want_find[p] =
           present ? static_cast<int64_t>(lo - keys.begin()) : kNotFound;
-      auto want_count = static_cast<size_t>(hi - lo);
-      for (const auto& index : indexes) {
-        ASSERT_EQ(index->Find(k), want_find)
-            << index->Name() << " trial=" << trial << " n=" << n
-            << " m=" << opts.node_entries << " k=" << k;
-        ASSERT_EQ(index->CountEqual(k), want_count)
-            << index->Name() << " trial=" << trial << " k=" << k;
-        if (index->SupportsOrderedAccess()) {
-          ASSERT_EQ(index->LowerBound(k),
-                    static_cast<size_t>(lo - keys.begin()))
-              << index->Name() << " trial=" << trial << " k=" << k;
+      want_lower[p] = static_cast<size_t>(lo - keys.begin());
+      want_count[p] = static_cast<size_t>(hi - lo);
+    }
+
+    std::vector<int64_t> batch_find(probes.size());
+    std::vector<size_t> batch_lower(probes.size());
+    for (const AnyIndex& index : indexes) {
+      // The batch entry points are the contract; the scalar calls they are
+      // compared against are batches of one through the same virtual hop.
+      index.FindBatch(probes, batch_find);
+      index.LowerBoundBatch(probes, batch_lower);
+      for (size_t p = 0; p < probes.size(); ++p) {
+        Key k = probes[p];
+        ASSERT_EQ(batch_find[p], want_find[p])
+            << index.Name() << " trial=" << trial << " n=" << n
+            << " m=" << node_entries << " k=" << k;
+        ASSERT_EQ(index.Find(k), want_find[p])
+            << index.Name() << " trial=" << trial << " k=" << k;
+        ASSERT_EQ(index.CountEqual(k), want_count[p])
+            << index.Name() << " trial=" << trial << " k=" << k;
+        if (index.SupportsOrderedAccess()) {
+          ASSERT_EQ(batch_lower[p], want_lower[p])
+              << index.Name() << " trial=" << trial << " k=" << k;
+          ASSERT_EQ(index.LowerBound(k), want_lower[p])
+              << index.Name() << " trial=" << trial << " k=" << k;
         }
+      }
+    }
+  }
+}
+
+TEST(FuzzDifferential, BatchProbesAgreeAtEveryBatchSize) {
+  // The group kernels have three internal regimes (full groups, the
+  // sub-group remainder, chunk boundaries); sweep batch sizes across them.
+  Pcg32 rng(0xba7c4);
+  auto keys = workload::KeysWithDuplicates(5000, 700, 42);
+  for (const IndexSpec& spec : AllSpecs(16, 8)) {
+    AnyIndex index = BuildIndex(spec, keys);
+    ASSERT_TRUE(index);
+    for (size_t batch : {size_t{1}, size_t{2}, size_t{7}, size_t{8},
+                         size_t{9}, size_t{64}, size_t{255}, size_t{256},
+                         size_t{257}, size_t{1000}}) {
+      std::vector<Key> probes(batch);
+      for (Key& k : probes) k = rng.Below(keys.back() + 3);
+      std::vector<int64_t> found(batch);
+      std::vector<size_t> lower(batch);
+      index.FindBatch(probes, found);
+      index.LowerBoundBatch(probes, lower);
+      for (size_t i = 0; i < batch; ++i) {
+        ASSERT_EQ(found[i], index.Find(probes[i]))
+            << index.Name() << " batch=" << batch << " i=" << i;
+        ASSERT_EQ(lower[i], index.LowerBound(probes[i]))
+            << index.Name() << " batch=" << batch << " i=" << i;
       }
     }
   }
@@ -115,23 +161,23 @@ TEST(FuzzDifferential, BatchUpdateCyclesMatchVectorModel) {
 }
 
 TEST(FuzzDifferential, ExtremeValueKeys) {
-  // Keys hugging 0 and UINT32_MAX, every method.
+  // Keys hugging 0 and UINT32_MAX, every method, scalar and batched.
   std::vector<Key> keys{0,          1,          2,          100,
                         0x7fffffff, 0x80000000, 0xfffffffe, 0xffffffffu};
-  BuildOptions opts;
-  opts.node_entries = 4;
-  opts.hash_dir_bits = 3;
-  for (Method m : AllMethods()) {
-    auto index = BuildIndex(m, keys, opts);
-    ASSERT_NE(index, nullptr);
+  for (const IndexSpec& spec : AllSpecs(4, 3)) {
+    AnyIndex index = BuildIndex(spec, keys);
+    ASSERT_TRUE(index) << spec.ToString();
+    std::vector<int64_t> found(keys.size());
+    index.FindBatch(keys, found);
     for (size_t i = 0; i < keys.size(); ++i) {
-      ASSERT_EQ(index->Find(keys[i]), static_cast<int64_t>(i))
-          << index->Name();
+      ASSERT_EQ(index.Find(keys[i]), static_cast<int64_t>(i))
+          << index.Name();
+      ASSERT_EQ(found[i], static_cast<int64_t>(i)) << index.Name();
     }
-    ASSERT_EQ(index->Find(3), kNotFound) << index->Name();
-    if (index->SupportsOrderedAccess()) {
-      ASSERT_EQ(index->LowerBound(0xffffffffu), 7u) << index->Name();
-      ASSERT_EQ(index->LowerBound(0), 0u) << index->Name();
+    ASSERT_EQ(index.Find(3), kNotFound) << index.Name();
+    if (index.SupportsOrderedAccess()) {
+      ASSERT_EQ(index.LowerBound(0xffffffffu), 7u) << index.Name();
+      ASSERT_EQ(index.LowerBound(0), 0u) << index.Name();
     }
   }
 }

@@ -1,0 +1,123 @@
+// IndexSpec string grammar: round-tripping, aliases, defaults, and
+// rejection of everything off the menu.
+
+#include "core/index_spec.h"
+
+#include "gtest/gtest.h"
+#include "util/bits.h"
+
+namespace cssidx {
+namespace {
+
+TEST(IndexSpec, CanonicalStringsRoundTrip) {
+  // Every buildable configuration: ToString -> Parse -> identical spec.
+  std::vector<IndexSpec> menu;
+  for (const IndexSpec& spec : AllSpecs()) {
+    if (!spec.sized()) {
+      menu.push_back(spec);
+      continue;
+    }
+    for (int m : NodeSizeMenu()) {
+      IndexSpec sized = spec.WithNodeEntries(m);
+      if (sized.OnMenu()) menu.push_back(sized);
+    }
+  }
+  for (int bits : {0, 3, 8, 17, 28}) {
+    auto hash = IndexSpec::Parse("hash:" + std::to_string(bits));
+    ASSERT_TRUE(hash.has_value()) << bits;
+    menu.push_back(*hash);
+  }
+  ASSERT_GT(menu.size(), 20u);
+  for (const IndexSpec& spec : menu) {
+    auto reparsed = IndexSpec::Parse(spec.ToString());
+    ASSERT_TRUE(reparsed.has_value()) << spec.ToString();
+    EXPECT_EQ(*reparsed, spec) << spec.ToString();
+    EXPECT_EQ(reparsed->ToString(), spec.ToString());
+  }
+}
+
+TEST(IndexSpec, ParseExamplesFromTheGrammar) {
+  EXPECT_EQ(IndexSpec::Parse("css:16")->DisplayName(), "full CSS-tree/m=16");
+  EXPECT_EQ(IndexSpec::Parse("lcss:64")->node_entries(), 64);
+  EXPECT_EQ(IndexSpec::Parse("hash:22")->hash_dir_bits(), 22);
+  EXPECT_EQ(IndexSpec::Parse("btree:32")->DisplayName(), "B+-tree/m=32");
+  EXPECT_EQ(IndexSpec::Parse("bin")->DisplayName(), "array binary search");
+  EXPECT_EQ(IndexSpec::Parse("tbin")->DisplayName(), "tree binary search");
+  EXPECT_EQ(IndexSpec::Parse("interp")->DisplayName(),
+            "interpolation search");
+  EXPECT_FALSE(IndexSpec::Parse("hash:22")->ordered());
+  EXPECT_TRUE(IndexSpec::Parse("css:16")->ordered());
+}
+
+TEST(IndexSpec, ParamDefaultsWhenOmitted) {
+  EXPECT_EQ(IndexSpec::Parse("css")->node_entries(), 16);
+  EXPECT_EQ(IndexSpec::Parse("ttree")->node_entries(), 16);
+  EXPECT_EQ(IndexSpec::Parse("hash")->hash_dir_bits(), 22);
+}
+
+TEST(IndexSpec, AcceptsLongFormAliases) {
+  EXPECT_EQ(*IndexSpec::Parse("binary"), *IndexSpec::Parse("bin"));
+  EXPECT_EQ(*IndexSpec::Parse("interpolation"), *IndexSpec::Parse("interp"));
+  EXPECT_EQ(*IndexSpec::Parse("full-css:32"), *IndexSpec::Parse("css:32"));
+  EXPECT_EQ(*IndexSpec::Parse("level-css:8"), *IndexSpec::Parse("lcss:8"));
+  EXPECT_EQ(*IndexSpec::Parse("b+tree:16"), *IndexSpec::Parse("btree:16"));
+  EXPECT_EQ(*IndexSpec::Parse("t-tree:4"), *IndexSpec::Parse("ttree:4"));
+}
+
+TEST(IndexSpec, RejectsOffMenu) {
+  // Unknown methods.
+  EXPECT_FALSE(IndexSpec::Parse("").has_value());
+  EXPECT_FALSE(IndexSpec::Parse(":").has_value());
+  EXPECT_FALSE(IndexSpec::Parse("bogus").has_value());
+  EXPECT_FALSE(IndexSpec::Parse("css tree").has_value());
+  // Malformed params.
+  EXPECT_FALSE(IndexSpec::Parse("css:").has_value());
+  EXPECT_FALSE(IndexSpec::Parse("css:abc").has_value());
+  EXPECT_FALSE(IndexSpec::Parse("css:16x").has_value());
+  EXPECT_FALSE(IndexSpec::Parse("css:-16").has_value());
+  // Off-menu node sizes.
+  EXPECT_FALSE(IndexSpec::Parse("css:12").has_value());
+  EXPECT_FALSE(IndexSpec::Parse("css:0").has_value());
+  EXPECT_FALSE(IndexSpec::Parse("ttree:1000").has_value());
+  // Level CSS-trees: powers of two only.
+  EXPECT_FALSE(IndexSpec::Parse("lcss:24").has_value());
+  EXPECT_TRUE(IndexSpec::Parse("lcss:32").has_value());
+  // Params on unsized methods are an error, not ignored.
+  EXPECT_FALSE(IndexSpec::Parse("bin:4").has_value());
+  EXPECT_FALSE(IndexSpec::Parse("interp:8").has_value());
+  // Hash directory out of range.
+  EXPECT_FALSE(IndexSpec::Parse("hash:40").has_value());
+  EXPECT_FALSE(IndexSpec::Parse("hash:-1").has_value());
+}
+
+TEST(IndexSpec, OnMenuMatchesParseForConstructedSpecs) {
+  for (const IndexSpec& spec : AllSpecs()) {
+    if (!spec.sized()) continue;
+    for (int m : {3, 4, 12, 16, 24, 48, 128, 256}) {
+      IndexSpec sized = spec.WithNodeEntries(m);
+      EXPECT_EQ(sized.OnMenu(),
+                IndexSpec::Parse(sized.ToString()).has_value())
+          << sized.ToString();
+    }
+  }
+}
+
+TEST(IndexSpec, AllSpecsCoversTheLegend) {
+  auto specs = AllSpecs();
+  ASSERT_EQ(specs.size(), 8u);
+  size_t ordered = 0;
+  for (const IndexSpec& spec : specs) ordered += spec.ordered() ? 1 : 0;
+  EXPECT_EQ(ordered, 7u);  // all but hash
+  // Knobbed variant applies to every spec.
+  for (const IndexSpec& spec : AllSpecs(32, 10)) {
+    if (spec.sized()) {
+      EXPECT_EQ(spec.node_entries(), 32);
+    }
+    if (!spec.ordered()) {
+      EXPECT_EQ(spec.hash_dir_bits(), 10);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cssidx

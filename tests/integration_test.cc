@@ -100,19 +100,20 @@ TEST(Integration, IndexedNestedLoopJoin) {
 TEST(Integration, AllMethodsAgreeOnARealWorkload) {
   auto keys = workload::DistinctSortedKeys(30'000, 13, 4);
   auto lookups = workload::MixedLookups(keys, 5'000, 0.5, 14);
-  BuildOptions opts;
-  opts.node_entries = 16;
-  opts.hash_dir_bits = 12;
 
-  std::vector<std::unique_ptr<IndexHandle>> indexes;
-  for (Method m : AllMethods()) {
-    indexes.push_back(BuildIndex(m, keys, opts));
+  std::vector<AnyIndex> indexes;
+  for (const IndexSpec& spec : AllSpecs(16, 12)) {
+    indexes.push_back(BuildIndex(spec, keys));
+    ASSERT_TRUE(indexes.back()) << spec.ToString();
   }
-  for (Key k : lookups) {
-    int64_t expected = indexes[0]->Find(k);
-    for (const auto& index : indexes) {
-      ASSERT_EQ(index->Find(k), expected) << index->Name() << " k=" << k;
-    }
+  // Probe the whole workload through the batch API; every method must
+  // produce the identical result vector.
+  std::vector<int64_t> expected(lookups.size());
+  indexes[0].FindBatch(lookups, expected);
+  std::vector<int64_t> found(lookups.size());
+  for (const AnyIndex& index : indexes) {
+    index.FindBatch(lookups, found);
+    ASSERT_EQ(found, expected) << index.Name();
   }
 }
 

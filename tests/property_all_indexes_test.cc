@@ -1,8 +1,11 @@
-// Cross-method property suite: every ordered index in the suite, over every
-// key distribution, node size on the menu, and a sweep of array sizes, must
-// agree exactly with std::lower_bound / std::equal_range. This is the
-// paper's implicit contract — all eight methods compute the same function,
-// they only differ in time and space.
+// Cross-method property suite: every index in the suite, over every key
+// distribution, node size on the menu, and a sweep of array sizes, must
+// agree exactly with std::lower_bound / std::equal_range — scalar AND
+// batched. This is the paper's implicit contract — all eight methods
+// compute the same function, they only differ in time and space — extended
+// to the batch probe API: FindBatch/LowerBoundBatch are required to be
+// exactly a scalar loop, whatever group-probing and prefetching tricks an
+// implementation plays underneath.
 
 #include <algorithm>
 #include <string>
@@ -52,35 +55,30 @@ std::vector<Key> MakeKeys(Distribution d, size_t n, uint64_t seed) {
 }
 
 struct Case {
-  Method method;
-  int node_entries;
+  IndexSpec spec;
   Distribution dist;
 };
 
 std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
-  std::string name = MethodName(info.param.method);
+  std::string name = info.param.spec.ToString();
   for (char& c : name) {
     if (!isalnum(static_cast<unsigned char>(c))) c = '_';
   }
-  return name + "_m" + std::to_string(info.param.node_entries) + "_" +
-         DistributionName(info.param.dist);
+  return name + "_" + DistributionName(info.param.dist);
 }
 
 class AllIndexesProperty : public ::testing::TestWithParam<Case> {};
 
 TEST_P(AllIndexesProperty, AgreesWithStlOracles) {
   const Case& c = GetParam();
-  BuildOptions opts;
-  opts.node_entries = c.node_entries;
-  opts.hash_dir_bits = 8;
   for (size_t n : {size_t{0}, size_t{1}, size_t{2}, size_t{5}, size_t{16},
                    size_t{17}, size_t{100}, size_t{257}, size_t{1000},
                    size_t{4096}, size_t{10000}}) {
     if (c.dist == Distribution::kClustered && n < 100) continue;
     auto keys = MakeKeys(c.dist, n, /*seed=*/n * 31 + 7);
-    auto index = BuildIndex(c.method, keys, opts);
-    ASSERT_NE(index, nullptr);
-    ASSERT_EQ(index->size(), keys.size());
+    AnyIndex index = BuildIndex(c.spec, keys);
+    ASSERT_TRUE(index);
+    ASSERT_EQ(index.size(), keys.size());
 
     std::vector<Key> probes;
     if (!keys.empty()) {
@@ -99,15 +97,28 @@ TEST_P(AllIndexesProperty, AgreesWithStlOracles) {
       bool present = lo != keys.end() && *lo == k;
       int64_t expected_find =
           present ? static_cast<int64_t>(lo - keys.begin()) : kNotFound;
-      ASSERT_EQ(index->Find(k), expected_find)
-          << index->Name() << " n=" << n << " k=" << k;
-      ASSERT_EQ(index->CountEqual(k), static_cast<size_t>(hi - lo))
-          << index->Name() << " n=" << n << " k=" << k;
-      if (index->SupportsOrderedAccess()) {
-        ASSERT_EQ(index->LowerBound(k),
+      ASSERT_EQ(index.Find(k), expected_find)
+          << index.Name() << " n=" << n << " k=" << k;
+      ASSERT_EQ(index.CountEqual(k), static_cast<size_t>(hi - lo))
+          << index.Name() << " n=" << n << " k=" << k;
+      if (index.SupportsOrderedAccess()) {
+        ASSERT_EQ(index.LowerBound(k),
                   static_cast<size_t>(lo - keys.begin()))
-            << index->Name() << " n=" << n << " k=" << k;
+            << index.Name() << " n=" << n << " k=" << k;
       }
+    }
+
+    // Batch ≡ scalar, over the whole probe set at once (covers the group
+    // kernels' full-group path, the remainder path, and batches of one).
+    std::vector<int64_t> batch_find(probes.size());
+    std::vector<size_t> batch_lower(probes.size());
+    index.FindBatch(probes, batch_find);
+    index.LowerBoundBatch(probes, batch_lower);
+    for (size_t i = 0; i < probes.size(); ++i) {
+      ASSERT_EQ(batch_find[i], index.Find(probes[i]))
+          << index.Name() << " n=" << n << " i=" << i;
+      ASSERT_EQ(batch_lower[i], index.LowerBound(probes[i]))
+          << index.Name() << " n=" << n << " i=" << i;
     }
   }
 }
@@ -119,18 +130,16 @@ std::vector<Case> AllCases() {
                                   Distribution::kDuplicates,
                                   Distribution::kClustered};
   for (Distribution d : dists) {
-    // Methods without a node-size knob: one case each.
-    for (Method m : {Method::kBinarySearch, Method::kTreeBinarySearch,
-                     Method::kInterpolation, Method::kHash}) {
-      cases.push_back({m, 16, d});
-    }
-    // Node-sized methods: sweep the menu (level CSS: powers of two only).
-    for (int entries : {4, 8, 16, 24, 32, 64, 128}) {
-      cases.push_back({Method::kFullCss, entries, d});
-      cases.push_back({Method::kTTree, entries, d});
-      cases.push_back({Method::kBPlusTree, entries, d});
-      if ((entries & (entries - 1)) == 0) {
-        cases.push_back({Method::kLevelCss, entries, d});
+    for (const IndexSpec& spec : AllSpecs(16, 8)) {
+      if (!spec.sized()) {
+        // Methods without a node-size knob: one case each.
+        cases.push_back({spec, d});
+        continue;
+      }
+      // Node-sized methods: sweep the menu (level CSS: powers of two only).
+      for (int entries : NodeSizeMenu()) {
+        IndexSpec sized = spec.WithNodeEntries(entries);
+        if (sized.OnMenu()) cases.push_back({sized, d});
       }
     }
   }
