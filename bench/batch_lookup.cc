@@ -1,23 +1,29 @@
-// Scalar vs batched probe throughput across the suite, the operational
-// payoff of the batch-first AnyIndex contract: group probing + software
-// prefetch overlap the per-probe cache misses the paper counts (§5), so
-// batched lookups beat one-at-a-time scalar probes on memory-bound trees.
+// Scalar vs batched vs *parallel* probe throughput across the suite, the
+// operational payoff of the batch-first AnyIndex contract: group probing +
+// software prefetch overlap the per-probe cache misses the paper counts
+// (§5) within one core, and sharding a large probe span across a thread
+// pool (ProbeOptions / the "@tN" spec suffix) multiplies that by the
+// memory-level parallelism of the other cores.
 //
-// Sweeps batch sizes 1..1024 for every method and emits both the standard
-// table/CSV and a JSON file (default BENCH_batch_lookup.json) so the perf
-// trajectory can track batch throughput run over run.
+// Sweeps batch sizes 1..1024 for every method (threads = 1, the PR-1
+// table), then sweeps thread counts over the whole lookup set as a single
+// batch, and emits the standard table/CSV plus a JSON file (default
+// BENCH_batch_lookup.json) so the perf trajectory can track both batch
+// throughput and thread scaling run over run.
 //
 //   $ ./bench_batch_lookup [--n=10000000] [--lookups=1000000]
-//                          [--json=BENCH_batch_lookup.json] [--quick]
+//                          [--threads=1,2,4,8] [--json=...] [--quick]
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/builder.h"
 #include "harness.h"
 #include "util/bits.h"
+#include "util/thread_pool.h"
 #include "workload/key_gen.h"
 #include "workload/lookup_gen.h"
 
@@ -32,6 +38,30 @@ struct Row {
   double batch_ns;
 };
 
+struct ScalingRow {
+  std::string spec;
+  int threads;
+  size_t batch;
+  bench::BatchTiming timing;
+  double scaling;  // aggregate throughput relative to the threads=1 row
+};
+
+std::vector<int> ParseThreadList(const std::string& text) {
+  std::vector<int> threads;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    threads.push_back(std::atoi(text.substr(pos, comma - pos).c_str()));
+    pos = comma + 1;
+  }
+  threads.erase(std::remove_if(threads.begin(), threads.end(),
+                               [](int t) { return t < 1; }),
+                threads.end());
+  if (threads.empty()) threads.push_back(1);
+  return threads;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -41,11 +71,13 @@ int main(int argc, char** argv) {
                             : (options.quick ? 1'000'000 : 10'000'000);
   std::string json_path =
       args.GetString("json", "BENCH_batch_lookup.json");
+  std::vector<int> thread_sweep = ParseThreadList(
+      args.GetString("threads", options.quick ? "1,4" : "1,2,4,8"));
 
   bench::PrintHeader(
       "batch_lookup",
-      "scalar Find loop vs FindBatch (group probing + prefetch), n=" +
-          std::to_string(n),
+      "scalar Find loop vs FindBatch (group probing + prefetch) vs "
+      "thread-sharded FindBatch, n=" + std::to_string(n),
       options);
 
   auto keys = workload::DistinctSortedKeys(n, options.seed, 4);
@@ -61,9 +93,19 @@ int main(int argc, char** argv) {
   std::vector<size_t> batches{1, 4, 16, 64, 256, 1024};
   if (options.quick) batches = {1, 64, 1024};
 
+  // A dedicated pool sized to the sweep's widest row, so a request for 8
+  // threads fields 8 real executors even on a narrower machine (the rows
+  // then honestly show oversubscription instead of silently clamping).
+  int max_threads = *std::max_element(thread_sweep.begin(),
+                                      thread_sweep.end());
+  ThreadPool pool(max_threads - 1);
+
   bench::Table table({"spec", "batch", "scalar ns/probe", "batched ns/probe",
                       "speedup"});
+  bench::Table scaling_table({"spec", "threads", "batch", "ns/probe",
+                              "Mprobes/s", "Mprobes/s/thread", "scaling"});
   std::vector<Row> rows;
+  std::vector<ScalingRow> scaling_rows;
   for (const std::string& text : spec_texts) {
     IndexSpec spec = *IndexSpec::Parse(text);
     AnyIndex index = BuildIndex(spec, keys);
@@ -83,8 +125,42 @@ int main(int argc, char** argv) {
                     bench::Table::Num(batch_ns, 4),
                     bench::Table::Num(scalar_ns / batch_ns, 3)});
     }
+
+    // Thread scaling: the whole lookup set as one batch (every shard is
+    // then >= min_shard as long as lookups/threads allows), one row per
+    // requested thread count, scaling relative to a genuine t=1 baseline
+    // (measured even when 1 is not in the sweep, so "scaling_vs_t1" means
+    // what it says for a --threads=2,4,8 run).
+    size_t big_batch = lookups.size();
+    bench::BatchTiming t1_timing = bench::MinFindBatchTiming(
+        index, lookups, big_batch, options.repeats,
+        ProbeOptions{.threads = 1, .pool = &pool});
+    double t1_aggregate = t1_timing.AggregateMProbesPerSec();
+    for (int threads : thread_sweep) {
+      ProbeOptions probe_opts{.threads = threads, .pool = &pool};
+      bench::BatchTiming timing =
+          threads == 1 ? t1_timing
+                       : bench::MinFindBatchTiming(index, lookups, big_batch,
+                                                   options.repeats,
+                                                   probe_opts);
+      double scaling =
+          t1_aggregate > 0 ? timing.AggregateMProbesPerSec() / t1_aggregate
+                           : 1.0;
+      scaling_rows.push_back(
+          {spec.ToString(), threads, big_batch, timing, scaling});
+      scaling_table.AddRow(
+          {spec.ToString(), std::to_string(threads),
+           std::to_string(big_batch),
+           bench::Table::Num(timing.NsPerProbe(), 4),
+           bench::Table::Num(timing.AggregateMProbesPerSec(), 4),
+           bench::Table::Num(timing.PerThreadMProbesPerSec(), 4),
+           bench::Table::Num(scaling, 3)});
+    }
   }
   table.Print("batched vs scalar probes, n=" + std::to_string(n));
+  scaling_table.Print(
+      "thread-sharded FindBatch scaling, n=" + std::to_string(n) +
+      ", hardware threads=" + std::to_string(ThreadPool::HardwareThreads()));
 
   FILE* json = std::fopen(json_path.c_str(), "w");
   if (json == nullptr) {
@@ -93,16 +169,31 @@ int main(int argc, char** argv) {
   }
   std::fprintf(json,
                "{\n  \"bench\": \"batch_lookup\",\n  \"n\": %zu,\n"
-               "  \"lookups\": %zu,\n  \"repeats\": %d,\n  \"results\": [\n",
-               n, lookups.size(), options.repeats);
+               "  \"lookups\": %zu,\n  \"repeats\": %d,\n"
+               "  \"hardware_threads\": %d,\n  \"results\": [\n",
+               n, lookups.size(), options.repeats,
+               ThreadPool::HardwareThreads());
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(json,
-                 "    {\"spec\": \"%s\", \"batch\": %zu, "
+                 "    {\"spec\": \"%s\", \"batch\": %zu, \"threads\": 1, "
                  "\"scalar_ns_per_probe\": %.3f, "
                  "\"batched_ns_per_probe\": %.3f, \"speedup\": %.3f}%s\n",
                  r.spec.c_str(), r.batch, r.scalar_ns, r.batch_ns,
                  r.scalar_ns / r.batch_ns, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n  \"thread_scaling\": [\n");
+  for (size_t i = 0; i < scaling_rows.size(); ++i) {
+    const ScalingRow& r = scaling_rows[i];
+    std::fprintf(
+        json,
+        "    {\"spec\": \"%s\", \"threads\": %d, \"batch\": %zu, "
+        "\"ns_per_probe\": %.3f, \"mprobes_per_sec\": %.3f, "
+        "\"mprobes_per_sec_per_thread\": %.3f, \"scaling_vs_t1\": %.3f}%s\n",
+        r.spec.c_str(), r.threads, r.batch, r.timing.NsPerProbe(),
+        r.timing.AggregateMProbesPerSec(),
+        r.timing.PerThreadMProbesPerSec(), r.scaling,
+        i + 1 < scaling_rows.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n}\n");
   std::fclose(json);

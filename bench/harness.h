@@ -77,6 +77,56 @@ double MinFindBatchSeconds(const IndexT& index,
   return best;
 }
 
+/// One batched-probe measurement, carrying the thread count it ran with so
+/// reports can show both views: aggregate throughput (what the machine
+/// delivered) and per-thread throughput (what each executor delivered).
+/// Multi-thread rows are only comparable to threads=1 rows through the
+/// per-thread number — aggregate alone hides oversubscription losses.
+struct BatchTiming {
+  double seconds = 0;
+  size_t probes = 0;
+  int threads = 1;
+
+  double NsPerProbe() const {
+    return probes == 0 ? 0 : seconds / static_cast<double>(probes) * 1e9;
+  }
+  double AggregateMProbesPerSec() const {
+    return seconds == 0 ? 0 : static_cast<double>(probes) / seconds / 1e6;
+  }
+  double PerThreadMProbesPerSec() const {
+    int t = threads > 0 ? threads : 1;
+    return AggregateMProbesPerSec() / t;
+  }
+};
+
+/// MinFindBatchSeconds with an explicit execution policy: minimum
+/// wall-clock over `repeats` runs of the lookup set through FindBatch in
+/// `batch`-probe blocks, each block sharded per `opts`. The returned
+/// timing records the *effective* executor count (opts.threads, with 0
+/// resolved to the pool's width) for per-thread throughput.
+template <typename IndexT>
+BatchTiming MinFindBatchTiming(const IndexT& index,
+                               const std::vector<Key>& lookups, size_t batch,
+                               int repeats, const ProbeOptions& opts) {
+  std::vector<int64_t> out(lookups.size());
+  BatchTiming timing;
+  timing.probes = lookups.size();
+  ThreadPool& pool =
+      opts.pool != nullptr ? *opts.pool : ThreadPool::Shared();
+  timing.threads = opts.threads > 0 ? opts.threads : pool.workers() + 1;
+  timing.seconds = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    Timer timer;
+    FindBlocked(index, lookups, batch, std::span<int64_t>(out), opts);
+    double sec = timer.Seconds();
+    uint64_t sum = 0;
+    for (int64_t v : out) sum += static_cast<uint64_t>(v);
+    g_sink = g_sink + sum;
+    if (sec < timing.seconds) timing.seconds = sec;
+  }
+  return timing;
+}
+
 /// Fixed-width text table writer that prints both a human-readable table
 /// and machine-readable CSV (prefixed "csv,") so EXPERIMENTS.md and plots
 /// can be produced from the same run.

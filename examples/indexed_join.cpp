@@ -5,13 +5,17 @@
 // through every index in the suite and reports the probe cost, comparing
 // one-probe-at-a-time scalar access with the batch API (the access pattern
 // OLAP front-ends issue), which lets the tree and hash kernels overlap
-// their cache misses across neighboring probes.
+// their cache misses across neighboring probes — and with the parallel
+// batch API, which shards the probe span across a thread pool on top
+// (--threads=0 means one executor per hardware thread).
 //
 //   $ ./indexed_join [--inner=1000000] [--outer=4000000] [--batch=64]
+//                    [--threads=0]
 
 #include <algorithm>
 #include <cstdio>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/builder.h"
@@ -62,6 +66,21 @@ JoinResult BatchJoin(const AnyIndex& index,
   return r;
 }
 
+// The whole outer column as one probe span, sharded across the pool.
+JoinResult ParallelJoin(const AnyIndex& index,
+                        const std::vector<Key>& outer_keys, int threads) {
+  JoinResult r;
+  std::vector<int64_t> found(outer_keys.size());
+  cssidx::ProbeOptions opts{.threads = threads};
+  cssidx::Timer timer;
+  index.FindBatch(outer_keys, found, opts);
+  r.seconds = timer.Seconds();
+  for (int64_t f : found) {
+    if (f != cssidx::kNotFound) ++r.matches;
+  }
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -70,17 +89,20 @@ int main(int argc, char** argv) {
   size_t inner_n = static_cast<size_t>(args.GetInt("inner", 1'000'000));
   size_t outer_n = static_cast<size_t>(args.GetInt("outer", 4'000'000));
   size_t batch = static_cast<size_t>(args.GetInt("batch", 64));
+  int threads = static_cast<int>(args.GetInt("threads", 0));
 
   // Inner relation: customers, keyed by customer id (sorted RID list).
   auto customers = workload::DistinctSortedKeys(inner_n, 5, 4);
   // Outer relation: orders; 80% reference an existing customer.
   auto orders = workload::MixedLookups(customers, outer_n, 0.8, 6);
   std::printf("join: %zu orders |><| %zu customers (80%% match rate), "
-              "batch=%zu\n\n",
-              outer_n, inner_n, batch);
+              "batch=%zu, threads=%s (hardware: %d)\n\n",
+              outer_n, inner_n, batch,
+              threads == 0 ? "auto" : std::to_string(threads).c_str(),
+              ThreadPool::HardwareThreads());
 
-  std::printf("%-24s %11s %11s %11s %8s\n", "inner index", "matches",
-              "scalar ns", "batch ns", "speedup");
+  std::printf("%-24s %11s %11s %11s %11s %8s\n", "inner index", "matches",
+              "scalar ns", "batch ns", "parallel ns", "speedup");
 
   int hash_bits = std::clamp(CeilLog2(inner_n), 4, 22);
   size_t css_space = 0;
@@ -92,15 +114,19 @@ int main(int argc, char** argv) {
     if (spec == IndexSpec()) css_space = index.SpaceBytes();
     JoinResult scalar = ScalarJoin(index, orders);
     JoinResult batched = BatchJoin(index, orders, batch);
-    if (scalar.matches != batched.matches) {
-      std::printf("BUG: scalar and batched joins disagree\n");
+    JoinResult parallel = ParallelJoin(index, orders, threads);
+    if (scalar.matches != batched.matches ||
+        scalar.matches != parallel.matches) {
+      std::printf("BUG: scalar, batched, and parallel joins disagree\n");
       return 1;
     }
     double scalar_ns = scalar.seconds / static_cast<double>(outer_n) * 1e9;
     double batch_ns = batched.seconds / static_cast<double>(outer_n) * 1e9;
-    std::printf("%-24s %11zu %11.0f %11.0f %7.2fx   (index space %.1f MB)\n",
-                index.Name().c_str(), batched.matches, scalar_ns, batch_ns,
-                scalar_ns / batch_ns, index.SpaceBytes() / 1e6);
+    double par_ns = parallel.seconds / static_cast<double>(outer_n) * 1e9;
+    std::printf(
+        "%-24s %11zu %11.0f %11.0f %11.0f %7.2fx   (index space %.1f MB)\n",
+        index.Name().c_str(), batched.matches, scalar_ns, batch_ns, par_ns,
+        scalar_ns / par_ns, index.SpaceBytes() / 1e6);
   }
 
   std::printf("\nThe CSS-tree probes at a fraction of binary search's cost "

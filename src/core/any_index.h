@@ -10,6 +10,7 @@
 
 #include "core/index.h"
 #include "core/index_spec.h"
+#include "util/thread_pool.h"
 
 // AnyIndex: value-semantics type erasure over the index templates, for all
 // code that selects a method at run time (the engine, the examples, space
@@ -27,6 +28,40 @@
 // templates directly, as before.
 
 namespace cssidx {
+
+/// Probe spans below this size never shard across threads: a dispatch
+/// costs a few microseconds of wakeup/claim synchronization, which needs
+/// thousands of ~100ns probes per shard to amortize — and a shard much
+/// smaller than this can't amortize its own group-probing misses either.
+inline constexpr size_t kParallelProbeMinShard = 4096;
+
+/// Execution policy for one batched probe call. The structure probed is
+/// immutable and shared; parallelism is purely a property of the call, so
+/// it rides on the call, not the index. threads == 1 (the default) is the
+/// exact pre-pool inline path; 0 means one executor per hardware thread.
+/// Each shard is a contiguous probe sub-span whose results land in place —
+/// no post-merge — so output is bit-identical for every thread count.
+struct ProbeOptions {
+  int threads = 1;
+  size_t min_shard = kParallelProbeMinShard;
+  /// Pool to shard on; nullptr = ThreadPool::Shared(). Benches and tests
+  /// pass their own pool to get real threads even when the machine is
+  /// narrower than the requested width.
+  ThreadPool* pool = nullptr;
+};
+
+/// Shards body(begin, end) over [0, n) according to `opts`. The inline
+/// fast path (threads == 1 or a span below min_shard) never touches the
+/// pool — scalar probes stay free of std::function and lock traffic.
+template <typename Fn>
+void ParallelProbe(const ProbeOptions& opts, size_t n, Fn&& body) {
+  if (opts.threads == 1 || n <= opts.min_shard) {
+    body(size_t{0}, n);
+    return;
+  }
+  ThreadPool& pool = opts.pool != nullptr ? *opts.pool : ThreadPool::Shared();
+  pool.ParallelFor(n, opts.min_shard, opts.threads, body);
+}
 
 /// An index type that provides its own group-probing LowerBound kernel.
 template <typename T>
@@ -76,14 +111,36 @@ class AnyIndex {
 
   // Probing an empty handle is a caller bug (check the handle after
   // BuildIndex); assert so it fails loudly rather than as a null deref.
+  //
+  // The two-argument forms use the spec's probe-thread policy (the "@tN"
+  // suffix, default 1 = inline), so a spec like "css:16@t8" parallelizes
+  // every large batch probed through the facade with no caller changes.
   void FindBatch(std::span<const Key> keys, std::span<int64_t> out) const {
-    assert(impl_ != nullptr);
-    impl_->FindBatch(keys, out);
+    FindBatch(keys, out, ProbeOptions{.threads = spec_.probe_threads()});
   }
   void LowerBoundBatch(std::span<const Key> keys,
                        std::span<size_t> out) const {
+    LowerBoundBatch(keys, out, ProbeOptions{.threads = spec_.probe_threads()});
+  }
+
+  /// Explicit-policy probes: shard `keys` into contiguous chunks across
+  /// the pool, each chunk running the structure's own group-probing +
+  /// prefetch kernel, results written in place into `out`.
+  void FindBatch(std::span<const Key> keys, std::span<int64_t> out,
+                 const ProbeOptions& opts) const {
     assert(impl_ != nullptr);
-    impl_->LowerBoundBatch(keys, out);
+    ParallelProbe(opts, keys.size(), [&](size_t begin, size_t end) {
+      impl_->FindBatch(keys.subspan(begin, end - begin),
+                       out.subspan(begin, end - begin));
+    });
+  }
+  void LowerBoundBatch(std::span<const Key> keys, std::span<size_t> out,
+                       const ProbeOptions& opts) const {
+    assert(impl_ != nullptr);
+    ParallelProbe(opts, keys.size(), [&](size_t begin, size_t end) {
+      impl_->LowerBoundBatch(keys.subspan(begin, end - begin),
+                             out.subspan(begin, end - begin));
+    });
   }
 
   /// Scalar probes: batches of one.
@@ -204,6 +261,18 @@ void FindBlocked(const IndexT& index, std::span<const Key> keys,
   for (size_t i = 0; i < keys.size(); i += batch) {
     size_t len = std::min(keys.size() - i, batch);
     index.FindBatch(keys.subspan(i, len), out.subspan(i, len));
+  }
+}
+
+/// As above with an explicit execution policy per block — the front-end
+/// for callers sweeping thread counts at a fixed block size.
+template <typename IndexT>
+void FindBlocked(const IndexT& index, std::span<const Key> keys, size_t batch,
+                 std::span<int64_t> out, const ProbeOptions& opts) {
+  batch = std::max<size_t>(batch, 1);
+  for (size_t i = 0; i < keys.size(); i += batch) {
+    size_t len = std::min(keys.size() - i, batch);
+    index.FindBatch(keys.subspan(i, len), out.subspan(i, len), opts);
   }
 }
 

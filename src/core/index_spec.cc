@@ -104,6 +104,7 @@ bool IndexSpec::sized() const {
 }
 
 bool IndexSpec::OnMenu() const {
+  if (probe_threads_ < 0 || probe_threads_ > 256) return false;
   if (method_ == Method::kHash) {
     return hash_dir_bits_ >= 0 && hash_dir_bits_ <= 28;
   }
@@ -116,6 +117,20 @@ bool IndexSpec::OnMenu() const {
 }
 
 std::optional<IndexSpec> IndexSpec::Parse(std::string_view text) {
+  // Split off the "@tN" execution-policy suffix before the method:param
+  // grammar ("css:16@t8" -> "css:16" + threads 8).
+  int threads = 1;
+  if (auto at = text.find('@'); at != std::string_view::npos) {
+    std::string_view suffix = text.substr(at + 1);
+    text = text.substr(0, at);
+    if (suffix.size() < 2 || suffix[0] != 't') return std::nullopt;
+    std::string_view digits = suffix.substr(1);
+    auto [end, ec] = std::from_chars(digits.data(),
+                                     digits.data() + digits.size(), threads);
+    if (ec != std::errc() || end != digits.data() + digits.size()) {
+      return std::nullopt;
+    }
+  }
   std::string_view token = text;
   std::optional<int> param;
   if (auto colon = text.find(':'); colon != std::string_view::npos) {
@@ -138,6 +153,7 @@ std::optional<IndexSpec> IndexSpec::Parse(std::string_view text) {
     if (*method != Method::kHash && !spec.sized()) return std::nullopt;
     spec = IndexSpec(*method, *param);
   }
+  spec = spec.WithProbeThreads(threads);
   if (!spec.OnMenu()) return std::nullopt;
   return spec;
 }
@@ -145,7 +161,8 @@ std::optional<IndexSpec> IndexSpec::Parse(std::string_view text) {
 const char* IndexSpec::GrammarHelp() {
   return "spec grammar: css:16, lcss:64, btree:32, ttree:16, bin, tbin, "
          "interp, hash:22 (node sizes from {4,8,16,24,32,64,128}; level "
-         "CSS: powers of two)";
+         "CSS: powers of two); optional @tN probes batches with N threads "
+         "(css:16@t8; t0 = one per hardware thread)";
 }
 
 std::string IndexSpec::ToString() const {
@@ -157,16 +174,23 @@ std::string IndexSpec::ToString() const {
     out += ':';
     out += std::to_string(node_entries_);
   }
+  if (probe_threads_ != 1) {
+    out += "@t";
+    out += std::to_string(probe_threads_);
+  }
   return out;
 }
 
 std::string IndexSpec::DisplayName() const {
   std::string name = MethodName(method_);
   if (method_ == Method::kHash) {
-    return name + "/dir=2^" + std::to_string(hash_dir_bits_);
+    name += "/dir=2^" + std::to_string(hash_dir_bits_);
+  } else if (sized()) {
+    name += "/m=" + std::to_string(node_entries_);
   }
-  if (sized()) {
-    return name + "/m=" + std::to_string(node_entries_);
+  if (probe_threads_ != 1) {
+    name += "/threads=";
+    name += probe_threads_ == 0 ? "auto" : std::to_string(probe_threads_);
   }
   return name;
 }
@@ -180,6 +204,12 @@ IndexSpec IndexSpec::WithNodeEntries(int entries) const {
 IndexSpec IndexSpec::WithHashDirBits(int bits) const {
   IndexSpec spec = *this;
   spec.hash_dir_bits_ = bits;
+  return spec;
+}
+
+IndexSpec IndexSpec::WithProbeThreads(int threads) const {
+  IndexSpec spec = *this;
+  spec.probe_threads_ = threads;
   return spec;
 }
 

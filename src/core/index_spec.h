@@ -13,16 +13,21 @@
 // round-trips through a compact string form suitable for flags and config
 // files:
 //
-//   spec   := method [":" param]
-//   method := "bin" | "tbin" | "interp" | "ttree" | "btree" | "css"
-//           | "lcss" | "hash"
-//   param  := node entries (sized methods) or log2 directory size (hash)
+//   spec    := method [":" param] ["@t" threads]
+//   method  := "bin" | "tbin" | "interp" | "ttree" | "btree" | "css"
+//            | "lcss" | "hash"
+//   param   := node entries (sized methods) or log2 directory size (hash)
+//   threads := probe executors for batched probes; 0 = auto (one per
+//              hardware thread), 1 = inline (default)
 //
 // e.g. "css:16" (full CSS-tree, 16 keys/node), "lcss:64", "btree:32",
-// "hash:22". The param defaults to 16 keys/node (one 64-byte cache line)
+// "hash:22", "css:16@t8" (same tree, batch probes sharded across 8
+// threads). The param defaults to 16 keys/node (one 64-byte cache line)
 // and a 2^22 hash directory when omitted. Node sizes come from a fixed
 // menu — the sizes swept in Figures 12/13 — because they are template
-// parameters underneath (§6.2 specializes per node size).
+// parameters underneath (§6.2 specializes per node size). The thread
+// suffix is an execution policy, not a structure knob: it changes how
+// AnyIndex shards FindBatch/LowerBoundBatch spans, never the tree built.
 
 namespace cssidx {
 
@@ -77,6 +82,9 @@ class IndexSpec {
   int node_entries() const { return node_entries_; }
   /// log2 of the hash directory size. Meaningful only for hash.
   int hash_dir_bits() const { return hash_dir_bits_; }
+  /// Executors for batched probes through AnyIndex: 1 = inline (default),
+  /// 0 = one per hardware thread, N = shard large spans N ways.
+  int probe_threads() const { return probe_threads_; }
 
   /// False only for hash (Figure 7's "RID-Ordered Access" column).
   bool ordered() const { return method_ != Method::kHash; }
@@ -84,15 +92,19 @@ class IndexSpec {
   bool sized() const;
   /// True when the configuration is buildable: node size on the menu
   /// {4, 8, 16, 24, 32, 64, 128} (level CSS: powers of two only; B+-tree:
-  /// every menu size) and hash_dir_bits in [0, 28].
+  /// every menu size), hash_dir_bits in [0, 28], probe threads in
+  /// [0, 256].
   bool OnMenu() const;
 
-  /// Copy with a different node size / directory size (for sweeps).
+  /// Copy with a different node size / directory size (for sweeps) or
+  /// probe-thread policy (for scaling sweeps).
   IndexSpec WithNodeEntries(int entries) const;
   IndexSpec WithHashDirBits(int bits) const;
+  IndexSpec WithProbeThreads(int threads) const;
 
   friend bool operator==(const IndexSpec& a, const IndexSpec& b) {
     if (a.method_ != b.method_) return false;
+    if (a.probe_threads_ != b.probe_threads_) return false;
     if (a.method_ == Method::kHash) {
       return a.hash_dir_bits_ == b.hash_dir_bits_;
     }
@@ -106,6 +118,7 @@ class IndexSpec {
   Method method_ = Method::kFullCss;
   int node_entries_ = 16;
   int hash_dir_bits_ = 22;
+  int probe_threads_ = 1;
 };
 
 /// One spec per method in the figures' legend order, default knobs.

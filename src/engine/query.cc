@@ -39,18 +39,26 @@ std::vector<JoinedPair> IndexedJoin(const Table& outer,
   const auto& outer_col = outer.Column(outer_column);
   std::vector<JoinedPair> out;
   // Batched probe loop: the outer column is fed to the inner index a block
-  // at a time, which is exactly the access pattern OLAP front-ends issue
-  // and what lets the structure amortize its cache misses across probes.
-  // FindBatch returns the leftmost match; duplicates in the inner relation
-  // are handled by the rightward scan (§3.6).
-  constexpr size_t kProbeBlock = 1024;
-  int64_t found[kProbeBlock];
+  // at a time, each block probed in one FindBatch the facade shards into
+  // per-thread contiguous chunks (threads = 0: one per hardware thread),
+  // every chunk running the structure's group-probing + prefetch kernel
+  // with results landing in place. The block is sized so a wide machine
+  // still gets a full min-shard chunk per hardware thread, while keeping
+  // the staging buffer bounded (2 MB) rather than O(outer rows); outers
+  // smaller than one shard stay on the inline path, so the parallelism
+  // threshold is automatic. FindBatch returns the leftmost match;
+  // duplicates in the inner relation are handled by the rightward scan
+  // (§3.6), which stays sequential because it appends to the output pair
+  // list in outer-RID order.
+  constexpr size_t kProbeBlock = 64 * kParallelProbeMinShard;
+  std::vector<int64_t> found(std::min(outer_col.size(), kProbeBlock));
   const auto& sorted = index.sorted_keys();
   const auto& rids = index.rids();
   for (size_t base = 0; base < outer_col.size(); base += kProbeBlock) {
     size_t len = std::min(outer_col.size() - base, kProbeBlock);
     index.FindBatch(std::span<const uint32_t>(&outer_col[base], len),
-                    std::span<int64_t>(found, len));
+                    std::span<int64_t>(found.data(), len),
+                    ProbeOptions{.threads = 0});
     for (size_t i = 0; i < len; ++i) {
       if (found[i] == kNotFound) continue;
       uint32_t k = outer_col[base + i];

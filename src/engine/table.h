@@ -58,10 +58,17 @@ class SortIndex {
   size_t LowerBound(uint32_t v) const;
 
   /// Batched probes against the sorted key list — the join inner loop.
-  /// out[i] = leftmost sorted position of keys[i], or kNotFound.
+  /// out[i] = leftmost sorted position of keys[i], or kNotFound. The
+  /// two-argument form follows the spec's probe-thread policy ("@tN");
+  /// the overload takes an explicit policy (the engine's probe loops pass
+  /// threads = 0 so large spans shard across the hardware automatically).
   void FindBatch(std::span<const uint32_t> keys,
                  std::span<int64_t> out) const {
     index_.FindBatch(keys, out);
+  }
+  void FindBatch(std::span<const uint32_t> keys, std::span<int64_t> out,
+                 const ProbeOptions& opts) const {
+    index_.FindBatch(keys, out, opts);
   }
 
   const std::vector<uint32_t>& sorted_keys() const { return sorted_keys_; }

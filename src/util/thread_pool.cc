@@ -1,0 +1,149 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace cssidx {
+
+namespace {
+
+// True while this thread is executing a shard body or a dispatch; a nested
+// ParallelFor on any pool then runs inline instead of taking the dispatch
+// lock (self-deadlock) or re-entering the shard queue.
+thread_local bool t_inside_pool = false;
+
+}  // namespace
+
+struct ThreadPool::Job {
+  const std::function<void(size_t, size_t)>* body = nullptr;
+  size_t n = 0;
+  size_t num_shards = 0;
+  size_t chunk = 0;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::exception_ptr error;  // first throw from any shard, under done_mu
+};
+
+ThreadPool::ThreadPool(int workers) {
+  threads_.reserve(static_cast<size_t>(std::max(workers, 0)));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+int ThreadPool::HardwareThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(HardwareThreads() - 1);
+  return pool;
+}
+
+void ThreadPool::RunShards(Job& job) {
+  // Shards are claimed in order off one counter; each is a contiguous
+  // range, so an executor that claims shards s and s+1 touches one
+  // contiguous span — the same access pattern as the sequential loop.
+  for (size_t s = job.next.fetch_add(1, std::memory_order_relaxed);
+       s < job.num_shards;
+       s = job.next.fetch_add(1, std::memory_order_relaxed)) {
+    size_t begin = s * job.chunk;
+    size_t end = std::min(job.n, begin + job.chunk);
+    try {
+      (*job.body)(begin, end);
+    } catch (...) {
+      // A shard must never unwind past the claim loop: on a worker it
+      // would terminate the process, on the dispatcher it would free the
+      // body and output buffers while other shards still touch them. Park
+      // the first exception; the dispatcher rethrows after the barrier.
+      std::lock_guard<std::mutex> lock(job.done_mu);
+      if (!job.error) job.error = std::current_exception();
+    }
+    if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job.num_shards) {
+      // Notify under the lock so the dispatcher's predicate check cannot
+      // miss the final increment.
+      std::lock_guard<std::mutex> lock(job.done_mu);
+      job.done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  t_inside_pool = true;
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    // Copy the shared_ptr so a worker that wakes late — after the
+    // dispatcher already returned and published a new job — still holds a
+    // live Job. A fully-claimed job's counter just hands out shard ids
+    // >= num_shards, so the stale body pointer is never dereferenced.
+    std::shared_ptr<Job> job = job_;
+    lock.unlock();
+    if (job) RunShards(*job);
+    lock.lock();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t min_per_shard, int parallelism,
+                             const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  min_per_shard = std::max<size_t>(min_per_shard, 1);
+  size_t p = parallelism <= 0 ? static_cast<size_t>(workers()) + 1
+                              : static_cast<size_t>(parallelism);
+  // Floor, not ceil: every shard must carry at least min_per_shard items
+  // (n in (grain, 2*grain) collapses to one inline shard, never two
+  // sub-grain ones).
+  size_t max_by_grain = std::max<size_t>(n / min_per_shard, 1);
+  size_t num_shards = std::min(p, max_by_grain);
+  // Rounding the chunk up can cover [0, n) in fewer shards than requested
+  // (n=10, 8 shards -> chunk 2 -> 5 shards); recompute so no shard starts
+  // past n.
+  size_t chunk = (n + num_shards - 1) / num_shards;
+  num_shards = (n + chunk - 1) / chunk;
+  if (num_shards <= 1 || threads_.empty() || t_inside_pool) {
+    body(0, n);
+    return;
+  }
+
+  std::lock_guard<std::mutex> dispatch(dispatch_mu_);
+  t_inside_pool = true;
+  auto job = std::make_shared<Job>();
+  job->body = &body;
+  job->n = n;
+  job->num_shards = num_shards;
+  job->chunk = chunk;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    ++generation_;
+  }
+  cv_.notify_all();
+  RunShards(*job);  // the caller is an executor too; throws are parked
+  {
+    std::unique_lock<std::mutex> lock(job->done_mu);
+    job->done_cv.wait(
+        lock, [&] { return job->done.load(std::memory_order_acquire) ==
+                           job->num_shards; });
+  }
+  t_inside_pool = false;
+  // Every shard has retired, so rethrowing cannot leave a worker touching
+  // the caller's body or buffers.
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+}  // namespace cssidx

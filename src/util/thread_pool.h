@@ -1,0 +1,86 @@
+#ifndef CSSIDX_UTIL_THREAD_POOL_H_
+#define CSSIDX_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+// Static range-sharded thread pool for the probe path.
+//
+// The probe workloads this repo cares about are embarrassingly parallel
+// over a contiguous probe span: shard i owns probes [i*chunk, (i+1)*chunk)
+// and writes results in place, so there is nothing to steal and nothing to
+// merge. The pool therefore skips work-stealing deques entirely: a
+// dispatch is one contiguous range split into at most `parallelism`
+// near-equal shards, claimed in order off a single atomic counter by the
+// workers *and the calling thread*. The caller participating means a
+// ThreadPool(0) — or a dispatch whose shard math collapses to one shard —
+// degrades to a plain inline loop with no synchronization at all, which
+// keeps single-threaded probes exactly as fast as before the pool existed.
+
+namespace cssidx {
+
+class ThreadPool {
+ public:
+  /// Spawns exactly `workers` worker threads (0 is valid: every dispatch
+  /// then runs inline on the calling thread). The shared pool uses
+  /// HardwareThreads() - 1 so that workers + caller = one executor per
+  /// hardware thread.
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  /// Splits [0, n) into at most `parallelism` contiguous shards of at
+  /// least `min_per_shard` items each (one inline shard when
+  /// n < 2 * min_per_shard — a range that cannot field two full-grain
+  /// shards is not worth a dispatch) and runs body(begin, end) for every
+  /// shard, blocking until all shards complete. parallelism <= 0 means
+  /// workers() + 1 — one executor per thread the pool can actually field,
+  /// caller included; values above that still produce that many shards
+  /// (the executors just claim more than one), so results are identical
+  /// whatever the machine width.
+  ///
+  /// Concurrent dispatches from different threads are serialized, one job
+  /// at a time. Nested calls from inside a shard body run inline rather
+  /// than deadlocking on the dispatch lock. If a shard body throws, the
+  /// remaining claimed shards still retire, and the first exception is
+  /// rethrown on the calling thread after the barrier — a throw never
+  /// leaves a worker touching the caller's buffers.
+  void ParallelFor(size_t n, size_t min_per_shard, int parallelism,
+                   const std::function<void(size_t, size_t)>& body);
+
+  /// Process-wide pool sized to the machine: HardwareThreads() - 1
+  /// workers, so a full-width dispatch uses every hardware thread once.
+  static ThreadPool& Shared();
+
+  /// std::thread::hardware_concurrency(), floored at 1.
+  static int HardwareThreads();
+
+ private:
+  struct Job;
+
+  void WorkerLoop();
+  static void RunShards(Job& job);
+
+  std::mutex dispatch_mu_;  // one job in flight at a time
+
+  std::mutex mu_;  // guards job_/generation_/stop_
+  std::condition_variable cv_;
+  std::shared_ptr<Job> job_;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace cssidx
+
+#endif  // CSSIDX_UTIL_THREAD_POOL_H_

@@ -90,6 +90,56 @@ TEST(IndexSpec, RejectsOffMenu) {
   EXPECT_FALSE(IndexSpec::Parse("hash:-1").has_value());
 }
 
+TEST(IndexSpec, ThreadSuffixParsesAndRoundTrips) {
+  auto spec = IndexSpec::Parse("css:16@t8");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->probe_threads(), 8);
+  EXPECT_EQ(spec->node_entries(), 16);
+  EXPECT_EQ(spec->ToString(), "css:16@t8");
+  EXPECT_EQ(spec->DisplayName(), "full CSS-tree/m=16/threads=8");
+
+  // Suffix composes with defaulted params and with hash.
+  EXPECT_EQ(IndexSpec::Parse("css@t4")->node_entries(), 16);
+  EXPECT_EQ(IndexSpec::Parse("css@t4")->probe_threads(), 4);
+  EXPECT_EQ(IndexSpec::Parse("hash:22@t2")->probe_threads(), 2);
+  EXPECT_EQ(IndexSpec::Parse("bin@t16")->probe_threads(), 16);
+
+  // t0 = auto (one executor per hardware thread).
+  auto auto_spec = IndexSpec::Parse("lcss:64@t0");
+  ASSERT_TRUE(auto_spec.has_value());
+  EXPECT_EQ(auto_spec->probe_threads(), 0);
+  EXPECT_EQ(auto_spec->ToString(), "lcss:64@t0");
+  EXPECT_EQ(auto_spec->DisplayName(), "level CSS-tree/m=64/threads=auto");
+
+  // @t1 is the default and canonicalizes away.
+  EXPECT_EQ(IndexSpec::Parse("css:16@t1")->ToString(), "css:16");
+}
+
+TEST(IndexSpec, ThreadSuffixIsExecutionPolicyNotStructure) {
+  IndexSpec base = *IndexSpec::Parse("css:16");
+  IndexSpec threaded = *IndexSpec::Parse("css:16@t8");
+  EXPECT_NE(base, threaded);  // round-trip fidelity requires inequality
+  EXPECT_EQ(base.WithProbeThreads(8), threaded);
+  EXPECT_EQ(threaded.WithProbeThreads(1), base);
+  EXPECT_EQ(base.probe_threads(), 1);
+  // The structure knobs are untouched by the suffix.
+  EXPECT_EQ(base.method(), threaded.method());
+  EXPECT_EQ(base.node_entries(), threaded.node_entries());
+  EXPECT_TRUE(threaded.OnMenu());
+}
+
+TEST(IndexSpec, RejectsMalformedThreadSuffix) {
+  EXPECT_FALSE(IndexSpec::Parse("css:16@").has_value());
+  EXPECT_FALSE(IndexSpec::Parse("css:16@t").has_value());
+  EXPECT_FALSE(IndexSpec::Parse("css:16@x4").has_value());
+  EXPECT_FALSE(IndexSpec::Parse("css:16@tabc").has_value());
+  EXPECT_FALSE(IndexSpec::Parse("css:16@t4x").has_value());
+  EXPECT_FALSE(IndexSpec::Parse("css:16@t-1").has_value());
+  EXPECT_FALSE(IndexSpec::Parse("css:16@t999").has_value());  // > 256
+  EXPECT_FALSE(IndexSpec::Parse("@t4").has_value());
+  EXPECT_FALSE(IndexSpec::Parse("css:16@t4@t4").has_value());
+}
+
 TEST(IndexSpec, OnMenuMatchesParseForConstructedSpecs) {
   for (const IndexSpec& spec : AllSpecs()) {
     if (!spec.sized()) continue;

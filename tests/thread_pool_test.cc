@@ -1,0 +1,205 @@
+// ThreadPool unit coverage: every dispatch must run each index of [0, n)
+// exactly once across contiguous shards, whatever the relation between
+// item count, shard grain, requested parallelism, and worker count — and
+// must neither deadlock on nested/concurrent dispatches nor race on the
+// coverage bookkeeping (the TSan lane runs this suite).
+
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace cssidx {
+namespace {
+
+// Runs ParallelFor and asserts [0, n) was covered exactly once.
+void ExpectExactCoverage(ThreadPool& pool, size_t n, size_t min_per_shard,
+                         int parallelism) {
+  std::vector<std::atomic<uint32_t>> hits(n);
+  pool.ParallelFor(n, min_per_shard, parallelism,
+                   [&](size_t begin, size_t end) {
+                     ASSERT_LE(begin, end);
+                     ASSERT_LE(end, n);
+                     for (size_t i = begin; i < end; ++i) {
+                       hits[i].fetch_add(1, std::memory_order_relaxed);
+                     }
+                   });
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1u) << "index " << i << " n=" << n
+                                  << " grain=" << min_per_shard
+                                  << " parallelism=" << parallelism;
+  }
+}
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  for (size_t n : {1, 2, 1000, 4095, 4096, 4097, 100000}) {
+    for (int parallelism : {1, 2, 4, 8}) {
+      ExpectExactCoverage(pool, n, /*min_per_shard=*/512, parallelism);
+    }
+  }
+}
+
+TEST(ThreadPool, ShardMathNeverStartsPastTheRange) {
+  // Regression: ceil-rounded chunks can tile [0, n) in fewer shards than
+  // requested (n=10, parallelism 8 -> chunk 2 -> 5 shards); the leftover
+  // shard ids must not reach the body as begin > n ranges.
+  ThreadPool pool(3);
+  for (size_t n : {3, 7, 10, 11, 13, 100, 1001}) {
+    for (int parallelism : {2, 3, 7, 8, 16}) {
+      ExpectExactCoverage(pool, n, /*min_per_shard=*/1, parallelism);
+    }
+  }
+}
+
+TEST(ThreadPool, ZeroItemsNeverCallsBody) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, 128, 4, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SmallRangeRunsInlineOnCaller) {
+  ThreadPool pool(2);
+  // n <= min_per_shard collapses to one shard, which must run on the
+  // calling thread with no pool round-trip.
+  std::thread::id body_thread;
+  int calls = 0;
+  pool.ParallelFor(100, 4096, 8, [&](size_t begin, size_t end) {
+    ++calls;
+    body_thread = std::this_thread::get_id();
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 100u);
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(body_thread, std::this_thread::get_id());
+}
+
+TEST(ThreadPool, WorkerlessPoolRunsEverythingInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), 0);
+  ExpectExactCoverage(pool, 50000, 512, 8);
+}
+
+TEST(ThreadPool, MoreShardsThanWorkersAllComplete) {
+  // One worker plus the caller must drain 16 shards.
+  ThreadPool pool(1);
+  ExpectExactCoverage(pool, 1 << 16, /*min_per_shard=*/1, /*parallelism=*/16);
+}
+
+TEST(ThreadPool, AutoParallelismUsesWorkersPlusCaller) {
+  ThreadPool pool(3);
+  ExpectExactCoverage(pool, 100000, 1, /*parallelism=*/0);
+}
+
+TEST(ThreadPool, GrainIsALowerBoundOnShardSize) {
+  // n in (grain, 2*grain) cannot field two full-grain shards and must run
+  // as one inline call, not two sub-grain dispatches.
+  ThreadPool pool(3);
+  int calls = 0;
+  pool.ParallelFor(5000, 4096, 8, [&](size_t begin, size_t end) {
+    ++calls;
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 5000u);
+  });
+  EXPECT_EQ(calls, 1);
+  // At 2*grain the split is allowed and every shard meets the grain.
+  std::mutex mu;
+  std::vector<size_t> sizes;
+  pool.ParallelFor(8192, 4096, 8, [&](size_t begin, size_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    sizes.push_back(end - begin);
+  });
+  for (size_t s : sizes) EXPECT_GE(s, 4096u);
+}
+
+TEST(ThreadPool, ShardExceptionRethrownAfterAllShardsRetire) {
+  ThreadPool pool(3);
+  // One shard throws; the dispatch must still cover every other shard
+  // (no early unwind while workers touch the range) and surface the
+  // exception on the calling thread.
+  std::vector<std::atomic<uint32_t>> hits(50000);
+  EXPECT_THROW(
+      pool.ParallelFor(hits.size(), 512, 8,
+                       [&](size_t begin, size_t end) {
+                         for (size_t i = begin; i < end; ++i) {
+                           hits[i].fetch_add(1, std::memory_order_relaxed);
+                         }
+                         if (begin == 0) throw std::runtime_error("shard 0");
+                       }),
+      std::runtime_error);
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1u) << i;
+  }
+  // The pool is still usable afterwards (t_inside_pool not stuck).
+  ExpectExactCoverage(pool, 20000, 512, 4);
+}
+
+TEST(ThreadPool, NestedDispatchRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<size_t> inner_covered{0};
+  pool.ParallelFor(8192, 1024, 4, [&](size_t begin, size_t end) {
+    // A shard body that itself parallelizes must not deadlock on the
+    // dispatch lock; it degrades to an inline loop.
+    pool.ParallelFor(end - begin, 256, 4, [&](size_t b, size_t e) {
+      inner_covered.fetch_add(e - b, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner_covered.load(), 8192u);
+}
+
+TEST(ThreadPool, ConcurrentDispatchersSerializeSafely) {
+  ThreadPool pool(3);
+  constexpr size_t kN = 40000;
+  std::vector<std::thread> dispatchers;
+  std::vector<std::atomic<uint32_t>> hits(2 * kN);
+  for (int d = 0; d < 2; ++d) {
+    dispatchers.emplace_back([&, d] {
+      for (int round = 0; round < 10; ++round) {
+        pool.ParallelFor(kN, 512, 4, [&, d](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            hits[d * kN + i].fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+      }
+    });
+  }
+  for (std::thread& t : dispatchers) t.join();
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 10u) << i;
+  }
+}
+
+TEST(ThreadPool, ShardsAreContiguousAndOrderedWithinExecutor) {
+  ThreadPool pool(3);
+  // Collect shard boundaries; they must tile [0, n) without overlap.
+  std::mutex mu;
+  std::set<std::pair<size_t, size_t>> shards;
+  constexpr size_t kN = 64 * 1024;
+  pool.ParallelFor(kN, 1024, 8, [&](size_t begin, size_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    shards.insert({begin, end});
+  });
+  size_t expect_begin = 0;
+  for (const auto& [begin, end] : shards) {
+    EXPECT_EQ(begin, expect_begin);
+    EXPECT_GT(end, begin);
+    expect_begin = end;
+  }
+  EXPECT_EQ(expect_begin, kN);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+  EXPECT_GE(ThreadPool::Shared().workers(),
+            ThreadPool::HardwareThreads() - 1);
+}
+
+}  // namespace
+}  // namespace cssidx

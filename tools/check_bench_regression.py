@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Gate batch-probe throughput against the checked-in bench baseline.
+
+Compares two bench_batch_lookup JSON files row by row, keyed by
+(spec, batch, threads), and fails (exit 1) when throughput regressed by
+more than --tolerance (default 25%).
+
+Two metrics:
+
+  speedup     (default) gate on each row's batched-vs-scalar speedup —
+              the ratio is measured within one run on one machine, so it
+              transfers across hardware. This is what CI uses: the
+              checked-in baseline and the CI runner are different
+              machines, and absolute ns/probe does not transfer.
+  batched_ns  gate on absolute batched throughput (1 / ns-per-probe).
+              Only meaningful when baseline and current ran on the same
+              hardware (e.g. a perf box tracking its own trajectory).
+
+The gate is the geometric mean over all common rows: a single noisy row
+should not fail CI, a broad slowdown should. Per-row ratios are printed
+so a localized regression is still visible in the log even when the
+geomean passes.
+
+Usage:
+  check_bench_regression.py BASELINE.json CURRENT.json \
+      [--metric speedup|batched_ns] [--tolerance 0.25]
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for row in doc.get("results", []):
+        key = (row["spec"], row["batch"], row.get("threads", 1))
+        rows[key] = row
+    return doc, rows
+
+
+def row_metric(row, metric):
+    if metric == "speedup":
+        return row.get("speedup")
+    # Throughput, so that "ratio < 1" always means "got slower".
+    ns = row.get("batched_ns_per_probe")
+    return None if not ns else 1e3 / ns
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--metric", choices=["speedup", "batched_ns"],
+                        default="speedup")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional regression (0.25 = 25%%)")
+    args = parser.parse_args()
+
+    base_doc, base_rows = load_rows(args.baseline)
+    cur_doc, cur_rows = load_rows(args.current)
+
+    common = sorted(set(base_rows) & set(cur_rows))
+    if not common:
+        print("WARNING: no common (spec, batch, threads) rows between "
+              f"{args.baseline} and {args.current}; nothing to gate")
+        return 0
+
+    log_sum = 0.0
+    compared = 0
+    worst = (None, math.inf)
+    print(f"{'spec':<12} {'batch':>6} {'thr':>4} {'base':>9} {'cur':>9} "
+          f"{'ratio':>7}")
+    for key in common:
+        base_v = row_metric(base_rows[key], args.metric)
+        cur_v = row_metric(cur_rows[key], args.metric)
+        if not base_v or not cur_v:
+            continue
+        ratio = cur_v / base_v
+        log_sum += math.log(ratio)
+        compared += 1
+        if ratio < worst[1]:
+            worst = (key, ratio)
+        flag = "  <-- slower" if ratio < 1 - args.tolerance else ""
+        print(f"{key[0]:<12} {key[1]:>6} {key[2]:>4} {base_v:>9.3f} "
+              f"{cur_v:>9.3f} {ratio:>7.3f}{flag}")
+
+    if compared == 0:
+        print("WARNING: no comparable rows; nothing to gate")
+        return 0
+
+    geomean = math.exp(log_sum / compared)
+    floor = 1 - args.tolerance
+    print(f"\nmetric={args.metric} rows={compared} "
+          f"geomean ratio={geomean:.3f} (floor {floor:.2f}); "
+          f"worst {worst[0]} at {worst[1]:.3f}")
+    if geomean < floor:
+        print(f"FAIL: batch-probe {args.metric} regressed "
+              f">{args.tolerance:.0%} vs {args.baseline}")
+        return 1
+    print("OK: no regression beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
