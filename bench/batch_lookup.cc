@@ -11,8 +11,15 @@
 // BENCH_batch_lookup.json) so the perf trajectory can track both batch
 // throughput and thread scaling run over run.
 //
+// --range additionally sweeps the batched range probes: scalar EqualRange
+// (the pre-batch duplicate-expansion path, one probe per virtual call) vs
+// EqualRangeBatch at the same batch sizes, recorded in a "range_probes"
+// JSON block that tools/check_bench_regression.py gates alongside the
+// point-probe rows.
+//
 //   $ ./bench_batch_lookup [--n=10000000] [--lookups=1000000]
 //                          [--threads=1,2,4,8] [--json=...] [--quick]
+//                          [--range]
 
 #include <algorithm>
 #include <cstdio>
@@ -73,6 +80,7 @@ int main(int argc, char** argv) {
       args.GetString("json", "BENCH_batch_lookup.json");
   std::vector<int> thread_sweep = ParseThreadList(
       args.GetString("threads", options.quick ? "1,4" : "1,2,4,8"));
+  bool range_mode = args.GetBool("range");
 
   bench::PrintHeader(
       "batch_lookup",
@@ -102,9 +110,12 @@ int main(int argc, char** argv) {
 
   bench::Table table({"spec", "batch", "scalar ns/probe", "batched ns/probe",
                       "speedup"});
+  bench::Table range_table({"spec", "batch", "scalar ns/probe",
+                            "batched ns/probe", "speedup"});
   bench::Table scaling_table({"spec", "threads", "batch", "ns/probe",
                               "Mprobes/s", "Mprobes/s/thread", "scaling"});
   std::vector<Row> rows;
+  std::vector<Row> range_rows;
   std::vector<ScalingRow> scaling_rows;
   for (const std::string& text : spec_texts) {
     IndexSpec spec = *IndexSpec::Parse(text);
@@ -124,6 +135,32 @@ int main(int argc, char** argv) {
                     bench::Table::Num(scalar_ns, 4),
                     bench::Table::Num(batch_ns, 4),
                     bench::Table::Num(scalar_ns / batch_ns, 3)});
+    }
+
+    if (range_mode) {
+      // Range probes: scalar EqualRange loop (one duplicate run per
+      // virtual call — the old duplicate-expansion path) vs EqualRangeBatch
+      // at the same batch sizes. Both bounds of every run descend through
+      // the group-probing kernel, so the batched-vs-scalar ratio measures
+      // the same miss overlap as the point-probe table, on twice the
+      // descents per probe.
+      double range_scalar_sec =
+          bench::MinEqualRangeScalarSeconds(index, lookups, options.repeats);
+      double range_scalar_ns =
+          range_scalar_sec / static_cast<double>(lookups.size()) * 1e9;
+      for (size_t batch : batches) {
+        double range_batch_sec = bench::MinEqualRangeBatchSeconds(
+            index, lookups, batch, options.repeats);
+        double range_batch_ns =
+            range_batch_sec / static_cast<double>(lookups.size()) * 1e9;
+        range_rows.push_back(
+            {spec.ToString(), batch, range_scalar_ns, range_batch_ns});
+        range_table.AddRow({spec.ToString(), std::to_string(batch),
+                            bench::Table::Num(range_scalar_ns, 4),
+                            bench::Table::Num(range_batch_ns, 4),
+                            bench::Table::Num(range_scalar_ns / range_batch_ns,
+                                              3)});
+      }
     }
 
     // Thread scaling: the whole lookup set as one batch (every shard is
@@ -158,6 +195,10 @@ int main(int argc, char** argv) {
     }
   }
   table.Print("batched vs scalar probes, n=" + std::to_string(n));
+  if (range_mode) {
+    range_table.Print("batched vs scalar EqualRange probes, n=" +
+                      std::to_string(n));
+  }
   scaling_table.Print(
       "thread-sharded FindBatch scaling, n=" + std::to_string(n) +
       ", hardware threads=" + std::to_string(ThreadPool::HardwareThreads()));
@@ -181,6 +222,19 @@ int main(int argc, char** argv) {
                  "\"batched_ns_per_probe\": %.3f, \"speedup\": %.3f}%s\n",
                  r.spec.c_str(), r.batch, r.scalar_ns, r.batch_ns,
                  r.scalar_ns / r.batch_ns, i + 1 < rows.size() ? "," : "");
+  }
+  if (range_mode) {
+    std::fprintf(json, "  ],\n  \"range_probes\": [\n");
+    for (size_t i = 0; i < range_rows.size(); ++i) {
+      const Row& r = range_rows[i];
+      std::fprintf(json,
+                   "    {\"spec\": \"%s\", \"batch\": %zu, \"threads\": 1, "
+                   "\"scalar_ns_per_probe\": %.3f, "
+                   "\"batched_ns_per_probe\": %.3f, \"speedup\": %.3f}%s\n",
+                   r.spec.c_str(), r.batch, r.scalar_ns, r.batch_ns,
+                   r.scalar_ns / r.batch_ns,
+                   i + 1 < range_rows.size() ? "," : "");
+    }
   }
   std::fprintf(json, "  ],\n  \"thread_scaling\": [\n");
   for (size_t i = 0; i < scaling_rows.size(); ++i) {

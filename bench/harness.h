@@ -77,6 +77,48 @@ double MinFindBatchSeconds(const IndexT& index,
   return best;
 }
 
+/// Minimum wall-clock seconds over `repeats` runs of the full lookup set
+/// probed one scalar EqualRange at a time (a batch of one through the
+/// virtual hop) — the pre-batch duplicate-expansion path.
+template <typename IndexT>
+double MinEqualRangeScalarSeconds(const IndexT& index,
+                                  const std::vector<Key>& lookups,
+                                  int repeats) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    uint64_t sum = 0;
+    Timer timer;
+    for (Key k : lookups) {
+      PositionRange range = index.EqualRange(k);
+      sum += range.begin + range.end;
+    }
+    double sec = timer.Seconds();
+    g_sink = g_sink + sum;
+    if (sec < best) best = sec;
+  }
+  return best;
+}
+
+/// Minimum wall-clock seconds over `repeats` runs of the full lookup set
+/// issued through EqualRangeBatch in blocks of `batch` probes.
+template <typename IndexT>
+double MinEqualRangeBatchSeconds(const IndexT& index,
+                                 const std::vector<Key>& lookups,
+                                 size_t batch, int repeats) {
+  std::vector<PositionRange> out(lookups.size());
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    Timer timer;
+    EqualRangeBlocked(index, lookups, batch, std::span<PositionRange>(out));
+    double sec = timer.Seconds();
+    uint64_t sum = 0;
+    for (const PositionRange& range : out) sum += range.begin + range.end;
+    g_sink = g_sink + sum;
+    if (sec < best) best = sec;
+  }
+  return best;
+}
+
 /// One batched-probe measurement, carrying the thread count it ran with so
 /// reports can show both views: aggregate throughput (what the machine
 /// delivered) and per-thread throughput (what each executor delivered).

@@ -111,6 +111,37 @@ class ChainedHashIndex {
     }
   }
 
+  /// Batched EqualRange: the same slot-precompute + bucket-prefetch group
+  /// pattern as FindBatch, but each chain is scanned ONCE, yielding the
+  /// leftmost match and the duplicate count together — half the chain
+  /// traffic of Find followed by CountEqual. Duplicates are inserted in
+  /// array order, so the first match along the chain is the leftmost array
+  /// position and the run is {leftmost, leftmost + count}. Absent keys
+  /// anchor their empty span at size() (hash has no insertion point).
+  void EqualRangeBatch(std::span<const Key> keys,
+                       std::span<PositionRange> out) const {
+    assert(out.size() >= keys.size());
+    constexpr size_t kGroup = 16;
+    uint32_t slot[kGroup];
+    for (size_t i = 0; i < keys.size(); i += kGroup) {
+      size_t len = keys.size() - i < kGroup ? keys.size() - i : kGroup;
+      for (size_t g = 0; g < len; ++g) {
+        slot[g] = Slot(keys[i + g]);
+        CSSIDX_PREFETCH(&arena_[slot[g]]);
+      }
+      for (size_t g = 0; g < len; ++g) {
+        out[i + g] = EqualRangeInChain(slot[g], keys[i + g]);
+      }
+    }
+  }
+
+  /// Batched CountEqual, derived from the same single-scan chain kernel.
+  void CountEqualBatch(std::span<const Key> keys,
+                       std::span<size_t> out) const {
+    assert(out.size() >= keys.size());
+    CountEqualBatchViaEqualRange(*this, keys, out);
+  }
+
   template <typename Tracer>
   int64_t FindTraced(Key k, const Tracer& tracer) const {
     const Bucket* bucket = &arena_[Slot(k)];
@@ -144,6 +175,27 @@ class ChainedHashIndex {
   }
 
  private:
+  /// One pass over the chain: leftmost matching array position plus the
+  /// match count. Matches appear along the chain in insertion (= array)
+  /// order, so the first one seen is the leftmost.
+  PositionRange EqualRangeInChain(uint32_t slot, Key k) const {
+    size_t leftmost = n_;
+    size_t count = 0;
+    const Bucket* bucket = &arena_[slot];
+    while (true) {
+      uint32_t in_bucket = bucket->count;
+      for (uint32_t i = 0; i < in_bucket; ++i) {
+        if (bucket->pairs[i].key == k) {
+          if (count == 0) leftmost = bucket->pairs[i].rid;
+          ++count;
+        }
+      }
+      if (bucket->next == kNoNext) break;
+      bucket = &arena_[bucket->next];
+    }
+    return PositionRange{leftmost, leftmost + count};
+  }
+
   int64_t FindInChain(uint32_t slot, Key k) const {
     const Bucket* bucket = &arena_[slot];
     while (true) {

@@ -1,7 +1,9 @@
 #ifndef CSSIDX_BASELINES_T_TREE_H_
 #define CSSIDX_BASELINES_T_TREE_H_
 
+#include <cassert>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/index.h"
@@ -39,6 +41,9 @@ class TTreeIndex {
   using NodeRef = uint32_t;
 #endif
   static constexpr NodeRef kNull = static_cast<NodeRef>(-1);
+  /// Probes descended in lockstep by LowerBoundBatch (see the CSS-tree
+  /// kernel for the rationale behind the group width).
+  static constexpr size_t kGroupProbes = 8;
 
   struct Node {
     NodeRef left;
@@ -75,16 +80,59 @@ class TTreeIndex {
         cur = node.right;
       }
     }
-    if (bounding != nullptr) {
-      int j = SearchInNode(*bounding, k);
-      if (j < static_cast<int>(bounding->count)) {
-        // min < k <= keys[j]: the left subtree is all < k, so this is the
-        // global lower bound.
-        return bounding->rids[j];
+    return ResolveLowerBound(bounding, successor, k);
+  }
+
+  /// Batched LowerBound: the pointer-chasing descent that makes T-trees
+  /// slow is also what kept this method on the scalar fallback path — a
+  /// probe's next node is unknowable until the current header line
+  /// arrives. Group probing sidesteps that: kGroupProbes descents advance
+  /// in lockstep, and each probe's next child header/min-key line is
+  /// prefetched the moment its ref is read, so the miss overlaps the other
+  /// probes' compares exactly as in the CSS-tree kernel. Results are
+  /// identical to scalar LowerBound.
+  void LowerBoundBatch(std::span<const Key> keys,
+                       std::span<size_t> out) const {
+    assert(out.size() >= keys.size());
+    const size_t count = keys.size();
+    size_t i = 0;
+    for (; i + kGroupProbes <= count; i += kGroupProbes) {
+      NodeRef cur[kGroupProbes];
+      const Node* bounding[kGroupProbes] = {};
+      const Node* successor[kGroupProbes] = {};
+      for (size_t g = 0; g < kGroupProbes; ++g) cur[g] = root_;
+      bool descending = root_ != kNull;
+      while (descending) {
+        descending = false;
+        for (size_t g = 0; g < kGroupProbes; ++g) {
+          if (cur[g] == kNull) continue;
+          const Node& node = nodes_[cur[g]];
+          if (keys[i + g] <= node.keys[0]) {
+            successor[g] = &node;
+            cur[g] = node.left;
+          } else {
+            bounding[g] = &node;
+            cur[g] = node.right;
+          }
+          if (cur[g] != kNull) {
+            // The child-ref/min-key header line — the only line the
+            // improved descent touches per node.
+            CSSIDX_PREFETCH(&nodes_[cur[g]]);
+            descending = true;
+          }
+        }
       }
-      // k exceeds the bounding node's max: fall through to the successor.
+      for (size_t g = 0; g < kGroupProbes; ++g) {
+        out[i + g] = ResolveLowerBound(bounding[g], successor[g], keys[i + g]);
+      }
     }
-    return successor != nullptr ? successor->rids[0] : n_;
+    for (; i < count; ++i) out[i] = LowerBound(keys[i]);
+  }
+
+  /// Batched Find over the same group-probing kernel.
+  void FindBatch(std::span<const Key> keys, std::span<int64_t> out) const {
+    assert(out.size() >= keys.size());
+    FindBatchViaLowerBound(*this, a_, n_, keys, out);
   }
 
   /// The *basic* (pre-LC86b) T-tree search, kept for the variant ablation:
@@ -167,6 +215,24 @@ class TTreeIndex {
   size_t NumNodes() const { return nodes_.size(); }
 
  private:
+  /// The shared finish of the improved search: one in-node search in the
+  /// bounding node, else the successor's min, else n (scalar and batched
+  /// descents both end here).
+  CSSIDX_ALWAYS_INLINE size_t ResolveLowerBound(const Node* bounding,
+                                                const Node* successor,
+                                                Key k) const {
+    if (bounding != nullptr) {
+      int j = SearchInNode(*bounding, k);
+      if (j < static_cast<int>(bounding->count)) {
+        // min < k <= keys[j]: the left subtree is all < k, so this is the
+        // global lower bound.
+        return bounding->rids[j];
+      }
+      // k exceeds the bounding node's max: fall through to the successor.
+    }
+    return successor != nullptr ? successor->rids[0] : n_;
+  }
+
   static int SearchInNode(const Node& node, Key k) {
     if (CSSIDX_LIKELY(node.count == Entries)) {
       return UnrolledLowerBound<Entries>(node.keys, k);

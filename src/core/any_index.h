@@ -19,13 +19,15 @@
 // The contract is batch-first. The paper's whole argument is that lookup
 // cost is dominated by cache misses; a virtual call per probe both taxes
 // the hot path and makes miss-amortizing techniques impossible to express.
-// So the virtual boundary is FindBatch/LowerBoundBatch — one call per batch
-// of probes, which (a) amortizes dispatch to nothing and (b) lets each
-// structure overlap the misses of neighboring probes with group probing and
-// software prefetch (see the batch kernels in css_tree.h, bplus_tree.h,
-// chained_hash.h). Scalar Find/LowerBound are convenience wrappers over a
-// batch of one. Timing benches that sweep node sizes still use the
-// templates directly, as before.
+// So the virtual boundary is the batch probes — FindBatch/LowerBoundBatch
+// for point lookups, EqualRangeBatch/CountEqualBatch for duplicate runs
+// (§3.6) — one call per batch of probes, which (a) amortizes dispatch to
+// nothing and (b) lets each structure overlap the misses of neighboring
+// probes with group probing and software prefetch (see the batch kernels
+// in css_tree.h, bplus_tree.h, chained_hash.h). Scalar Find/LowerBound/
+// EqualRange/CountEqual are convenience wrappers over a batch of one.
+// Timing benches that sweep node sizes still use the templates directly,
+// as before.
 
 namespace cssidx {
 
@@ -77,6 +79,21 @@ concept HasFindBatch =
       t.FindBatch(in, out);
     };
 
+/// An index type that provides its own batched EqualRange kernel.
+template <typename T>
+concept HasEqualRangeBatch =
+    requires(const T& t, std::span<const Key> in,
+             std::span<PositionRange> out) {
+      t.EqualRangeBatch(in, out);
+    };
+
+/// An index type that provides its own batched CountEqual kernel.
+template <typename T>
+concept HasCountEqualBatch =
+    requires(const T& t, std::span<const Key> in, std::span<size_t> out) {
+      t.CountEqualBatch(in, out);
+    };
+
 /// Runtime facade over any index in the suite. Copyable and cheap to pass
 /// by value (the underlying structure is shared, immutable, and built once
 /// — the OLAP rebuild-on-batch lifecycle replaces whole objects).
@@ -93,8 +110,15 @@ class AnyIndex {
     /// out[i] = leftmost position of keys[i] or kNotFound.
     virtual void FindBatch(std::span<const Key> keys,
                            std::span<int64_t> out) const = 0;
-    /// Number of occurrences (§3.6).
-    virtual size_t CountEqual(Key k) const = 0;
+    /// out[i] = the half-open positional span of keys[i]'s duplicate run
+    /// (§3.6): {leftmost match, leftmost match + count}. Absent keys yield
+    /// an empty span anchored at the insertion point (ordered methods) or
+    /// at size() (hash).
+    virtual void EqualRangeBatch(std::span<const Key> keys,
+                                 std::span<PositionRange> out) const = 0;
+    /// out[i] = number of occurrences of keys[i] (§3.6).
+    virtual void CountEqualBatch(std::span<const Key> keys,
+                                 std::span<size_t> out) const = 0;
     /// Extra bytes beyond the sorted array.
     virtual size_t SpaceBytes() const = 0;
     virtual size_t size() const = 0;
@@ -122,6 +146,14 @@ class AnyIndex {
                        std::span<size_t> out) const {
     LowerBoundBatch(keys, out, ProbeOptions{.threads = spec_.probe_threads()});
   }
+  void EqualRangeBatch(std::span<const Key> keys,
+                       std::span<PositionRange> out) const {
+    EqualRangeBatch(keys, out, ProbeOptions{.threads = spec_.probe_threads()});
+  }
+  void CountEqualBatch(std::span<const Key> keys,
+                       std::span<size_t> out) const {
+    CountEqualBatch(keys, out, ProbeOptions{.threads = spec_.probe_threads()});
+  }
 
   /// Explicit-policy probes: shard `keys` into contiguous chunks across
   /// the pool, each chunk running the structure's own group-probing +
@@ -142,6 +174,22 @@ class AnyIndex {
                              out.subspan(begin, end - begin));
     });
   }
+  void EqualRangeBatch(std::span<const Key> keys, std::span<PositionRange> out,
+                       const ProbeOptions& opts) const {
+    assert(impl_ != nullptr);
+    ParallelProbe(opts, keys.size(), [&](size_t begin, size_t end) {
+      impl_->EqualRangeBatch(keys.subspan(begin, end - begin),
+                             out.subspan(begin, end - begin));
+    });
+  }
+  void CountEqualBatch(std::span<const Key> keys, std::span<size_t> out,
+                       const ProbeOptions& opts) const {
+    assert(impl_ != nullptr);
+    ParallelProbe(opts, keys.size(), [&](size_t begin, size_t end) {
+      impl_->CountEqualBatch(keys.subspan(begin, end - begin),
+                             out.subspan(begin, end - begin));
+    });
+  }
 
   /// Scalar probes: batches of one.
   int64_t Find(Key k) const {
@@ -154,10 +202,15 @@ class AnyIndex {
     LowerBoundBatch({&k, 1}, {&out, 1});
     return out;
   }
-
+  PositionRange EqualRange(Key k) const {
+    PositionRange out;
+    EqualRangeBatch({&k, 1}, {&out, 1});
+    return out;
+  }
   size_t CountEqual(Key k) const {
-    assert(impl_ != nullptr);
-    return impl_->CountEqual(k);
+    size_t out;
+    CountEqualBatch({&k, 1}, {&out, 1});
+    return out;
   }
   size_t SpaceBytes() const {
     assert(impl_ != nullptr);
@@ -182,7 +235,10 @@ class AnyIndex {
 
 /// Adapter for OrderedIndex templates. Uses the structure's own batch
 /// kernels when it has them; otherwise falls back to a plain probe loop
-/// (group probing without prefetch — dispatch still amortized).
+/// (group probing without prefetch — dispatch still amortized). The range
+/// fallback derives each span from LowerBound + CountEqual, so every
+/// ordered method — T-tree and the array baselines included — satisfies
+/// the full range-batch contract whether or not it ships a kernel.
 template <typename IndexT>
 class OrderedBatchImpl final : public AnyIndex::Impl {
  public:
@@ -210,7 +266,35 @@ class OrderedBatchImpl final : public AnyIndex::Impl {
     }
   }
 
-  size_t CountEqual(Key k) const override { return index_.CountEqual(k); }
+  void EqualRangeBatch(std::span<const Key> keys,
+                       std::span<PositionRange> out) const override {
+    if constexpr (HasEqualRangeBatch<IndexT>) {
+      index_.EqualRangeBatch(keys, out);
+    } else if constexpr (HasLowerBoundBatch<IndexT>) {
+      // No range kernel, but a LowerBound kernel: both bounds still probe
+      // with group probing + prefetch (shared adapter of the contract).
+      EqualRangeBatchViaLowerBound(index_, index_.size(), keys, out);
+    } else {
+      for (size_t i = 0; i < keys.size(); ++i) {
+        size_t lo = index_.LowerBound(keys[i]);
+        out[i] = PositionRange{lo, lo + index_.CountEqual(keys[i])};
+      }
+    }
+  }
+
+  void CountEqualBatch(std::span<const Key> keys,
+                       std::span<size_t> out) const override {
+    if constexpr (HasCountEqualBatch<IndexT>) {
+      index_.CountEqualBatch(keys, out);
+    } else if constexpr (HasLowerBoundBatch<IndexT>) {
+      CountEqualBatchViaEqualRange(*this, keys, out);
+    } else {
+      for (size_t i = 0; i < keys.size(); ++i) {
+        out[i] = index_.CountEqual(keys[i]);
+      }
+    }
+  }
+
   size_t SpaceBytes() const override { return index_.SpaceBytes(); }
   size_t size() const override { return index_.size(); }
   bool SupportsOrderedAccess() const override { return true; }
@@ -220,7 +304,11 @@ class OrderedBatchImpl final : public AnyIndex::Impl {
 };
 
 /// Adapter for hash indexes (no ordered access): LowerBound degenerates to
-/// size(), Find still returns the leftmost array position.
+/// size(), Find still returns the leftmost array position — and so do the
+/// range probes: the hash stores array positions, duplicates are adjacent
+/// in the sorted array, so {leftmost, leftmost + count} is a real span.
+/// Absent keys anchor their empty span at size() (no insertion point
+/// without ordered access).
 template <typename HashT>
 class UnorderedBatchImpl final : public AnyIndex::Impl {
  public:
@@ -240,7 +328,34 @@ class UnorderedBatchImpl final : public AnyIndex::Impl {
     }
   }
 
-  size_t CountEqual(Key k) const override { return index_.CountEqual(k); }
+  void EqualRangeBatch(std::span<const Key> keys,
+                       std::span<PositionRange> out) const override {
+    if constexpr (HasEqualRangeBatch<HashT>) {
+      index_.EqualRangeBatch(keys, out);
+    } else {
+      for (size_t i = 0; i < keys.size(); ++i) {
+        int64_t found = index_.Find(keys[i]);
+        if (found == kNotFound) {
+          out[i] = PositionRange{index_.size(), index_.size()};
+        } else {
+          auto lo = static_cast<size_t>(found);
+          out[i] = PositionRange{lo, lo + index_.CountEqual(keys[i])};
+        }
+      }
+    }
+  }
+
+  void CountEqualBatch(std::span<const Key> keys,
+                       std::span<size_t> out) const override {
+    if constexpr (HasCountEqualBatch<HashT>) {
+      index_.CountEqualBatch(keys, out);
+    } else {
+      for (size_t i = 0; i < keys.size(); ++i) {
+        out[i] = index_.CountEqual(keys[i]);
+      }
+    }
+  }
+
   size_t SpaceBytes() const override { return index_.SpaceBytes(); }
   size_t size() const override { return index_.size(); }
   bool SupportsOrderedAccess() const override { return false; }
@@ -273,6 +388,18 @@ void FindBlocked(const IndexT& index, std::span<const Key> keys, size_t batch,
   for (size_t i = 0; i < keys.size(); i += batch) {
     size_t len = std::min(keys.size() - i, batch);
     index.FindBatch(keys.subspan(i, len), out.subspan(i, len), opts);
+  }
+}
+
+/// Blocked front-end for range probes: EqualRangeBatch in blocks of at
+/// most `batch` probes (the range twin of FindBlocked).
+template <typename IndexT>
+void EqualRangeBlocked(const IndexT& index, std::span<const Key> keys,
+                       size_t batch, std::span<PositionRange> out) {
+  batch = std::max<size_t>(batch, 1);
+  for (size_t i = 0; i < keys.size(); i += batch) {
+    size_t len = std::min(keys.size() - i, batch);
+    index.EqualRangeBatch(keys.subspan(i, len), out.subspan(i, len));
   }
 }
 

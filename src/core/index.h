@@ -5,6 +5,7 @@
 #include <concepts>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <span>
 
 // Common vocabulary for every index in the suite.
@@ -21,6 +22,21 @@ using Key = uint32_t;
 
 /// Returned by Find when the key is absent.
 inline constexpr int64_t kNotFound = -1;
+
+/// A half-open [begin, end) span of positions in the sorted key array —
+/// the result type of every range probe. Duplicates are contiguous in a
+/// sorted array, so a key's whole duplicate run is one such span:
+/// {leftmost match, leftmost match + count}. An absent key yields an empty
+/// span (begin == end) anchored at the key's insertion point for ordered
+/// methods, or at size() for hash (which has no notion of position).
+struct PositionRange {
+  size_t begin = 0;  // first position in the range
+  size_t end = 0;    // one past the last
+  size_t size() const { return end - begin; }
+  bool empty() const { return begin == end; }
+  friend bool operator==(const PositionRange&, const PositionRange&) =
+      default;
+};
 
 /// Every ordered index view satisfies this. The array outlives the index
 /// (non-owning views, like std::string_view over the table's RID list).
@@ -60,6 +76,51 @@ void FindBatchViaLowerBound(const IndexT& index, const KeyT* a, size_t n,
                        ? static_cast<int64_t>(pos[j])
                        : kNotFound;
     }
+  }
+}
+
+/// Shared EqualRangeBatch for ordered structures: both ends of every
+/// probe's duplicate run come from the structure's own batched LowerBound
+/// kernel, so range probes inherit its group probing and prefetch. For
+/// integer keys lower_bound(k + 1) == upper_bound(k); the one key whose
+/// successor would wrap, numeric_limits::max(), has upper bound n by
+/// definition (no key exceeds it), so its end is pinned there instead.
+template <typename IndexT, typename KeyT>
+void EqualRangeBatchViaLowerBound(const IndexT& index, size_t n,
+                                  std::span<const KeyT> keys,
+                                  std::span<PositionRange> out) {
+  constexpr KeyT kMax = std::numeric_limits<KeyT>::max();
+  constexpr size_t kChunk = 256;
+  KeyT succ[kChunk];
+  size_t lo[kChunk];
+  size_t hi[kChunk];
+  for (size_t i = 0; i < keys.size(); i += kChunk) {
+    size_t len = std::min(keys.size() - i, kChunk);
+    index.LowerBoundBatch(keys.subspan(i, len), std::span<size_t>(lo, len));
+    for (size_t j = 0; j < len; ++j) {
+      succ[j] = keys[i + j] == kMax ? kMax : keys[i + j] + 1;
+    }
+    index.LowerBoundBatch(std::span<const KeyT>(succ, len),
+                          std::span<size_t>(hi, len));
+    for (size_t j = 0; j < len; ++j) {
+      out[i + j] = PositionRange{lo[j], keys[i + j] == kMax ? n : hi[j]};
+    }
+  }
+}
+
+/// Shared CountEqualBatch over a structure's EqualRangeBatch kernel
+/// (ranges staged on the stack, a chunk at a time).
+template <typename IndexT, typename KeyT>
+void CountEqualBatchViaEqualRange(const IndexT& index,
+                                  std::span<const KeyT> keys,
+                                  std::span<size_t> out) {
+  constexpr size_t kChunk = 256;
+  PositionRange ranges[kChunk];
+  for (size_t i = 0; i < keys.size(); i += kChunk) {
+    size_t len = std::min(keys.size() - i, kChunk);
+    index.EqualRangeBatch(keys.subspan(i, len),
+                          std::span<PositionRange>(ranges, len));
+    for (size_t j = 0; j < len; ++j) out[i + j] = ranges[j].size();
   }
 }
 

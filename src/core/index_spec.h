@@ -27,7 +27,9 @@
 // menu — the sizes swept in Figures 12/13 — because they are template
 // parameters underneath (§6.2 specializes per node size). The thread
 // suffix is an execution policy, not a structure knob: it changes how
-// AnyIndex shards FindBatch/LowerBoundBatch spans, never the tree built.
+// AnyIndex shards batched probe spans — point (FindBatch/LowerBoundBatch)
+// and range (EqualRangeBatch/CountEqualBatch) alike — never the tree
+// built.
 
 namespace cssidx {
 

@@ -2,6 +2,7 @@
 #define CSSIDX_CORE_RANGE_H_
 
 #include <cstddef>
+#include <ostream>
 #include <type_traits>
 
 #include "core/index.h"
@@ -9,19 +10,17 @@
 // Range-query helpers over any ordered index (§2.2: "searching an index is
 // still useful for answering single value selection queries and range
 // queries"; ordered access through the sorted RID list is the reason every
-// method but hash keeps it).
+// method but hash keeps it). PositionRange itself lives in core/index.h —
+// it is the output vocabulary of the batched range probes.
 //
 // All helpers work purely through LowerBound plus the underlying array, so
 // they apply uniformly to binary search, trees and CSS-trees.
 
 namespace cssidx {
 
-struct PositionRange {
-  size_t begin = 0;  // first position in the range
-  size_t end = 0;    // one past the last
-  size_t size() const { return end - begin; }
-  bool empty() const { return begin == end; }
-};
+inline std::ostream& operator<<(std::ostream& os, const PositionRange& r) {
+  return os << "[" << r.begin << ", " << r.end << ")";
+}
 
 /// Positions of all keys equal to `k` (the §3.6 duplicate scan as a range).
 template <typename IndexT>

@@ -1,7 +1,10 @@
 #ifndef CSSIDX_CORE_RECORD_CSS_TREE_H_
 #define CSSIDX_CORE_RECORD_CSS_TREE_H_
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -36,6 +39,9 @@ class RecordCssTree {
  public:
   static constexpr int kStride = NodeKeys;
   static constexpr int kFanout = NodeKeys + 1;  // full-CSS shape
+  /// Probes descended in lockstep by the batch kernels (same group width
+  /// as the key-array CSS-tree).
+  static constexpr size_t kGroupProbes = 8;
 
   RecordCssTree(const Record* records, size_t n) : a_(records), n_(n) {
     Build();
@@ -53,21 +59,50 @@ class RecordCssTree {
       int j = UnrolledLowerBound<kStride>(node, k);
       d = d * kFanout + 1 + static_cast<uint64_t>(j);
     }
-    auto [lo, hi] = LeafRange(d);
-    // Leaf search walks records; the byte offsets scale with
-    // sizeof(Record) exactly as the paper notes.
-    size_t len = hi - lo;
-    size_t base = lo;
-    while (len > 0) {
-      size_t half = len / 2;
-      if (KeyOf{}(a_[base + half]) >= k) {
-        len = half;
-      } else {
-        base += half + 1;
-        len -= half + 1;
+    return SearchLeaf(d, k);
+  }
+
+  /// Batched LowerBound: the same level-synchronous group-probing +
+  /// prefetch kernel as the plain CSS-tree — the directory is identical
+  /// (bare keys, no pointers); only the leaf search dereferences records,
+  /// and each probe's leaf line is prefetched as soon as its leaf is
+  /// known. Results are identical to scalar LowerBound.
+  void LowerBoundBatch(std::span<const Key> keys,
+                       std::span<size_t> out) const {
+    assert(out.size() >= keys.size());
+    const size_t count = keys.size();
+    if (CSSIDX_UNLIKELY(n_ == 0)) {
+      for (size_t i = 0; i < count; ++i) out[i] = 0;
+      return;
+    }
+    const uint64_t internal = layout_.internal_nodes;
+    const Key* dir = dir_keys_;
+    size_t i = 0;
+    for (; i + kGroupProbes <= count; i += kGroupProbes) {
+      uint64_t d[kGroupProbes] = {};
+      if (internal > 0) {
+        bool descending = true;
+        while (descending) {
+          descending = false;
+          for (size_t g = 0; g < kGroupProbes; ++g) {
+            if (d[g] >= internal) continue;
+            const Key* node = dir + d[g] * kStride;
+            int j = UnrolledLowerBound<kStride>(node, keys[i + g]);
+            d[g] = d[g] * kFanout + 1 + static_cast<uint64_t>(j);
+            if (d[g] < internal) {
+              CSSIDX_PREFETCH(dir + d[g] * kStride);
+              descending = true;
+            } else {
+              CSSIDX_PREFETCH(a_ + LeafRange(d[g]).first);
+            }
+          }
+        }
+      }
+      for (size_t g = 0; g < kGroupProbes; ++g) {
+        out[i + g] = SearchLeaf(d[g], keys[i + g]);
       }
     }
-    return base;
+    for (; i < count; ++i) out[i] = LowerBound(keys[i]);
   }
 
   /// Position of the leftmost record whose key equals `k`, or kNotFound.
@@ -75,6 +110,38 @@ class RecordCssTree {
     size_t pos = LowerBound(k);
     if (pos < n_ && KeyOf{}(a_[pos]) == k) return static_cast<int64_t>(pos);
     return kNotFound;
+  }
+
+  /// Batched Find over the group-probing kernel (hand-rolled rather than
+  /// FindBatchViaLowerBound: the hit test reads keys through KeyOf, not a
+  /// flat key array).
+  void FindBatch(std::span<const Key> keys, std::span<int64_t> out) const {
+    assert(out.size() >= keys.size());
+    constexpr size_t kChunk = 256;
+    size_t pos[kChunk];
+    for (size_t i = 0; i < keys.size(); i += kChunk) {
+      size_t len = std::min(keys.size() - i, kChunk);
+      LowerBoundBatch(keys.subspan(i, len), std::span<size_t>(pos, len));
+      for (size_t j = 0; j < len; ++j) {
+        out[i + j] = pos[j] < n_ && KeyOf{}(a_[pos[j]]) == keys[i + j]
+                         ? static_cast<int64_t>(pos[j])
+                         : kNotFound;
+      }
+    }
+  }
+
+  /// Batched EqualRange/CountEqual: both run bounds through the batched
+  /// descent, exactly as for the key-array trees (the shared kernel only
+  /// needs LowerBoundBatch, so record indirection is invisible to it).
+  void EqualRangeBatch(std::span<const Key> keys,
+                       std::span<PositionRange> out) const {
+    assert(out.size() >= keys.size());
+    EqualRangeBatchViaLowerBound(*this, n_, keys, out);
+  }
+  void CountEqualBatch(std::span<const Key> keys,
+                       std::span<size_t> out) const {
+    assert(out.size() >= keys.size());
+    CountEqualBatchViaEqualRange(*this, keys, out);
   }
 
   size_t CountEqual(Key k) const {
@@ -128,6 +195,24 @@ class RecordCssTree {
     int64_t lo = pos < limit ? pos : limit;
     int64_t hi = pos + kStride < limit ? pos + kStride : limit;
     return {static_cast<size_t>(lo), static_cast<size_t>(hi)};
+  }
+
+  CSSIDX_ALWAYS_INLINE size_t SearchLeaf(uint64_t leaf, Key k) const {
+    auto [lo, hi] = LeafRange(leaf);
+    // Leaf search walks records; the byte offsets scale with
+    // sizeof(Record) exactly as the paper notes.
+    size_t len = hi - lo;
+    size_t base = lo;
+    while (len > 0) {
+      size_t half = len / 2;
+      if (KeyOf{}(a_[base + half]) >= k) {
+        len = half;
+      } else {
+        base += half + 1;
+        len -= half + 1;
+      }
+    }
+    return base;
   }
 
   const Record* a_ = nullptr;

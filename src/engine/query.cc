@@ -20,6 +20,8 @@ std::vector<Rid> SelectEqual(const Table& table, const std::string& column,
 
 std::vector<Rid> SelectRange(const Table& table, const std::string& column,
                              uint32_t lo, uint32_t hi) {
+  // A single range has nothing to batch: go straight to the index (or the
+  // scan) rather than paying RangeBatch's staging vectors per call.
   if (table.HasSortIndex(column)) {
     return table.GetSortIndex(column).Range(lo, hi);
   }
@@ -27,6 +29,28 @@ std::vector<Rid> SelectRange(const Table& table, const std::string& column,
   const auto& col = table.Column(column);
   for (size_t i = 0; i < col.size(); ++i) {
     if (col[i] >= lo && col[i] < hi) out.push_back(static_cast<Rid>(i));
+  }
+  return out;
+}
+
+std::vector<std::vector<Rid>> SelectRangeBatch(
+    const Table& table, const std::string& column,
+    std::span<const std::pair<uint32_t, uint32_t>> bounds) {
+  if (table.HasSortIndex(column)) {
+    // All bound probes in one batched LowerBound; auto-shard large sets.
+    return table.GetSortIndex(column).RangeBatch(
+        bounds, ProbeOptions{.threads = 0});
+  }
+  // Scan fallback: one pass over the column serves every range (rows
+  // outer, bounds inner), instead of re-streaming the column per range.
+  std::vector<std::vector<Rid>> out(bounds.size());
+  const auto& col = table.Column(column);
+  for (size_t i = 0; i < col.size(); ++i) {
+    for (size_t b = 0; b < bounds.size(); ++b) {
+      if (col[i] >= bounds[b].first && col[i] < bounds[b].second) {
+        out[b].push_back(static_cast<Rid>(i));
+      }
+    }
   }
   return out;
 }
@@ -39,33 +63,29 @@ std::vector<JoinedPair> IndexedJoin(const Table& outer,
   const auto& outer_col = outer.Column(outer_column);
   std::vector<JoinedPair> out;
   // Batched probe loop: the outer column is fed to the inner index a block
-  // at a time, each block probed in one FindBatch the facade shards into
-  // per-thread contiguous chunks (threads = 0: one per hardware thread),
-  // every chunk running the structure's group-probing + prefetch kernel
-  // with results landing in place. The block is sized so a wide machine
-  // still gets a full min-shard chunk per hardware thread, while keeping
-  // the staging buffer bounded (2 MB) rather than O(outer rows); outers
+  // at a time, each block probed in one EqualRangeBatch the facade shards
+  // into per-thread contiguous chunks (threads = 0: one per hardware
+  // thread), every chunk running the structure's group-probing + prefetch
+  // kernel with results landing in place. The block is sized so a wide
+  // machine still gets a full min-shard chunk per hardware thread, while
+  // keeping the staging buffer bounded rather than O(outer rows); outers
   // smaller than one shard stay on the inline path, so the parallelism
-  // threshold is automatic. FindBatch returns the leftmost match;
-  // duplicates in the inner relation are handled by the rightward scan
-  // (§3.6), which stays sequential because it appends to the output pair
-  // list in outer-RID order.
+  // threshold is automatic. Each probe comes back as its whole duplicate
+  // run — a PositionRange over the inner RID list — so the §3.6 duplicate
+  // expansion is a plain span walk with no per-key key comparisons; it
+  // stays sequential because it appends to the output pair list in
+  // outer-RID order.
   constexpr size_t kProbeBlock = 64 * kParallelProbeMinShard;
-  std::vector<int64_t> found(std::min(outer_col.size(), kProbeBlock));
-  const auto& sorted = index.sorted_keys();
+  std::vector<PositionRange> found(std::min(outer_col.size(), kProbeBlock));
   const auto& rids = index.rids();
   for (size_t base = 0; base < outer_col.size(); base += kProbeBlock) {
     size_t len = std::min(outer_col.size() - base, kProbeBlock);
-    index.FindBatch(std::span<const uint32_t>(&outer_col[base], len),
-                    std::span<int64_t>(found.data(), len),
-                    ProbeOptions{.threads = 0});
+    index.EqualRangeBatch(std::span<const uint32_t>(&outer_col[base], len),
+                          std::span<PositionRange>(found.data(), len),
+                          ProbeOptions{.threads = 0});
     for (size_t i = 0; i < len; ++i) {
-      if (found[i] == kNotFound) continue;
-      uint32_t k = outer_col[base + i];
-      auto pos = static_cast<size_t>(found[i]);
-      while (pos < sorted.size() && sorted[pos] == k) {
+      for (size_t pos = found[i].begin; pos < found[i].end; ++pos) {
         out.push_back({static_cast<Rid>(base + i), rids[pos]});
-        ++pos;
       }
     }
   }
@@ -86,11 +106,41 @@ std::vector<Aggregates> GroupBy(const Table& table,
                                 const std::string& value_column,
                                 uint32_t num_groups) {
   std::vector<Aggregates> groups(num_groups);
-  const auto& keys = table.Column(group_column);
   const auto& values = table.Column(value_column);
-  for (size_t i = 0; i < keys.size(); ++i) {
-    if (keys[i] >= num_groups) continue;  // outside the dense domain
-    groups[keys[i]].Accumulate(values[i]);
+  bool accumulated = false;
+  if (table.HasSortIndex(group_column)) {
+    // Resolve every group key's duplicate run in one EqualRangeBatch (the
+    // batch auto-shards above the parallel-probe threshold). The probes
+    // are cheap — the expensive part is accumulating values[rids[pos]],
+    // a gather whose positions stride across the values column — so the
+    // run spans also serve as a selectivity measurement: when the groups
+    // cover most of the table, a sequential scan touches far fewer value
+    // lines than the gather and the scan path below takes over. Either
+    // way the stable sort keeps a run's RIDs in row order, so
+    // accumulation order — and hence every aggregate — is identical.
+    const SortIndex& index = table.GetSortIndex(group_column);
+    const auto& rids = index.rids();
+    std::vector<uint32_t> group_keys(num_groups);
+    for (uint32_t g = 0; g < num_groups; ++g) group_keys[g] = g;
+    std::vector<PositionRange> runs(num_groups);
+    index.EqualRangeBatch(group_keys, runs, ProbeOptions{.threads = 0});
+    size_t covered = 0;
+    for (const PositionRange& r : runs) covered += r.size();
+    if (covered <= table.NumRows() / 4) {
+      for (uint32_t g = 0; g < num_groups; ++g) {
+        for (size_t pos = runs[g].begin; pos < runs[g].end; ++pos) {
+          groups[g].Accumulate(values[rids[pos]]);
+        }
+      }
+      accumulated = true;
+    }
+  }
+  if (!accumulated) {
+    const auto& keys = table.Column(group_column);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (keys[i] >= num_groups) continue;  // outside the dense domain
+      groups[keys[i]].Accumulate(values[i]);
+    }
   }
   for (auto& g : groups) {
     if (g.count == 0) g.min = 0;

@@ -3,7 +3,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "engine/table.h"
@@ -11,9 +13,11 @@
 // Decision-support operators over Table (§2.2): selection through a sort
 // index, indexed nested-loop join ("the only join method used in [WK90]",
 // pipelinable and storage-light), and simple aggregation. Everything runs
-// against immutable tables; maintenance is rebuild-on-batch. Join probes
-// go through the sort index's batch API so the inner structure can overlap
-// the cache misses of neighboring probes.
+// against immutable tables; maintenance is rebuild-on-batch. Probes go
+// through the sort index's batch API — point probes via FindBatch,
+// duplicate runs via EqualRangeBatch, range bounds via LowerBoundBatch —
+// so the inner structure can overlap the cache misses of neighboring
+// probes, and large probe spans shard across threads automatically.
 
 namespace cssidx::engine {
 
@@ -25,6 +29,15 @@ std::vector<Rid> SelectEqual(const Table& table, const std::string& column,
 /// RIDs of rows where lo <= column < hi. Indexed if possible, else scan.
 std::vector<Rid> SelectRange(const Table& table, const std::string& column,
                              uint32_t lo, uint32_t hi);
+
+/// Many SelectRanges at once: result i is exactly
+/// SelectRange(table, column, bounds[i].first, bounds[i].second), but with
+/// a sort index every range's two bound probes go through ONE batched
+/// LowerBound call, so bound descents amortize each other's cache misses
+/// (and shard across threads above the parallel-probe threshold).
+std::vector<std::vector<Rid>> SelectRangeBatch(
+    const Table& table, const std::string& column,
+    std::span<const std::pair<uint32_t, uint32_t>> bounds);
 
 struct JoinedPair {
   Rid outer;
@@ -64,7 +77,13 @@ Aggregates Aggregate(const Table& table, const std::string& column,
 
 /// GROUP BY `group_column` (dense domain IDs expected) computing COUNT and
 /// SUM(value_column) per group. Returns a vector indexed by group ID;
-/// empty groups report min = max = 0.
+/// empty groups report min = max = 0. With a sort index on `group_column`
+/// every group key resolves through one EqualRangeBatch call (its
+/// duplicate-run span in the RID list); the spans then double as a
+/// selectivity measurement — when the groups cover most of the table a
+/// sequential scan beats the RID-list gather, so accumulation falls back
+/// to the scan. Both paths accumulate each group's rows in RID order (the
+/// sort is stable), so results are identical regardless of path.
 std::vector<Aggregates> GroupBy(const Table& table,
                                 const std::string& group_column,
                                 const std::string& value_column,

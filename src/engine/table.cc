@@ -41,6 +41,19 @@ size_t SortIndex::LowerBound(uint32_t v) const {
       sorted_keys_.begin());
 }
 
+void SortIndex::LowerBoundBatch(std::span<const uint32_t> keys,
+                                std::span<size_t> out,
+                                const ProbeOptions& opts) const {
+  if (index_.SupportsOrderedAccess()) {
+    index_.LowerBoundBatch(keys, out, opts);
+    return;
+  }
+  // Hash fallback: the scalar path's binary search, still sharded.
+  ParallelProbe(opts, keys.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) out[i] = LowerBound(keys[i]);
+  });
+}
+
 std::vector<Rid> SortIndex::Equal(uint32_t v) const {
   std::vector<Rid> out;
   int64_t found = index_.Find(v);
@@ -60,6 +73,29 @@ std::vector<Rid> SortIndex::Range(uint32_t lo, uint32_t hi) const {
   size_t end = LowerBound(hi);
   out.assign(rids_.begin() + static_cast<ptrdiff_t>(begin),
              rids_.begin() + static_cast<ptrdiff_t>(end));
+  return out;
+}
+
+std::vector<std::vector<Rid>> SortIndex::RangeBatch(
+    std::span<const std::pair<uint32_t, uint32_t>> bounds,
+    const ProbeOptions& opts) const {
+  // Stage both bound probes of every range into one flat key span: one
+  // LowerBoundBatch serves 2 * ranges descents through the group-probing
+  // kernel. Inverted/empty ranges still probe (keeping the staging layout
+  // trivially position = 2 * i) and are clamped to empty afterwards.
+  std::vector<uint32_t> probes(2 * bounds.size());
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    probes[2 * i] = bounds[i].first;
+    probes[2 * i + 1] = bounds[i].second;
+  }
+  std::vector<size_t> pos(probes.size());
+  LowerBoundBatch(probes, pos, opts);
+  std::vector<std::vector<Rid>> out(bounds.size());
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    if (bounds[i].second <= bounds[i].first) continue;
+    out[i].assign(rids_.begin() + static_cast<ptrdiff_t>(pos[2 * i]),
+                  rids_.begin() + static_cast<ptrdiff_t>(pos[2 * i + 1]));
+  }
   return out;
 }
 

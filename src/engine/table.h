@@ -6,6 +6,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/any_index.h"
@@ -53,6 +54,21 @@ class SortIndex {
   /// RIDs of rows with value in [lo, hi).
   std::vector<Rid> Range(uint32_t lo, uint32_t hi) const;
 
+  /// Range([lo, hi)) for many ranges at once: every range's two bound
+  /// probes are staged into ONE batched LowerBound call (2 probes per
+  /// range), so bound descents group-probe and prefetch across ranges —
+  /// and shard across threads when the staged span is large (per the
+  /// spec's "@tN" policy, or per `opts` on the explicit overload).
+  /// Result i is exactly Range(bounds[i].first, bounds[i].second).
+  std::vector<std::vector<Rid>> RangeBatch(
+      std::span<const std::pair<uint32_t, uint32_t>> bounds) const {
+    return RangeBatch(bounds,
+                      ProbeOptions{.threads = spec().probe_threads()});
+  }
+  std::vector<std::vector<Rid>> RangeBatch(
+      std::span<const std::pair<uint32_t, uint32_t>> bounds,
+      const ProbeOptions& opts) const;
+
   /// Leftmost sorted position of `v`, or kNotFound.
   int64_t Find(uint32_t v) const { return index_.Find(v); }
   size_t LowerBound(uint32_t v) const;
@@ -69,6 +85,32 @@ class SortIndex {
   void FindBatch(std::span<const uint32_t> keys, std::span<int64_t> out,
                  const ProbeOptions& opts) const {
     index_.FindBatch(keys, out, opts);
+  }
+
+  /// Batched lower bounds on the sorted key list. Ordered methods go
+  /// through the index's batch kernel; hash falls back to binary search on
+  /// the sorted keys (still sharded per `opts`), so every spec serves
+  /// positional probes.
+  void LowerBoundBatch(std::span<const uint32_t> keys,
+                       std::span<size_t> out) const {
+    LowerBoundBatch(keys, out, ProbeOptions{.threads = spec().probe_threads()});
+  }
+  void LowerBoundBatch(std::span<const uint32_t> keys, std::span<size_t> out,
+                       const ProbeOptions& opts) const;
+
+  /// Batched duplicate-run probes — the join's duplicate expansion and
+  /// GroupBy's group resolution. out[i] spans keys[i]'s run in the sorted
+  /// key list: rids()[out[i].begin .. out[i].end) are the matching rows in
+  /// RID order. Absent keys yield empty spans. Works for every spec (the
+  /// hash kernel scans each chain once for leftmost match + count).
+  void EqualRangeBatch(std::span<const uint32_t> keys,
+                       std::span<PositionRange> out) const {
+    index_.EqualRangeBatch(keys, out);
+  }
+  void EqualRangeBatch(std::span<const uint32_t> keys,
+                       std::span<PositionRange> out,
+                       const ProbeOptions& opts) const {
+    index_.EqualRangeBatch(keys, out, opts);
   }
 
   const std::vector<uint32_t>& sorted_keys() const { return sorted_keys_; }

@@ -7,6 +7,7 @@
 
 #include "gtest/gtest.h"
 #include "util/rng.h"
+#include "util/zipf.h"
 #include "workload/key_gen.h"
 
 namespace cssidx::engine {
@@ -117,6 +118,56 @@ TEST(Query, SelectRangeIndexedMatchesScan) {
   EXPECT_EQ(scan, indexed);
 }
 
+TEST(Query, SelectRangeIsBitIdenticalToTheScalarBoundPath) {
+  // The batch rewrite must reproduce the pre-batch implementation — two
+  // scalar LowerBounds and a RID-list slice — exactly, element order
+  // included, for every spec (hash's bounds fall back to binary search).
+  Table t = MakeOrders(20'000, 500, 33);
+  for (const char* spec_text : {"css:16", "lcss:8", "btree:32", "ttree:16",
+                                "bin", "tbin", "interp", "hash:10"}) {
+    t.BuildSortIndex("day", *IndexSpec::Parse(spec_text));
+    const SortIndex& index = t.GetSortIndex("day");
+    for (auto [lo, hi] : std::initializer_list<std::pair<uint32_t, uint32_t>>{
+             {100, 200}, {0, 365}, {0, 0}, {200, 100}, {364, 365},
+             {0, 0xffffffffu}}) {
+      std::vector<Rid> expected;
+      if (hi > lo) {
+        size_t begin = index.LowerBound(lo);
+        size_t end = index.LowerBound(hi);
+        expected.assign(index.rids().begin() + static_cast<ptrdiff_t>(begin),
+                        index.rids().begin() + static_cast<ptrdiff_t>(end));
+      }
+      ASSERT_EQ(SelectRange(t, "day", lo, hi), expected)
+          << spec_text << " [" << lo << ", " << hi << ")";
+    }
+  }
+}
+
+TEST(Query, SelectRangeBatchMatchesSingleRangeCalls) {
+  Table t = MakeOrders(15'000, 400, 35);
+  std::vector<std::pair<uint32_t, uint32_t>> bounds{
+      {0, 365}, {100, 200}, {50, 50}, {300, 100},  // empty + inverted
+      {0, 1},   {364, 1000}, {42, 43}};
+  // Scan path (no index) first, then every indexed spec.
+  auto scan_results = SelectRangeBatch(t, "day", bounds);
+  ASSERT_EQ(scan_results.size(), bounds.size());
+  for (size_t b = 0; b < bounds.size(); ++b) {
+    ASSERT_EQ(scan_results[b],
+              SelectRange(t, "day", bounds[b].first, bounds[b].second))
+        << "scan b=" << b;
+  }
+  for (const char* spec_text : {"css:16", "hash:10", "ttree:16"}) {
+    t.BuildSortIndex("day", *IndexSpec::Parse(spec_text));
+    auto results = SelectRangeBatch(t, "day", bounds);
+    ASSERT_EQ(results.size(), bounds.size());
+    for (size_t b = 0; b < bounds.size(); ++b) {
+      ASSERT_EQ(results[b],
+                SelectRange(t, "day", bounds[b].first, bounds[b].second))
+          << spec_text << " b=" << b;
+    }
+  }
+}
+
 TEST(Query, IndexedJoinMatchesNestedLoop) {
   Table orders = MakeOrders(5'000, 200, 11);
   // Customers: ids 0..199 with a region column.
@@ -217,6 +268,126 @@ TEST(Query, GroupByCountsAndSums) {
   EXPECT_EQ(groups[1].sum, 35u);
   EXPECT_EQ(groups[2].count, 1u);
   EXPECT_EQ(groups[2].max, 20u);
+}
+
+TEST(Query, GroupByIndexedMatchesScanOnZipfSkewedDuplicates) {
+  // The batch rewrite resolves group keys through EqualRangeBatch when the
+  // group column is indexed; the scan path is the oracle. A Zipf-skewed
+  // group column makes a few groups enormous and leaves others empty —
+  // exactly the duplicate-run spread where span bugs hide. Both paths
+  // accumulate in RID order (stable sort), so every field must match
+  // bit-for-bit, including an always-empty trailing group.
+  constexpr uint32_t kGroups = 64;
+  ZipfGenerator zipf(kGroups - 1, /*theta=*/1.1, /*seed=*/41);
+  Pcg32 rng(43);
+  std::vector<uint32_t> group(50'000), value(50'000);
+  for (size_t i = 0; i < group.size(); ++i) {
+    group[i] = static_cast<uint32_t>(zipf.Next());
+    value[i] = 1 + rng.Below(10'000);
+  }
+  Table t;
+  t.AddColumn("g", std::move(group));
+  t.AddColumn("v", std::move(value));
+  auto scan = GroupBy(t, "g", "v", kGroups);
+  ASSERT_EQ(scan.size(), kGroups);
+  EXPECT_EQ(scan[kGroups - 1].count, 0u);  // zipf drew from [0, kGroups-1)
+
+  // The dense query covers every row, so the selectivity gate keeps the
+  // scan accumulator; a sparse query (the head groups of a much wider
+  // domain) goes through the RID-list spans. Both must match the scan
+  // oracle exactly, for every spec.
+  constexpr uint32_t kSparseGroups = 8;
+  ZipfGenerator wide(5000, /*theta=*/0.8, /*seed=*/45);
+  std::vector<uint32_t> wide_group(50'000);
+  for (auto& g : wide_group) g = static_cast<uint32_t>(wide.Next());
+  Table sparse;
+  sparse.AddColumn("g", std::move(wide_group));
+  sparse.AddColumn("v", t.Column("v"));
+  auto sparse_scan = GroupBy(sparse, "g", "v", kSparseGroups);
+
+  for (const char* spec_text : {"css:16", "lcss:8", "btree:32", "ttree:16",
+                                "bin", "tbin", "interp", "hash:10"}) {
+    t.BuildSortIndex("g", *IndexSpec::Parse(spec_text));
+    auto indexed = GroupBy(t, "g", "v", kGroups);
+    ASSERT_EQ(indexed.size(), scan.size()) << spec_text;
+    for (uint32_t g = 0; g < kGroups; ++g) {
+      ASSERT_EQ(indexed[g].count, scan[g].count) << spec_text << " g=" << g;
+      ASSERT_EQ(indexed[g].sum, scan[g].sum) << spec_text << " g=" << g;
+      ASSERT_EQ(indexed[g].min, scan[g].min) << spec_text << " g=" << g;
+      ASSERT_EQ(indexed[g].max, scan[g].max) << spec_text << " g=" << g;
+    }
+    sparse.BuildSortIndex("g", *IndexSpec::Parse(spec_text));
+    auto sparse_indexed = GroupBy(sparse, "g", "v", kSparseGroups);
+    for (uint32_t g = 0; g < kSparseGroups; ++g) {
+      ASSERT_EQ(sparse_indexed[g].count, sparse_scan[g].count)
+          << spec_text << " sparse g=" << g;
+      ASSERT_EQ(sparse_indexed[g].sum, sparse_scan[g].sum)
+          << spec_text << " sparse g=" << g;
+      ASSERT_EQ(sparse_indexed[g].min, sparse_scan[g].min)
+          << spec_text << " sparse g=" << g;
+      ASSERT_EQ(sparse_indexed[g].max, sparse_scan[g].max)
+          << spec_text << " sparse g=" << g;
+    }
+  }
+}
+
+TEST(Query, IndexedJoinExpandsDuplicatesViaRangeSpans) {
+  // Zipf-skewed duplicate keys on BOTH sides: the join's §3.6 expansion
+  // now consumes PositionRange spans, and heavy runs are where a
+  // wrong-end span would explode or truncate the pair list. Oracle:
+  // nested loop over both columns, in the same outer-major order.
+  ZipfGenerator zipf(200, /*theta=*/1.05, /*seed=*/47);
+  std::vector<uint32_t> outer_col(3'000), inner_col(2'000);
+  for (auto& v : outer_col) v = static_cast<uint32_t>(zipf.Next());
+  for (auto& v : inner_col) v = static_cast<uint32_t>(zipf.Next());
+  Table outer, inner;
+  outer.AddColumn("k", outer_col);
+  inner.AddColumn("k", inner_col);
+
+  std::vector<JoinedPair> expected;
+  for (size_t i = 0; i < outer_col.size(); ++i) {
+    // Inner matches in RID order, as the sorted RID list stores them.
+    for (size_t j = 0; j < inner_col.size(); ++j) {
+      if (outer_col[i] == inner_col[j]) {
+        expected.push_back({static_cast<Rid>(i), static_cast<Rid>(j)});
+      }
+    }
+  }
+  for (const char* spec_text : {"css:16", "hash:8", "ttree:16"}) {
+    inner.BuildSortIndex("k", *IndexSpec::Parse(spec_text));
+    auto pairs = IndexedJoin(outer, "k", inner, "k");
+    ASSERT_EQ(pairs.size(), expected.size()) << spec_text;
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      ASSERT_EQ(pairs[i].outer, expected[i].outer) << spec_text << " " << i;
+      ASSERT_EQ(pairs[i].inner, expected[i].inner) << spec_text << " " << i;
+    }
+  }
+}
+
+TEST(SortIndex, RangeBatchMatchesScalarRangeAcrossSpecs) {
+  Pcg32 rng(51);
+  std::vector<uint32_t> col(9'000);
+  for (auto& v : col) v = rng.Below(700);
+  std::vector<std::pair<uint32_t, uint32_t>> bounds;
+  for (int b = 0; b < 200; ++b) {
+    uint32_t lo = rng.Below(750);
+    uint32_t hi = rng.Below(750);  // inverted and empty pairs included
+    bounds.push_back({lo, hi});
+  }
+  for (const IndexSpec& spec : AllSpecs(16, 10)) {
+    SortIndex index(col, spec);
+    auto batched = index.RangeBatch(bounds);
+    ASSERT_EQ(batched.size(), bounds.size()) << spec.ToString();
+    for (size_t b = 0; b < bounds.size(); ++b) {
+      ASSERT_EQ(batched[b], index.Range(bounds[b].first, bounds[b].second))
+          << spec.ToString() << " b=" << b;
+    }
+  }
+  // The no-opts overload follows the spec's "@tN" probe-thread policy,
+  // with results identical to the inline default.
+  SortIndex threaded(col, *IndexSpec::Parse("css:16@t3"));
+  SortIndex inline_default(col, *IndexSpec::Parse("css:16"));
+  ASSERT_EQ(threaded.RangeBatch(bounds), inline_default.RangeBatch(bounds));
 }
 
 TEST(SortIndex, EveryMethodInTheSuiteServesAColumn) {

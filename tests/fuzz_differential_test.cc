@@ -6,10 +6,12 @@
 // the reproducing configuration.
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "core/builder.h"
 #include "core/full_css_tree.h"
+#include "core/range.h"
 #include "core/versioned_index.h"
 #include "gtest/gtest.h"
 #include "util/rng.h"
@@ -71,11 +73,15 @@ TEST(FuzzDifferential, AllMethodsAgreeWithOracle) {
 
     std::vector<int64_t> batch_find(probes.size());
     std::vector<size_t> batch_lower(probes.size());
+    std::vector<PositionRange> batch_range(probes.size());
+    std::vector<size_t> batch_count(probes.size());
     for (const AnyIndex& index : indexes) {
       // The batch entry points are the contract; the scalar calls they are
       // compared against are batches of one through the same virtual hop.
       index.FindBatch(probes, batch_find);
       index.LowerBoundBatch(probes, batch_lower);
+      index.EqualRangeBatch(probes, batch_range);
+      index.CountEqualBatch(probes, batch_count);
       for (size_t p = 0; p < probes.size(); ++p) {
         Key k = probes[p];
         ASSERT_EQ(batch_find[p], want_find[p])
@@ -85,11 +91,78 @@ TEST(FuzzDifferential, AllMethodsAgreeWithOracle) {
             << index.Name() << " trial=" << trial << " k=" << k;
         ASSERT_EQ(index.CountEqual(k), want_count[p])
             << index.Name() << " trial=" << trial << " k=" << k;
+        ASSERT_EQ(batch_count[p], want_count[p])
+            << index.Name() << " trial=" << trial << " k=" << k;
+        // Expected duplicate-run span: ordered methods anchor an absent
+        // key's empty span at its insertion point, hash at size().
+        size_t want_begin = index.SupportsOrderedAccess() || want_count[p] > 0
+                                ? want_lower[p]
+                                : keys.size();
+        ASSERT_EQ(batch_range[p],
+                  (PositionRange{want_begin, want_begin + want_count[p]}))
+            << index.Name() << " trial=" << trial << " k=" << k;
+        ASSERT_EQ(index.EqualRange(k), batch_range[p])
+            << index.Name() << " trial=" << trial << " k=" << k;
         if (index.SupportsOrderedAccess()) {
           ASSERT_EQ(batch_lower[p], want_lower[p])
               << index.Name() << " trial=" << trial << " k=" << k;
           ASSERT_EQ(index.LowerBound(k), want_lower[p])
               << index.Name() << " trial=" << trial << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(FuzzDifferential, RandomBoundRangesAgreeWithOracle) {
+  // Random [lo, hi) bound pairs — inverted, empty, and wide ones included
+  // — staged through the batched LowerBound kernels the way the engine
+  // stages SelectRange bounds, checked against the STL oracle.
+  Pcg32 rng(0x5eed);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto keys = RandomKeys(rng, 100 + rng.Below(3000));
+    uint32_t ceiling = keys.empty() ? 100 : keys.back() + 5;
+
+    std::vector<std::pair<Key, Key>> bounds;
+    for (int b = 0; b < 100; ++b) {
+      Key lo = rng.Below(ceiling);
+      Key hi = rng.Below(ceiling);
+      if (b % 5 == 0) hi = lo;           // empty
+      if (b % 7 == 0 && lo < hi) std::swap(lo, hi);  // inverted
+      bounds.push_back({lo, hi});
+    }
+    std::vector<Key> staged;
+    for (auto [lo, hi] : bounds) {
+      staged.push_back(lo);
+      staged.push_back(hi);
+    }
+
+    for (const IndexSpec& spec : AllSpecs(16, 8)) {
+      if (!spec.ordered()) continue;  // hash serves no positional bounds
+      AnyIndex index = BuildIndex(spec, keys);
+      ASSERT_TRUE(index) << spec.ToString();
+      std::vector<size_t> pos(staged.size());
+      index.LowerBoundBatch(staged, pos);
+      for (size_t b = 0; b < bounds.size(); ++b) {
+        auto [lo, hi] = bounds[b];
+        size_t want_begin = static_cast<size_t>(
+            std::lower_bound(keys.begin(), keys.end(), lo) - keys.begin());
+        size_t want_end = static_cast<size_t>(
+            std::lower_bound(keys.begin(), keys.end(), hi) - keys.begin());
+        if (hi <= lo) want_end = want_begin;  // empty/inverted clamp
+        PositionRange got = hi <= lo
+                                ? PositionRange{pos[2 * b], pos[2 * b]}
+                                : PositionRange{pos[2 * b], pos[2 * b + 1]};
+        ASSERT_EQ(got, (PositionRange{want_begin, want_end}))
+            << spec.ToString() << " trial=" << trial << " lo=" << lo
+            << " hi=" << hi;
+        // The scalar helper must agree with the staged-bounds path (it
+        // anchors degenerate ranges at 0 rather than the insertion point,
+        // so only live ranges compare positionally).
+        if (hi > lo) {
+          ASSERT_EQ(HalfOpenRange(index, lo, hi), got)
+              << spec.ToString() << " trial=" << trial << " lo=" << lo
+              << " hi=" << hi;
         }
       }
     }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/builder.h"
+#include "core/range.h"
 #include "gtest/gtest.h"
 #include "workload/key_gen.h"
 #include "workload/lookup_gen.h"
@@ -112,13 +113,63 @@ TEST_P(AllIndexesProperty, AgreesWithStlOracles) {
     // kernels' full-group path, the remainder path, and batches of one).
     std::vector<int64_t> batch_find(probes.size());
     std::vector<size_t> batch_lower(probes.size());
+    std::vector<PositionRange> batch_range(probes.size());
+    std::vector<size_t> batch_count(probes.size());
     index.FindBatch(probes, batch_find);
     index.LowerBoundBatch(probes, batch_lower);
+    index.EqualRangeBatch(probes, batch_range);
+    index.CountEqualBatch(probes, batch_count);
     for (size_t i = 0; i < probes.size(); ++i) {
       ASSERT_EQ(batch_find[i], index.Find(probes[i]))
           << index.Name() << " n=" << n << " i=" << i;
       ASSERT_EQ(batch_lower[i], index.LowerBound(probes[i]))
           << index.Name() << " n=" << n << " i=" << i;
+      ASSERT_EQ(batch_range[i], index.EqualRange(probes[i]))
+          << index.Name() << " n=" << n << " i=" << i;
+      ASSERT_EQ(batch_count[i], index.CountEqual(probes[i]))
+          << index.Name() << " n=" << n << " i=" << i;
+      // The span is the STL equal_range, modulo hash's size() anchor for
+      // absent keys.
+      auto lo = std::lower_bound(keys.begin(), keys.end(), probes[i]);
+      auto hi = std::upper_bound(keys.begin(), keys.end(), probes[i]);
+      PositionRange want{static_cast<size_t>(lo - keys.begin()),
+                         static_cast<size_t>(hi - keys.begin())};
+      if (!index.SupportsOrderedAccess() && want.empty()) {
+        want = {keys.size(), keys.size()};
+      }
+      ASSERT_EQ(batch_range[i], want)
+          << index.Name() << " n=" << n << " i=" << i;
+    }
+
+    // Random [lo, hi) bound pairs — inverted and empty included — staged
+    // through the batched LowerBound kernel, as the engine stages
+    // SelectRange bounds.
+    if (index.SupportsOrderedAccess() && !keys.empty()) {
+      std::vector<Key> bounds;
+      for (size_t b = 0; b + 1 < probes.size(); b += 2) {
+        bounds.push_back(probes[b]);
+        bounds.push_back(probes[b + 1]);
+      }
+      std::vector<size_t> pos(bounds.size());
+      index.LowerBoundBatch(bounds, pos);
+      for (size_t b = 0; b + 1 < bounds.size(); b += 2) {
+        Key lo_key = bounds[b];
+        Key hi_key = bounds[b + 1];
+        size_t want_begin = static_cast<size_t>(
+            std::lower_bound(keys.begin(), keys.end(), lo_key) -
+            keys.begin());
+        size_t want_end =
+            hi_key <= lo_key
+                ? want_begin
+                : static_cast<size_t>(std::lower_bound(keys.begin(),
+                                                       keys.end(), hi_key) -
+                                      keys.begin());
+        size_t got_end = hi_key <= lo_key ? pos[b] : pos[b + 1];
+        ASSERT_EQ((PositionRange{pos[b], got_end}),
+                  (PositionRange{want_begin, want_end}))
+            << index.Name() << " n=" << n << " lo=" << lo_key
+            << " hi=" << hi_key;
+      }
     }
   }
 }

@@ -7,6 +7,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/range.h"
+
 #include "gtest/gtest.h"
 #include "util/rng.h"
 #include "workload/key_gen.h"
@@ -96,6 +98,44 @@ TEST(RecordCssTree, DuplicateKeysLeftmost) {
     auto [lo, hi] = std::equal_range(keys.begin(), keys.end(), k);
     EXPECT_EQ(tree.Find(k), lo - keys.begin());
     EXPECT_EQ(tree.CountEqual(k), static_cast<size_t>(hi - lo));
+  }
+}
+
+TEST(RecordCssTree, BatchKernelsMatchScalarOverRecords) {
+  // The group-probing kernels descend the same key directory as the plain
+  // CSS-tree but finish with record-walking leaf searches; batched
+  // results must equal the scalar calls probe for probe, duplicates and
+  // absent keys included, at batch sizes covering the full-group path,
+  // the sub-group remainder, and the 256-probe chunk boundary.
+  auto keys = workload::KeysWithDuplicates(8000, 300, 9);
+  auto rows = MakeRows<Row32, Row32Key>(keys);
+  RecordCssTree<Row32, Row32Key, 16> tree(rows);
+  Pcg32 rng(77);
+  for (size_t batch : {size_t{1}, size_t{7}, size_t{8}, size_t{9},
+                       size_t{255}, size_t{256}, size_t{257}, size_t{2000}}) {
+    std::vector<Key> probes(batch);
+    for (Key& k : probes) k = rng.Below(keys.back() + 3);
+    std::vector<size_t> lower(batch);
+    std::vector<int64_t> found(batch);
+    std::vector<PositionRange> ranges(batch);
+    std::vector<size_t> counts(batch);
+    tree.LowerBoundBatch(probes, lower);
+    tree.FindBatch(probes, found);
+    tree.EqualRangeBatch(probes, ranges);
+    tree.CountEqualBatch(probes, counts);
+    for (size_t i = 0; i < batch; ++i) {
+      ASSERT_EQ(lower[i], tree.LowerBound(probes[i]))
+          << "batch=" << batch << " i=" << i;
+      ASSERT_EQ(found[i], tree.Find(probes[i]))
+          << "batch=" << batch << " i=" << i;
+      auto [lo, hi] = std::equal_range(keys.begin(), keys.end(), probes[i]);
+      ASSERT_EQ(ranges[i],
+                (PositionRange{static_cast<size_t>(lo - keys.begin()),
+                               static_cast<size_t>(hi - keys.begin())}))
+          << "batch=" << batch << " i=" << i;
+      ASSERT_EQ(counts[i], static_cast<size_t>(hi - lo))
+          << "batch=" << batch << " i=" << i;
+    }
   }
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "util/rng.h"
 #include "workload/key_gen.h"
 
 namespace cssidx {
@@ -96,6 +97,44 @@ TEST(TTree, SpaceGrowsWithRidsStored) {
   // keys + rids + header per 16 entries: at least 8 bytes per element.
   EXPECT_GE(index.SpaceBytes(), keys.size() * 8);
   EXPECT_EQ(index.NumNodes(), (keys.size() + 15) / 16);
+}
+
+TEST(TTree, BatchKernelMatchesScalarDescent) {
+  // The group-probing LowerBoundBatch (child-line prefetch, lockstep
+  // descent) took T-tree off the scalar fallback path; it must reproduce
+  // the scalar improved search probe for probe — duplicates, absent keys,
+  // and the partial final node included — at batch sizes covering full
+  // groups, the sub-group remainder, and batches of one.
+  auto keys = workload::KeysWithDuplicates(5003, 400, 21);
+  TTreeIndex<16> index(keys);
+  Pcg32 rng(23);
+  for (size_t batch : {size_t{1}, size_t{7}, size_t{8}, size_t{9},
+                       size_t{64}, size_t{1000}}) {
+    std::vector<Key> probes(batch);
+    for (Key& k : probes) k = rng.Below(keys.back() + 3);
+    std::vector<size_t> lower(batch, ~size_t{0});
+    std::vector<int64_t> found(batch, -2);
+    index.LowerBoundBatch(probes, lower);
+    index.FindBatch(probes, found);
+    for (size_t i = 0; i < batch; ++i) {
+      ASSERT_EQ(lower[i], index.LowerBound(probes[i]))
+          << "batch=" << batch << " i=" << i << " k=" << probes[i];
+      ASSERT_EQ(found[i], index.Find(probes[i]))
+          << "batch=" << batch << " i=" << i << " k=" << probes[i];
+    }
+  }
+  // And against the STL oracle, so batch and scalar can't agree on a bug.
+  std::vector<Key> probes(2000);
+  for (Key& k : probes) k = rng.Below(keys.back() + 3);
+  std::vector<size_t> lower(probes.size());
+  index.LowerBoundBatch(probes, lower);
+  for (size_t i = 0; i < probes.size(); ++i) {
+    ASSERT_EQ(lower[i],
+              static_cast<size_t>(std::lower_bound(keys.begin(), keys.end(),
+                                                   probes[i]) -
+                                  keys.begin()))
+        << probes[i];
+  }
 }
 
 TEST(TTree, EmptyAndPartialFinalNode) {

@@ -1,9 +1,12 @@
 #!/usr/bin/env python3
 """Gate batch-probe throughput against the checked-in bench baseline.
 
-Compares two bench_batch_lookup JSON files row by row, keyed by
-(spec, batch, threads), and fails (exit 1) when throughput regressed by
-more than --tolerance (default 25%).
+Compares two bench_batch_lookup JSON files row by row — both the point-
+probe "results" block and the range-probe "range_probes" block (when a
+file was recorded with --range) — keyed by (block, spec, batch, threads),
+and fails (exit 1) when throughput regressed by more than --tolerance
+(default 25%). Both blocks feed the same geomean: the range rows gate the
+EqualRangeBatch kernels under the same rule as the point rows.
 
 Two metrics:
 
@@ -36,9 +39,10 @@ def load_rows(path):
     with open(path) as f:
         doc = json.load(f)
     rows = {}
-    for row in doc.get("results", []):
-        key = (row["spec"], row["batch"], row.get("threads", 1))
-        rows[key] = row
+    for block in ("results", "range_probes"):
+        for row in doc.get(block, []):
+            key = (block, row["spec"], row["batch"], row.get("threads", 1))
+            rows[key] = row
     return doc, rows
 
 
@@ -72,8 +76,8 @@ def main():
     log_sum = 0.0
     compared = 0
     worst = (None, math.inf)
-    print(f"{'spec':<12} {'batch':>6} {'thr':>4} {'base':>9} {'cur':>9} "
-          f"{'ratio':>7}")
+    print(f"{'block':<13} {'spec':<12} {'batch':>6} {'thr':>4} {'base':>9} "
+          f"{'cur':>9} {'ratio':>7}")
     for key in common:
         base_v = row_metric(base_rows[key], args.metric)
         cur_v = row_metric(cur_rows[key], args.metric)
@@ -85,8 +89,8 @@ def main():
         if ratio < worst[1]:
             worst = (key, ratio)
         flag = "  <-- slower" if ratio < 1 - args.tolerance else ""
-        print(f"{key[0]:<12} {key[1]:>6} {key[2]:>4} {base_v:>9.3f} "
-              f"{cur_v:>9.3f} {ratio:>7.3f}{flag}")
+        print(f"{key[0]:<13} {key[1]:<12} {key[2]:>6} {key[3]:>4} "
+              f"{base_v:>9.3f} {cur_v:>9.3f} {ratio:>7.3f}{flag}")
 
     if compared == 0:
         print("WARNING: no comparable rows; nothing to gate")
