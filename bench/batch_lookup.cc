@@ -17,9 +17,17 @@
 // JSON block that tools/check_bench_regression.py gates alongside the
 // point-probe rows.
 //
+// --part additionally sweeps range-partitioned specs (part:K/css:16 for
+// K in {2,4,8,16}): the same scalar-vs-batched comparison through the
+// composite's fence routing and per-shard kernels, recorded in a
+// "partitioned" JSON block under the same regression gate. Comparing a
+// part:K row against the css:16 row of the main table shows the routing
+// overhead directly; the per-row speedup shows the group-probing payoff
+// surviving the composite.
+//
 //   $ ./bench_batch_lookup [--n=10000000] [--lookups=1000000]
 //                          [--threads=1,2,4,8] [--json=...] [--quick]
-//                          [--range]
+//                          [--range] [--part]
 
 #include <algorithm>
 #include <cstdio>
@@ -53,6 +61,21 @@ struct ScalingRow {
   double scaling;  // aggregate throughput relative to the threads=1 row
 };
 
+/// Emits one JSON block of Row entries. Every block shares this schema —
+/// check_bench_regression.py keys on (block, spec, batch, threads), so
+/// the fields must never drift apart between blocks.
+void EmitRows(FILE* json, const std::vector<Row>& rows) {
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(json,
+                 "    {\"spec\": \"%s\", \"batch\": %zu, \"threads\": 1, "
+                 "\"scalar_ns_per_probe\": %.3f, "
+                 "\"batched_ns_per_probe\": %.3f, \"speedup\": %.3f}%s\n",
+                 r.spec.c_str(), r.batch, r.scalar_ns, r.batch_ns,
+                 r.scalar_ns / r.batch_ns, i + 1 < rows.size() ? "," : "");
+  }
+}
+
 std::vector<int> ParseThreadList(const std::string& text) {
   std::vector<int> threads;
   size_t pos = 0;
@@ -81,6 +104,7 @@ int main(int argc, char** argv) {
   std::vector<int> thread_sweep = ParseThreadList(
       args.GetString("threads", options.quick ? "1,4" : "1,2,4,8"));
   bool range_mode = args.GetBool("range");
+  bool part_mode = args.GetBool("part");
 
   bench::PrintHeader(
       "batch_lookup",
@@ -194,10 +218,44 @@ int main(int argc, char** argv) {
            bench::Table::Num(scaling, 3)});
     }
   }
+  // Partitioned sweep: the composite's fence routing + per-shard kernels
+  // under the same scalar-vs-batched comparison as the main table.
+  bench::Table part_table({"spec", "batch", "scalar ns/probe",
+                           "batched ns/probe", "speedup"});
+  std::vector<Row> part_rows;
+  if (part_mode) {
+    std::vector<std::string> part_texts{"part:2/css:16", "part:4/css:16",
+                                        "part:8/css:16", "part:16/css:16"};
+    if (options.quick) part_texts = {"part:4/css:16"};
+    for (const std::string& text : part_texts) {
+      IndexSpec spec = *IndexSpec::Parse(text);
+      AnyIndex index = BuildIndex(spec, keys);
+      double scalar_sec =
+          bench::MinFindSeconds(index, lookups, options.repeats);
+      double scalar_ns =
+          scalar_sec / static_cast<double>(lookups.size()) * 1e9;
+      for (size_t batch : batches) {
+        double batch_sec = bench::MinFindBatchSeconds(index, lookups, batch,
+                                                      options.repeats);
+        double batch_ns =
+            batch_sec / static_cast<double>(lookups.size()) * 1e9;
+        part_rows.push_back({spec.ToString(), batch, scalar_ns, batch_ns});
+        part_table.AddRow({spec.ToString(), std::to_string(batch),
+                           bench::Table::Num(scalar_ns, 4),
+                           bench::Table::Num(batch_ns, 4),
+                           bench::Table::Num(scalar_ns / batch_ns, 3)});
+      }
+    }
+  }
+
   table.Print("batched vs scalar probes, n=" + std::to_string(n));
   if (range_mode) {
     range_table.Print("batched vs scalar EqualRange probes, n=" +
                       std::to_string(n));
+  }
+  if (part_mode) {
+    part_table.Print("range-partitioned specs, batched vs scalar, n=" +
+                     std::to_string(n));
   }
   scaling_table.Print(
       "thread-sharded FindBatch scaling, n=" + std::to_string(n) +
@@ -214,27 +272,14 @@ int main(int argc, char** argv) {
                "  \"hardware_threads\": %d,\n  \"results\": [\n",
                n, lookups.size(), options.repeats,
                ThreadPool::HardwareThreads());
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
-    std::fprintf(json,
-                 "    {\"spec\": \"%s\", \"batch\": %zu, \"threads\": 1, "
-                 "\"scalar_ns_per_probe\": %.3f, "
-                 "\"batched_ns_per_probe\": %.3f, \"speedup\": %.3f}%s\n",
-                 r.spec.c_str(), r.batch, r.scalar_ns, r.batch_ns,
-                 r.scalar_ns / r.batch_ns, i + 1 < rows.size() ? "," : "");
-  }
+  EmitRows(json, rows);
   if (range_mode) {
     std::fprintf(json, "  ],\n  \"range_probes\": [\n");
-    for (size_t i = 0; i < range_rows.size(); ++i) {
-      const Row& r = range_rows[i];
-      std::fprintf(json,
-                   "    {\"spec\": \"%s\", \"batch\": %zu, \"threads\": 1, "
-                   "\"scalar_ns_per_probe\": %.3f, "
-                   "\"batched_ns_per_probe\": %.3f, \"speedup\": %.3f}%s\n",
-                   r.spec.c_str(), r.batch, r.scalar_ns, r.batch_ns,
-                   r.scalar_ns / r.batch_ns,
-                   i + 1 < range_rows.size() ? "," : "");
-    }
+    EmitRows(json, range_rows);
+  }
+  if (part_mode) {
+    std::fprintf(json, "  ],\n  \"partitioned\": [\n");
+    EmitRows(json, part_rows);
   }
   std::fprintf(json, "  ],\n  \"thread_scaling\": [\n");
   for (size_t i = 0; i < scaling_rows.size(); ++i) {

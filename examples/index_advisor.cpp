@@ -93,6 +93,12 @@ int main(int argc, char** argv) {
     for (int bits : {16, 18, 20, 22}) {
       enlist(*IndexSpec::Parse("hash:" + std::to_string(bits)));
     }
+    // Range-partitioned composites: K smaller CSS-trees behind one
+    // facade. Near-identical space to the bare tree, so they compete on
+    // routing overhead vs shard locality — and rank honestly either way.
+    for (int k : {4, 16}) {
+      enlist(IndexSpec().WithPartitions(k));
+    }
   }
 
   std::vector<Candidate> candidates;

@@ -119,6 +119,45 @@ class AnyIndex {
     /// out[i] = number of occurrences of keys[i] (§3.6).
     virtual void CountEqualBatch(std::span<const Key> keys,
                                  std::span<size_t> out) const = 0;
+
+    /// Policy-aware entry points. The default shards the probe span into
+    /// contiguous chunks and runs the plain batch op per chunk — right
+    /// for every monolithic structure. Composite impls (the partitioned
+    /// index) override these instead: they already split work along a
+    /// structural axis (key-range shards), so they spend the thread
+    /// budget dispatching whole shards rather than re-sharding spans.
+    virtual void LowerBoundBatch(std::span<const Key> keys,
+                                 std::span<size_t> out,
+                                 const ProbeOptions& opts) const {
+      ParallelProbe(opts, keys.size(), [&](size_t begin, size_t end) {
+        LowerBoundBatch(keys.subspan(begin, end - begin),
+                        out.subspan(begin, end - begin));
+      });
+    }
+    virtual void FindBatch(std::span<const Key> keys, std::span<int64_t> out,
+                           const ProbeOptions& opts) const {
+      ParallelProbe(opts, keys.size(), [&](size_t begin, size_t end) {
+        FindBatch(keys.subspan(begin, end - begin),
+                  out.subspan(begin, end - begin));
+      });
+    }
+    virtual void EqualRangeBatch(std::span<const Key> keys,
+                                 std::span<PositionRange> out,
+                                 const ProbeOptions& opts) const {
+      ParallelProbe(opts, keys.size(), [&](size_t begin, size_t end) {
+        EqualRangeBatch(keys.subspan(begin, end - begin),
+                        out.subspan(begin, end - begin));
+      });
+    }
+    virtual void CountEqualBatch(std::span<const Key> keys,
+                                 std::span<size_t> out,
+                                 const ProbeOptions& opts) const {
+      ParallelProbe(opts, keys.size(), [&](size_t begin, size_t end) {
+        CountEqualBatch(keys.subspan(begin, end - begin),
+                        out.subspan(begin, end - begin));
+      });
+    }
+
     /// Extra bytes beyond the sorted array.
     virtual size_t SpaceBytes() const = 0;
     virtual size_t size() const = 0;
@@ -155,40 +194,30 @@ class AnyIndex {
     CountEqualBatch(keys, out, ProbeOptions{.threads = spec_.probe_threads()});
   }
 
-  /// Explicit-policy probes: shard `keys` into contiguous chunks across
-  /// the pool, each chunk running the structure's own group-probing +
-  /// prefetch kernel, results written in place into `out`.
+  /// Explicit-policy probes. Monolithic structures shard `keys` into
+  /// contiguous chunks across the pool, each chunk running the
+  /// structure's own group-probing + prefetch kernel; composite
+  /// structures (partitioned indexes) instead dispatch whole key-range
+  /// shards. Either way, results land in place in `out`.
   void FindBatch(std::span<const Key> keys, std::span<int64_t> out,
                  const ProbeOptions& opts) const {
     assert(impl_ != nullptr);
-    ParallelProbe(opts, keys.size(), [&](size_t begin, size_t end) {
-      impl_->FindBatch(keys.subspan(begin, end - begin),
-                       out.subspan(begin, end - begin));
-    });
+    impl_->FindBatch(keys, out, opts);
   }
   void LowerBoundBatch(std::span<const Key> keys, std::span<size_t> out,
                        const ProbeOptions& opts) const {
     assert(impl_ != nullptr);
-    ParallelProbe(opts, keys.size(), [&](size_t begin, size_t end) {
-      impl_->LowerBoundBatch(keys.subspan(begin, end - begin),
-                             out.subspan(begin, end - begin));
-    });
+    impl_->LowerBoundBatch(keys, out, opts);
   }
   void EqualRangeBatch(std::span<const Key> keys, std::span<PositionRange> out,
                        const ProbeOptions& opts) const {
     assert(impl_ != nullptr);
-    ParallelProbe(opts, keys.size(), [&](size_t begin, size_t end) {
-      impl_->EqualRangeBatch(keys.subspan(begin, end - begin),
-                             out.subspan(begin, end - begin));
-    });
+    impl_->EqualRangeBatch(keys, out, opts);
   }
   void CountEqualBatch(std::span<const Key> keys, std::span<size_t> out,
                        const ProbeOptions& opts) const {
     assert(impl_ != nullptr);
-    ParallelProbe(opts, keys.size(), [&](size_t begin, size_t end) {
-      impl_->CountEqualBatch(keys.subspan(begin, end - begin),
-                             out.subspan(begin, end - begin));
-    });
+    impl_->CountEqualBatch(keys, out, opts);
   }
 
   /// Scalar probes: batches of one.

@@ -8,6 +8,7 @@
 #include "baselines/t_tree.h"
 #include "core/full_css_tree.h"
 #include "core/level_css_tree.h"
+#include "core/partitioned_index.h"
 #include "util/macros.h"
 
 namespace cssidx {
@@ -42,6 +43,9 @@ AnyIndex DispatchNodeSize(int entries, Fn&& fn) {
 
 AnyIndex BuildIndex(const IndexSpec& spec, const Key* keys, size_t n) {
   if (!spec.OnMenu()) return {};
+  // Partitioned specs recurse: the composite builds one inner index per
+  // key-range shard through this same entry point.
+  if (spec.partitioned()) return BuildPartitionedIndex(spec, keys, n);
   const int m = spec.node_entries();
   switch (spec.method()) {
     case Method::kBinarySearch:

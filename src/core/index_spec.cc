@@ -105,6 +105,7 @@ bool IndexSpec::sized() const {
 
 bool IndexSpec::OnMenu() const {
   if (probe_threads_ < 0 || probe_threads_ > 256) return false;
+  if (partitions_ < 0 || partitions_ > 256) return false;
   if (method_ == Method::kHash) {
     return hash_dir_bits_ >= 0 && hash_dir_bits_ <= 28;
   }
@@ -117,6 +118,27 @@ bool IndexSpec::OnMenu() const {
 }
 
 std::optional<IndexSpec> IndexSpec::Parse(std::string_view text) {
+  // Strip one "part:K/" prefix before the method:param grammar. Exactly
+  // one: a nested prefix leaves "part" as the method token of the inner
+  // text, which no alias matches, so "part:2/part:4/css" is rejected
+  // without a special case.
+  int partitions = 0;
+  constexpr std::string_view kPartPrefix = "part:";
+  if (text.substr(0, kPartPrefix.size()) == kPartPrefix) {
+    std::string_view rest = text.substr(kPartPrefix.size());
+    auto slash = rest.find('/');
+    if (slash == std::string_view::npos || slash == 0) return std::nullopt;
+    std::string_view digits = rest.substr(0, slash);
+    auto [end, ec] = std::from_chars(digits.data(),
+                                     digits.data() + digits.size(),
+                                     partitions);
+    if (ec != std::errc() || end != digits.data() + digits.size()) {
+      return std::nullopt;
+    }
+    if (partitions < 1) return std::nullopt;  // "part:0/..." is an error
+    text = rest.substr(slash + 1);
+    if (text.empty()) return std::nullopt;  // "part:8/" names no inner
+  }
   // Split off the "@tN" execution-policy suffix before the method:param
   // grammar ("css:16@t8" -> "css:16" + threads 8).
   int threads = 1;
@@ -153,7 +175,7 @@ std::optional<IndexSpec> IndexSpec::Parse(std::string_view text) {
     if (*method != Method::kHash && !spec.sized()) return std::nullopt;
     spec = IndexSpec(*method, *param);
   }
-  spec = spec.WithProbeThreads(threads);
+  spec = spec.WithProbeThreads(threads).WithPartitions(partitions);
   if (!spec.OnMenu()) return std::nullopt;
   return spec;
 }
@@ -161,12 +183,20 @@ std::optional<IndexSpec> IndexSpec::Parse(std::string_view text) {
 const char* IndexSpec::GrammarHelp() {
   return "spec grammar: css:16, lcss:64, btree:32, ttree:16, bin, tbin, "
          "interp, hash:22 (node sizes from {4,8,16,24,32,64,128}; level "
-         "CSS: powers of two); optional @tN probes batches with N threads "
+         "CSS: powers of two); optional part:K/ prefix splits the sorted "
+         "array into K key-range shards, one inner index each "
+         "(part:8/css:16); optional @tN probes batches with N threads "
          "(css:16@t8; t0 = one per hardware thread)";
 }
 
 std::string IndexSpec::ToString() const {
-  std::string out(CanonicalToken(method_));
+  std::string out;
+  if (partitions_ > 0) {
+    out += "part:";
+    out += std::to_string(partitions_);
+    out += '/';
+  }
+  out += CanonicalToken(method_);
   if (method_ == Method::kHash) {
     out += ':';
     out += std::to_string(hash_dir_bits_);
@@ -187,6 +217,9 @@ std::string IndexSpec::DisplayName() const {
     name += "/dir=2^" + std::to_string(hash_dir_bits_);
   } else if (sized()) {
     name += "/m=" + std::to_string(node_entries_);
+  }
+  if (partitions_ > 0) {
+    name += "/parts=" + std::to_string(partitions_);
   }
   if (probe_threads_ != 1) {
     name += "/threads=";
@@ -210,6 +243,12 @@ IndexSpec IndexSpec::WithHashDirBits(int bits) const {
 IndexSpec IndexSpec::WithProbeThreads(int threads) const {
   IndexSpec spec = *this;
   spec.probe_threads_ = threads;
+  return spec;
+}
+
+IndexSpec IndexSpec::WithPartitions(int partitions) const {
+  IndexSpec spec = *this;
+  spec.partitions_ = partitions;
   return spec;
 }
 

@@ -13,23 +13,30 @@
 // round-trips through a compact string form suitable for flags and config
 // files:
 //
-//   spec    := method [":" param] ["@t" threads]
+//   spec    := ["part:" K "/"] method [":" param] ["@t" threads]
 //   method  := "bin" | "tbin" | "interp" | "ttree" | "btree" | "css"
 //            | "lcss" | "hash"
 //   param   := node entries (sized methods) or log2 directory size (hash)
+//   K       := key-range shards of the sorted array; each shard holds an
+//              independent inner index of the named method
 //   threads := probe executors for batched probes; 0 = auto (one per
 //              hardware thread), 1 = inline (default)
 //
 // e.g. "css:16" (full CSS-tree, 16 keys/node), "lcss:64", "btree:32",
 // "hash:22", "css:16@t8" (same tree, batch probes sharded across 8
-// threads). The param defaults to 16 keys/node (one 64-byte cache line)
-// and a 2^22 hash directory when omitted. Node sizes come from a fixed
-// menu — the sizes swept in Figures 12/13 — because they are template
-// parameters underneath (§6.2 specializes per node size). The thread
-// suffix is an execution policy, not a structure knob: it changes how
-// AnyIndex shards batched probe spans — point (FindBatch/LowerBoundBatch)
-// and range (EqualRangeBatch/CountEqualBatch) alike — never the tree
-// built.
+// threads), "part:8/css:16@t4" (sorted array split into 8 contiguous
+// key-range shards, one CSS-tree per shard, batch probes routed by key
+// and whole shards dispatched across 4 threads). The param defaults to
+// 16 keys/node (one 64-byte cache line) and a 2^22 hash directory when
+// omitted. Node sizes come from a fixed menu — the sizes swept in
+// Figures 12/13 — because they are template parameters underneath (§6.2
+// specializes per node size). The thread suffix is an execution policy,
+// not a structure knob: it changes how AnyIndex shards batched probe
+// spans — point (FindBatch/LowerBoundBatch) and range (EqualRangeBatch/
+// CountEqualBatch) alike — never the tree built. The part prefix IS a
+// structure knob: it changes what gets built (K smaller inner indexes
+// plus a fence table), while every probe still reports positions in the
+// whole sorted array.
 
 namespace cssidx {
 
@@ -87,6 +94,17 @@ class IndexSpec {
   /// Executors for batched probes through AnyIndex: 1 = inline (default),
   /// 0 = one per hardware thread, N = shard large spans N ways.
   int probe_threads() const { return probe_threads_; }
+  /// Key-range shards ("part:K/" prefix). 0 = unpartitioned (default);
+  /// K >= 1 builds K contiguous equi-depth shards, each holding an inner
+  /// index described by the rest of the spec.
+  int partitions() const { return partitions_; }
+  bool partitioned() const { return partitions_ > 0; }
+  /// The per-shard inner spec: same method and knobs, no part prefix, and
+  /// inline probes (parallelism lives at the shard-dispatch level, so the
+  /// inner kernels never re-shard their sub-spans).
+  IndexSpec Inner() const {
+    return WithPartitions(0).WithProbeThreads(1);
+  }
 
   /// False only for hash (Figure 7's "RID-Ordered Access" column).
   bool ordered() const { return method_ != Method::kHash; }
@@ -95,18 +113,20 @@ class IndexSpec {
   /// True when the configuration is buildable: node size on the menu
   /// {4, 8, 16, 24, 32, 64, 128} (level CSS: powers of two only; B+-tree:
   /// every menu size), hash_dir_bits in [0, 28], probe threads in
-  /// [0, 256].
+  /// [0, 256], partitions in [0, 256].
   bool OnMenu() const;
 
-  /// Copy with a different node size / directory size (for sweeps) or
-  /// probe-thread policy (for scaling sweeps).
+  /// Copy with a different node size / directory size (for sweeps),
+  /// probe-thread policy (for scaling sweeps), or shard count.
   IndexSpec WithNodeEntries(int entries) const;
   IndexSpec WithHashDirBits(int bits) const;
   IndexSpec WithProbeThreads(int threads) const;
+  IndexSpec WithPartitions(int partitions) const;
 
   friend bool operator==(const IndexSpec& a, const IndexSpec& b) {
     if (a.method_ != b.method_) return false;
     if (a.probe_threads_ != b.probe_threads_) return false;
+    if (a.partitions_ != b.partitions_) return false;
     if (a.method_ == Method::kHash) {
       return a.hash_dir_bits_ == b.hash_dir_bits_;
     }
@@ -121,6 +141,7 @@ class IndexSpec {
   int node_entries_ = 16;
   int hash_dir_bits_ = 22;
   int probe_threads_ = 1;
+  int partitions_ = 0;
 };
 
 /// One spec per method in the figures' legend order, default knobs.

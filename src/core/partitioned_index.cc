@@ -1,0 +1,249 @@
+#include "core/partitioned_index.h"
+
+#include <algorithm>
+
+#include "core/builder.h"
+#include "util/thread_pool.h"
+
+namespace cssidx {
+
+namespace {
+
+/// Fence value for shards that start at or beyond the end of the array:
+/// strictly above every 32-bit probe, so UINT32_MAX still routes to the
+/// shard that actually holds its run.
+constexpr uint64_t kNoFence = uint64_t{1} << 32;
+
+/// Inner kernels always run inline within their shard task: the thread
+/// budget is spent dispatching shards, never nested re-sharding.
+constexpr ProbeOptions kInline{.threads = 1};
+
+}  // namespace
+
+PartitionedIndex::PartitionedIndex(const IndexSpec& spec, const Key* keys,
+                                   size_t n)
+    : n_(n) {
+  const size_t k = static_cast<size_t>(std::max(spec.partitions(), 1));
+  const IndexSpec inner = spec.Inner();
+  ordered_ = inner.ordered();
+
+  // Equi-depth cuts at s * n / K, each snapped LEFT to the start of the
+  // duplicate run containing it: a run that straddled a fence would make
+  // EqualRange/CountEqual see only the shard-local part of it. Snapping
+  // can collapse neighboring cuts (heavy duplicates, or K > distinct
+  // keys), leaving empty shards — harmless, their fences coincide and
+  // routing never selects them.
+  bases_.resize(k + 1);
+  bases_[0] = 0;
+  bases_[k] = n;
+  for (size_t s = 1; s < k; ++s) {
+    size_t tentative = n * s / k;
+    size_t cut =
+        tentative >= n
+            ? n
+            : static_cast<size_t>(
+                  std::lower_bound(keys, keys + n, keys[tentative]) - keys);
+    bases_[s] = std::max(cut, bases_[s - 1]);
+  }
+
+  fences_.reserve(k - 1);
+  for (size_t s = 1; s < k; ++s) {
+    fences_.push_back(bases_[s] < n ? static_cast<uint64_t>(keys[bases_[s]])
+                                    : kNoFence);
+  }
+
+  shards_.reserve(k);
+  for (size_t s = 0; s < k; ++s) {
+    shards_.push_back(
+        BuildIndex(inner, keys + bases_[s], bases_[s + 1] - bases_[s]));
+  }
+}
+
+bool PartitionedIndex::ok() const {
+  for (const AnyIndex& shard : shards_) {
+    if (!shard) return false;
+  }
+  return true;
+}
+
+size_t PartitionedIndex::ShardOf(Key key) const {
+  // First shard whose fence exceeds the probe; equal fences (empty
+  // shards) are skipped as a group, landing on the shard that actually
+  // starts with that key.
+  return static_cast<size_t>(
+      std::upper_bound(fences_.begin(), fences_.end(),
+                       static_cast<uint64_t>(key)) -
+      fences_.begin());
+}
+
+template <typename Out, typename ProbeFn, typename MapFn>
+void PartitionedIndex::Route(std::span<const Key> keys, std::span<Out> out,
+                             const ProbeOptions& opts, ProbeFn&& probe,
+                             MapFn&& map) const {
+  const size_t n_probes = keys.size();
+  if (n_probes == 0) return;
+  const size_t k = shards_.size();
+  if (k == 1) {
+    probe(0, keys, out);
+    for (size_t i = 0; i < n_probes; ++i) out[i] = map(size_t{0}, out[i]);
+    return;
+  }
+  if (n_probes == 1) {
+    // Scalar probes are batches of one through this hop; route the one
+    // key directly instead of paying the counting sort's allocations.
+    size_t s = ShardOf(keys[0]);
+    probe(s, keys, out);
+    out[0] = map(s, out[0]);
+    return;
+  }
+
+  // Counting sort by shard: one routing pass, then bucket the probes into
+  // per-shard contiguous sub-spans, remembering each probe's input slot.
+  std::vector<uint32_t> shard_of(n_probes);
+  std::vector<size_t> seg(k + 1, 0);
+  for (size_t i = 0; i < n_probes; ++i) {
+    uint32_t s = static_cast<uint32_t>(ShardOf(keys[i]));
+    shard_of[i] = s;
+    ++seg[s + 1];
+  }
+  for (size_t s = 0; s < k; ++s) seg[s + 1] += seg[s];
+  std::vector<Key> routed(n_probes);
+  std::vector<size_t> origin(n_probes);
+  {
+    std::vector<size_t> cursor(seg.begin(), seg.end() - 1);
+    for (size_t i = 0; i < n_probes; ++i) {
+      size_t at = cursor[shard_of[i]]++;
+      routed[at] = keys[i];
+      origin[at] = i;
+    }
+  }
+
+  // Run the inner group-probe kernel shard-local, then scatter back to
+  // input order with global positions. Every input slot appears in
+  // exactly one shard's bucket, so shard tasks scatter to disjoint `out`
+  // entries — parallel dispatch needs no merge and no synchronization
+  // beyond the pool barrier.
+  std::vector<Out> local(n_probes);
+  auto run_shards = [&](size_t s_begin, size_t s_end) {
+    for (size_t s = s_begin; s < s_end; ++s) {
+      size_t len = seg[s + 1] - seg[s];
+      if (len == 0) continue;
+      probe(s, std::span<const Key>(routed.data() + seg[s], len),
+            std::span<Out>(local.data() + seg[s], len));
+      for (size_t j = 0; j < len; ++j) {
+        out[origin[seg[s] + j]] = map(s, local[seg[s] + j]);
+      }
+    }
+  };
+  // Whole shards are the dispatch unit. Small probe spans stay inline
+  // under the same threshold as ParallelProbe — a sub-threshold span
+  // cannot amortize a pool wakeup no matter how it is carved up.
+  if (opts.threads == 1 || n_probes <= opts.min_shard) {
+    run_shards(0, k);
+  } else {
+    ThreadPool& pool =
+        opts.pool != nullptr ? *opts.pool : ThreadPool::Shared();
+    pool.ParallelFor(k, 1, opts.threads, run_shards);
+  }
+}
+
+void PartitionedIndex::LowerBoundBatch(std::span<const Key> keys,
+                                       std::span<size_t> out,
+                                       const ProbeOptions& opts) const {
+  if (!ordered_) {
+    // Bare hash answers every LowerBound with size(); shard-local sizes
+    // plus bases would fake positions the contract says do not exist.
+    for (size_t i = 0; i < keys.size(); ++i) out[i] = n_;
+    return;
+  }
+  Route(
+      keys, out, opts,
+      [&](size_t s, std::span<const Key> in, std::span<size_t> local) {
+        shards_[s].LowerBoundBatch(in, local, kInline);
+      },
+      // Routing guarantees the global lower bound lies inside shard s
+      // (everything before it is strictly below the probe's shard range),
+      // so base + local position is exact — insertion points included.
+      [&](size_t s, size_t pos) { return pos + bases_[s]; });
+}
+
+void PartitionedIndex::FindBatch(std::span<const Key> keys,
+                                 std::span<int64_t> out,
+                                 const ProbeOptions& opts) const {
+  Route(
+      keys, out, opts,
+      [&](size_t s, std::span<const Key> in, std::span<int64_t> local) {
+        shards_[s].FindBatch(in, local, kInline);
+      },
+      [&](size_t s, int64_t pos) {
+        return pos == kNotFound ? kNotFound
+                                : pos + static_cast<int64_t>(bases_[s]);
+      });
+}
+
+void PartitionedIndex::EqualRangeBatch(std::span<const Key> keys,
+                                       std::span<PositionRange> out,
+                                       const ProbeOptions& opts) const {
+  Route(
+      keys, out, opts,
+      [&](size_t s, std::span<const Key> in,
+          std::span<PositionRange> local) {
+        shards_[s].EqualRangeBatch(in, local, kInline);
+      },
+      // Runs never straddle fences, so the shard-local span is the whole
+      // run. Hash anchors absent keys at size(), which must stay the
+      // GLOBAL size, not base + shard size.
+      [&](size_t s, PositionRange r) {
+        if (!ordered_ && r.empty()) return PositionRange{n_, n_};
+        return PositionRange{r.begin + bases_[s], r.end + bases_[s]};
+      });
+}
+
+void PartitionedIndex::CountEqualBatch(std::span<const Key> keys,
+                                       std::span<size_t> out,
+                                       const ProbeOptions& opts) const {
+  Route(
+      keys, out, opts,
+      [&](size_t s, std::span<const Key> in, std::span<size_t> local) {
+        shards_[s].CountEqualBatch(in, local, kInline);
+      },
+      [](size_t, size_t count) { return count; });
+}
+
+void PartitionedIndex::LowerBoundBatch(std::span<const Key> keys,
+                                       std::span<size_t> out) const {
+  LowerBoundBatch(keys, out, kInline);
+}
+
+void PartitionedIndex::FindBatch(std::span<const Key> keys,
+                                 std::span<int64_t> out) const {
+  FindBatch(keys, out, kInline);
+}
+
+void PartitionedIndex::EqualRangeBatch(std::span<const Key> keys,
+                                       std::span<PositionRange> out) const {
+  EqualRangeBatch(keys, out, kInline);
+}
+
+void PartitionedIndex::CountEqualBatch(std::span<const Key> keys,
+                                       std::span<size_t> out) const {
+  CountEqualBatch(keys, out, kInline);
+}
+
+size_t PartitionedIndex::SpaceBytes() const {
+  size_t total = fences_.capacity() * sizeof(uint64_t) +
+                 bases_.capacity() * sizeof(size_t) +
+                 shards_.capacity() * sizeof(AnyIndex);
+  for (const AnyIndex& shard : shards_) total += shard.SpaceBytes();
+  return total;
+}
+
+AnyIndex BuildPartitionedIndex(const IndexSpec& spec, const Key* keys,
+                               size_t n) {
+  if (!spec.partitioned() || !spec.OnMenu()) return {};
+  auto impl = std::make_shared<PartitionedIndex>(spec, keys, n);
+  if (!impl->ok()) return {};
+  return AnyIndex(spec, std::move(impl));
+}
+
+}  // namespace cssidx

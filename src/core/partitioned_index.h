@@ -1,0 +1,106 @@
+#ifndef CSSIDX_CORE_PARTITIONED_INDEX_H_
+#define CSSIDX_CORE_PARTITIONED_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/any_index.h"
+#include "core/index.h"
+#include "core/index_spec.h"
+
+// Range-partitioned composite index: the sorted key array is split into K
+// contiguous key-range shards (equi-depth fences drawn from the sorted
+// data, snapped to duplicate-run starts so no run ever straddles a
+// boundary), and each shard holds an independent inner index of any spec
+// on the menu. A shard is just a smaller instance of the paper's layout —
+// rebuild-cheap and read-fast — which is what makes this the structural
+// prerequisite for NUMA placement: shard s's keys, directory, and probes
+// can all live on one node, with only the fence table shared.
+//
+// Every batch op routes by binary-searching the fence table, buckets the
+// probes per shard (a counting sort that also remembers each probe's
+// input slot), runs the inner group-probing kernels shard-local, and
+// scatters results back to input order translated to GLOBAL positions
+// (shard base offsets). The facade contract is preserved exactly: a
+// "part:K/css:16" index answers every probe with the same positions as a
+// bare "css:16" over the whole array — enforced differentially by
+// tests/partitioned_index_test.cc.
+//
+// Parallelism: ProbeOptions{threads} / the "@tN" spec suffix dispatches
+// whole shards to the ThreadPool (one task range over shard indexes)
+// instead of re-sharding probe spans — the shard is already a contiguous,
+// cache-friendly unit of work, and shard tasks scatter to disjoint output
+// slots, so there is no merge step and output is bit-identical at every
+// thread count.
+
+namespace cssidx {
+
+class PartitionedIndex final : public AnyIndex::Impl {
+ public:
+  /// Builds K equi-depth shards over keys[0..n) (sorted, must outlive the
+  /// index), each holding an inner index built from spec.Inner(). Prefer
+  /// BuildPartitionedIndex, which validates the spec and reports
+  /// unbuildable configurations as a falsy AnyIndex.
+  PartitionedIndex(const IndexSpec& spec, const Key* keys, size_t n);
+
+  /// False if any inner shard failed to build (off-menu inner spec).
+  bool ok() const;
+
+  void LowerBoundBatch(std::span<const Key> keys,
+                       std::span<size_t> out) const override;
+  void FindBatch(std::span<const Key> keys,
+                 std::span<int64_t> out) const override;
+  void EqualRangeBatch(std::span<const Key> keys,
+                       std::span<PositionRange> out) const override;
+  void CountEqualBatch(std::span<const Key> keys,
+                       std::span<size_t> out) const override;
+
+  void LowerBoundBatch(std::span<const Key> keys, std::span<size_t> out,
+                       const ProbeOptions& opts) const override;
+  void FindBatch(std::span<const Key> keys, std::span<int64_t> out,
+                 const ProbeOptions& opts) const override;
+  void EqualRangeBatch(std::span<const Key> keys,
+                       std::span<PositionRange> out,
+                       const ProbeOptions& opts) const override;
+  void CountEqualBatch(std::span<const Key> keys, std::span<size_t> out,
+                       const ProbeOptions& opts) const override;
+
+  size_t SpaceBytes() const override;
+  size_t size() const override { return n_; }
+  bool SupportsOrderedAccess() const override { return ordered_; }
+
+  /// Introspection for tests and placement tooling.
+  size_t num_shards() const { return shards_.size(); }
+  /// Shard s covers global positions [ShardBase(s), ShardBase(s + 1)).
+  size_t ShardBase(size_t s) const { return bases_[s]; }
+  /// The shard whose key range contains `key`.
+  size_t ShardOf(Key key) const;
+
+ private:
+  /// The shared router: bucket `keys` per shard, run `probe(s, in, out)`
+  /// shard-local, scatter `map(s, result)` back to input order. Dispatches
+  /// whole shards to the pool per `opts`.
+  template <typename Out, typename ProbeFn, typename MapFn>
+  void Route(std::span<const Key> keys, std::span<Out> out,
+             const ProbeOptions& opts, ProbeFn&& probe, MapFn&& map) const;
+
+  size_t n_ = 0;
+  bool ordered_ = true;
+  /// fences_[s] is the lowest key of shard s + 1, widened to uint64 so
+  /// trailing empty shards can fence at 2^32 — above every probe, which a
+  /// UINT32_MAX sentinel could not be. Probe k routes to the first shard
+  /// whose fence exceeds k.
+  std::vector<uint64_t> fences_;  // K - 1 entries
+  std::vector<size_t> bases_;     // K + 1 entries, bases_[K] == n
+  std::vector<AnyIndex> shards_;  // K entries, possibly empty indexes
+};
+
+/// Wraps a partitioned spec ("part:K/<inner>") into the facade. Returns a
+/// falsy AnyIndex when the spec is off the menu or not partitioned.
+AnyIndex BuildPartitionedIndex(const IndexSpec& spec, const Key* keys,
+                               size_t n);
+
+}  // namespace cssidx
+
+#endif  // CSSIDX_CORE_PARTITIONED_INDEX_H_

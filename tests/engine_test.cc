@@ -466,6 +466,76 @@ TEST(Query, IndexedJoinThroughEveryMethod) {
   }
 }
 
+TEST(Query, PartitionedSortIndexIsBitIdenticalToUnpartitioned) {
+  // The engine runs on partitioned specs unchanged: a sort index built
+  // with "part:K/<inner>" must drive SelectRange, SelectRangeBatch,
+  // GroupBy, and IndexedJoin to exactly the results of the bare inner
+  // spec — RID order included — over a Zipf-skewed duplicates table,
+  // where a shard fence through the middle of a hot run would show up
+  // immediately as a truncated run span.
+  constexpr uint32_t kGroups = 48;
+  ZipfGenerator zipf(kGroups - 1, /*theta=*/1.1, /*seed=*/53);
+  Pcg32 rng(57);
+  std::vector<uint32_t> group(40'000), value(40'000);
+  for (size_t i = 0; i < group.size(); ++i) {
+    group[i] = static_cast<uint32_t>(zipf.Next());
+    value[i] = 1 + rng.Below(10'000);
+  }
+  Table t;
+  t.AddColumn("g", std::move(group));
+  t.AddColumn("v", std::move(value));
+
+  Table outer;
+  {
+    ZipfGenerator outer_zipf(kGroups - 1, /*theta=*/0.9, /*seed=*/59);
+    std::vector<uint32_t> outer_col(9'000);
+    for (auto& v : outer_col) v = static_cast<uint32_t>(outer_zipf.Next());
+    outer.AddColumn("g", std::move(outer_col));
+  }
+
+  std::vector<std::pair<uint32_t, uint32_t>> bounds{
+      {0, kGroups}, {5, 20}, {7, 7}, {30, 10}, {0, 1}, {kGroups - 1, 1000}};
+
+  for (const char* inner_text : {"css:16", "btree:32", "hash:10"}) {
+    IndexSpec inner = *IndexSpec::Parse(inner_text);
+    t.BuildSortIndex("g", inner);
+    auto want_range = SelectRange(t, "g", 5, 20);
+    auto want_batch = SelectRangeBatch(t, "g", bounds);
+    auto want_groups = GroupBy(t, "g", "v", kGroups);
+    auto want_join = IndexedJoin(outer, "g", t, "g");
+
+    for (int k : {2, 8, 64}) {
+      IndexSpec part = inner.WithPartitions(k);
+      t.BuildSortIndex("g", part);
+      ASSERT_EQ(t.GetSortIndex("g").spec(), part);
+      ASSERT_EQ(SelectRange(t, "g", 5, 20), want_range)
+          << part.ToString();
+      ASSERT_EQ(SelectRangeBatch(t, "g", bounds), want_batch)
+          << part.ToString();
+      auto groups = GroupBy(t, "g", "v", kGroups);
+      ASSERT_EQ(groups.size(), want_groups.size()) << part.ToString();
+      for (uint32_t g = 0; g < kGroups; ++g) {
+        ASSERT_EQ(groups[g].count, want_groups[g].count)
+            << part.ToString() << " g=" << g;
+        ASSERT_EQ(groups[g].sum, want_groups[g].sum)
+            << part.ToString() << " g=" << g;
+        ASSERT_EQ(groups[g].min, want_groups[g].min)
+            << part.ToString() << " g=" << g;
+        ASSERT_EQ(groups[g].max, want_groups[g].max)
+            << part.ToString() << " g=" << g;
+      }
+      auto join = IndexedJoin(outer, "g", t, "g");
+      ASSERT_EQ(join.size(), want_join.size()) << part.ToString();
+      for (size_t i = 0; i < join.size(); ++i) {
+        ASSERT_EQ(join[i].outer, want_join[i].outer)
+            << part.ToString() << " i=" << i;
+        ASSERT_EQ(join[i].inner, want_join[i].inner)
+            << part.ToString() << " i=" << i;
+      }
+    }
+  }
+}
+
 TEST(Query, DecisionSupportPipeline) {
   // The paper's motivating workload end to end: restrict orders to a day
   // range, join to customers, aggregate revenue per region.

@@ -14,6 +14,7 @@
 #include "core/range.h"
 #include "core/versioned_index.h"
 #include "gtest/gtest.h"
+#include "spec_menu.h"
 #include "util/rng.h"
 #include "workload/batch_update.h"
 #include "workload/key_gen.h"
@@ -47,7 +48,8 @@ TEST(FuzzDifferential, AllMethodsAgreeWithOracle) {
     int hash_dir_bits = static_cast<int>(rng.Below(10));
 
     std::vector<AnyIndex> indexes;
-    for (const IndexSpec& spec : AllSpecs(node_entries, hash_dir_bits)) {
+    for (const IndexSpec& spec :
+         test_menu::DefaultSpecs(node_entries, hash_dir_bits)) {
       AnyIndex index = BuildIndex(spec, keys);
       if (index) indexes.push_back(std::move(index));
     }
@@ -137,7 +139,7 @@ TEST(FuzzDifferential, RandomBoundRangesAgreeWithOracle) {
       staged.push_back(hi);
     }
 
-    for (const IndexSpec& spec : AllSpecs(16, 8)) {
+    for (const IndexSpec& spec : test_menu::DefaultSpecs(16, 8)) {
       if (!spec.ordered()) continue;  // hash serves no positional bounds
       AnyIndex index = BuildIndex(spec, keys);
       ASSERT_TRUE(index) << spec.ToString();
@@ -174,7 +176,7 @@ TEST(FuzzDifferential, BatchProbesAgreeAtEveryBatchSize) {
   // sub-group remainder, chunk boundaries); sweep batch sizes across them.
   Pcg32 rng(0xba7c4);
   auto keys = workload::KeysWithDuplicates(5000, 700, 42);
-  for (const IndexSpec& spec : AllSpecs(16, 8)) {
+  for (const IndexSpec& spec : test_menu::DefaultSpecs(16, 8)) {
     AnyIndex index = BuildIndex(spec, keys);
     ASSERT_TRUE(index);
     for (size_t batch : {size_t{1}, size_t{2}, size_t{7}, size_t{8},
@@ -237,7 +239,7 @@ TEST(FuzzDifferential, ExtremeValueKeys) {
   // Keys hugging 0 and UINT32_MAX, every method, scalar and batched.
   std::vector<Key> keys{0,          1,          2,          100,
                         0x7fffffff, 0x80000000, 0xfffffffe, 0xffffffffu};
-  for (const IndexSpec& spec : AllSpecs(4, 3)) {
+  for (const IndexSpec& spec : test_menu::DefaultSpecs(4, 3)) {
     AnyIndex index = BuildIndex(spec, keys);
     ASSERT_TRUE(index) << spec.ToString();
     std::vector<int64_t> found(keys.size());

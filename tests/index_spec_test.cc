@@ -140,6 +140,82 @@ TEST(IndexSpec, RejectsMalformedThreadSuffix) {
   EXPECT_FALSE(IndexSpec::Parse("css:16@t4@t4").has_value());
 }
 
+TEST(IndexSpec, PartitionPrefixParsesAndRoundTrips) {
+  auto spec = IndexSpec::Parse("part:8/css:16");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->partitions(), 8);
+  EXPECT_TRUE(spec->partitioned());
+  EXPECT_EQ(spec->method(), Method::kFullCss);
+  EXPECT_EQ(spec->node_entries(), 16);
+  EXPECT_EQ(spec->ToString(), "part:8/css:16");
+  EXPECT_EQ(spec->DisplayName(), "full CSS-tree/m=16/parts=8");
+
+  // Composes with the thread suffix and with every method family.
+  auto threaded = IndexSpec::Parse("part:8/css:16@t4");
+  ASSERT_TRUE(threaded.has_value());
+  EXPECT_EQ(threaded->partitions(), 8);
+  EXPECT_EQ(threaded->probe_threads(), 4);
+  EXPECT_EQ(threaded->ToString(), "part:8/css:16@t4");
+  EXPECT_EQ(IndexSpec::Parse("part:2/hash:10")->partitions(), 2);
+  EXPECT_EQ(IndexSpec::Parse("part:16/bin")->partitions(), 16);
+  EXPECT_EQ(IndexSpec::Parse("part:4/lcss:64")->node_entries(), 64);
+  // Long-form inner aliases still work under the prefix.
+  EXPECT_EQ(*IndexSpec::Parse("part:4/full-css:32"),
+            *IndexSpec::Parse("part:4/css:32"));
+  // part:1 is a degenerate but valid single shard.
+  EXPECT_TRUE(IndexSpec::Parse("part:1/css:16").has_value());
+
+  // Round-trip fidelity across the partitioned menu.
+  for (const char* text : {"part:2/css:16", "part:8/ttree:4@t2",
+                           "part:256/hash:22", "part:3/tbin"}) {
+    auto parsed = IndexSpec::Parse(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_EQ(parsed->ToString(), text);
+    EXPECT_EQ(*IndexSpec::Parse(parsed->ToString()), *parsed) << text;
+  }
+}
+
+TEST(IndexSpec, PartitionsAreAStructureKnob) {
+  IndexSpec bare = *IndexSpec::Parse("css:16");
+  IndexSpec part = *IndexSpec::Parse("part:8/css:16");
+  EXPECT_NE(bare, part);  // unlike @t1, part:K changes what gets built
+  EXPECT_EQ(bare.WithPartitions(8), part);
+  EXPECT_EQ(part.WithPartitions(0), bare);
+  EXPECT_NE(*IndexSpec::Parse("part:4/css:16"), part);  // K matters
+  EXPECT_EQ(bare.partitions(), 0);
+  EXPECT_FALSE(bare.partitioned());
+  // Inner() strips the prefix and pins probes inline.
+  IndexSpec inner = IndexSpec::Parse("part:8/css:16@t4")->Inner();
+  EXPECT_EQ(inner, bare);
+  EXPECT_EQ(inner.probe_threads(), 1);
+  EXPECT_TRUE(part.OnMenu());
+}
+
+TEST(IndexSpec, RejectsMalformedPartitionPrefix) {
+  EXPECT_FALSE(IndexSpec::Parse("part:0/css:16").has_value());
+  EXPECT_FALSE(IndexSpec::Parse("part:-2/css:16").has_value());
+  EXPECT_FALSE(IndexSpec::Parse("part:257/css:16").has_value());  // > 256
+  EXPECT_FALSE(IndexSpec::Parse("part:abc/css:16").has_value());
+  EXPECT_FALSE(IndexSpec::Parse("part:8x/css:16").has_value());
+  // Nested prefixes are one level only.
+  EXPECT_FALSE(IndexSpec::Parse("part:2/part:4/css:16").has_value());
+  // A prefix with no inner spec names nothing buildable.
+  EXPECT_FALSE(IndexSpec::Parse("part:8").has_value());
+  EXPECT_FALSE(IndexSpec::Parse("part:8/").has_value());
+  EXPECT_FALSE(IndexSpec::Parse("part:/css:16").has_value());
+  EXPECT_FALSE(IndexSpec::Parse("part:8/bogus").has_value());
+  // Trailing garbage and misplaced separators.
+  EXPECT_FALSE(IndexSpec::Parse("part:8/css:16x").has_value());
+  EXPECT_FALSE(IndexSpec::Parse("part:8/css:16@t4x").has_value());
+  EXPECT_FALSE(IndexSpec::Parse("part:8/css:16/").has_value());
+  EXPECT_FALSE(IndexSpec::Parse("css:16/part:8").has_value());
+  // The inner spec is still fully validated under the prefix.
+  EXPECT_FALSE(IndexSpec::Parse("part:8/css:12").has_value());
+  EXPECT_FALSE(IndexSpec::Parse("part:8/lcss:24").has_value());
+  EXPECT_FALSE(IndexSpec::Parse("part:8/bin:4").has_value());
+  EXPECT_FALSE(IndexSpec::Parse("part:8/hash:40").has_value());
+}
+
 TEST(IndexSpec, OnMenuMatchesParseForConstructedSpecs) {
   for (const IndexSpec& spec : AllSpecs()) {
     if (!spec.sized()) continue;

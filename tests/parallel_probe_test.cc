@@ -13,6 +13,7 @@
 #include "engine/query.h"
 #include "engine/table.h"
 #include "gtest/gtest.h"
+#include "spec_menu.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 #include "workload/key_gen.h"
@@ -34,13 +35,6 @@ std::vector<Key> TestProbes(const std::vector<Key>& keys, size_t count,
   return probes;
 }
 
-const std::vector<std::string>& SpecsUnderTest() {
-  static const std::vector<std::string> specs{
-      "bin", "tbin", "interp", "ttree:16", "btree:32",
-      "css:16", "lcss:64", "hash:12"};
-  return specs;
-}
-
 TEST(ParallelProbe, MatchesScalarLoopAcrossSpecsAndThreadCounts) {
   ThreadPool pool(3);  // real workers even on a 1-core CI machine
   auto keys = TestKeys(20000, /*seed=*/11);
@@ -52,7 +46,7 @@ TEST(ParallelProbe, MatchesScalarLoopAcrossSpecsAndThreadCounts) {
                                          kParallelProbeMinShard + 1,
                                          3 * kParallelProbeMinShard,
                                          50000};
-  for (const std::string& text : SpecsUnderTest()) {
+  for (const std::string& text : test_menu::SpecStrings()) {
     IndexSpec spec = *IndexSpec::Parse(text);
     AnyIndex index = BuildIndex(spec, keys);
     ASSERT_TRUE(index) << text;

@@ -1,0 +1,323 @@
+// Partition-boundary differential suite: every "part:K/<inner>" spec must
+// be result-identical to the bare inner spec across the full batch-op
+// surface — FindBatch / LowerBoundBatch / EqualRangeBatch /
+// CountEqualBatch — whatever the fence table, probe bucketing, and
+// shard-local kernels do underneath. The inputs are chosen to be
+// adversarial for a range-partitioned composite specifically: probes
+// exactly on fence boundaries, every probe landing in one shard, K larger
+// than the number of distinct keys (empty shards), heavy duplicates whose
+// runs must never straddle a fence, UINT32_MAX (whose fence comparison
+// would wrap a 32-bit sentinel), empty batches, and thread counts
+// straddling the shard-dispatch threshold.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/builder.h"
+#include "core/partitioned_index.h"
+#include "core/range.h"
+#include "gtest/gtest.h"
+#include "spec_menu.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "workload/key_gen.h"
+#include "workload/lookup_gen.h"
+
+namespace cssidx {
+namespace {
+
+/// Asserts that `part` answers exactly like `bare` on every batch op.
+/// `opts` applies to the partitioned side only — the bare side always
+/// probes inline, so any thread count must reproduce the inline answers.
+void ExpectSameAnswers(const AnyIndex& part, const AnyIndex& bare,
+                       const std::vector<Key>& probes,
+                       const ProbeOptions& opts = ProbeOptions{},
+                       const std::string& label = "") {
+  const size_t n = probes.size();
+  std::vector<int64_t> part_find(n, -2), bare_find(n, -3);
+  std::vector<size_t> part_lower(n, ~size_t{0}), bare_lower(n, ~size_t{1});
+  std::vector<PositionRange> part_range(n, PositionRange{~size_t{0}, 0});
+  std::vector<PositionRange> bare_range(n);
+  std::vector<size_t> part_count(n, ~size_t{0}), bare_count(n);
+  part.FindBatch(probes, part_find, opts);
+  part.LowerBoundBatch(probes, part_lower, opts);
+  part.EqualRangeBatch(probes, part_range, opts);
+  part.CountEqualBatch(probes, part_count, opts);
+  bare.FindBatch(probes, bare_find);
+  bare.LowerBoundBatch(probes, bare_lower);
+  bare.EqualRangeBatch(probes, bare_range);
+  bare.CountEqualBatch(probes, bare_count);
+  ASSERT_EQ(part_find, bare_find) << part.Name() << " " << label;
+  ASSERT_EQ(part_lower, bare_lower) << part.Name() << " " << label;
+  ASSERT_EQ(part_range, bare_range) << part.Name() << " " << label;
+  ASSERT_EQ(part_count, bare_count) << part.Name() << " " << label;
+}
+
+/// Probes that hug every equi-depth fence of a K-way split: the key at
+/// each tentative cut position plus its value-neighbors (one of which is
+/// usually absent, exercising insertion-point anchoring at the boundary).
+std::vector<Key> FenceBoundaryProbes(const std::vector<Key>& keys, int k) {
+  std::vector<Key> probes;
+  for (int s = 1; s < k; ++s) {
+    size_t cut = keys.size() * static_cast<size_t>(s) /
+                 static_cast<size_t>(k);
+    if (cut >= keys.size()) continue;
+    Key at = keys[cut];
+    probes.push_back(at);
+    if (at > 0) probes.push_back(at - 1);
+    if (at < 0xffffffffu) probes.push_back(at + 1);
+    if (cut > 0) probes.push_back(keys[cut - 1]);
+  }
+  return probes;
+}
+
+/// Every partitioned spec in the shared menu, paired with its inner.
+struct SpecPair {
+  IndexSpec part;
+  IndexSpec inner;
+};
+
+std::vector<SpecPair> PartitionedMenu(int node_entries, int hash_dir_bits) {
+  std::vector<SpecPair> pairs;
+  for (const IndexSpec& spec :
+       test_menu::DefaultSpecs(node_entries, hash_dir_bits)) {
+    if (!spec.partitioned()) continue;
+    pairs.push_back({spec, spec.Inner()});
+  }
+  // Shard counts beyond the shared menu's {1, 4, 16}: odd, and the menu
+  // ceiling.
+  pairs.push_back({*IndexSpec::Parse("part:7/css:16"),
+                   *IndexSpec::Parse("css:16")});
+  pairs.push_back({*IndexSpec::Parse("part:256/btree:32"),
+                   *IndexSpec::Parse("btree:32")});
+  return pairs;
+}
+
+TEST(PartitionedIndex, MatchesBareInnerAcrossTheFullOpSurface) {
+  // Heavy duplicates: fences must snap to run starts, so most cuts move.
+  auto keys = workload::KeysWithDuplicates(6000, 40, /*seed=*/3);
+  auto probes = workload::MatchingLookups(keys, 400, /*seed=*/5);
+  auto missing = workload::MissingLookups(keys, 150, /*seed=*/7);
+  probes.insert(probes.end(), missing.begin(), missing.end());
+  probes.push_back(0);
+  probes.push_back(0xffffffffu);
+  for (const SpecPair& p : PartitionedMenu(16, 8)) {
+    AnyIndex part = BuildIndex(p.part, keys);
+    AnyIndex bare = BuildIndex(p.inner, keys);
+    ASSERT_TRUE(part) << p.part.ToString();
+    ASSERT_TRUE(bare) << p.inner.ToString();
+    EXPECT_EQ(part.size(), bare.size());
+    EXPECT_EQ(part.SupportsOrderedAccess(), bare.SupportsOrderedAccess());
+    auto with_fences = probes;
+    auto boundary = FenceBoundaryProbes(keys, p.part.partitions());
+    with_fences.insert(with_fences.end(), boundary.begin(), boundary.end());
+    ExpectSameAnswers(part, bare, with_fences, ProbeOptions{}, "heavy-dup");
+  }
+}
+
+TEST(PartitionedIndex, KeysExactlyOnFenceBoundaries) {
+  // Distinct keys, so every equi-depth cut IS a fence key: the first key
+  // of shard s+1. Probing it, its absent predecessor, and its absent
+  // successor hits the routing comparison on all three sides of every
+  // fence.
+  auto keys = workload::DistinctSortedKeys(5000, /*seed=*/11, /*mean_gap=*/16);
+  for (int k : {2, 3, 8, 16, 64}) {
+    IndexSpec part_spec = IndexSpec().WithPartitions(k);  // part:K/css:16
+    AnyIndex part = BuildIndex(part_spec, keys);
+    AnyIndex bare = BuildIndex(part_spec.Inner(), keys);
+    ASSERT_TRUE(part) << part_spec.ToString();
+    auto probes = FenceBoundaryProbes(keys, k);
+    ASSERT_FALSE(probes.empty());
+    ExpectSameAnswers(part, bare, probes, ProbeOptions{},
+                      "fences k=" + std::to_string(k));
+  }
+}
+
+TEST(PartitionedIndex, AllProbesLandInOneShard) {
+  // The bucketing degenerates: one shard gets the whole batch, every
+  // other shard gets zero probes — both extreme ends of the array.
+  auto keys = workload::KeysWithDuplicates(8000, 200, /*seed=*/13);
+  AnyIndex part = BuildIndex(*IndexSpec::Parse("part:8/css:16"), keys);
+  AnyIndex bare = BuildIndex(*IndexSpec::Parse("css:16"), keys);
+  ASSERT_TRUE(part);
+  for (Key target : {keys.front(), keys.back()}) {
+    std::vector<Key> probes(3000, target);
+    ExpectSameAnswers(part, bare, probes, ProbeOptions{}, "one-shard");
+  }
+}
+
+TEST(PartitionedIndex, MoreShardsThanDistinctKeys) {
+  // Three distinct values across 16 requested shards: run-start snapping
+  // collapses most cuts, leaving empty shards whose fences coincide.
+  std::vector<Key> keys;
+  for (Key v : {Key{10}, Key{20}, Key{30}}) {
+    keys.insert(keys.end(), 100, v);
+  }
+  std::vector<Key> probes{0, 9, 10, 11, 19, 20, 21, 29, 30, 31, 1000,
+                          0xffffffffu};
+  for (const SpecPair& p : PartitionedMenu(8, 4)) {
+    AnyIndex part = BuildIndex(p.part, keys);
+    AnyIndex bare = BuildIndex(p.inner, keys);
+    ASSERT_TRUE(part) << p.part.ToString();
+    ExpectSameAnswers(part, bare, probes, ProbeOptions{}, "few-distinct");
+  }
+  // The degenerate limit: every key equal, K = 16 — one live shard.
+  std::vector<Key> all_equal(500, 42);
+  AnyIndex part = BuildIndex(*IndexSpec::Parse("part:16/btree:32"), all_equal);
+  AnyIndex bare = BuildIndex(*IndexSpec::Parse("btree:32"), all_equal);
+  ASSERT_TRUE(part);
+  ExpectSameAnswers(part, bare, {41, 42, 43, 0, 0xffffffffu}, ProbeOptions{},
+                    "all-equal");
+}
+
+TEST(PartitionedIndex, ExtremeKeysIncludingMax) {
+  // UINT32_MAX keys: the fence table is uint64 precisely so a probe of
+  // MAX still routes to the shard holding its run instead of falling off
+  // the end (a 32-bit "no fence" sentinel could not sit above MAX).
+  std::vector<Key> keys{0,          0,          1,          5,
+                        0x7fffffffu, 0x80000000u, 0xfffffffeu,
+                        0xffffffffu, 0xffffffffu, 0xffffffffu};
+  std::vector<Key> probes{0, 1, 2, 5, 0x7fffffffu, 0x80000000u,
+                          0xfffffffeu, 0xffffffffu};
+  for (const SpecPair& p : PartitionedMenu(4, 3)) {
+    AnyIndex part = BuildIndex(p.part, keys);
+    AnyIndex bare = BuildIndex(p.inner, keys);
+    ASSERT_TRUE(part) << p.part.ToString();
+    ExpectSameAnswers(part, bare, probes, ProbeOptions{}, "extreme");
+  }
+}
+
+TEST(PartitionedIndex, EmptyBatchAndEmptyIndex) {
+  auto keys = workload::KeysWithDuplicates(300, 30, /*seed=*/17);
+  std::vector<Key> none;
+  std::vector<int64_t> no_find;
+  std::vector<size_t> no_sizes;
+  std::vector<PositionRange> no_ranges;
+  for (const SpecPair& p : PartitionedMenu(8, 4)) {
+    AnyIndex part = BuildIndex(p.part, keys);
+    ASSERT_TRUE(part) << p.part.ToString();
+    // Empty batch: a no-op, not a crash (the router must not touch the
+    // fence table).
+    part.FindBatch(none, no_find);
+    part.LowerBoundBatch(none, no_sizes);
+    part.EqualRangeBatch(none, no_ranges);
+    part.CountEqualBatch(none, no_sizes);
+
+    // Empty index: K shards over zero keys; all answers match the bare
+    // inner over zero keys.
+    AnyIndex empty_part = BuildIndex(p.part, std::vector<Key>{});
+    AnyIndex empty_bare = BuildIndex(p.inner, std::vector<Key>{});
+    ASSERT_TRUE(empty_part) << p.part.ToString();
+    ExpectSameAnswers(empty_part, empty_bare, {0, 7, 0xffffffffu},
+                      ProbeOptions{}, "empty-index");
+  }
+}
+
+TEST(PartitionedIndex, ThreadCountsStraddleTheShardDispatchThreshold) {
+  // Below min_shard the router runs shards inline; above it, whole shards
+  // dispatch to the pool. Both sides of the threshold, at thread counts
+  // {0, 1, 2, 8}, must reproduce the bare inner's answers bit-for-bit.
+  ThreadPool pool(3);  // real workers even on a 1-core CI machine
+  auto keys = workload::KeysWithDuplicates(30000, 500, /*seed=*/19);
+  const std::vector<size_t> probe_counts{
+      100, kParallelProbeMinShard - 1, kParallelProbeMinShard,
+      kParallelProbeMinShard + 1, 3 * kParallelProbeMinShard};
+  for (const char* text : {"part:4/css:16", "part:16/ttree:16",
+                           "part:3/hash:10", "part:8/bin"}) {
+    IndexSpec spec = *IndexSpec::Parse(text);
+    AnyIndex part = BuildIndex(spec, keys);
+    AnyIndex bare = BuildIndex(spec.Inner(), keys);
+    ASSERT_TRUE(part) << text;
+    for (size_t count : probe_counts) {
+      auto probes = workload::MatchingLookups(keys, count, /*seed=*/count);
+      auto missing = workload::MissingLookups(keys, count / 4,
+                                              /*seed=*/count + 1);
+      probes.insert(probes.end(), missing.begin(), missing.end());
+      for (int threads : {0, 1, 2, 8}) {
+        ProbeOptions opts{.threads = threads, .pool = &pool};
+        ExpectSameAnswers(part, bare, probes, opts,
+                          "probes=" + std::to_string(count) +
+                              " threads=" + std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST(PartitionedIndex, SpecSuffixDrivesShardDispatchThroughTheFacade) {
+  // "@tN" on a partitioned spec parallelizes the two-argument facade
+  // calls with no caller changes — and changes nothing about the answers.
+  auto keys = workload::KeysWithDuplicates(20000, 300, /*seed=*/23);
+  auto probes = workload::MatchingLookups(keys, 10000, /*seed=*/29);
+  AnyIndex parallel_part =
+      BuildIndex(*IndexSpec::Parse("part:8/css:16@t3"), keys);
+  AnyIndex bare = BuildIndex(*IndexSpec::Parse("css:16"), keys);
+  ASSERT_TRUE(parallel_part);
+  EXPECT_EQ(parallel_part.spec().probe_threads(), 3);
+  EXPECT_EQ(parallel_part.spec().partitions(), 8);
+  std::vector<int64_t> got(probes.size()), want(probes.size());
+  parallel_part.FindBatch(probes, got);  // spec-driven shard dispatch
+  bare.FindBatch(probes, want);
+  EXPECT_EQ(got, want);
+}
+
+TEST(PartitionedIndex, RepeatedParallelRunsAreDeterministic) {
+  // The TSan lane leans on this: repeated identical shard dispatches give
+  // any racy scatter a window to corrupt a neighboring probe's slot.
+  ThreadPool pool(3);
+  auto keys = workload::KeysWithDuplicates(40000, 800, /*seed=*/31);
+  AnyIndex part = BuildIndex(*IndexSpec::Parse("part:8/css:16"), keys);
+  ASSERT_TRUE(part);
+  auto probes = workload::MatchingLookups(keys, 30000, /*seed=*/37);
+  ProbeOptions opts{.threads = 4, .min_shard = 1024, .pool = &pool};
+  std::vector<PositionRange> first(probes.size());
+  part.EqualRangeBatch(probes, first, opts);
+  for (int run = 0; run < 10; ++run) {
+    std::vector<PositionRange> again(probes.size());
+    part.EqualRangeBatch(probes, again, opts);
+    ASSERT_EQ(again, first) << "run " << run;
+  }
+}
+
+TEST(PartitionedIndex, StructuralInvariants) {
+  auto keys = workload::KeysWithDuplicates(10000, 100, /*seed=*/41);
+  IndexSpec spec = *IndexSpec::Parse("part:8/css:16");
+  PartitionedIndex part(spec, keys.data(), keys.size());
+  ASSERT_TRUE(part.ok());
+  EXPECT_EQ(part.num_shards(), 8u);
+  EXPECT_EQ(part.size(), keys.size());
+  EXPECT_TRUE(part.SupportsOrderedAccess());
+  EXPECT_GT(part.SpaceBytes(), 0u);
+  // Shard bases are monotone, cover [0, n), and sit on duplicate-run
+  // starts: the key before a base differs from the key at it.
+  EXPECT_EQ(part.ShardBase(0), 0u);
+  EXPECT_EQ(part.ShardBase(part.num_shards()), keys.size());
+  for (size_t s = 1; s <= part.num_shards(); ++s) {
+    ASSERT_GE(part.ShardBase(s), part.ShardBase(s - 1));
+    size_t base = part.ShardBase(s);
+    if (base > 0 && base < keys.size()) {
+      ASSERT_NE(keys[base - 1], keys[base]) << "run straddles fence at " << s;
+    }
+  }
+  // Routing sends each shard's first key to that shard (skipping empties,
+  // which receive no keys by construction).
+  for (size_t s = 0; s < part.num_shards(); ++s) {
+    if (part.ShardBase(s) == part.ShardBase(s + 1)) continue;
+    EXPECT_EQ(part.ShardOf(keys[part.ShardBase(s)]), s) << "shard " << s;
+  }
+}
+
+TEST(PartitionedIndex, BuilderRejectsOffMenuPartitionedSpecs) {
+  auto keys = workload::DistinctSortedKeys(100, /*seed=*/43, /*mean_gap=*/4);
+  // Shard counts off the menu.
+  EXPECT_FALSE(BuildIndex(IndexSpec().WithPartitions(257), keys));
+  EXPECT_FALSE(BuildIndex(IndexSpec().WithPartitions(-1), keys));
+  // Off-menu inner under a valid shard count.
+  EXPECT_FALSE(
+      BuildIndex(IndexSpec().WithNodeEntries(12).WithPartitions(4), keys));
+  // A valid partitioned spec still builds.
+  EXPECT_TRUE(BuildIndex(IndexSpec().WithPartitions(4), keys));
+}
+
+}  // namespace
+}  // namespace cssidx

@@ -14,6 +14,7 @@
 #include "core/builder.h"
 #include "core/range.h"
 #include "gtest/gtest.h"
+#include "spec_menu.h"
 #include "workload/key_gen.h"
 #include "workload/lookup_gen.h"
 
@@ -181,17 +182,10 @@ std::vector<Case> AllCases() {
                                   Distribution::kDuplicates,
                                   Distribution::kClustered};
   for (Distribution d : dists) {
-    for (const IndexSpec& spec : AllSpecs(16, 8)) {
-      if (!spec.sized()) {
-        // Methods without a node-size knob: one case each.
-        cases.push_back({spec, d});
-        continue;
-      }
-      // Node-sized methods: sweep the menu (level CSS: powers of two only).
-      for (int entries : NodeSizeMenu()) {
-        IndexSpec sized = spec.WithNodeEntries(entries);
-        if (sized.OnMenu()) cases.push_back({sized, d});
-      }
+    // The shared menu: node-size sweep for the sized methods plus the
+    // partitioned composites, so part:K specs face every distribution.
+    for (const IndexSpec& spec : test_menu::MenuSpecs(16, 8)) {
+      cases.push_back({spec, d});
     }
   }
   return cases;

@@ -14,6 +14,7 @@
 #include "core/builder.h"
 #include "core/range.h"
 #include "gtest/gtest.h"
+#include "spec_menu.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 #include "workload/key_gen.h"
@@ -49,23 +50,6 @@ std::vector<Key> ProbesFor(const std::vector<Key>& keys, size_t count,
   return probes;
 }
 
-/// Every spec on the menu: all eight methods, node-size sweep for the
-/// sized ones (level CSS keeps powers of two only).
-std::vector<IndexSpec> MenuSpecs() {
-  std::vector<IndexSpec> specs;
-  for (const IndexSpec& spec : AllSpecs(16, 8)) {
-    if (!spec.sized()) {
-      specs.push_back(spec);
-      continue;
-    }
-    for (int entries : NodeSizeMenu()) {
-      IndexSpec sized = spec.WithNodeEntries(entries);
-      if (sized.OnMenu()) specs.push_back(sized);
-    }
-  }
-  return specs;
-}
-
 void CheckRangeProbes(const AnyIndex& index, const std::vector<Key>& keys,
                       const std::vector<Key>& probes,
                       const std::string& label) {
@@ -94,7 +78,7 @@ TEST(RangeProbe, HeavyDuplicatesAcrossEverySpecOnTheMenu) {
   // the k+1 trick's end bound frequently lands on another run's begin.
   auto keys = workload::KeysWithDuplicates(6000, 40, /*seed=*/3);
   auto probes = ProbesFor(keys, 600, /*seed=*/5);
-  for (const IndexSpec& spec : MenuSpecs()) {
+  for (const IndexSpec& spec : test_menu::MenuSpecs(16, 8)) {
     AnyIndex index = BuildIndex(spec, keys);
     ASSERT_TRUE(index) << spec.ToString();
     CheckRangeProbes(index, keys, probes, "heavy-dup");
@@ -106,7 +90,7 @@ TEST(RangeProbe, AllEqualArray) {
   // probes below and above it exercise both empty-span anchors.
   std::vector<Key> keys(3000, 777);
   std::vector<Key> probes{776, 777, 778, 0, 0xffffffffu};
-  for (const IndexSpec& spec : AllSpecs(16, 6)) {
+  for (const IndexSpec& spec : test_menu::DefaultSpecs(16, 6)) {
     AnyIndex index = BuildIndex(spec, keys);
     ASSERT_TRUE(index) << spec.ToString();
     CheckRangeProbes(index, keys, probes, "all-equal");
@@ -116,7 +100,7 @@ TEST(RangeProbe, AllEqualArray) {
 TEST(RangeProbe, AbsentKeysOnly) {
   auto keys = workload::DistinctSortedKeys(5000, /*seed=*/9, /*mean_gap=*/8);
   auto probes = workload::MissingLookups(keys, 500, /*seed=*/11);
-  for (const IndexSpec& spec : AllSpecs(16, 8)) {
+  for (const IndexSpec& spec : test_menu::DefaultSpecs(16, 8)) {
     AnyIndex index = BuildIndex(spec, keys);
     ASSERT_TRUE(index) << spec.ToString();
     CheckRangeProbes(index, keys, probes, "absent");
@@ -128,7 +112,7 @@ TEST(RangeProbe, ExtremeKeysIncludingMax) {
   // must still end at n.
   std::vector<Key> keys{0, 0, 5, 5, 5, 0xfffffffeu, 0xffffffffu, 0xffffffffu};
   std::vector<Key> probes{0, 1, 5, 0xfffffffeu, 0xffffffffu, 7};
-  for (const IndexSpec& spec : AllSpecs(4, 3)) {
+  for (const IndexSpec& spec : test_menu::DefaultSpecs(4, 3)) {
     AnyIndex index = BuildIndex(spec, keys);
     ASSERT_TRUE(index) << spec.ToString();
     CheckRangeProbes(index, keys, probes, "extreme");
@@ -140,7 +124,7 @@ TEST(RangeProbe, EmptyBatchAndEmptyIndex) {
   std::vector<Key> none;
   std::vector<PositionRange> no_ranges;
   std::vector<size_t> no_counts;
-  for (const IndexSpec& spec : AllSpecs(8, 4)) {
+  for (const IndexSpec& spec : test_menu::DefaultSpecs(8, 4)) {
     AnyIndex index = BuildIndex(spec, keys);
     ASSERT_TRUE(index) << spec.ToString();
     // Empty batch: must be a no-op, not a crash.
@@ -164,7 +148,7 @@ TEST(RangeProbe, ThreadCountsStraddleTheShardThreshold) {
   const std::vector<size_t> probe_counts{
       100, kParallelProbeMinShard - 1, kParallelProbeMinShard,
       kParallelProbeMinShard + 1, 3 * kParallelProbeMinShard};
-  for (const IndexSpec& spec : AllSpecs(16, 10)) {
+  for (const IndexSpec& spec : test_menu::DefaultSpecs(16, 10)) {
     AnyIndex index = BuildIndex(spec, keys);
     ASSERT_TRUE(index) << spec.ToString();
     for (size_t count : probe_counts) {

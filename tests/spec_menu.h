@@ -1,0 +1,72 @@
+#ifndef CSSIDX_TESTS_SPEC_MENU_H_
+#define CSSIDX_TESTS_SPEC_MENU_H_
+
+#include <string>
+#include <vector>
+
+#include "core/index_spec.h"
+
+// The spec menus shared by the differential suites (fuzz_differential,
+// property_all_indexes, range_probe, parallel_probe, partitioned_index).
+// One definition so a new structural axis — like the "part:K/" composite
+// — lands in every suite by editing this file, instead of four private
+// copies drifting apart.
+
+namespace cssidx::test_menu {
+
+/// One spec per method at the given knobs (the AllSpecs menu), plus a
+/// part:K wrap of each method and two adversarial shard counts: part:1
+/// (degenerate single shard, the pass-through path) and part:16 (more
+/// shards than many test arrays have distinct keys, forcing empty
+/// shards). Every suite that iterates this covers the partitioned
+/// composite for free.
+inline std::vector<IndexSpec> DefaultSpecs(int node_entries,
+                                           int hash_dir_bits) {
+  std::vector<IndexSpec> specs = AllSpecs(node_entries, hash_dir_bits);
+  const size_t bare = specs.size();
+  for (size_t i = 0; i < bare; ++i) {
+    specs.push_back(specs[i].WithPartitions(4));
+  }
+  specs.push_back(IndexSpec().WithPartitions(1));
+  specs.push_back(IndexSpec().WithPartitions(16));
+  return specs;
+}
+
+/// The full menu: every method, node-size sweep for the sized ones
+/// (level CSS keeps powers of two only), then the partitioned variants
+/// of DefaultSpecs. The node sweep stays unpartitioned — the composite's
+/// routing does not depend on the inner node size, so sweeping both axes
+/// jointly would buy runtime, not coverage.
+inline std::vector<IndexSpec> MenuSpecs(int node_entries, int hash_dir_bits) {
+  std::vector<IndexSpec> specs;
+  for (const IndexSpec& spec : AllSpecs(node_entries, hash_dir_bits)) {
+    if (!spec.sized()) {
+      specs.push_back(spec);
+      continue;
+    }
+    for (int entries : NodeSizeMenu()) {
+      IndexSpec sized = spec.WithNodeEntries(entries);
+      if (sized.OnMenu()) specs.push_back(sized);
+    }
+  }
+  for (const IndexSpec& spec : DefaultSpecs(node_entries, hash_dir_bits)) {
+    if (spec.partitioned()) specs.push_back(spec);
+  }
+  return specs;
+}
+
+/// The compact per-method string list used by the parallel-probe suite —
+/// one spec per method family plus partitioned variants, exercising the
+/// grammar path the way CLIs and config files do.
+inline const std::vector<std::string>& SpecStrings() {
+  static const std::vector<std::string> specs{
+      "bin",           "tbin",          "interp",
+      "ttree:16",      "btree:32",      "css:16",
+      "lcss:64",       "hash:12",       "part:4/css:16",
+      "part:3/btree:32", "part:8/hash:12"};
+  return specs;
+}
+
+}  // namespace cssidx::test_menu
+
+#endif  // CSSIDX_TESTS_SPEC_MENU_H_

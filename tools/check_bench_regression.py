@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
 """Gate batch-probe throughput against the checked-in bench baseline.
 
-Compares two bench_batch_lookup JSON files row by row — both the point-
-probe "results" block and the range-probe "range_probes" block (when a
-file was recorded with --range) — keyed by (block, spec, batch, threads),
-and fails (exit 1) when throughput regressed by more than --tolerance
-(default 25%). Both blocks feed the same geomean: the range rows gate the
-EqualRangeBatch kernels under the same rule as the point rows.
+Compares two bench_batch_lookup JSON files row by row — the point-probe
+"results" block, the range-probe "range_probes" block (when a file was
+recorded with --range), and the range-partitioned "partitioned" block
+(recorded with --part) — keyed by (block, spec, batch, threads), and
+fails (exit 1) when throughput regressed by more than --tolerance
+(default 25%). All blocks feed the same geomean: the range rows gate the
+EqualRangeBatch kernels and the partitioned rows gate the fence-routing
+composite under the same rule as the point rows.
 
 Two metrics:
 
@@ -39,7 +41,7 @@ def load_rows(path):
     with open(path) as f:
         doc = json.load(f)
     rows = {}
-    for block in ("results", "range_probes"):
+    for block in ("results", "range_probes", "partitioned"):
         for row in doc.get(block, []):
             key = (block, row["spec"], row["batch"], row.get("threads", 1))
             rows[key] = row
