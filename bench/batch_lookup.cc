@@ -25,9 +25,18 @@
 // overhead directly; the per-row speedup shows the group-probing payoff
 // surviving the composite.
 //
+// --update measures the maintenance path: applying a LOCALIZED update
+// batch (confined to ~1/16 of the key range, so a part:16 spec touches
+// 1-2 shards) as a full from-scratch rebuild (merge + BuildIndex, the
+// paper's model) vs MaintainedIndex::ApplyBatch (shard-incremental for
+// part:K, snapshot-published either way), in refreshed keys/s across
+// batch fractions. Recorded in a "maintenance" JSON block whose speedup
+// column is incremental-vs-full — gated by check_bench_regression.py,
+// including an absolute --min-update-speedup floor for part:* rows.
+//
 //   $ ./bench_batch_lookup [--n=10000000] [--lookups=1000000]
 //                          [--threads=1,2,4,8] [--json=...] [--quick]
-//                          [--range] [--part]
+//                          [--range] [--part] [--update]
 
 #include <algorithm>
 #include <cstdio>
@@ -36,9 +45,12 @@
 #include <vector>
 
 #include "core/builder.h"
+#include "core/maintained_index.h"
 #include "harness.h"
 #include "util/bits.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
+#include "workload/batch_update.h"
 #include "workload/key_gen.h"
 #include "workload/lookup_gen.h"
 
@@ -105,6 +117,7 @@ int main(int argc, char** argv) {
       args.GetString("threads", options.quick ? "1,4" : "1,2,4,8"));
   bool range_mode = args.GetBool("range");
   bool part_mode = args.GetBool("part");
+  bool update_mode = args.GetBool("update");
 
   bench::PrintHeader(
       "batch_lookup",
@@ -248,6 +261,64 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Maintenance sweep: full rebuild vs shard-incremental refresh for a
+  // localized batch, in refreshed keys per second (the whole index is
+  // live again after each publish, so n / seconds is the service rate of
+  // the maintenance path).
+  bench::Table update_table({"spec", "batch keys", "full Mkeys/s",
+                             "incremental Mkeys/s", "speedup"});
+  std::vector<Row> update_rows;
+  if (update_mode) {
+    std::vector<std::string> update_texts{"css:16", "part:16/css:16"};
+    std::vector<double> fractions{0.0001, 0.001, 0.01};
+    if (options.quick) fractions = {0.001};
+    // Confine batches to the first 1/16 of the key range: the locality a
+    // part:16 spec converts into 1-2 touched shards.
+    uint32_t local_lo = keys.front();
+    uint32_t local_hi = keys[keys.size() / 16];
+    for (const std::string& text : update_texts) {
+      IndexSpec spec = *IndexSpec::Parse(text);
+      for (double fraction : fractions) {
+        auto batch = workload::RandomBatchInRange(keys, fraction, local_lo,
+                                                  local_hi,
+                                                  options.seed + 77);
+        size_t batch_keys = batch.inserts.size() + batch.deletes.size();
+        // Full rebuild: merge the batch, rebuild from scratch — the
+        // paper's maintenance model, and what every spec paid before
+        // MaintainedIndex.
+        double full_best = 1e300;
+        for (int r = 0; r < options.repeats; ++r) {
+          Timer timer;
+          auto merged = workload::ApplyBatch(keys, batch);
+          AnyIndex rebuilt = BuildIndex(spec, merged);
+          double sec = timer.Seconds();
+          bench::g_sink = bench::g_sink + rebuilt.SpaceBytes() + merged.size();
+          if (sec < full_best) full_best = sec;
+        }
+        // Incremental: one ApplyBatch on a maintained index (fresh per
+        // repeat — the batch must always hit the pristine version).
+        double incr_best = 1e300;
+        for (int r = 0; r < options.repeats; ++r) {
+          MaintainedIndex maintained(spec, keys);
+          Timer timer;
+          maintained.ApplyBatch(batch);
+          double sec = timer.Seconds();
+          bench::g_sink =
+              bench::g_sink + maintained.Snapshot()->index().SpaceBytes();
+          if (sec < incr_best) incr_best = sec;
+        }
+        double full_ns = full_best / static_cast<double>(n) * 1e9;
+        double incr_ns = incr_best / static_cast<double>(n) * 1e9;
+        update_rows.push_back({spec.ToString(), batch_keys, full_ns, incr_ns});
+        update_table.AddRow(
+            {spec.ToString(), std::to_string(batch_keys),
+             bench::Table::Num(static_cast<double>(n) / full_best / 1e6),
+             bench::Table::Num(static_cast<double>(n) / incr_best / 1e6),
+             bench::Table::Num(full_best / incr_best, 3)});
+      }
+    }
+  }
+
   table.Print("batched vs scalar probes, n=" + std::to_string(n));
   if (range_mode) {
     range_table.Print("batched vs scalar EqualRange probes, n=" +
@@ -256,6 +327,11 @@ int main(int argc, char** argv) {
   if (part_mode) {
     part_table.Print("range-partitioned specs, batched vs scalar, n=" +
                      std::to_string(n));
+  }
+  if (update_mode) {
+    update_table.Print(
+        "batch maintenance: full rebuild vs incremental refresh "
+        "(localized batch), n=" + std::to_string(n));
   }
   scaling_table.Print(
       "thread-sharded FindBatch scaling, n=" + std::to_string(n) +
@@ -280,6 +356,13 @@ int main(int argc, char** argv) {
   if (part_mode) {
     std::fprintf(json, "  ],\n  \"partitioned\": [\n");
     EmitRows(json, part_rows);
+  }
+  if (update_mode) {
+    // Same row schema as the probe blocks — here "scalar" is the full
+    // rebuild and "batched" the incremental refresh, both in ns per
+    // (live) key, so "speedup" is incremental-vs-full.
+    std::fprintf(json, "  ],\n  \"maintenance\": [\n");
+    EmitRows(json, update_rows);
   }
   std::fprintf(json, "  ],\n  \"thread_scaling\": [\n");
   for (size_t i = 0; i < scaling_rows.size(); ++i) {

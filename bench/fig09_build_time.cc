@@ -5,13 +5,19 @@
 // Expected shape (paper): both curves linear in n; level trees cheaper
 // because the spare-slot trick avoids walking a rightmost path per entry;
 // 25M keys build in well under a second on a modern machine. For context,
-// the batch-update merge (§2.2's OLAP maintenance story) is timed too.
+// the batch-update merge (§2.2's OLAP maintenance story) is timed too —
+// build + merge together are exactly the full-rebuild cost the
+// maintained-index path (bench_batch_lookup --update) avoids for
+// localized batches on part:K specs.
+//
+// Builds go through the spec-driven BuildIndex entry — the same dispatch
+// the engine and the maintenance path pay — instead of hand-instantiated
+// tree templates, so the sweep is driven by IndexSpec strings.
 
 #include <string>
 #include <vector>
 
-#include "core/full_css_tree.h"
-#include "core/level_css_tree.h"
+#include "core/builder.h"
 #include "harness.h"
 #include "util/timer.h"
 #include "workload/batch_update.h"
@@ -20,14 +26,14 @@
 namespace cssidx::bench {
 namespace {
 
-template <typename TreeT>
-double MinBuildSeconds(const std::vector<Key>& keys, int repeats) {
+double MinBuildSeconds(const IndexSpec& spec, const std::vector<Key>& keys,
+                       int repeats) {
   double best = 1e300;
   for (int r = 0; r < repeats; ++r) {
     Timer timer;
-    TreeT tree(keys);
+    AnyIndex index = BuildIndex(spec, keys);
     double sec = timer.Seconds();
-    g_sink = g_sink + tree.SpaceBytes();
+    g_sink = g_sink + index.SpaceBytes();
     if (sec < best) best = sec;
   }
   return best;
@@ -38,8 +44,7 @@ double MinBuildSeconds(const std::vector<Key>& keys, int repeats) {
 
 int main(int argc, char** argv) {
   using namespace cssidx::bench;
-  using cssidx::FullCssTree;
-  using cssidx::LevelCssTree;
+  using cssidx::IndexSpec;
   Options options = Options::Parse(argc, argv);
   PrintHeader("Figure 9", "CSS-tree build time vs sorted array size",
               options);
@@ -48,20 +53,27 @@ int main(int argc, char** argv) {
                             20'000'000, 25'000'000};
   if (options.quick) sizes = {1'000'000, 2'000'000, 4'000'000};
 
-  Table table({"n", "full CSS-tree build (s)", "level CSS-tree build (s)",
-               "batch merge 1% (s)"});
+  const std::vector<std::string> spec_texts{"css:16", "lcss:16"};
+  std::vector<std::string> columns{"n"};
+  for (const std::string& text : spec_texts) columns.push_back(text + " build (s)");
+  columns.push_back("batch merge 1% (s)");
+
+  Table table(columns);
   for (size_t n : sizes) {
     auto keys = cssidx::workload::DistinctSortedKeys(n, options.seed, 4);
-    double full = MinBuildSeconds<FullCssTree<16>>(keys, options.repeats);
-    double level = MinBuildSeconds<LevelCssTree<16>>(keys, options.repeats);
+    std::vector<std::string> row{std::to_string(n)};
+    for (const std::string& text : spec_texts) {
+      IndexSpec spec = *IndexSpec::Parse(text);
+      row.push_back(Table::Num(MinBuildSeconds(spec, keys, options.repeats)));
+    }
     // The other half of the OLAP rebuild story: merging a 1% batch.
     auto batch = cssidx::workload::RandomBatch(keys, 0.01, options.seed + 9);
     cssidx::Timer timer;
     auto merged = cssidx::workload::ApplyBatch(keys, batch);
     double merge = timer.Seconds();
     g_sink = g_sink + merged.size();
-    table.AddRow({std::to_string(n), Table::Num(full), Table::Num(level),
-                  Table::Num(merge)});
+    row.push_back(Table::Num(merge));
+    table.AddRow(row);
   }
   table.Print("Figure 9: build time (min of repeats), 16 entries/node");
   return 0;

@@ -255,6 +255,11 @@ class AnyIndex {
   }
   const std::string& Name() const { return name_; }
   const IndexSpec& spec() const { return spec_; }
+  /// Identity of the shared structure, for structural inspection (e.g.
+  /// asserting that a maintenance refresh reused rather than rebuilt a
+  /// shard). Never probe through this — the batch methods above are the
+  /// contract.
+  const Impl* impl() const { return impl_.get(); }
 
  private:
   IndexSpec spec_{};

@@ -1,0 +1,81 @@
+#include "core/maintained_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "core/builder.h"
+
+namespace cssidx {
+
+std::shared_ptr<const MaintainedIndex::Version> MaintainedIndex::MakeVersion(
+    const IndexSpec& spec, std::shared_ptr<const std::vector<Key>> keys) {
+  if (spec.partitioned() && spec.OnMenu()) {
+    // Owned build: each shard's keys in their own buffer, so a later
+    // RefreshWithBatch can reuse untouched shards by shared ownership.
+    auto part = PartitionedIndex::BuildOwned(spec, keys->data(), keys->size());
+    AnyIndex index = part->ok() ? AnyIndex(spec, part) : AnyIndex();
+    return std::make_shared<const Version>(std::move(keys), std::move(part),
+                                           std::move(index));
+  }
+  AnyIndex index = BuildIndex(spec, keys->data(), keys->size());
+  return std::make_shared<const Version>(std::move(keys), nullptr,
+                                         std::move(index));
+}
+
+MaintainedIndex::MaintainedIndex(const IndexSpec& spec,
+                                 std::vector<Key> sorted_keys)
+    : spec_(spec) {
+  assert(std::is_sorted(sorted_keys.begin(), sorted_keys.end()));
+  Publish(MakeVersion(spec_, std::make_shared<const std::vector<Key>>(
+                                 std::move(sorted_keys))));
+}
+
+void MaintainedIndex::ApplyBatch(const workload::UpdateBatch& batch) {
+  std::vector<Key> inserts = batch.inserts;
+  std::sort(inserts.begin(), inserts.end());
+  std::vector<Key> deletes = batch.deletes;
+  std::sort(deletes.begin(), deletes.end());
+  ApplySortedBatch(std::move(inserts), std::move(deletes));
+}
+
+void MaintainedIndex::ApplySortedBatch(std::vector<Key> sorted_inserts,
+                                       std::vector<Key> sorted_deletes) {
+  assert(ok());
+  assert(std::is_sorted(sorted_inserts.begin(), sorted_inserts.end()));
+  assert(std::is_sorted(sorted_deletes.begin(), sorted_deletes.end()));
+  ++stats_.batches;
+  if (sorted_inserts.empty() && sorted_deletes.empty()) return;
+  auto old = Snapshot();
+  std::shared_ptr<const Version> fresh;
+  if (const PartitionedIndex* part = old->partitioned()) {
+    PartitionedIndex::Refreshed refreshed =
+        part->RefreshWithSortedBatch(sorted_inserts, sorted_deletes);
+    if (refreshed.rebalanced) {
+      ++stats_.full_rebuilds;
+      ++stats_.rebalances;
+    } else {
+      ++stats_.incremental_refreshes;
+    }
+    stats_.shards_rebuilt += refreshed.shards_rebuilt;
+    fresh = std::make_shared<const Version>(
+        std::move(refreshed.merged_keys), refreshed.index,
+        AnyIndex(spec_, refreshed.index));
+  } else {
+    ++stats_.full_rebuilds;
+    fresh = MakeVersion(
+        spec_, std::make_shared<const std::vector<Key>>(
+                   workload::ApplySortedBatch(old->keys(), sorted_inserts,
+                                              sorted_deletes)));
+  }
+  Publish(std::move(fresh));
+}
+
+void MaintainedIndex::Rebuild(std::vector<Key> sorted_keys) {
+  assert(std::is_sorted(sorted_keys.begin(), sorted_keys.end()));
+  ++stats_.full_rebuilds;
+  Publish(MakeVersion(spec_, std::make_shared<const std::vector<Key>>(
+                                 std::move(sorted_keys))));
+}
+
+}  // namespace cssidx

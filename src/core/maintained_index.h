@@ -1,0 +1,197 @@
+#ifndef CSSIDX_CORE_MAINTAINED_INDEX_H_
+#define CSSIDX_CORE_MAINTAINED_INDEX_H_
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/any_index.h"
+#include "core/index.h"
+#include "core/index_spec.h"
+#include "core/partitioned_index.h"
+#include "workload/batch_update.h"
+
+// Live batch maintenance behind the facade.
+//
+// The paper's maintenance model (§2.2, §4.1.1) is: queries run against an
+// immutable read-optimized index; update batches arrive occasionally; the
+// index is rebuilt rather than updated in place. MaintainedIndex wraps
+// that lifecycle around *any* IndexSpec on the menu — monolithic or
+// "part:K/..." — so a live system never blocks readers on maintenance:
+//
+//   - Readers take a snapshot with one pointer copy under a micro
+//     critical section (the moral equivalent of an atomic shared_ptr
+//     load: libstdc++'s std::atomic<shared_ptr> spin-locks a pointer
+//     slot the same way, but releases the reader's lock with a relaxed
+//     RMW — formally racy, and flagged by TSan — so this class carries
+//     its own mutex with orderings TSan can verify). The snapshot is an
+//     immutable (keys, index) pair that stays valid, and answers the
+//     full batch-probe surface, for as long as the caller holds it,
+//     regardless of writer activity. Old versions die with their last
+//     reader.
+//   - A SINGLE writer merges each batch via workload::ApplyBatch, builds
+//     the fresh version entirely off to the side, and publishes it with
+//     one pointer swap. Concurrent writers must be serialized
+//     externally. Readers never wait on a rebuild — only on another
+//     pointer copy.
+//
+// For partitioned specs the full-rebuild cost is avoidable: the batch
+// routes through the fence table exactly like probes do, so only the
+// shards whose key range the batch touches are re-merged and rebuilt
+// (PartitionedIndex::RefreshWithBatch); every untouched shard's keys and
+// inner index carry over to the new version by shared ownership. Fences
+// stay fixed across refreshes until equi-depth skew exceeds
+// kRebalanceSkew, which triggers one full rebuild with fresh cuts.
+//
+// Memory: every version publishes a contiguous merged key array (what
+// keys() returns and what the engine's RID lists align to); partitioned
+// versions additionally hold the per-shard buffers their inner indexes
+// point into, so a maintained part:K index carries ~2x the key bytes of
+// a bare one — the price of capping old-version retention at the shard
+// granularity instead of whole arrays.
+
+namespace cssidx {
+
+class MaintainedIndex {
+ public:
+  /// An immutable published version: the merged sorted key array plus the
+  /// index built over it. For partitioned specs, partitioned() exposes
+  /// the composite for structural inspection (shard identity, fences).
+  class Version {
+   public:
+    Version(std::shared_ptr<const std::vector<Key>> keys,
+            std::shared_ptr<const PartitionedIndex> part, AnyIndex index)
+        : keys_(std::move(keys)), part_(std::move(part)),
+          index_(std::move(index)) {}
+    Version(const Version&) = delete;
+    Version& operator=(const Version&) = delete;
+
+    const AnyIndex& index() const { return index_; }
+    const std::vector<Key>& keys() const { return *keys_; }
+    /// Non-null only for partitioned specs.
+    const PartitionedIndex* partitioned() const { return part_.get(); }
+
+   private:
+    std::shared_ptr<const std::vector<Key>> keys_;
+    std::shared_ptr<const PartitionedIndex> part_;
+    AnyIndex index_;
+  };
+
+  /// Writer-side maintenance counters (read them from the writer thread;
+  /// they are not synchronized with readers).
+  struct MaintenanceStats {
+    size_t batches = 0;               // ApplyBatch calls, empty included
+    size_t full_rebuilds = 0;         // whole-structure rebuilds
+    size_t incremental_refreshes = 0; // part:K refreshes that reused shards
+    size_t shards_rebuilt = 0;        // inner rebuilds across all batches
+    size_t rebalances = 0;            // skew-triggered fence recomputations
+  };
+
+  /// Builds the initial version over `sorted_keys`. An off-menu spec
+  /// yields ok() == false (probing then asserts, as for a falsy
+  /// AnyIndex). The index owns its key array from here on.
+  MaintainedIndex(const IndexSpec& spec, std::vector<Key> sorted_keys);
+
+  MaintainedIndex(const MaintainedIndex&) = delete;
+  MaintainedIndex& operator=(const MaintainedIndex&) = delete;
+
+  bool ok() const { return static_cast<bool>(Snapshot()->index()); }
+
+  /// Readers: one pointer copy; the snapshot stays valid (and immutable)
+  /// for as long as the caller holds it, regardless of writer activity.
+  std::shared_ptr<const Version> Snapshot() const {
+    std::lock_guard<std::mutex> lock(current_mu_);
+    return current_;
+  }
+
+  /// Writer: merge the batch and publish the refreshed version —
+  /// shard-incrementally for partitioned specs, full rebuild otherwise.
+  /// An empty batch publishes nothing. Callers must serialize writers
+  /// externally (single-writer model).
+  void ApplyBatch(const workload::UpdateBatch& batch);
+
+  /// ApplyBatch for writers that already hold SORTED insert/delete lists
+  /// (a precondition, asserted in debug): same semantics, skips the
+  /// defensive copy + sort — the engine's append path stages its inserts
+  /// in sorted order anyway.
+  void ApplySortedBatch(std::vector<Key> sorted_inserts,
+                        std::vector<Key> sorted_deletes);
+
+  /// Writer: replace the dataset outright (bulk reload).
+  void Rebuild(std::vector<Key> sorted_keys);
+
+  // The full batch-probe surface, each call against one fresh snapshot
+  // (one atomic load per batch — amortized to nothing by the batch-first
+  // contract). Callers needing several ops against ONE coherent version
+  // hold a Snapshot() instead. The two-argument forms follow the spec's
+  // "@tN" probe-thread policy, as on AnyIndex.
+  void FindBatch(std::span<const Key> keys, std::span<int64_t> out) const {
+    Snapshot()->index().FindBatch(keys, out);
+  }
+  void LowerBoundBatch(std::span<const Key> keys,
+                       std::span<size_t> out) const {
+    Snapshot()->index().LowerBoundBatch(keys, out);
+  }
+  void EqualRangeBatch(std::span<const Key> keys,
+                       std::span<PositionRange> out) const {
+    Snapshot()->index().EqualRangeBatch(keys, out);
+  }
+  void CountEqualBatch(std::span<const Key> keys,
+                       std::span<size_t> out) const {
+    Snapshot()->index().CountEqualBatch(keys, out);
+  }
+  void FindBatch(std::span<const Key> keys, std::span<int64_t> out,
+                 const ProbeOptions& opts) const {
+    Snapshot()->index().FindBatch(keys, out, opts);
+  }
+  void LowerBoundBatch(std::span<const Key> keys, std::span<size_t> out,
+                       const ProbeOptions& opts) const {
+    Snapshot()->index().LowerBoundBatch(keys, out, opts);
+  }
+  void EqualRangeBatch(std::span<const Key> keys, std::span<PositionRange> out,
+                       const ProbeOptions& opts) const {
+    Snapshot()->index().EqualRangeBatch(keys, out, opts);
+  }
+  void CountEqualBatch(std::span<const Key> keys, std::span<size_t> out,
+                       const ProbeOptions& opts) const {
+    Snapshot()->index().CountEqualBatch(keys, out, opts);
+  }
+
+  /// Scalar probes: batches of one against the current version.
+  int64_t Find(Key k) const { return Snapshot()->index().Find(k); }
+  size_t LowerBound(Key k) const { return Snapshot()->index().LowerBound(k); }
+  PositionRange EqualRange(Key k) const {
+    return Snapshot()->index().EqualRange(k);
+  }
+  size_t CountEqual(Key k) const {
+    return Snapshot()->index().CountEqual(k);
+  }
+
+  size_t size() const { return Snapshot()->keys().size(); }
+  bool SupportsOrderedAccess() const {
+    return Snapshot()->index().SupportsOrderedAccess();
+  }
+  const IndexSpec& spec() const { return spec_; }
+  const MaintenanceStats& stats() const { return stats_; }
+
+ private:
+  static std::shared_ptr<const Version> MakeVersion(
+      const IndexSpec& spec, std::shared_ptr<const std::vector<Key>> keys);
+
+  void Publish(std::shared_ptr<const Version> fresh) {
+    std::lock_guard<std::mutex> lock(current_mu_);
+    current_ = std::move(fresh);
+  }
+
+  IndexSpec spec_;
+  MaintenanceStats stats_;
+  /// Guards only the current_ pointer itself (held for one copy/swap,
+  /// never across a rebuild); Version contents are immutable.
+  mutable std::mutex current_mu_;
+  std::shared_ptr<const Version> current_;
+};
+
+}  // namespace cssidx
+
+#endif  // CSSIDX_CORE_MAINTAINED_INDEX_H_

@@ -1,6 +1,7 @@
 #include "core/partitioned_index.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "core/builder.h"
 #include "util/thread_pool.h"
@@ -18,24 +19,16 @@ constexpr uint64_t kNoFence = uint64_t{1} << 32;
 /// budget is spent dispatching shards, never nested re-sharding.
 constexpr ProbeOptions kInline{.threads = 1};
 
-}  // namespace
-
-PartitionedIndex::PartitionedIndex(const IndexSpec& spec, const Key* keys,
-                                   size_t n)
-    : n_(n) {
-  const size_t k = static_cast<size_t>(std::max(spec.partitions(), 1));
-  const IndexSpec inner = spec.Inner();
-  ordered_ = inner.ordered();
-
-  // Equi-depth cuts at s * n / K, each snapped LEFT to the start of the
-  // duplicate run containing it: a run that straddled a fence would make
-  // EqualRange/CountEqual see only the shard-local part of it. Snapping
-  // can collapse neighboring cuts (heavy duplicates, or K > distinct
-  // keys), leaving empty shards — harmless, their fences coincide and
-  // routing never selects them.
-  bases_.resize(k + 1);
-  bases_[0] = 0;
-  bases_[k] = n;
+/// Equi-depth cuts at s * n / K, each snapped LEFT to the start of the
+/// duplicate run containing it: a run that straddled a fence would make
+/// EqualRange/CountEqual see only the shard-local part of it. Snapping
+/// can collapse neighboring cuts (heavy duplicates, or K > distinct
+/// keys), leaving empty shards — harmless, their fences coincide and
+/// routing never selects them.
+void ComputeCuts(const Key* keys, size_t n, size_t k,
+                 std::vector<size_t>& bases, std::vector<uint64_t>& fences) {
+  bases.assign(k + 1, 0);
+  bases[k] = n;
   for (size_t s = 1; s < k; ++s) {
     size_t tentative = n * s / k;
     size_t cut =
@@ -43,20 +36,147 @@ PartitionedIndex::PartitionedIndex(const IndexSpec& spec, const Key* keys,
             ? n
             : static_cast<size_t>(
                   std::lower_bound(keys, keys + n, keys[tentative]) - keys);
-    bases_[s] = std::max(cut, bases_[s - 1]);
+    bases[s] = std::max(cut, bases[s - 1]);
   }
-
-  fences_.reserve(k - 1);
+  fences.clear();
+  fences.reserve(k - 1);
   for (size_t s = 1; s < k; ++s) {
-    fences_.push_back(bases_[s] < n ? static_cast<uint64_t>(keys[bases_[s]])
-                                    : kNoFence);
+    fences.push_back(bases[s] < n ? static_cast<uint64_t>(keys[bases[s]])
+                                  : kNoFence);
+  }
+}
+
+}  // namespace
+
+void PartitionedIndex::Init(const IndexSpec& spec, const Key* keys, size_t n,
+                            bool own_keys) {
+  n_ = n;
+  spec_ = spec;
+  const size_t k = static_cast<size_t>(std::max(spec.partitions(), 1));
+  const IndexSpec inner = spec.Inner();
+  ordered_ = inner.ordered();
+  ComputeCuts(keys, n, k, bases_, fences_);
+  shards_.reserve(k);
+  if (own_keys) owned_.reserve(k);
+  for (size_t s = 0; s < k; ++s) {
+    const Key* base = keys + bases_[s];
+    const size_t len = bases_[s + 1] - bases_[s];
+    if (own_keys) {
+      auto buffer = std::make_shared<const std::vector<Key>>(base, base + len);
+      shards_.push_back(BuildIndex(inner, buffer->data(), buffer->size()));
+      owned_.push_back(std::move(buffer));
+    } else {
+      shards_.push_back(BuildIndex(inner, base, len));
+    }
+  }
+}
+
+PartitionedIndex::PartitionedIndex(const IndexSpec& spec, const Key* keys,
+                                   size_t n) {
+  Init(spec, keys, n, /*own_keys=*/false);
+}
+
+std::shared_ptr<const PartitionedIndex> PartitionedIndex::BuildOwned(
+    const IndexSpec& spec, const Key* keys, size_t n) {
+  auto built = std::shared_ptr<PartitionedIndex>(new PartitionedIndex());
+  built->Init(spec, keys, n, /*own_keys=*/true);
+  return built;
+}
+
+PartitionedIndex::Refreshed PartitionedIndex::RefreshWithBatch(
+    const workload::UpdateBatch& batch) const {
+  std::vector<Key> inserts = batch.inserts;
+  std::sort(inserts.begin(), inserts.end());
+  std::vector<Key> deletes = batch.deletes;
+  std::sort(deletes.begin(), deletes.end());
+  return RefreshWithSortedBatch(inserts, deletes);
+}
+
+PartitionedIndex::Refreshed PartitionedIndex::RefreshWithSortedBatch(
+    std::span<const Key> inserts, std::span<const Key> deletes) const {
+  assert(owns_shard_keys() &&
+         "RefreshWithSortedBatch requires a BuildOwned-produced index");
+  const size_t k = shards_.size();
+
+  // Split both sorted lists at the fences — the list-side mirror of
+  // ShardOf's upper_bound, so slice s holds exactly the keys a probe for
+  // them would route to shard s (empty shards get empty slices). Keys in
+  // shard s stay within [fences[s-1], fences[s]) after the merge, which
+  // is the invariant that keeps probe routing exact across refreshes.
+  auto split = [&](std::span<const Key> list) {
+    std::vector<size_t> cut(k + 1, list.size());
+    cut[0] = 0;
+    for (size_t s = 1; s < k; ++s) {
+      cut[s] = static_cast<size_t>(
+          std::lower_bound(list.begin(), list.end(), fences_[s - 1],
+                           [](Key a, uint64_t fence) {
+                             return static_cast<uint64_t>(a) < fence;
+                           }) -
+          list.begin());
+    }
+    return cut;
+  };
+  const std::vector<size_t> ins_cut = split(inserts);
+  const std::vector<size_t> del_cut = split(deletes);
+
+  Refreshed out;
+  std::vector<std::shared_ptr<const std::vector<Key>>> buffers(k);
+  std::vector<bool> touched(k, false);
+  for (size_t s = 0; s < k; ++s) {
+    touched[s] = ins_cut[s + 1] > ins_cut[s] || del_cut[s + 1] > del_cut[s];
+    if (!touched[s]) {
+      buffers[s] = owned_[s];
+      continue;
+    }
+    buffers[s] = std::make_shared<const std::vector<Key>>(
+        workload::ApplySortedBatch(
+            *owned_[s],
+            inserts.subspan(ins_cut[s], ins_cut[s + 1] - ins_cut[s]),
+            deletes.subspan(del_cut[s], del_cut[s + 1] - del_cut[s])));
+    ++out.shards_rebuilt;
   }
 
-  shards_.reserve(k);
+  // New layout, plus the contiguous merged array snapshots publish.
+  std::vector<size_t> bases(k + 1, 0);
+  size_t max_len = 0;
   for (size_t s = 0; s < k; ++s) {
-    shards_.push_back(
-        BuildIndex(inner, keys + bases_[s], bases_[s + 1] - bases_[s]));
+    bases[s + 1] = bases[s] + buffers[s]->size();
+    max_len = std::max(max_len, buffers[s]->size());
   }
+  const size_t total = bases[k];
+  auto merged = std::make_shared<std::vector<Key>>();
+  merged->reserve(total);
+  for (const auto& buffer : buffers) {
+    merged->insert(merged->end(), buffer->begin(), buffer->end());
+  }
+  out.merged_keys = merged;
+
+  // Equi-depth skew gate: a drifting workload (e.g. append-heavy inserts
+  // all landing in one shard) eventually concentrates the array behind a
+  // few fences; rebuild with fresh cuts before routing degenerates.
+  if (total > 0 && max_len * k > kRebalanceSkew * total) {
+    out.index = BuildOwned(spec_, merged->data(), merged->size());
+    out.shards_rebuilt = k;
+    out.rebalanced = true;
+    return out;
+  }
+
+  auto fresh = std::shared_ptr<PartitionedIndex>(new PartitionedIndex());
+  fresh->n_ = total;
+  fresh->ordered_ = ordered_;
+  fresh->spec_ = spec_;
+  fresh->fences_ = fences_;  // unchanged: what makes shard reuse sound
+  fresh->bases_ = std::move(bases);
+  const IndexSpec inner = spec_.Inner();
+  fresh->shards_.reserve(k);
+  for (size_t s = 0; s < k; ++s) {
+    fresh->shards_.push_back(
+        touched[s] ? BuildIndex(inner, buffers[s]->data(), buffers[s]->size())
+                   : shards_[s]);
+  }
+  fresh->owned_ = std::move(buffers);
+  out.index = std::move(fresh);
+  return out;
 }
 
 bool PartitionedIndex::ok() const {
@@ -235,6 +355,11 @@ size_t PartitionedIndex::SpaceBytes() const {
                  bases_.capacity() * sizeof(size_t) +
                  shards_.capacity() * sizeof(AnyIndex);
   for (const AnyIndex& shard : shards_) total += shard.SpaceBytes();
+  // Owned (maintained-path) indexes hold a per-shard copy of the keys on
+  // top of whatever contiguous array the snapshot publishes.
+  for (const auto& buffer : owned_) {
+    total += buffer->capacity() * sizeof(Key);
+  }
   return total;
 }
 

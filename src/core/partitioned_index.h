@@ -2,12 +2,14 @@
 #define CSSIDX_CORE_PARTITIONED_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/any_index.h"
 #include "core/index.h"
 #include "core/index_spec.h"
+#include "workload/batch_update.h"
 
 // Range-partitioned composite index: the sorted key array is split into K
 // contiguous key-range shards (equi-depth fences drawn from the sorted
@@ -33,8 +35,24 @@
 // cache-friendly unit of work, and shard tasks scatter to disjoint output
 // slots, so there is no merge step and output is bit-identical at every
 // thread count.
+//
+// Maintenance: the fence structure is also what makes the paper's
+// rebuild-on-batch model cheap. An update batch routes through the same
+// fence table as probes, so only the shards whose key range the batch
+// touches need re-merging and rebuilding; BuildOwned gives each shard its
+// own key buffer so RefreshWithBatch can share every untouched shard —
+// buffer and inner index — with the refreshed successor (see
+// core/maintained_index.h for the snapshot lifecycle around this).
 
 namespace cssidx {
+
+/// Refresh keeps the fence table as-is until the largest shard exceeds
+/// this multiple of the equi-depth target (n / K); then the whole
+/// structure is rebuilt with fresh equi-depth fences. Keeping fences
+/// stable is what lets a refresh reuse untouched shards; the gate bounds
+/// how far a drifting workload can skew probe routing before paying one
+/// full rebuild to restore balance.
+inline constexpr size_t kRebalanceSkew = 4;
 
 class PartitionedIndex final : public AnyIndex::Impl {
  public:
@@ -43,6 +61,37 @@ class PartitionedIndex final : public AnyIndex::Impl {
   /// BuildPartitionedIndex, which validates the spec and reports
   /// unbuildable configurations as a falsy AnyIndex.
   PartitionedIndex(const IndexSpec& spec, const Key* keys, size_t n);
+
+  /// Maintained-path factory: same structure as the non-owning
+  /// constructor, but every shard's keys are copied into a buffer the
+  /// index owns (a shared_ptr), so RefreshWithBatch can hand untouched
+  /// shards — buffer and inner index both — to its successor by shared
+  /// ownership. `keys` may be freed after the call.
+  static std::shared_ptr<const PartitionedIndex> BuildOwned(
+      const IndexSpec& spec, const Key* keys, size_t n);
+
+  /// One shard-incremental maintenance step (the paper's batch model on
+  /// the fence structure), valid only for BuildOwned/RefreshWithBatch
+  /// products. The batch routes through the fence table exactly like
+  /// probes do; only the shards whose key range the batch touches are
+  /// re-merged (workload::ApplyBatch, shard-local) and rebuilt, and every
+  /// untouched shard is shared with the returned successor. Fences are
+  /// kept as-is unless the refresh leaves the largest shard more than
+  /// kRebalanceSkew times the equi-depth target, in which case the whole
+  /// structure is rebuilt with fresh equi-depth fences.
+  struct Refreshed {
+    std::shared_ptr<const PartitionedIndex> index;
+    /// The full merged key array, contiguous, for callers that publish a
+    /// (keys, index) snapshot pair.
+    std::shared_ptr<const std::vector<Key>> merged_keys;
+    size_t shards_rebuilt = 0;
+    bool rebalanced = false;
+  };
+  Refreshed RefreshWithBatch(const workload::UpdateBatch& batch) const;
+  /// RefreshWithBatch for callers that already hold SORTED lists (a
+  /// precondition, not checked): no copies, no re-sort.
+  Refreshed RefreshWithSortedBatch(std::span<const Key> inserts,
+                                   std::span<const Key> deletes) const;
 
   /// False if any inner shard failed to build (off-menu inner spec).
   bool ok() const;
@@ -76,8 +125,21 @@ class PartitionedIndex final : public AnyIndex::Impl {
   size_t ShardBase(size_t s) const { return bases_[s]; }
   /// The shard whose key range contains `key`.
   size_t ShardOf(Key key) const;
+  /// Shard s's inner index (compare AnyIndex::impl() identities across a
+  /// refresh to see which shards were reused vs rebuilt).
+  const AnyIndex& shard(size_t s) const { return shards_[s]; }
+  /// The K - 1 fence values (uint64; trailing empty shards fence at 2^32).
+  std::span<const uint64_t> fences() const { return fences_; }
+  /// True for BuildOwned/RefreshWithBatch products (the refreshable kind).
+  bool owns_shard_keys() const { return !owned_.empty(); }
 
  private:
+  /// Uninitialized shell for the factory/refresh paths.
+  PartitionedIndex() = default;
+  /// The one setup sequence behind both build modes: equi-depth cuts plus
+  /// per-shard inner builds, over the caller's array (own_keys = false)
+  /// or per-shard owned copies of it (own_keys = true).
+  void Init(const IndexSpec& spec, const Key* keys, size_t n, bool own_keys);
   /// The shared router: bucket `keys` per shard, run `probe(s, in, out)`
   /// shard-local, scatter `map(s, result)` back to input order. Dispatches
   /// whole shards to the pool per `opts`.
@@ -87,6 +149,7 @@ class PartitionedIndex final : public AnyIndex::Impl {
 
   size_t n_ = 0;
   bool ordered_ = true;
+  IndexSpec spec_{};
   /// fences_[s] is the lowest key of shard s + 1, widened to uint64 so
   /// trailing empty shards can fence at 2^32 — above every probe, which a
   /// UINT32_MAX sentinel could not be. Probe k routes to the first shard
@@ -94,6 +157,10 @@ class PartitionedIndex final : public AnyIndex::Impl {
   std::vector<uint64_t> fences_;  // K - 1 entries
   std::vector<size_t> bases_;     // K + 1 entries, bases_[K] == n
   std::vector<AnyIndex> shards_;  // K entries, possibly empty indexes
+  /// Per-shard key buffers, non-empty only on the owned (maintained)
+  /// path: shard s's inner index points into *owned_[s], so a refresh can
+  /// pass both to the successor and the buffer dies with its last user.
+  std::vector<std::shared_ptr<const std::vector<Key>>> owned_;
 };
 
 /// Wraps a partitioned spec ("part:K/<inner>") into the facade. Returns a

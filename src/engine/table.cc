@@ -5,8 +5,6 @@
 #include <numeric>
 #include <stdexcept>
 
-#include "core/builder.h"
-
 namespace cssidx::engine {
 
 SortIndex::SortIndex(const std::vector<uint32_t>& column_values,
@@ -24,28 +22,63 @@ SortIndex::SortIndex(const std::vector<uint32_t>& column_values,
   // index line up with the smallest RID.
   std::stable_sort(rids_.begin(), rids_.end(),
                    [&](Rid a, Rid b) { return column_values[a] < column_values[b]; });
-  sorted_keys_.resize(n);
-  for (size_t i = 0; i < n; ++i) sorted_keys_[i] = column_values[rids_[i]];
-  index_ = BuildIndex(spec, sorted_keys_);
-  if (!index_) {
+  std::vector<uint32_t> sorted(n);
+  for (size_t i = 0; i < n; ++i) sorted[i] = column_values[rids_[i]];
+  maintained_ = std::make_unique<MaintainedIndex>(spec, std::move(sorted));
+  head_ = maintained_->Snapshot();
+  if (!head_->index()) {
     throw std::invalid_argument("index spec off the menu: " +
                                 spec.ToString());
   }
 }
 
+void SortIndex::ApplyAppend(std::span<const uint32_t> values, Rid first_rid) {
+  const size_t m = values.size();
+  if (m == 0) return;
+  // Sort the appended rows stably by value, so equal appended values keep
+  // RID order — what a full stable_sort rebuild of the extended column
+  // would produce.
+  std::vector<uint32_t> order(m);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return values[a] < values[b];
+  });
+  // Merge the RID permutation to match the key merge ApplySortedBatch
+  // performs: existing rows win ties (their RIDs are smaller by
+  // construction). The sorted value list falls out of the same pass.
+  const std::vector<uint32_t>& old_keys = head_->keys();
+  std::vector<Rid> merged(old_keys.size() + m);
+  std::vector<uint32_t> sorted_values(m);
+  for (size_t j = 0; j < m; ++j) sorted_values[j] = values[order[j]];
+  size_t i = 0, j = 0, at = 0;
+  while (i < old_keys.size() && j < m) {
+    merged[at++] = old_keys[i] <= sorted_values[j]
+                       ? rids_[i++]
+                       : first_rid + order[j++];
+  }
+  while (i < old_keys.size()) merged[at++] = rids_[i++];
+  while (j < m) merged[at++] = first_rid + order[j++];
+
+  maintained_->ApplySortedBatch(std::move(sorted_values), {});
+  head_ = maintained_->Snapshot();
+  rids_ = std::move(merged);
+}
+
 size_t SortIndex::LowerBound(uint32_t v) const {
-  if (index_.SupportsOrderedAccess()) return index_.LowerBound(v);
+  const AnyIndex& index = head_->index();
+  if (index.SupportsOrderedAccess()) return index.LowerBound(v);
   // Hash can't serve positional queries; the sorted key list still can.
+  const std::vector<uint32_t>& keys = head_->keys();
   return static_cast<size_t>(
-      std::lower_bound(sorted_keys_.begin(), sorted_keys_.end(), v) -
-      sorted_keys_.begin());
+      std::lower_bound(keys.begin(), keys.end(), v) - keys.begin());
 }
 
 void SortIndex::LowerBoundBatch(std::span<const uint32_t> keys,
                                 std::span<size_t> out,
                                 const ProbeOptions& opts) const {
-  if (index_.SupportsOrderedAccess()) {
-    index_.LowerBoundBatch(keys, out, opts);
+  const AnyIndex& index = head_->index();
+  if (index.SupportsOrderedAccess()) {
+    index.LowerBoundBatch(keys, out, opts);
     return;
   }
   // Hash fallback: the scalar path's binary search, still sharded.
@@ -56,10 +89,11 @@ void SortIndex::LowerBoundBatch(std::span<const uint32_t> keys,
 
 std::vector<Rid> SortIndex::Equal(uint32_t v) const {
   std::vector<Rid> out;
-  int64_t found = index_.Find(v);
+  int64_t found = head_->index().Find(v);
   if (found == kNotFound) return out;
+  const std::vector<uint32_t>& keys = head_->keys();
   auto pos = static_cast<size_t>(found);
-  while (pos < sorted_keys_.size() && sorted_keys_[pos] == v) {
+  while (pos < keys.size() && keys[pos] == v) {
     out.push_back(rids_[pos]);
     ++pos;
   }
@@ -100,8 +134,8 @@ std::vector<std::vector<Rid>> SortIndex::RangeBatch(
 }
 
 size_t SortIndex::SpaceBytes() const {
-  return sorted_keys_.capacity() * sizeof(uint32_t) +
-         rids_.capacity() * sizeof(Rid) + index_.SpaceBytes();
+  return head_->keys().capacity() * sizeof(uint32_t) +
+         rids_.capacity() * sizeof(Rid) + head_->index().SpaceBytes();
 }
 
 void Table::AddColumn(const std::string& name, std::vector<uint32_t> values) {
@@ -129,16 +163,19 @@ void Table::AppendRows(
       throw std::invalid_argument("ragged batch column " + name);
     }
   }
+  const Rid first_rid = static_cast<Rid>(num_rows_);
   for (const auto& [name, values] : rows) {
     auto& col = columns_[name];
     col.insert(col.end(), values.begin(), values.end());
   }
   num_rows_ += batch_rows;
-  // Rebuild-on-batch (§2.3): every existing sort index is rebuilt from
-  // scratch rather than updated in place, keeping the spec it was built
-  // with.
+  // Maintenance-on-batch (§2.2), incrementally: each sort index merges
+  // the appended rows into its sorted key/RID lists and refreshes its
+  // structure — keeping the spec it was built with, and rebuilding only
+  // the touched shards for partitioned specs — rather than re-sorting
+  // the whole column from scratch.
   for (auto& [name, index] : indexes_) {
-    index = std::make_unique<SortIndex>(Column(name), index->spec());
+    index->ApplyAppend(rows.at(name), first_rid);
   }
 }
 

@@ -12,6 +12,7 @@
 #include "core/any_index.h"
 #include "core/index.h"
 #include "core/index_spec.h"
+#include "core/maintained_index.h"
 
 // Minimal columnar main-memory table, the §2 system context: columns store
 // 4-byte values (raw integers or domain IDs), and ordered access to a
@@ -19,6 +20,10 @@
 // sorted by some columns" (§2.2) — with a search structure over the sorted
 // key list. Which structure is an IndexSpec: any method in the suite can
 // serve a column, and probes go through the batch-first AnyIndex facade.
+// Maintenance follows the paper's batch model, but incrementally: an
+// appended row batch merges into each sort index through its
+// MaintainedIndex (shard-incremental for "part:K/" specs) instead of
+// re-sorting the whole column from scratch.
 
 namespace cssidx::engine {
 
@@ -39,14 +44,23 @@ class SortIndex {
   explicit SortIndex(const std::vector<uint32_t>& column_values,
                      const IndexSpec& spec = IndexSpec());
 
-  // Move-only: the wrapped index impl holds a raw pointer into
-  // sorted_keys_'s heap buffer. A move keeps that buffer alive; a copy
-  // would share the impl while duplicating the vectors, leaving the copy
-  // probing the source's (possibly freed) buffer.
+  // Move-only: two mutating entry points (ApplyAppend) sharing one RID
+  // list would silently diverge; the maintained index is single-writer by
+  // contract anyway.
   SortIndex(SortIndex&&) = default;
   SortIndex& operator=(SortIndex&&) = default;
   SortIndex(const SortIndex&) = delete;
   SortIndex& operator=(const SortIndex&) = delete;
+
+  /// Incremental maintenance: merges the appended rows — values[i] is the
+  /// column value of row first_rid + i — into the sorted key/RID lists
+  /// and refreshes the index through MaintainedIndex::ApplyBatch
+  /// (rebuilding only the touched shards for "part:K/" specs) instead of
+  /// re-sorting the whole column. Results are bit-identical to a
+  /// from-scratch rebuild of the extended column. Mutation requires
+  /// external synchronization, like any other method on this class; the
+  /// lock-free snapshot story lives in core::MaintainedIndex.
+  void ApplyAppend(std::span<const uint32_t> values, Rid first_rid);
 
   /// RIDs of rows whose value equals `v`, in RID-list order.
   std::vector<Rid> Equal(uint32_t v) const;
@@ -70,7 +84,7 @@ class SortIndex {
       const ProbeOptions& opts) const;
 
   /// Leftmost sorted position of `v`, or kNotFound.
-  int64_t Find(uint32_t v) const { return index_.Find(v); }
+  int64_t Find(uint32_t v) const { return head_->index().Find(v); }
   size_t LowerBound(uint32_t v) const;
 
   /// Batched probes against the sorted key list — the join inner loop.
@@ -80,11 +94,11 @@ class SortIndex {
   /// threads = 0 so large spans shard across the hardware automatically).
   void FindBatch(std::span<const uint32_t> keys,
                  std::span<int64_t> out) const {
-    index_.FindBatch(keys, out);
+    head_->index().FindBatch(keys, out);
   }
   void FindBatch(std::span<const uint32_t> keys, std::span<int64_t> out,
                  const ProbeOptions& opts) const {
-    index_.FindBatch(keys, out, opts);
+    head_->index().FindBatch(keys, out, opts);
   }
 
   /// Batched lower bounds on the sorted key list. Ordered methods go
@@ -105,23 +119,29 @@ class SortIndex {
   /// hash kernel scans each chain once for leftmost match + count).
   void EqualRangeBatch(std::span<const uint32_t> keys,
                        std::span<PositionRange> out) const {
-    index_.EqualRangeBatch(keys, out);
+    head_->index().EqualRangeBatch(keys, out);
   }
   void EqualRangeBatch(std::span<const uint32_t> keys,
                        std::span<PositionRange> out,
                        const ProbeOptions& opts) const {
-    index_.EqualRangeBatch(keys, out, opts);
+    head_->index().EqualRangeBatch(keys, out, opts);
   }
 
-  const std::vector<uint32_t>& sorted_keys() const { return sorted_keys_; }
+  const std::vector<uint32_t>& sorted_keys() const { return head_->keys(); }
   const std::vector<Rid>& rids() const { return rids_; }
-  const IndexSpec& spec() const { return index_.spec(); }
+  const IndexSpec& spec() const { return maintained_->spec(); }
+  /// The maintenance machinery behind this index (snapshots, writer
+  /// stats) — e.g. to check that a part:K append refreshed incrementally.
+  const MaintainedIndex& maintained() const { return *maintained_; }
   size_t SpaceBytes() const;
 
  private:
-  std::vector<uint32_t> sorted_keys_;
   std::vector<Rid> rids_;
-  AnyIndex index_;
+  /// Owns the sorted key array and the search structure, versioned. The
+  /// head_ cache is the writer's view of the current version: position i
+  /// of head_->keys() pairs with rids_[i].
+  std::unique_ptr<MaintainedIndex> maintained_;
+  std::shared_ptr<const MaintainedIndex::Version> head_;
 };
 
 /// Column-store table: named uint32 columns of equal length.
@@ -133,9 +153,10 @@ class Table {
   void AddColumn(const std::string& name, std::vector<uint32_t> values);
 
   /// Appends a batch of rows (one value per existing column, keyed by
-  /// name) and rebuilds every sort index with its original spec — the OLAP
-  /// maintenance cycle. Throws if the batch's columns do not match the
-  /// table's.
+  /// name) and refreshes every sort index in place via ApplyAppend — the
+  /// OLAP maintenance cycle, without re-sorting whole columns (and, for
+  /// "part:K/" specs, rebuilding only the shards the batch touches).
+  /// Throws if the batch's columns do not match the table's.
   void AppendRows(const std::map<std::string, std::vector<uint32_t>>& rows);
 
   size_t NumRows() const { return num_rows_; }

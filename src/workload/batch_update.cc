@@ -12,7 +12,12 @@ std::vector<uint32_t> ApplyBatch(const std::vector<uint32_t>& sorted_keys,
   std::sort(deletes.begin(), deletes.end());
   std::vector<uint32_t> inserts = batch.inserts;
   std::sort(inserts.begin(), inserts.end());
+  return ApplySortedBatch(sorted_keys, inserts, deletes);
+}
 
+std::vector<uint32_t> ApplySortedBatch(std::span<const uint32_t> sorted_keys,
+                                       std::span<const uint32_t> inserts,
+                                       std::span<const uint32_t> deletes) {
   std::vector<uint32_t> survivors;
   survivors.reserve(sorted_keys.size() + inserts.size());
   for (uint32_t k : sorted_keys) {
@@ -41,6 +46,29 @@ UpdateBatch RandomBatch(const std::vector<uint32_t>& sorted_keys,
   uint32_t max_key = sorted_keys.empty() ? 1000 : sorted_keys.back();
   for (size_t i = 0; i < ins; ++i) {
     batch.inserts.push_back(rng.Below(max_key + 1000));
+  }
+  return batch;
+}
+
+UpdateBatch RandomBatchInRange(const std::vector<uint32_t>& sorted_keys,
+                               double fraction, uint32_t lo, uint32_t hi,
+                               uint64_t seed) {
+  Pcg32 rng(seed);
+  UpdateBatch batch;
+  auto touched = static_cast<size_t>(
+      static_cast<double>(sorted_keys.size()) * fraction);
+  size_t dels = touched / 2;
+  size_t ins = touched - dels;
+  auto begin = std::lower_bound(sorted_keys.begin(), sorted_keys.end(), lo);
+  auto end = std::lower_bound(sorted_keys.begin(), sorted_keys.end(), hi);
+  auto in_range = static_cast<size_t>(end - begin);
+  for (size_t i = 0; i < dels && in_range > 0; ++i) {
+    batch.deletes.push_back(
+        *(begin + rng.Below(static_cast<uint32_t>(in_range))));
+  }
+  uint32_t width = hi > lo ? hi - lo : 1;
+  for (size_t i = 0; i < ins; ++i) {
+    batch.inserts.push_back(lo + rng.Below(width));
   }
   return batch;
 }

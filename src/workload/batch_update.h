@@ -2,6 +2,7 @@
 #define CSSIDX_WORKLOAD_BATCH_UPDATE_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 // OLAP batch maintenance (§2.2/§4.1.1): indexes are not updated in place;
@@ -23,10 +24,29 @@ struct UpdateBatch {
 std::vector<uint32_t> ApplyBatch(const std::vector<uint32_t>& sorted_keys,
                                  const UpdateBatch& batch);
 
+/// ApplyBatch for callers that already hold SORTED insert/delete lists
+/// (a precondition, not checked): same semantics, no copies and no
+/// re-sort. The shard-incremental refresh path routes one globally
+/// sorted batch into per-shard sub-ranges and merges each through this.
+std::vector<uint32_t> ApplySortedBatch(std::span<const uint32_t> sorted_keys,
+                                       std::span<const uint32_t> inserts,
+                                       std::span<const uint32_t> deletes);
+
 /// Generates a random batch touching roughly `fraction` of the keys:
 /// half deletes of existing keys, half fresh inserts.
 UpdateBatch RandomBatch(const std::vector<uint32_t>& sorted_keys,
                         double fraction, uint64_t seed);
+
+/// RandomBatch confined to the key range [lo, hi): deletes drawn from the
+/// existing keys inside the range (none if the range holds no keys),
+/// inserts drawn uniformly inside it. `fraction` still sizes the batch
+/// relative to the WHOLE array, so localized and scattered batches of the
+/// same fraction are comparable. This is the maintenance bench's
+/// workload: a batch whose key locality lets a "part:K/" index rebuild
+/// only one or two shards.
+UpdateBatch RandomBatchInRange(const std::vector<uint32_t>& sorted_keys,
+                               double fraction, uint32_t lo, uint32_t hi,
+                               uint64_t seed);
 
 }  // namespace cssidx::workload
 

@@ -84,5 +84,32 @@ TEST(BatchUpdate, SizeAccounting) {
   EXPECT_EQ(result.size(), keys.size() - 3 + 2);
 }
 
+TEST(BatchUpdate, RandomBatchInRangeStaysInRangeAndSizesLikeRandomBatch) {
+  auto keys = DistinctSortedKeys(10000, 3, 4);
+  uint32_t lo = keys[1000];
+  uint32_t hi = keys[2000];
+  UpdateBatch batch = RandomBatchInRange(keys, 0.05, lo, hi, 7);
+  // Sized against the WHOLE array, like RandomBatch, so localized and
+  // scattered batches of one fraction are comparable.
+  EXPECT_EQ(batch.deletes.size() + batch.inserts.size(), 500u);
+  for (uint32_t k : batch.inserts) {
+    EXPECT_GE(k, lo);
+    EXPECT_LT(k, hi);
+  }
+  for (uint32_t k : batch.deletes) {
+    EXPECT_GE(k, lo);
+    EXPECT_LT(k, hi);
+    EXPECT_TRUE(std::binary_search(keys.begin(), keys.end(), k));
+  }
+}
+
+TEST(BatchUpdate, RandomBatchInRangeWithNoExistingKeysIsInsertOnly) {
+  auto keys = DistinctSortedKeys(1000, 5, 4);
+  uint32_t beyond = keys.back() + 10;
+  UpdateBatch batch = RandomBatchInRange(keys, 0.1, beyond, beyond + 50, 11);
+  EXPECT_TRUE(batch.deletes.empty());  // nothing in range to delete
+  EXPECT_EQ(batch.inserts.size(), 50u);
+}
+
 }  // namespace
 }  // namespace cssidx::workload

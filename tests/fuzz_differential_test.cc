@@ -2,17 +2,17 @@
 // distribution, node size), thousands of random probes, every method
 // checked against every other and against the STL oracle — scalar and
 // batched probes both — plus randomized batch-update/rebuild cycles where
-// a plain std::vector is the model. Deterministic seeds; failures print
-// the reproducing configuration.
+// a plain std::vector is the model, driven through MaintainedIndex across
+// the whole spec menu (shard-incremental part:K refresh included).
+// Deterministic seeds; failures print the reproducing configuration.
 
 #include <algorithm>
 #include <utility>
 #include <vector>
 
 #include "core/builder.h"
-#include "core/full_css_tree.h"
+#include "core/maintained_index.h"
 #include "core/range.h"
-#include "core/versioned_index.h"
 #include "gtest/gtest.h"
 #include "spec_menu.h"
 #include "util/rng.h"
@@ -204,7 +204,7 @@ TEST(FuzzDifferential, BatchUpdateCyclesMatchVectorModel) {
     auto keys = workload::DistinctSortedKeys(500 + rng.Below(2000),
                                              rng.Next(), 3);
     std::vector<Key> model = keys;  // the oracle state
-    VersionedIndex<FullCssTree<8>> index(keys);
+    MaintainedIndex index(IndexSpec(Method::kFullCss, 8), std::move(keys));
 
     for (int round = 0; round < 15; ++round) {
       workload::UpdateBatch batch;
@@ -230,6 +230,75 @@ TEST(FuzzDifferential, BatchUpdateCyclesMatchVectorModel) {
         ASSERT_EQ(snap->index().LowerBound(k),
                   static_cast<size_t>(lo - model.begin()))
             << "trial=" << trial << " round=" << round << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(FuzzDifferential, MaintainedUpdateProbeInterleavingAcrossSpecMenu) {
+  // Random update batches interleaved with random probe batches, every
+  // spec on the shared menu (partitioned variants included), a sorted
+  // vector as the model. This is the maintenance twin of
+  // AllMethodsAgreeWithOracle: every op, after every batch, at a random
+  // batch size.
+  Pcg32 rng(0xdead5eed);
+  for (const IndexSpec& spec : test_menu::DefaultSpecs(16, 6)) {
+    std::vector<Key> model = RandomKeys(rng, 200 + rng.Below(1500));
+    MaintainedIndex index(spec, model);
+    ASSERT_TRUE(index.ok()) << spec.ToString();
+
+    for (int round = 0; round < 6; ++round) {
+      workload::UpdateBatch batch;
+      if (round != 2) {  // round 2 probes an unchanged version
+        uint32_t dels = rng.Below(40);
+        for (uint32_t i = 0; i < dels && !model.empty(); ++i) {
+          batch.deletes.push_back(
+              model[rng.Below(static_cast<uint32_t>(model.size()))]);
+        }
+        uint32_t ins = rng.Below(40);
+        for (uint32_t i = 0; i < ins; ++i) {
+          batch.inserts.push_back(rng.Below(1u << 14));
+        }
+      }
+      model = workload::ApplyBatch(model, batch);
+      index.ApplyBatch(batch);
+      ASSERT_EQ(index.Snapshot()->keys(), model)
+          << spec.ToString() << " round=" << round;
+
+      size_t n_probes = 1 + rng.Below(300);
+      uint32_t ceiling = model.empty() ? 100 : model.back() + 3;
+      std::vector<Key> probes(n_probes);
+      for (Key& k : probes) k = rng.Below(ceiling);
+      std::vector<int64_t> found(n_probes);
+      std::vector<size_t> lower(n_probes);
+      std::vector<PositionRange> ranges(n_probes);
+      std::vector<size_t> counts(n_probes);
+      index.FindBatch(probes, found);
+      index.LowerBoundBatch(probes, lower);
+      index.EqualRangeBatch(probes, ranges);
+      index.CountEqualBatch(probes, counts);
+      for (size_t p = 0; p < n_probes; ++p) {
+        auto lo = std::lower_bound(model.begin(), model.end(), probes[p]);
+        auto hi = std::upper_bound(model.begin(), model.end(), probes[p]);
+        auto want_lower = static_cast<size_t>(lo - model.begin());
+        auto want_count = static_cast<size_t>(hi - lo);
+        int64_t want_find = want_count > 0
+                                ? static_cast<int64_t>(want_lower)
+                                : kNotFound;
+        ASSERT_EQ(found[p], want_find)
+            << spec.ToString() << " round=" << round << " k=" << probes[p];
+        ASSERT_EQ(counts[p], want_count)
+            << spec.ToString() << " round=" << round << " k=" << probes[p];
+        size_t want_begin = index.SupportsOrderedAccess() || want_count > 0
+                                ? want_lower
+                                : model.size();
+        ASSERT_EQ(ranges[p],
+                  (PositionRange{want_begin, want_begin + want_count}))
+            << spec.ToString() << " round=" << round << " k=" << probes[p];
+        if (index.SupportsOrderedAccess()) {
+          ASSERT_EQ(lower[p], want_lower)
+              << spec.ToString() << " round=" << round << " k=" << probes[p];
+        }
       }
     }
   }

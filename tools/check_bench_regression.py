@@ -3,12 +3,23 @@
 
 Compares two bench_batch_lookup JSON files row by row — the point-probe
 "results" block, the range-probe "range_probes" block (when a file was
-recorded with --range), and the range-partitioned "partitioned" block
-(recorded with --part) — keyed by (block, spec, batch, threads), and
+recorded with --range), the range-partitioned "partitioned" block
+(recorded with --part), and the batch-maintenance "maintenance" block
+(recorded with --update) — keyed by (block, spec, batch, threads), and
 fails (exit 1) when throughput regressed by more than --tolerance
 (default 25%). All blocks feed the same geomean: the range rows gate the
-EqualRangeBatch kernels and the partitioned rows gate the fence-routing
-composite under the same rule as the point rows.
+EqualRangeBatch kernels, the partitioned rows gate the fence-routing
+composite, and the maintenance rows gate shard-incremental refresh
+(their "speedup" is incremental-vs-full-rebuild) under the same rule as
+the point rows.
+
+Maintenance rows additionally carry an absolute floor:
+--min-update-speedup (default 0 = off) fails the gate when any CURRENT
+partitioned maintenance row's incremental-vs-full speedup falls below
+the floor — the shard-incremental path must actually beat rebuilding
+from scratch, on this machine, not merely match a baseline ratio. A set
+floor with no part:* maintenance rows to check also fails, so the
+guarantee cannot be disabled by accidentally dropping --update.
 
 Two metrics:
 
@@ -41,7 +52,7 @@ def load_rows(path):
     with open(path) as f:
         doc = json.load(f)
     rows = {}
-    for block in ("results", "range_probes", "partitioned"):
+    for block in ("results", "range_probes", "partitioned", "maintenance"):
         for row in doc.get(block, []):
             key = (block, row["spec"], row["batch"], row.get("threads", 1))
             rows[key] = row
@@ -64,16 +75,49 @@ def main():
                         default="speedup")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional regression (0.25 = 25%%)")
+    parser.add_argument("--min-update-speedup", type=float, default=0.0,
+                        help="absolute floor on incremental-vs-full speedup "
+                             "for part:* maintenance rows in CURRENT "
+                             "(0 = off)")
     args = parser.parse_args()
 
     base_doc, base_rows = load_rows(args.baseline)
     cur_doc, cur_rows = load_rows(args.current)
 
+    # Absolute floor for the maintenance path, independent of the
+    # baseline: incremental refresh of a partitioned spec must beat the
+    # full rebuild by at least the requested factor on THIS machine. A
+    # requested floor with nothing to check is itself a failure —
+    # otherwise dropping --update from the bench run would silently
+    # disable the guarantee.
+    floor_failed = False
+    if args.min_update_speedup > 0:
+        checked = 0
+        for key, row in sorted(cur_rows.items()):
+            if key[0] != "maintenance" or not key[1].startswith("part:"):
+                continue
+            speedup = row.get("speedup")
+            if speedup is None:
+                continue
+            checked += 1
+            print(f"maintenance floor: {key[1]:<16} batch={key[2]:>8} "
+                  f"speedup={speedup:.3f} (floor "
+                  f"{args.min_update_speedup:.2f})")
+            if speedup < args.min_update_speedup:
+                print(f"FAIL: {key[1]} batch={key[2]} incremental refresh "
+                      f"only {speedup:.2f}x over full rebuild "
+                      f"(floor {args.min_update_speedup:.2f}x)")
+                floor_failed = True
+        if checked == 0:
+            print("FAIL: --min-update-speedup set but CURRENT has no part:* "
+                  "maintenance rows (bench run without --update?)")
+            floor_failed = True
+
     common = sorted(set(base_rows) & set(cur_rows))
     if not common:
         print("WARNING: no common (spec, batch, threads) rows between "
               f"{args.baseline} and {args.current}; nothing to gate")
-        return 0
+        return 1 if floor_failed else 0
 
     log_sum = 0.0
     compared = 0
@@ -96,16 +140,22 @@ def main():
 
     if compared == 0:
         print("WARNING: no comparable rows; nothing to gate")
-        return 0
+        return 1 if floor_failed else 0
 
     geomean = math.exp(log_sum / compared)
     floor = 1 - args.tolerance
     print(f"\nmetric={args.metric} rows={compared} "
           f"geomean ratio={geomean:.3f} (floor {floor:.2f}); "
           f"worst {worst[0]} at {worst[1]:.3f}")
+    failed = False
     if geomean < floor:
         print(f"FAIL: batch-probe {args.metric} regressed "
               f">{args.tolerance:.0%} vs {args.baseline}")
+        failed = True
+    if floor_failed:
+        print("FAIL: maintenance speedup floor violated (see above)")
+        failed = True
+    if failed:
         return 1
     print("OK: no regression beyond tolerance")
     return 0
