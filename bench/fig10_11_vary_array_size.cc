@@ -6,6 +6,13 @@
 // tbl_cache_misses using the simulated Ultra Sparc II and Pentium II
 // caches.
 //
+// All eight methods are addressed through the IndexSpec menu and built by
+// the spec-driven BuildIndex entry — the same dispatch the engine, the
+// batch benches, and the serving layer use — so this figure measures the
+// production construction path, not a bench-only template instantiation.
+// The scalar Find hop goes through AnyIndex's virtual dispatch for every
+// method alike, which keeps the cross-method comparison fair.
+//
 // Expected shape (paper): all methods tie while the array fits in cache;
 // as n grows, T-tree and binary search (array and pointer) degrade
 // fastest, B+-trees sit in the middle, CSS-trees are the best ordered
@@ -16,14 +23,8 @@
 #include <string>
 #include <vector>
 
-#include "baselines/binary_search.h"
-#include "baselines/binary_tree.h"
-#include "baselines/bplus_tree.h"
-#include "baselines/chained_hash.h"
-#include "baselines/interpolation_search.h"
-#include "baselines/t_tree.h"
-#include "core/full_css_tree.h"
-#include "core/level_css_tree.h"
+#include "core/builder.h"
+#include "core/index_spec.h"
 #include "harness.h"
 #include "workload/key_gen.h"
 #include "workload/lookup_gen.h"
@@ -31,8 +32,25 @@
 namespace cssidx::bench {
 namespace {
 
-template <int M>
-void RunSeries(const Options& options, const std::vector<size_t>& sizes) {
+/// Paper: 4M-entry hash directory at n = 5M-10M; scale the directory to
+/// ~n so chains stay short at every point of the sweep.
+int HashDirBits(size_t n) {
+  int dir_bits = 4;
+  while ((size_t{1} << dir_bits) < n && dir_bits < 22) ++dir_bits;
+  return dir_bits;
+}
+
+/// The figure's eight methods at node size M, in legend order. Sized
+/// methods take M from the spec string; hash scales its directory with n.
+std::vector<std::string> MethodSpecs(int node_entries, size_t n) {
+  const std::string m = std::to_string(node_entries);
+  return {"bin",       "tbin",     "interp",   "ttree:" + m,
+          "btree:" + m, "css:" + m, "lcss:" + m,
+          "hash:" + std::to_string(HashDirBits(n))};
+}
+
+void RunSeries(int node_entries, const Options& options,
+               const std::vector<size_t>& sizes) {
   Table table({"n", "array binary search", "tree binary search",
                "interpolation", "T-tree", "B+-tree", "full CSS-tree",
                "level CSS-tree", "hash"});
@@ -40,27 +58,17 @@ void RunSeries(const Options& options, const std::vector<size_t>& sizes) {
     auto keys = workload::DistinctSortedKeys(n, options.seed, 4);
     auto lookups = workload::MatchingLookups(keys, options.lookups,
                                              options.seed + 1);
-    const int r = options.repeats;
-    double t_bs = MinFindSeconds(BinarySearchIndex(keys), lookups, r);
-    double t_bst = MinFindSeconds(BinaryTreeIndex(keys), lookups, r);
-    double t_is =
-        MinFindSeconds(InterpolationSearchIndex(keys), lookups, r);
-    double t_tt = MinFindSeconds(TTreeIndex<M>(keys), lookups, r);
-    double t_bp = MinFindSeconds(BPlusTree<M>(keys), lookups, r);
-    double t_fc = MinFindSeconds(FullCssTree<M>(keys), lookups, r);
-    double t_lc = MinFindSeconds(LevelCssTree<M>(keys), lookups, r);
-    // Paper: 4M-entry hash directory at n = 5M-10M; scale dir to ~n.
-    int dir_bits = 4;
-    while ((size_t{1} << dir_bits) < n && dir_bits < 22) ++dir_bits;
-    double t_h =
-        MinFindSeconds(ChainedHashIndex<64>(keys, dir_bits), lookups, r);
-    table.AddRow({std::to_string(n), Table::Num(t_bs), Table::Num(t_bst),
-                  Table::Num(t_is), Table::Num(t_tt), Table::Num(t_bp),
-                  Table::Num(t_fc), Table::Num(t_lc), Table::Num(t_h)});
+    std::vector<std::string> row{std::to_string(n)};
+    for (const std::string& text : MethodSpecs(node_entries, n)) {
+      AnyIndex index = BuildIndex(*IndexSpec::Parse(text), keys);
+      row.push_back(
+          Table::Num(MinFindSeconds(index, lookups, options.repeats)));
+    }
+    table.AddRow(row);
   }
   table.Print("Figures 10/11: time (s) for " +
               std::to_string(options.lookups) + " lookups, " +
-              std::to_string(M) + " integers per node");
+              std::to_string(node_entries) + " integers per node");
 }
 
 // §6.3: "we also did some tests on non-uniform data and interpolation
@@ -75,13 +83,13 @@ void RunSkewedSeries(const Options& options,
     auto keys = workload::SkewedKeys(n, options.seed);
     auto lookups = workload::MatchingLookups(keys, options.lookups,
                                              options.seed + 1);
-    const int r = options.repeats;
-    double t_bs = MinFindSeconds(BinarySearchIndex(keys), lookups, r);
-    double t_is =
-        MinFindSeconds(InterpolationSearchIndex(keys), lookups, r);
-    double t_fc = MinFindSeconds(FullCssTree<16>(keys), lookups, r);
-    table.AddRow({std::to_string(n), Table::Num(t_bs), Table::Num(t_is),
-                  Table::Num(t_fc)});
+    std::vector<std::string> row{std::to_string(n)};
+    for (const char* text : {"bin", "interp", "css:16"}) {
+      AnyIndex index = BuildIndex(*IndexSpec::Parse(text), keys);
+      row.push_back(
+          Table::Num(MinFindSeconds(index, lookups, options.repeats)));
+    }
+    table.AddRow(row);
   }
   table.Print(
       "§6.3 aside: non-uniform (quadratically skewed) data breaks "
@@ -100,8 +108,8 @@ int main(int argc, char** argv) {
                             3'000'000};
   if (options.full) sizes.push_back(10'000'000);
   if (options.quick) sizes = {100, 10'000, 300'000};
-  RunSeries<8>(options, sizes);
-  RunSeries<16>(options, sizes);
+  RunSeries(8, options, sizes);
+  RunSeries(16, options, sizes);
   RunSkewedSeries(options, sizes);
   return 0;
 }

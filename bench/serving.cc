@@ -1,0 +1,258 @@
+// Mixed read/write throughput through the serving layer: N reader
+// sessions issuing batched FIND statements against live snapshots while a
+// producer pushes INSERT/DELETE batches through the bounded UpdateQueue
+// and the single writer drains + coalesces. Three scenarios per spec:
+//
+//   read_only  - no writer pressure; the snapshot read path's ceiling.
+//   mixed      - a rate-limited producer; sustained concurrent refresh.
+//   pressure   - a saturating producer (enqueue cost is O(batch), apply
+//                cost is O(n), so arrivals outrun rebuilds on ANY
+//                machine): the coalescing path must show applied
+//                rebuilds << enqueued batches.
+//
+// Reported per scenario: reader throughput (Mprobes/s), per-statement
+// p50/p99 latency, and the writer-side coalescing counters. The JSON's
+// "serving" block is gated by tools/check_bench_regression.py on
+// COALESCING EFFICIENCY (groups_published / enqueued_batches under
+// pressure), not absolute throughput — the machine-transferable
+// invariant (hardware_threads is recorded so a future multi-core gate
+// can condition on it).
+//
+//   $ ./bench_serving [--n=2000000] [--readers=2] [--find-batch=256]
+//                     [--update-keys=256] [--duration-ms=500]
+//                     [--spec=css:16] [--json=BENCH_serving.json] [--quick]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness.h"
+#include "serve/server.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace cssidx;
+
+struct ScenarioResult {
+  std::string scenario;
+  bool pressure = false;
+  std::string spec;
+  int readers = 0;
+  uint64_t statements = 0;
+  uint64_t probes = 0;
+  double seconds = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  serve::QueueStats queue;
+  serve::ServerStats writer;
+
+  double MProbesPerSec() const {
+    return seconds > 0 ? static_cast<double>(probes) / seconds / 1e6 : 0;
+  }
+  double CoalesceRatio() const {
+    return queue.enqueued_batches == 0
+               ? 0.0
+               : static_cast<double>(writer.groups_published) /
+                     static_cast<double>(queue.enqueued_batches);
+  }
+};
+
+double Percentile(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0;
+  size_t i = static_cast<size_t>(p * static_cast<double>(sorted_us.size()));
+  return sorted_us[std::min(i, sorted_us.size() - 1)];
+}
+
+ScenarioResult RunScenario(const std::string& scenario,
+                           const std::string& spec_text, size_t n,
+                           int readers, size_t find_batch, size_t update_keys,
+                           int duration_ms, uint64_t seed) {
+  const bool writes = scenario != "read_only";
+  const bool pressure = scenario == "pressure";
+
+  serve::Server::Options options;
+  options.queue_capacity = 64;
+  options.admission = serve::Admission::kBlock;
+  serve::Server server(options);
+  Pcg32 seed_rng(seed);
+  const uint32_t domain = static_cast<uint32_t>(2 * n);
+  std::vector<uint32_t> initial(n);
+  for (auto& k : initial) k = seed_rng.Below(domain);
+  server.CreateTable("t", std::move(initial), *IndexSpec::Parse(spec_text));
+  server.Start();
+
+  // Pregenerated probe pool (~50% hits), shared read-only by readers.
+  std::vector<uint32_t> probe_pool(1 << 20);
+  for (auto& k : probe_pool) k = seed_rng.Below(domain);
+
+  std::atomic<bool> stop{false};
+  std::vector<uint64_t> reader_statements(readers, 0);
+  std::vector<uint64_t> reader_probes(readers, 0);
+  std::vector<std::vector<double>> reader_latencies(readers);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < readers; ++t) {
+    threads.emplace_back([&, t] {
+      serve::Session session = server.OpenSession();
+      Pcg32 rng(seed + 100 + static_cast<uint64_t>(t));
+      std::string statement;
+      while (!stop.load(std::memory_order_relaxed)) {
+        statement = "FIND t";
+        size_t base = rng.Below(
+            static_cast<uint32_t>(probe_pool.size() - find_batch));
+        for (size_t i = 0; i < find_batch; ++i) {
+          statement += " " + std::to_string(probe_pool[base + i]);
+        }
+        Timer timer;
+        serve::StatementResult result = session.Execute(statement);
+        double us = timer.Seconds() * 1e6;
+        if (!result.ok()) break;
+        bench::g_sink = bench::g_sink +
+                        static_cast<uint64_t>(result.positions.back() + 1);
+        ++reader_statements[t];
+        reader_probes[t] += find_batch;
+        reader_latencies[t].push_back(us);
+      }
+    });
+  }
+
+  std::thread producer;
+  if (writes) {
+    producer = std::thread([&] {
+      serve::Session session = server.OpenSession();
+      Pcg32 rng(seed + 7);
+      std::string statement;
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (const char* verb : {"INSERT", "DELETE"}) {
+          statement = std::string(verb) + " t";
+          for (size_t i = 0; i < update_keys / 2; ++i) {
+            statement += " " + std::to_string(rng.Below(domain));
+          }
+          if (!session.Execute(statement).ok()) return;
+        }
+        if (!pressure) {
+          // Rate-limited: a trickle the writer can keep up with.
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+      }
+    });
+  }
+
+  Timer wall;
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true);
+  double seconds = wall.Seconds();
+  for (auto& t : threads) t.join();
+  if (producer.joinable()) producer.join();
+  server.Stop();  // drains every accepted write
+
+  ScenarioResult result;
+  result.scenario = scenario;
+  result.pressure = pressure;
+  result.spec = spec_text;
+  result.readers = readers;
+  result.seconds = seconds;
+  std::vector<double> all_latencies;
+  for (int t = 0; t < readers; ++t) {
+    result.statements += reader_statements[t];
+    result.probes += reader_probes[t];
+    all_latencies.insert(all_latencies.end(), reader_latencies[t].begin(),
+                         reader_latencies[t].end());
+  }
+  std::sort(all_latencies.begin(), all_latencies.end());
+  result.p50_us = Percentile(all_latencies, 0.50);
+  result.p99_us = Percentile(all_latencies, 0.99);
+  result.queue = server.queue_stats();
+  result.writer = server.writer_stats();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto options = bench::Options::Parse(argc, argv);
+  CliArgs args(argc, argv);
+  size_t n = options.n != 0 ? options.n
+                            : (options.quick ? 500'000 : 2'000'000);
+  int readers = static_cast<int>(args.GetInt("readers", 2));
+  size_t find_batch = static_cast<size_t>(args.GetInt("find-batch", 256));
+  size_t update_keys = static_cast<size_t>(args.GetInt("update-keys", 256));
+  int duration_ms =
+      static_cast<int>(args.GetInt("duration-ms", options.quick ? 250 : 500));
+  std::string spec_text = args.GetString("spec", "css:16");
+  std::string json_path = args.GetString("json", "BENCH_serving.json");
+
+  bench::PrintHeader(
+      "serving",
+      "concurrent sessions vs writer pressure through src/serve, n=" +
+          std::to_string(n) + ", spec=" + spec_text,
+      options);
+
+  std::vector<ScenarioResult> results;
+  for (const char* scenario : {"read_only", "mixed", "pressure"}) {
+    results.push_back(RunScenario(scenario, spec_text, n, readers, find_batch,
+                                  update_keys, duration_ms, options.seed));
+  }
+
+  bench::Table table({"scenario", "spec", "readers", "Mprobes/s", "p50 us",
+                      "p99 us", "enqueued", "published", "coalesce",
+                      "hi-water"});
+  for (const ScenarioResult& r : results) {
+    table.AddRow({r.scenario, r.spec, std::to_string(r.readers),
+                  bench::Table::Num(r.MProbesPerSec(), 3),
+                  bench::Table::Num(r.p50_us, 1),
+                  bench::Table::Num(r.p99_us, 1),
+                  std::to_string(r.queue.enqueued_batches),
+                  std::to_string(r.writer.groups_published),
+                  bench::Table::Num(r.CoalesceRatio(), 3),
+                  std::to_string(r.queue.depth_high_water)});
+  }
+  table.Print("serving throughput, n=" + std::to_string(n) +
+              ", hardware threads=" +
+              std::to_string(ThreadPool::HardwareThreads()));
+
+  FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::printf("cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"serving\",\n  \"n\": %zu,\n"
+               "  \"readers\": %d,\n  \"find_batch\": %zu,\n"
+               "  \"update_keys\": %zu,\n  \"duration_ms\": %d,\n"
+               "  \"hardware_threads\": %d,\n  \"serving\": [\n",
+               n, readers, find_batch, update_keys, duration_ms,
+               ThreadPool::HardwareThreads());
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    std::fprintf(
+        json,
+        "    {\"scenario\": \"%s\", \"pressure\": %s, \"spec\": \"%s\", "
+        "\"readers\": %d, \"statements\": %llu, \"probes\": %llu, "
+        "\"mprobes_per_sec\": %.3f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
+        "\"enqueued_batches\": %llu, \"batches_applied\": %llu, "
+        "\"groups_published\": %llu, \"coalesce_ratio\": %.4f, "
+        "\"queue_high_water\": %zu, \"rejected_batches\": %llu}%s\n",
+        r.scenario.c_str(), r.pressure ? "true" : "false", r.spec.c_str(),
+        r.readers, static_cast<unsigned long long>(r.statements),
+        static_cast<unsigned long long>(r.probes), r.MProbesPerSec(),
+        r.p50_us, r.p99_us,
+        static_cast<unsigned long long>(r.queue.enqueued_batches),
+        static_cast<unsigned long long>(r.writer.batches_applied),
+        static_cast<unsigned long long>(r.writer.groups_published),
+        r.CoalesceRatio(), r.queue.depth_high_water,
+        static_cast<unsigned long long>(r.queue.rejected_batches),
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return 0;
+}

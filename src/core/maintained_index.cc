@@ -9,26 +9,29 @@
 namespace cssidx {
 
 std::shared_ptr<const MaintainedIndex::Version> MaintainedIndex::MakeVersion(
-    const IndexSpec& spec, std::shared_ptr<const std::vector<Key>> keys) {
+    const IndexSpec& spec, std::shared_ptr<const std::vector<Key>> keys,
+    uint64_t sequence) {
   if (spec.partitioned() && spec.OnMenu()) {
     // Owned build: each shard's keys in their own buffer, so a later
     // RefreshWithBatch can reuse untouched shards by shared ownership.
     auto part = PartitionedIndex::BuildOwned(spec, keys->data(), keys->size());
     AnyIndex index = part->ok() ? AnyIndex(spec, part) : AnyIndex();
     return std::make_shared<const Version>(std::move(keys), std::move(part),
-                                           std::move(index));
+                                           std::move(index), sequence);
   }
   AnyIndex index = BuildIndex(spec, keys->data(), keys->size());
   return std::make_shared<const Version>(std::move(keys), nullptr,
-                                         std::move(index));
+                                         std::move(index), sequence);
 }
 
 MaintainedIndex::MaintainedIndex(const IndexSpec& spec,
                                  std::vector<Key> sorted_keys)
     : spec_(spec) {
   assert(std::is_sorted(sorted_keys.begin(), sorted_keys.end()));
-  Publish(MakeVersion(spec_, std::make_shared<const std::vector<Key>>(
-                                 std::move(sorted_keys))));
+  Publish(MakeVersion(spec_,
+                      std::make_shared<const std::vector<Key>>(
+                          std::move(sorted_keys)),
+                      ++sequence_));
 }
 
 void MaintainedIndex::ApplyBatch(const workload::UpdateBatch& batch) {
@@ -46,6 +49,8 @@ void MaintainedIndex::ApplySortedBatch(std::vector<Key> sorted_inserts,
   assert(std::is_sorted(sorted_deletes.begin(), sorted_deletes.end()));
   ++stats_.batches;
   if (sorted_inserts.empty() && sorted_deletes.empty()) return;
+  stats_.keys_inserted += sorted_inserts.size();
+  stats_.keys_deleted += sorted_deletes.size();
   auto old = Snapshot();
   std::shared_ptr<const Version> fresh;
   if (const PartitionedIndex* part = old->partitioned()) {
@@ -60,13 +65,14 @@ void MaintainedIndex::ApplySortedBatch(std::vector<Key> sorted_inserts,
     stats_.shards_rebuilt += refreshed.shards_rebuilt;
     fresh = std::make_shared<const Version>(
         std::move(refreshed.merged_keys), refreshed.index,
-        AnyIndex(spec_, refreshed.index));
+        AnyIndex(spec_, refreshed.index), ++sequence_);
   } else {
     ++stats_.full_rebuilds;
     fresh = MakeVersion(
-        spec_, std::make_shared<const std::vector<Key>>(
-                   workload::ApplySortedBatch(old->keys(), sorted_inserts,
-                                              sorted_deletes)));
+        spec_,
+        std::make_shared<const std::vector<Key>>(workload::ApplySortedBatch(
+            old->keys(), sorted_inserts, sorted_deletes)),
+        ++sequence_);
   }
   Publish(std::move(fresh));
 }
@@ -74,8 +80,10 @@ void MaintainedIndex::ApplySortedBatch(std::vector<Key> sorted_inserts,
 void MaintainedIndex::Rebuild(std::vector<Key> sorted_keys) {
   assert(std::is_sorted(sorted_keys.begin(), sorted_keys.end()));
   ++stats_.full_rebuilds;
-  Publish(MakeVersion(spec_, std::make_shared<const std::vector<Key>>(
-                                 std::move(sorted_keys))));
+  Publish(MakeVersion(spec_,
+                      std::make_shared<const std::vector<Key>>(
+                          std::move(sorted_keys)),
+                      ++sequence_));
 }
 
 }  // namespace cssidx

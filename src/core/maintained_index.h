@@ -61,9 +61,10 @@ class MaintainedIndex {
   class Version {
    public:
     Version(std::shared_ptr<const std::vector<Key>> keys,
-            std::shared_ptr<const PartitionedIndex> part, AnyIndex index)
+            std::shared_ptr<const PartitionedIndex> part, AnyIndex index,
+            uint64_t sequence = 0)
         : keys_(std::move(keys)), part_(std::move(part)),
-          index_(std::move(index)) {}
+          index_(std::move(index)), sequence_(sequence) {}
     Version(const Version&) = delete;
     Version& operator=(const Version&) = delete;
 
@@ -71,11 +72,17 @@ class MaintainedIndex {
     const std::vector<Key>& keys() const { return *keys_; }
     /// Non-null only for partitioned specs.
     const PartitionedIndex* partitioned() const { return part_.get(); }
+    /// Publish sequence number: 1 for the initial build, +1 per published
+    /// refresh/rebuild. Two snapshots with equal sequence are the same
+    /// version, so a reader can report which state its results are
+    /// consistent-as-of — the serving layer's versioning contract.
+    uint64_t sequence() const { return sequence_; }
 
    private:
     std::shared_ptr<const std::vector<Key>> keys_;
     std::shared_ptr<const PartitionedIndex> part_;
     AnyIndex index_;
+    uint64_t sequence_ = 0;
   };
 
   /// Writer-side maintenance counters (read them from the writer thread;
@@ -86,6 +93,8 @@ class MaintainedIndex {
     size_t incremental_refreshes = 0; // part:K refreshes that reused shards
     size_t shards_rebuilt = 0;        // inner rebuilds across all batches
     size_t rebalances = 0;            // skew-triggered fence recomputations
+    size_t keys_inserted = 0;         // batch insert keys across all batches
+    size_t keys_deleted = 0;          // batch delete keys across all batches
   };
 
   /// Builds the initial version over `sorted_keys`. An off-menu spec
@@ -174,10 +183,13 @@ class MaintainedIndex {
   }
   const IndexSpec& spec() const { return spec_; }
   const MaintenanceStats& stats() const { return stats_; }
+  /// Sequence of the current version (one atomic snapshot load).
+  uint64_t sequence() const { return Snapshot()->sequence(); }
 
  private:
   static std::shared_ptr<const Version> MakeVersion(
-      const IndexSpec& spec, std::shared_ptr<const std::vector<Key>> keys);
+      const IndexSpec& spec, std::shared_ptr<const std::vector<Key>> keys,
+      uint64_t sequence);
 
   void Publish(std::shared_ptr<const Version> fresh) {
     std::lock_guard<std::mutex> lock(current_mu_);
@@ -186,6 +198,9 @@ class MaintainedIndex {
 
   IndexSpec spec_;
   MaintenanceStats stats_;
+  /// Next publish's sequence number, minus one. Writer-side state, like
+  /// stats_: only the single writer (and the constructor) touch it.
+  uint64_t sequence_ = 0;
   /// Guards only the current_ pointer itself (held for one copy/swap,
   /// never across a rebuild); Version contents are immutable.
   mutable std::mutex current_mu_;

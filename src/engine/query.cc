@@ -33,6 +33,29 @@ std::vector<Rid> SelectRange(const Table& table, const std::string& column,
   return out;
 }
 
+size_t CountEqual(const Table& table, const std::string& column,
+                  uint32_t value) {
+  if (table.HasSortIndex(column)) {
+    return table.GetSortIndex(column).CountEqual(value);
+  }
+  const auto& col = table.Column(column);
+  return static_cast<size_t>(std::count(col.begin(), col.end(), value));
+}
+
+size_t CountRange(const Table& table, const std::string& column, uint32_t lo,
+                  uint32_t hi) {
+  if (hi <= lo) return 0;
+  if (table.HasSortIndex(column)) {
+    return table.GetSortIndex(column).CountRange(lo, hi);
+  }
+  const auto& col = table.Column(column);
+  size_t count = 0;
+  for (uint32_t v : col) {
+    if (v >= lo && v < hi) ++count;
+  }
+  return count;
+}
+
 std::vector<std::vector<Rid>> SelectRangeBatch(
     const Table& table, const std::string& column,
     std::span<const std::pair<uint32_t, uint32_t>> bounds) {

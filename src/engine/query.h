@@ -30,6 +30,17 @@ std::vector<Rid> SelectEqual(const Table& table, const std::string& column,
 std::vector<Rid> SelectRange(const Table& table, const std::string& column,
                              uint32_t lo, uint32_t hi);
 
+/// Number of rows where `column` == value, without materializing a RID
+/// list — with a sort index this is one CountEqual probe (the serving
+/// layer's COUNT verb); else a scan.
+size_t CountEqual(const Table& table, const std::string& column,
+                  uint32_t value);
+
+/// Number of rows where lo <= column < hi, without materializing RIDs:
+/// two lower-bound probes on the sort index, else a scan.
+size_t CountRange(const Table& table, const std::string& column, uint32_t lo,
+                  uint32_t hi);
+
 /// Many SelectRanges at once: result i is exactly
 /// SelectRange(table, column, bounds[i].first, bounds[i].second), but with
 /// a sort index every range's two bound probes go through ONE batched

@@ -64,6 +64,107 @@ void SortIndex::ApplyAppend(std::span<const uint32_t> values, Rid first_rid) {
   rids_ = std::move(merged);
 }
 
+void SortIndex::ApplyUpdate(const std::vector<bool>& deleted,
+                            std::span<const Rid> remap,
+                            std::span<const uint32_t> appended,
+                            Rid first_rid) {
+  const std::vector<uint32_t>& old_keys = head_->keys();
+  assert(deleted.size() == old_keys.size());
+  assert(remap.size() == old_keys.size());
+
+  // Stage the appended rows exactly as ApplyAppend does: stably
+  // value-sorted, so equal appended values keep RID order.
+  const size_t m = appended.size();
+  std::vector<uint32_t> order(m);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return appended[a] < appended[b];
+  });
+
+  // Walk the old sorted list one duplicate run at a time. An untouched
+  // run survives in place (RIDs remapped); a run with any deleted row
+  // becomes one delete of the run's value — the batch language removes
+  // EVERY occurrence — plus reinserts of the surviving copies. Runs are
+  // distinct ascending values, so the delete list comes out sorted, and
+  // a value never lands on both the survivor and the reinsert side.
+  std::vector<uint32_t> survivor_keys, reinsert_keys, delete_keys;
+  std::vector<Rid> survivor_rids, reinsert_rids;
+  survivor_keys.reserve(old_keys.size());
+  survivor_rids.reserve(old_keys.size());
+  size_t i = 0;
+  while (i < old_keys.size()) {
+    const uint32_t v = old_keys[i];
+    size_t end = i + 1;
+    while (end < old_keys.size() && old_keys[end] == v) ++end;
+    bool touched = false;
+    for (size_t p = i; p < end && !touched; ++p) touched = deleted[rids_[p]];
+    if (!touched) {
+      for (size_t p = i; p < end; ++p) {
+        survivor_keys.push_back(v);
+        survivor_rids.push_back(remap[rids_[p]]);
+      }
+    } else {
+      delete_keys.push_back(v);
+      for (size_t p = i; p < end; ++p) {
+        if (deleted[rids_[p]]) continue;
+        reinsert_keys.push_back(v);
+        reinsert_rids.push_back(remap[rids_[p]]);
+      }
+    }
+    i = end;
+  }
+
+  // Merge reinserted survivors with the sorted appends into one insert
+  // list. Both sides are value-sorted; on ties the reinserts go first —
+  // their new RIDs are < first_rid — which is the order a stable sort of
+  // the rebuilt column would give.
+  std::vector<uint32_t> insert_keys;
+  std::vector<Rid> insert_rids;
+  insert_keys.reserve(reinsert_keys.size() + m);
+  insert_rids.reserve(reinsert_keys.size() + m);
+  size_t a = 0, b = 0;
+  while (a < reinsert_keys.size() && b < m) {
+    if (reinsert_keys[a] <= appended[order[b]]) {
+      insert_keys.push_back(reinsert_keys[a]);
+      insert_rids.push_back(reinsert_rids[a]);
+      ++a;
+    } else {
+      insert_keys.push_back(appended[order[b]]);
+      insert_rids.push_back(first_rid + order[b]);
+      ++b;
+    }
+  }
+  for (; a < reinsert_keys.size(); ++a) {
+    insert_keys.push_back(reinsert_keys[a]);
+    insert_rids.push_back(reinsert_rids[a]);
+  }
+  for (; b < m; ++b) {
+    insert_keys.push_back(appended[order[b]]);
+    insert_rids.push_back(first_rid + order[b]);
+  }
+
+  // Final RID merge mirrors the key merge ApplySortedBatch performs:
+  // survivors win ties (an equal-valued survivor always carries a
+  // smaller new RID than any equal-valued insert — reinserts can't
+  // collide with survivors by run maximality, and appends start at
+  // first_rid).
+  std::vector<Rid> merged;
+  merged.reserve(survivor_rids.size() + insert_rids.size());
+  size_t s = 0, t = 0;
+  while (s < survivor_keys.size() && t < insert_keys.size()) {
+    merged.push_back(survivor_keys[s] <= insert_keys[t]
+                         ? survivor_rids[s++]
+                         : insert_rids[t++]);
+  }
+  while (s < survivor_keys.size()) merged.push_back(survivor_rids[s++]);
+  while (t < insert_keys.size()) merged.push_back(insert_rids[t++]);
+
+  maintained_->ApplySortedBatch(std::move(insert_keys),
+                                std::move(delete_keys));
+  head_ = maintained_->Snapshot();
+  rids_ = std::move(merged);
+}
+
 size_t SortIndex::LowerBound(uint32_t v) const {
   const AnyIndex& index = head_->index();
   if (index.SupportsOrderedAccess()) return index.LowerBound(v);
@@ -176,6 +277,98 @@ void Table::AppendRows(
   // the whole column from scratch.
   for (auto& [name, index] : indexes_) {
     index->ApplyAppend(rows.at(name), first_rid);
+  }
+}
+
+void Table::DeleteRows(std::span<const Rid> rids) {
+  std::vector<bool> deleted(num_rows_, false);
+  size_t removed = 0;
+  for (Rid r : rids) {
+    if (r >= num_rows_) {
+      throw std::out_of_range("DeleteRows: rid " + std::to_string(r) +
+                              " >= row count " + std::to_string(num_rows_));
+    }
+    if (!deleted[r]) {
+      deleted[r] = true;
+      ++removed;
+    }
+  }
+  if (removed == 0) return;
+  DeleteAndAppend(deleted, removed, {});
+}
+
+void Table::ApplyUpdate(
+    const std::string& key_column, std::vector<uint32_t> delete_keys,
+    const std::map<std::string, std::vector<uint32_t>>& insert_rows) {
+  const std::vector<uint32_t>& keys = Column(key_column);
+  std::sort(delete_keys.begin(), delete_keys.end());
+  std::vector<bool> deleted(num_rows_, false);
+  size_t removed = 0;
+  for (size_t r = 0; r < num_rows_; ++r) {
+    if (std::binary_search(delete_keys.begin(), delete_keys.end(), keys[r])) {
+      deleted[r] = true;
+      ++removed;
+    }
+  }
+  if (removed == 0 && insert_rows.empty()) return;
+  DeleteAndAppend(deleted, removed, insert_rows);
+}
+
+void Table::DeleteAndAppend(
+    const std::vector<bool>& deleted, size_t removed,
+    const std::map<std::string, std::vector<uint32_t>>& insert_rows) {
+  // Validate the insert batch's shape (AppendRows' rules) before touching
+  // any state; an empty map means deletes only.
+  size_t batch_rows = 0;
+  if (!insert_rows.empty()) {
+    if (insert_rows.size() != columns_.size()) {
+      throw std::invalid_argument("batch column count mismatch");
+    }
+    batch_rows = insert_rows.begin()->second.size();
+    for (const auto& [name, values] : insert_rows) {
+      if (columns_.count(name) == 0) {
+        throw std::invalid_argument("batch has unknown column " + name);
+      }
+      if (values.size() != batch_rows) {
+        throw std::invalid_argument("ragged batch column " + name);
+      }
+    }
+  }
+  // Survivors compact in order: new RID = old RID minus deleted rows
+  // before it. The remap is what lets each sort index translate its old
+  // RID list without seeing the columns.
+  std::vector<Rid> remap(num_rows_);
+  Rid next = 0;
+  for (size_t r = 0; r < num_rows_; ++r) {
+    remap[r] = next;
+    if (!deleted[r]) ++next;
+  }
+  const Rid first_rid = static_cast<Rid>(num_rows_ - removed);
+  for (auto& [name, col] : columns_) {
+    if (removed != 0) {
+      size_t w = 0;
+      for (size_t r = 0; r < col.size(); ++r) {
+        if (!deleted[r]) col[w++] = col[r];
+      }
+      col.resize(w);
+    }
+    if (!insert_rows.empty()) {
+      const auto& values = insert_rows.at(name);
+      col.insert(col.end(), values.begin(), values.end());
+    }
+  }
+  num_rows_ = num_rows_ - removed + batch_rows;
+  // One maintenance batch per index — deletes and inserts together, so a
+  // part:K spec pays one shard-incremental refresh for the whole change.
+  static const std::vector<uint32_t> kNoAppend;
+  for (auto& [name, index] : indexes_) {
+    const std::vector<uint32_t>& appended =
+        insert_rows.empty() ? kNoAppend : insert_rows.at(name);
+    if (removed == 0) {
+      index->ApplyAppend(appended, first_rid);
+    } else {
+      index->ApplyUpdate(deleted, remap, appended, first_rid);
+    }
   }
 }
 

@@ -62,8 +62,32 @@ class SortIndex {
   /// lock-free snapshot story lives in core::MaintainedIndex.
   void ApplyAppend(std::span<const uint32_t> values, Rid first_rid);
 
+  /// The delete half of the maintenance chain, fused with an optional
+  /// append into ONE batch through MaintainedIndex::ApplySortedBatch.
+  /// `deleted[r]` marks old row r as removed; `remap[r]` is a surviving
+  /// row's new RID (old RID minus deleted rows before it); `appended` are
+  /// the values of rows first_rid + i appended after compaction. Because
+  /// the index's batch language removes EVERY occurrence of a deleted
+  /// key, a partially-deleted duplicate run is expressed as one delete of
+  /// the run's value plus reinserts of the surviving copies — the merged
+  /// key/RID lists come out bit-identical to a from-scratch rebuild of
+  /// the compacted (and extended) column, and "part:K/" specs rebuild
+  /// only the shards whose key range the deleted/appended values touch.
+  void ApplyUpdate(const std::vector<bool>& deleted,
+                   std::span<const Rid> remap,
+                   std::span<const uint32_t> appended, Rid first_rid);
+
   /// RIDs of rows whose value equals `v`, in RID-list order.
   std::vector<Rid> Equal(uint32_t v) const;
+
+  /// Number of rows whose value equals `v`, without materializing RIDs.
+  size_t CountEqual(uint32_t v) const {
+    return head_->index().CountEqual(v);
+  }
+  /// Number of rows with value in [lo, hi), without materializing RIDs.
+  size_t CountRange(uint32_t lo, uint32_t hi) const {
+    return hi > lo ? LowerBound(hi) - LowerBound(lo) : 0;
+  }
 
   /// RIDs of rows with value in [lo, hi).
   std::vector<Rid> Range(uint32_t lo, uint32_t hi) const;
@@ -159,6 +183,31 @@ class Table {
   /// Throws if the batch's columns do not match the table's.
   void AppendRows(const std::map<std::string, std::vector<uint32_t>>& rows);
 
+  /// Deletes the given rows (by RID; duplicates and any order allowed).
+  /// Surviving rows are compacted in order and renumbered — a survivor's
+  /// new RID is its old RID minus the deleted rows before it — and every
+  /// sort index refreshes through its MaintainedIndex with ONE batch (the
+  /// same maintenance chain as AppendRows, shard-incremental for
+  /// "part:K/" specs). The result is bit-identical to a from-scratch
+  /// rebuild of the compacted table. Throws std::out_of_range for RIDs
+  /// >= NumRows(); like the other mutators, requires external
+  /// synchronization.
+  void DeleteRows(std::span<const Rid> rids);
+
+  /// DELETE + INSERT as one maintenance step: removes every row whose
+  /// `key_column` value appears in `delete_keys`, then appends
+  /// `insert_rows` (same shape rules as AppendRows; an empty map means no
+  /// inserts). Each sort index applies the whole change as a single
+  /// batch — deletes first, then inserts, so an inserted row whose key
+  /// was just deleted survives, matching workload::ApplySortedBatch.
+  /// Equivalent to DeleteRows(matching rows) then AppendRows(insert_rows)
+  /// at half the maintenance cost; this is what the serving layer's
+  /// writer applies per coalesced batch.
+  void ApplyUpdate(const std::string& key_column,
+                   std::vector<uint32_t> delete_keys,
+                   const std::map<std::string, std::vector<uint32_t>>&
+                       insert_rows = {});
+
   size_t NumRows() const { return num_rows_; }
   size_t NumColumns() const { return columns_.size(); }
   bool HasColumn(const std::string& name) const;
@@ -174,6 +223,13 @@ class Table {
   bool HasSortIndex(const std::string& column) const;
 
  private:
+  /// Shared delete/append path: compacts columns per the `deleted` bitmap
+  /// (`removed` = popcount), appends `insert_rows`, and refreshes every
+  /// sort index with one combined maintenance batch.
+  void DeleteAndAppend(
+      const std::vector<bool>& deleted, size_t removed,
+      const std::map<std::string, std::vector<uint32_t>>& insert_rows);
+
   size_t num_rows_ = 0;
   std::map<std::string, std::vector<uint32_t>> columns_;
   std::map<std::string, std::unique_ptr<SortIndex>> indexes_;

@@ -1,0 +1,249 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace cssidx::serve {
+namespace {
+
+/// LowerBound against one held snapshot: ordered methods descend their
+/// structure; hash falls back to binary search on the snapshot's sorted
+/// key array (the same fallback the engine's SortIndex uses), so RANGE
+/// works for every spec on the menu.
+size_t SnapshotLowerBound(const MaintainedIndex::Version& snap, uint32_t k) {
+  if (snap.index().SupportsOrderedAccess()) return snap.index().LowerBound(k);
+  const std::vector<uint32_t>& keys = snap.keys();
+  return static_cast<size_t>(
+      std::lower_bound(keys.begin(), keys.end(), k) - keys.begin());
+}
+
+}  // namespace
+
+Server::Server() : Server(Options()) {}
+
+Server::Server(const Options& options)
+    : options_(options),
+      queue_(options.queue_capacity, options.admission) {}
+
+Server::~Server() { Stop(); }
+
+uint32_t Server::CreateTable(const std::string& name,
+                             std::vector<uint32_t> keys,
+                             const IndexSpec& spec) {
+  if (started_) {
+    throw std::logic_error("CreateTable after Start: the table set is "
+                           "immutable once the server is running");
+  }
+  if (table_ids_.count(name) != 0) {
+    throw std::invalid_argument("duplicate table name " + name);
+  }
+  std::sort(keys.begin(), keys.end());
+  auto index = std::make_unique<MaintainedIndex>(spec, std::move(keys));
+  if (!index->ok()) {
+    throw std::invalid_argument("index spec off the menu: " +
+                                spec.ToString());
+  }
+  const uint32_t id = static_cast<uint32_t>(tables_.size());
+  tables_.push_back(TableEntry{name, std::move(index)});
+  table_ids_[name] = id;
+  return id;
+}
+
+void Server::Start() {
+  if (started_) throw std::logic_error("Server already started");
+  started_ = true;
+  writer_ = std::thread(&Server::WriterLoop, this);
+}
+
+void Server::Stop() {
+  queue_.Close();
+  if (writer_.joinable()) writer_.join();
+  stopped_ = true;
+}
+
+Session Server::OpenSession() { return Session(this); }
+
+ServerStats Server::writer_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+std::shared_ptr<const MaintainedIndex::Version> Server::TableSnapshot(
+    const std::string& name) const {
+  const TableEntry* entry = FindTable(name);
+  if (entry == nullptr) throw std::out_of_range("unknown table " + name);
+  return entry->index->Snapshot();
+}
+
+const MaintainedIndex::MaintenanceStats& Server::TableMaintenanceStats(
+    const std::string& name) const {
+  const TableEntry* entry = FindTable(name);
+  if (entry == nullptr) throw std::out_of_range("unknown table " + name);
+  return entry->index->stats();
+}
+
+const Server::TableEntry* Server::FindTable(const std::string& name) const {
+  auto it = table_ids_.find(name);
+  return it == table_ids_.end() ? nullptr : &tables_[it->second];
+}
+
+void Server::WriterLoop() {
+  std::vector<QueuedUpdate> drained;
+  while (queue_.DrainAll(&drained)) {
+    ServerStats delta;
+    ++delta.drain_cycles;
+    delta.batches_applied += drained.size();
+    // Group the backlog per table, preserving arrival order within and
+    // across groups (first-appearance order), then coalesce each group
+    // into ONE sorted batch: one version published per table per cycle,
+    // however deep the backlog got.
+    std::vector<uint32_t> order;
+    std::map<uint32_t, std::vector<workload::UpdateBatch>> groups;
+    for (QueuedUpdate& update : drained) {
+      auto [it, fresh] = groups.try_emplace(update.table);
+      if (fresh) order.push_back(update.table);
+      it->second.push_back(std::move(update.batch));
+    }
+    for (uint32_t table : order) {
+      std::vector<workload::UpdateBatch>& batches = groups[table];
+      workload::UpdateBatch merged = Coalesce(batches);
+      std::sort(merged.inserts.begin(), merged.inserts.end());
+      delta.keys_inserted += merged.inserts.size();
+      delta.keys_deleted += merged.deletes.size();
+      MaintainedIndex& index = *tables_[table].index;
+      const uint64_t before = index.sequence();
+      index.ApplySortedBatch(std::move(merged.inserts),
+                             std::move(merged.deletes));
+      const uint64_t after = index.sequence();
+      if (after != before) ++delta.groups_published;
+      if (options_.journal) {
+        journal_.push_back(AppliedGroup{table, after, std::move(batches)});
+      }
+    }
+    drained.clear();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.drain_cycles += delta.drain_cycles;
+    stats_.batches_applied += delta.batches_applied;
+    stats_.groups_published += delta.groups_published;
+    stats_.keys_inserted += delta.keys_inserted;
+    stats_.keys_deleted += delta.keys_deleted;
+  }
+}
+
+StatementResult Session::Execute(std::string_view text) {
+  ++stats_.statements;
+  std::string error;
+  std::optional<Statement> stmt = ParseStatement(text, &error);
+  if (!stmt) {
+    ++stats_.parse_errors;
+    StatementResult result;
+    result.status = StatementStatus::kParseError;
+    result.error = std::move(error);
+    return result;
+  }
+  return ExecuteParsed(*stmt);
+}
+
+StatementResult Session::ExecuteParsed(const Statement& stmt) {
+  StatementResult result;
+  const Server::TableEntry* table = server_->FindTable(stmt.table);
+  if (table == nullptr) {
+    result.status = StatementStatus::kUnknownTable;
+    result.error = "unknown table " + stmt.table;
+    return result;
+  }
+  switch (stmt.verb) {
+    case Verb::kFind: {
+      auto snap = table->index->Snapshot();
+      result.positions.resize(stmt.keys.size());
+      snap->index().FindBatch(stmt.keys, result.positions);
+      result.version = snap->sequence();
+      stats_.probes += stmt.keys.size();
+      server_->probes_served_.fetch_add(stmt.keys.size(),
+                                        std::memory_order_relaxed);
+      return result;
+    }
+    case Verb::kCount: {
+      auto snap = table->index->Snapshot();
+      result.counts.resize(stmt.keys.size());
+      snap->index().CountEqualBatch(stmt.keys, result.counts);
+      for (size_t c : result.counts) result.count += c;
+      result.version = snap->sequence();
+      stats_.probes += stmt.keys.size();
+      server_->probes_served_.fetch_add(stmt.keys.size(),
+                                        std::memory_order_relaxed);
+      return result;
+    }
+    case Verb::kRange: {
+      auto snap = table->index->Snapshot();
+      if (stmt.hi > stmt.lo) {
+        result.range_begin = SnapshotLowerBound(*snap, stmt.lo);
+        result.range_end = SnapshotLowerBound(*snap, stmt.hi);
+        result.count = result.range_end - result.range_begin;
+      }
+      result.version = snap->sequence();
+      stats_.probes += 2;
+      server_->probes_served_.fetch_add(2, std::memory_order_relaxed);
+      return result;
+    }
+    case Verb::kJoin: {
+      const Server::TableEntry* inner = server_->FindTable(stmt.table2);
+      if (inner == nullptr) {
+        result.status = StatementStatus::kUnknownTable;
+        result.error = "unknown table " + stmt.table2;
+        return result;
+      }
+      // Both sides pinned to one snapshot each; the outer's sorted keys
+      // stream through the inner's CountEqualBatch a block at a time, so
+      // the pair cardinality is consistent-as-of (version, version2).
+      auto outer_snap = table->index->Snapshot();
+      auto inner_snap = inner->index->Snapshot();
+      const std::vector<uint32_t>& outer_keys = outer_snap->keys();
+      constexpr size_t kBlock = 4096;
+      std::vector<size_t> counts(std::min(outer_keys.size(), kBlock));
+      for (size_t base = 0; base < outer_keys.size(); base += kBlock) {
+        const size_t len = std::min(outer_keys.size() - base, kBlock);
+        inner_snap->index().CountEqualBatch(
+            std::span<const uint32_t>(&outer_keys[base], len),
+            std::span<size_t>(counts.data(), len));
+        for (size_t i = 0; i < len; ++i) result.count += counts[i];
+      }
+      result.version = outer_snap->sequence();
+      result.version2 = inner_snap->sequence();
+      stats_.probes += outer_keys.size();
+      server_->probes_served_.fetch_add(outer_keys.size(),
+                                        std::memory_order_relaxed);
+      return result;
+    }
+    case Verb::kInsert:
+    case Verb::kDelete: {
+      QueuedUpdate update;
+      update.table = static_cast<uint32_t>(table - server_->tables_.data());
+      if (stmt.verb == Verb::kInsert) {
+        update.batch.inserts = stmt.keys;
+      } else {
+        update.batch.deletes = stmt.keys;
+      }
+      switch (server_->queue_.Push(std::move(update))) {
+        case UpdateQueue::PushResult::kOk:
+          ++stats_.writes_enqueued;
+          return result;
+        case UpdateQueue::PushResult::kRejected:
+          ++stats_.writes_rejected;
+          result.status = StatementStatus::kRejected;
+          result.error = "queue full";
+          return result;
+        case UpdateQueue::PushResult::kClosed:
+          ++stats_.writes_rejected;
+          result.status = StatementStatus::kClosed;
+          result.error = "server stopped";
+          return result;
+      }
+      return result;  // unreachable
+    }
+  }
+  return result;  // unreachable
+}
+
+}  // namespace cssidx::serve

@@ -1,0 +1,196 @@
+#ifndef CSSIDX_SERVE_SERVER_H_
+#define CSSIDX_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/index_spec.h"
+#include "core/maintained_index.h"
+#include "serve/statement.h"
+#include "serve/update_queue.h"
+
+// The serving layer's front end: a long-lived Server owning key-column
+// tables (each a MaintainedIndex — the paper's sort-index representation,
+// where position i IS the record identifier), one writer thread draining
+// the bounded UpdateQueue, and N Sessions executing statements.
+//
+// The concurrency contract, end to end:
+//   - Every read statement resolves against ONE snapshot per table it
+//     touches (one wait-free pointer copy), so its results are
+//     consistent-as-of that version — reported back as the result's
+//     sequence number. Readers never block on maintenance.
+//   - Writes (INSERT/DELETE) enqueue and return; the single writer
+//     drains the whole backlog per cycle, coalesces adjacent batches for
+//     the same table into one sorted batch, and publishes one refreshed
+//     version per table per cycle — shard-incremental for "part:K/"
+//     specs. Under pressure the backlog grows and the coalesced batch
+//     with it, so published versions per enqueued batch drops: rebuild
+//     cost amortizes exactly when the system falls behind.
+//   - Each published version equals the serial application of an exact
+//     prefix of the accepted batches (the optional journal records which
+//     prefix, for differential tests).
+
+namespace cssidx::serve {
+
+class Session;
+
+/// Writer-thread counters. Snapshot via Server::writer_stats() (copied
+/// under a lock the writer takes once per drain cycle).
+struct ServerStats {
+  uint64_t drain_cycles = 0;      // DrainAll wakeups that found work
+  uint64_t batches_applied = 0;   // accepted batches consumed from queue
+  uint64_t groups_published = 0;  // versions published (rebuild count)
+  uint64_t keys_inserted = 0;     // insert keys applied
+  uint64_t keys_deleted = 0;      // delete keys applied (post-coalesce)
+};
+
+/// Journal entry (Options::journal): one coalesced application. After the
+/// group's publish, table `table` is at version `sequence`, and its state
+/// equals the initial keys plus every batch journaled for it so far,
+/// applied in order. Read only after Stop() — the join synchronizes.
+struct AppliedGroup {
+  uint32_t table = 0;
+  uint64_t sequence = 0;
+  std::vector<workload::UpdateBatch> batches;  // consumption order
+};
+
+/// Result of one statement. `version` is the snapshot sequence the reads
+/// resolved against (JOIN reports the inner table as `version2`).
+enum class StatementStatus {
+  kOk,
+  kParseError,    // error holds the message; see StatementGrammarHelp()
+  kUnknownTable,  // error names the missing table
+  kRejected,      // write bounced off a full queue (Admission::kReject)
+  kClosed,        // write arrived after Stop()
+};
+
+struct StatementResult {
+  StatementStatus status = StatementStatus::kOk;
+  std::string error;
+  uint64_t version = 0;
+  uint64_t version2 = 0;             // JOIN: inner table's snapshot
+  std::vector<int64_t> positions;    // FIND: per-key, -1 = absent
+  std::vector<size_t> counts;        // COUNT: per-key multiplicities
+  size_t range_begin = 0, range_end = 0;  // RANGE: position span
+  uint64_t count = 0;  // COUNT total / RANGE size / JOIN cardinality
+
+  bool ok() const { return status == StatementStatus::kOk; }
+};
+
+class Server {
+ public:
+  struct Options {
+    size_t queue_capacity = 64;
+    Admission admission = Admission::kBlock;
+    /// Record every coalesced application for differential replay.
+    bool journal = false;
+  };
+
+  Server();  // default Options
+  explicit Server(const Options& options);
+  ~Server();  // Stop()s if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Registers a key-column table (keys need not be sorted) and returns
+  /// its id. The table set is immutable once Start() is called — that is
+  /// what lets sessions resolve names lock-free. Throws std::logic_error
+  /// after Start, std::invalid_argument for off-menu specs or duplicate
+  /// names.
+  uint32_t CreateTable(const std::string& name, std::vector<uint32_t> keys,
+                       const IndexSpec& spec = IndexSpec());
+
+  /// Launches the writer thread. Statements may be executed before Start
+  /// — reads serve version 1, writes queue up — but nothing is applied
+  /// until the writer runs.
+  void Start();
+
+  /// Closes the queue, lets the writer drain every accepted write, and
+  /// joins it. Blocked producers wake with kClosed. Idempotent.
+  void Stop();
+
+  Session OpenSession();
+
+  // Introspection (tests, bench, example).
+  bool started() const { return started_; }
+  QueueStats queue_stats() const { return queue_.stats(); }
+  ServerStats writer_stats() const;
+  uint64_t probes_served() const {
+    return probes_served_.load(std::memory_order_relaxed);
+  }
+  size_t queue_depth() const { return queue_.depth(); }
+  /// The journal (Options::journal). Call only after Stop().
+  const std::vector<AppliedGroup>& applied_groups() const { return journal_; }
+  /// Current snapshot of a table's index (by name; throws if unknown).
+  std::shared_ptr<const MaintainedIndex::Version> TableSnapshot(
+      const std::string& name) const;
+  const MaintainedIndex::MaintenanceStats& TableMaintenanceStats(
+      const std::string& name) const;
+
+ private:
+  friend class Session;
+
+  struct TableEntry {
+    std::string name;
+    std::unique_ptr<MaintainedIndex> index;
+  };
+
+  /// nullptr when the name is unknown. Safe lock-free: tables_ is
+  /// immutable after Start().
+  const TableEntry* FindTable(const std::string& name) const;
+
+  void WriterLoop();
+
+  const Options options_;
+  UpdateQueue queue_;
+  std::vector<TableEntry> tables_;
+  std::map<std::string, uint32_t> table_ids_;
+  std::thread writer_;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+  std::vector<AppliedGroup> journal_;  // writer-appended; read after Stop
+  std::atomic<uint64_t> probes_served_{0};
+};
+
+/// Per-client statement executor. Cheap to create, holds no locks; one
+/// Session is for ONE thread (its stats are unsynchronized), but any
+/// number of Sessions run concurrently against the same Server.
+class Session {
+ public:
+  struct SessionStats {
+    uint64_t statements = 0;
+    uint64_t probes = 0;           // keys/bounds resolved by reads
+    uint64_t writes_enqueued = 0;
+    uint64_t writes_rejected = 0;  // includes kClosed
+    uint64_t parse_errors = 0;
+  };
+
+  /// Parses and executes one statement against the server.
+  StatementResult Execute(std::string_view text);
+
+  const SessionStats& stats() const { return stats_; }
+
+ private:
+  friend class Server;
+  explicit Session(Server* server) : server_(server) {}
+
+  StatementResult ExecuteParsed(const Statement& stmt);
+
+  Server* server_;
+  SessionStats stats_;
+};
+
+}  // namespace cssidx::serve
+
+#endif  // CSSIDX_SERVE_SERVER_H_

@@ -1,0 +1,106 @@
+#include "serve/statement.h"
+
+#include <cstdlib>
+#include <limits>
+
+namespace cssidx::serve {
+namespace {
+
+std::vector<std::string_view> Tokenize(std::string_view text) {
+  std::vector<std::string_view> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+    size_t begin = i;
+    while (i < text.size() && text[i] != ' ' && text[i] != '\t') ++i;
+    if (i > begin) tokens.push_back(text.substr(begin, i - begin));
+  }
+  return tokens;
+}
+
+bool ParseU32(std::string_view token, uint32_t* out) {
+  if (token.empty() || token.size() > 10) return false;
+  uint64_t value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  if (value > std::numeric_limits<uint32_t>::max()) return false;
+  *out = static_cast<uint32_t>(value);
+  return true;
+}
+
+std::optional<Statement> Fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Statement> ParseStatement(std::string_view text,
+                                        std::string* error) {
+  std::vector<std::string_view> tokens = Tokenize(text);
+  if (tokens.empty()) return Fail(error, "empty statement");
+  Statement stmt;
+  const std::string_view verb = tokens[0];
+  if (verb == "FIND") {
+    stmt.verb = Verb::kFind;
+  } else if (verb == "COUNT") {
+    stmt.verb = Verb::kCount;
+  } else if (verb == "RANGE") {
+    stmt.verb = Verb::kRange;
+  } else if (verb == "JOIN") {
+    stmt.verb = Verb::kJoin;
+  } else if (verb == "INSERT") {
+    stmt.verb = Verb::kInsert;
+  } else if (verb == "DELETE") {
+    stmt.verb = Verb::kDelete;
+  } else {
+    return Fail(error, "unknown verb '" + std::string(verb) + "'");
+  }
+  if (tokens.size() < 2) return Fail(error, "missing table name");
+  stmt.table = std::string(tokens[1]);
+
+  switch (stmt.verb) {
+    case Verb::kJoin:
+      if (tokens.size() != 3) {
+        return Fail(error, "JOIN takes exactly two table names");
+      }
+      stmt.table2 = std::string(tokens[2]);
+      return stmt;
+    case Verb::kRange: {
+      if (tokens.size() != 4) return Fail(error, "RANGE takes <lo> <hi>");
+      if (!ParseU32(tokens[2], &stmt.lo) || !ParseU32(tokens[3], &stmt.hi)) {
+        return Fail(error, "RANGE bounds must be uint32");
+      }
+      return stmt;
+    }
+    default: {
+      // FIND/COUNT/INSERT/DELETE: one or more uint32 keys.
+      if (tokens.size() < 3) {
+        return Fail(error, "expected at least one key");
+      }
+      stmt.keys.reserve(tokens.size() - 2);
+      for (size_t i = 2; i < tokens.size(); ++i) {
+        uint32_t key = 0;
+        if (!ParseU32(tokens[i], &key)) {
+          return Fail(error,
+                      "bad key '" + std::string(tokens[i]) + "'");
+        }
+        stmt.keys.push_back(key);
+      }
+      return stmt;
+    }
+  }
+}
+
+const char* StatementGrammarHelp() {
+  return "FIND   <table> <key>...   positions of each key (-1 = absent)\n"
+         "COUNT  <table> <key>...   per-key multiplicities + total\n"
+         "RANGE  <table> <lo> <hi>  count + position span of [lo, hi)\n"
+         "JOIN   <outer> <inner>    equi-join pair cardinality\n"
+         "INSERT <table> <key>...   enqueue an insert batch\n"
+         "DELETE <table> <key>...   enqueue a delete batch (every copy)\n";
+}
+
+}  // namespace cssidx::serve

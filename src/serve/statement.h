@@ -1,0 +1,46 @@
+#ifndef CSSIDX_SERVE_STATEMENT_H_
+#define CSSIDX_SERVE_STATEMENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+// The serving layer's statement surface: one executor per verb, in the
+// spirit of SimpleRA's per-verb executor architecture, shrunk to the six
+// verbs a read-mostly index server needs. Statements are a flat token
+// grammar — verb, table name(s), uint32 operands — because the point of
+// this layer is the concurrency contract (each statement resolves against
+// ONE snapshot), not query planning.
+//
+//   FIND   <table> <key>...         positions of each key (kNotFound = -1)
+//   COUNT  <table> <key>...         per-key multiplicities + total
+//   RANGE  <table> <lo> <hi>        count + position span of [lo, hi)
+//   JOIN   <outer> <inner>          equi-join pair cardinality
+//   INSERT <table> <key>...         enqueue an insert batch
+//   DELETE <table> <key>...         enqueue a delete batch (every copy)
+
+namespace cssidx::serve {
+
+enum class Verb { kFind, kCount, kRange, kJoin, kInsert, kDelete };
+
+struct Statement {
+  Verb verb = Verb::kFind;
+  std::string table;   // first table operand
+  std::string table2;  // JOIN only: the inner table
+  std::vector<uint32_t> keys;  // FIND/COUNT/INSERT/DELETE operands
+  uint32_t lo = 0, hi = 0;     // RANGE only
+};
+
+/// Parses one statement. Returns nullopt on malformed input and, when
+/// `error` is non-null, a one-line description of what went wrong.
+std::optional<Statement> ParseStatement(std::string_view text,
+                                        std::string* error = nullptr);
+
+/// The grammar, one verb per line — what a client sees on a parse error.
+const char* StatementGrammarHelp();
+
+}  // namespace cssidx::serve
+
+#endif  // CSSIDX_SERVE_STATEMENT_H_

@@ -1,0 +1,92 @@
+#include "serve/update_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace cssidx::serve {
+
+UpdateQueue::UpdateQueue(size_t capacity, Admission admission)
+    : capacity_(capacity == 0 ? 1 : capacity), admission_(admission) {}
+
+UpdateQueue::PushResult UpdateQueue::Push(QueuedUpdate update) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) return PushResult::kClosed;
+  if (queue_.size() >= capacity_) {
+    if (admission_ == Admission::kReject) {
+      ++stats_.rejected_batches;
+      return PushResult::kRejected;
+    }
+    ++stats_.blocked_pushes;
+    not_full_.wait(lock,
+                   [&] { return closed_ || queue_.size() < capacity_; });
+    if (closed_) return PushResult::kClosed;
+  }
+  ++stats_.enqueued_batches;
+  stats_.enqueued_keys +=
+      update.batch.inserts.size() + update.batch.deletes.size();
+  queue_.push_back(std::move(update));
+  stats_.depth_high_water = std::max(stats_.depth_high_water, queue_.size());
+  not_empty_.notify_one();
+  return PushResult::kOk;
+}
+
+bool UpdateQueue::DrainAll(std::vector<QueuedUpdate>* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return false;  // closed and nothing left
+  while (!queue_.empty()) {
+    out->push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  // Every waiting producer can make progress now, not just one.
+  not_full_.notify_all();
+  return true;
+}
+
+void UpdateQueue::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+QueueStats UpdateQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t UpdateQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+workload::UpdateBatch Coalesce(
+    std::span<const workload::UpdateBatch> batches) {
+  workload::UpdateBatch acc;
+  for (const workload::UpdateBatch& next : batches) {
+    if (!next.deletes.empty()) {
+      // A later delete kills every earlier occurrence of the key —
+      // including inserts still waiting in the accumulator.
+      std::vector<uint32_t> doomed = next.deletes;
+      std::sort(doomed.begin(), doomed.end());
+      std::erase_if(acc.inserts, [&](uint32_t k) {
+        return std::binary_search(doomed.begin(), doomed.end(), k);
+      });
+      // Deletes accumulate as a sorted set: deleting twice equals
+      // deleting once (every occurrence goes either way).
+      std::vector<uint32_t> merged;
+      merged.reserve(acc.deletes.size() + doomed.size());
+      std::set_union(acc.deletes.begin(), acc.deletes.end(), doomed.begin(),
+                     doomed.end(), std::back_inserter(merged));
+      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+      acc.deletes = std::move(merged);
+    }
+    // Inserts append in arrival order; an insert after its key's delete
+    // survives (deletes apply first), matching sequential application.
+    acc.inserts.insert(acc.inserts.end(), next.inserts.begin(),
+                       next.inserts.end());
+  }
+  return acc;
+}
+
+}  // namespace cssidx::serve

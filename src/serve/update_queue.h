@@ -1,0 +1,108 @@
+#ifndef CSSIDX_SERVE_UPDATE_QUEUE_H_
+#define CSSIDX_SERVE_UPDATE_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "workload/batch_update.h"
+
+// The write half of the serving layer: a bounded MPSC queue of update
+// batches feeding the single maintenance writer. Sessions (many producers)
+// push; the writer thread (one consumer) drains EVERYTHING waiting and
+// coalesces adjacent batches for the same table into one sorted batch, so
+// when updates arrive faster than rebuilds complete, rebuild cost
+// amortizes across the backlog instead of compounding per batch — the
+// paper's batch-maintenance model made adaptive: the batch grows exactly
+// when the system is too busy to keep up.
+//
+// Admission is configurable: kBlock parks the producer until the writer
+// frees a slot (bounded memory, unbounded latency), kReject returns a
+// backpressure status immediately (bounded latency, caller retries).
+
+namespace cssidx::serve {
+
+/// What a full queue does to the next Push.
+enum class Admission {
+  kBlock,   // wait for the writer to free a slot
+  kReject,  // return PushResult::kRejected immediately
+};
+
+/// Producer-side counters, mutated under the queue lock; stats() copies.
+struct QueueStats {
+  uint64_t enqueued_batches = 0;  // accepted pushes
+  uint64_t enqueued_keys = 0;     // insert + delete keys across them
+  uint64_t rejected_batches = 0;  // kReject admissions that bounced
+  uint64_t blocked_pushes = 0;    // kBlock admissions that had to wait
+  size_t depth_high_water = 0;    // deepest the queue has been
+};
+
+/// One queued write: an update batch destined for one table (the server's
+/// table id — the queue itself doesn't interpret it, it is the coalescing
+/// group key).
+struct QueuedUpdate {
+  uint32_t table = 0;
+  workload::UpdateBatch batch;
+};
+
+class UpdateQueue {
+ public:
+  enum class PushResult {
+    kOk,        // enqueued
+    kRejected,  // full under Admission::kReject — retry later
+    kClosed,    // queue closed — the server is shutting down
+  };
+
+  explicit UpdateQueue(size_t capacity, Admission admission);
+
+  UpdateQueue(const UpdateQueue&) = delete;
+  UpdateQueue& operator=(const UpdateQueue&) = delete;
+
+  /// Producers: enqueue one update. Under kBlock a full queue parks the
+  /// caller until the consumer drains (or the queue closes); under
+  /// kReject it returns kRejected immediately.
+  PushResult Push(QueuedUpdate update);
+
+  /// The consumer: moves EVERYTHING currently queued into *out (appended;
+  /// out is not cleared), blocking until at least one item is available.
+  /// Returns false when the queue is closed and empty — the writer's
+  /// signal to exit after the final drain.
+  bool DrainAll(std::vector<QueuedUpdate>* out);
+
+  /// Close the queue: no further pushes are admitted (producers get
+  /// kClosed, blocked producers wake), but already-queued items remain
+  /// drainable so shutdown never drops an accepted write.
+  void Close();
+
+  QueueStats stats() const;
+  size_t depth() const;
+  size_t capacity() const { return capacity_; }
+  Admission admission() const { return admission_; }
+
+ private:
+  const size_t capacity_;
+  const Admission admission_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<QueuedUpdate> queue_;
+  QueueStats stats_;
+  bool closed_ = false;
+};
+
+/// Folds adjacent batches (oldest first) into ONE batch whose application
+/// is equivalent to applying them in order, under the engine's batch
+/// semantics (deletes remove every occurrence of a key, then inserts
+/// land; an insert whose key a LATER batch deletes must die, an insert
+/// arriving after its key's delete must survive). The result's deletes
+/// are sorted and unique; its inserts stay in arrival order (the writer
+/// sorts a copy at apply time — arrival order is what keeps table-level
+/// RID assignment identical to sequential application).
+workload::UpdateBatch Coalesce(std::span<const workload::UpdateBatch> batches);
+
+}  // namespace cssidx::serve
+
+#endif  // CSSIDX_SERVE_UPDATE_QUEUE_H_

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "spec_menu.h"
 #include "util/rng.h"
 #include "util/zipf.h"
 #include "workload/key_gen.h"
@@ -631,6 +632,175 @@ TEST(Query, PartitionedSortIndexIsBitIdenticalToUnpartitioned) {
         ASSERT_EQ(join[i].inner, want_join[i].inner)
             << part.ToString() << " i=" << i;
       }
+    }
+  }
+}
+
+TEST(Table, DeleteRowsCompactsAndRenumbers) {
+  Table t;
+  t.AddColumn("k", {10, 20, 30, 20, 40});
+  t.AddColumn("v", {1, 2, 3, 4, 5});
+  t.BuildSortIndex("k");
+  t.DeleteRows(std::vector<Rid>{1, 3, 3});  // duplicates allowed
+  EXPECT_EQ(t.NumRows(), 3u);
+  EXPECT_EQ(t.Column("k"), (std::vector<uint32_t>{10, 30, 40}));
+  EXPECT_EQ(t.Column("v"), (std::vector<uint32_t>{1, 3, 5}));
+  // Survivors renumbered: old RIDs 0, 2, 4 -> 0, 1, 2.
+  EXPECT_EQ(t.GetSortIndex("k").Equal(30), (std::vector<Rid>{1}));
+  EXPECT_TRUE(t.GetSortIndex("k").Equal(20).empty());
+  // Validation: out-of-range throws, empty list is a no-op.
+  EXPECT_THROW(t.DeleteRows(std::vector<Rid>{3}), std::out_of_range);
+  t.DeleteRows(std::vector<Rid>{});
+  EXPECT_EQ(t.NumRows(), 3u);
+}
+
+TEST(Table, DeleteInterleavedWithAppendMatchesFreshRebuildForEverySpec) {
+  // The engine-delete differential: append/delete interleavings routed
+  // through the maintenance chain must leave every sort index — keys,
+  // RID permutation, maintenance counters' batch count — bit-identical
+  // to a from-scratch SortIndex over the surviving column. TWO indexed
+  // columns, so deletes positional in one column land mid-run in the
+  // other, exercising the partial-run reinsert path; dense duplicates
+  // make most runs multi-row.
+  for (const IndexSpec& spec : test_menu::DefaultSpecs(16, 10)) {
+    Pcg32 rng(0xde1e7e);
+    Table t;
+    std::vector<uint32_t> k(6'000), g(6'000);
+    for (auto& v : k) v = rng.Below(500);
+    for (auto& v : g) v = rng.Below(40);
+    t.AddColumn("k", k);
+    t.AddColumn("g", g);
+    t.BuildSortIndex("k", spec);
+    t.BuildSortIndex("g", spec);
+    for (int round = 0; round < 3; ++round) {
+      // Delete a random ~10% slice of the current rows...
+      std::vector<Rid> doomed;
+      for (Rid r = 0; r < t.NumRows(); ++r) {
+        if (rng.Below(10) == 0) doomed.push_back(r);
+      }
+      t.DeleteRows(doomed);
+      // ...then append fresh rows across the same key ranges.
+      std::vector<uint32_t> fresh_k(800), fresh_g(800);
+      for (auto& v : fresh_k) v = rng.Below(500);
+      for (auto& v : fresh_g) v = rng.Below(40);
+      t.AppendRows({{"k", fresh_k}, {"g", fresh_g}});
+    }
+    for (const char* col : {"k", "g"}) {
+      const SortIndex& incremental = t.GetSortIndex(col);
+      SortIndex scratch(t.Column(col), spec);
+      ASSERT_EQ(incremental.sorted_keys(), scratch.sorted_keys())
+          << spec.ToString() << " " << col;
+      ASSERT_EQ(incremental.rids(), scratch.rids())
+          << spec.ToString() << " " << col;
+      // One maintenance batch per DeleteRows + one per AppendRows.
+      EXPECT_EQ(incremental.maintained().stats().batches, 6u)
+          << spec.ToString() << " " << col;
+    }
+  }
+}
+
+TEST(Table, ApplyUpdateIsOneMaintenanceBatch) {
+  // DELETE + INSERT fused: every row with a doomed key goes, the new
+  // rows land — including rows re-using a just-deleted key, which must
+  // survive (deletes before inserts, as in workload::ApplySortedBatch)
+  // — and each index pays ONE maintenance batch for the whole change.
+  Table t;
+  t.AddColumn("k", {10, 20, 30, 20, 40});
+  t.AddColumn("v", {1, 2, 3, 4, 5});
+  t.BuildSortIndex("k", *IndexSpec::Parse("part:2/css:16"));
+  const size_t batches_before = t.GetSortIndex("k").maintained().stats().batches;
+  t.ApplyUpdate("k", {20, 40}, {{"k", {20, 50}}, {"v", {6, 7}}});
+  EXPECT_EQ(t.NumRows(), 4u);
+  EXPECT_EQ(t.Column("k"), (std::vector<uint32_t>{10, 30, 20, 50}));
+  EXPECT_EQ(t.Column("v"), (std::vector<uint32_t>{1, 3, 6, 7}));
+  EXPECT_EQ(t.GetSortIndex("k").Equal(20), (std::vector<Rid>{2}));
+  EXPECT_EQ(t.GetSortIndex("k").maintained().stats().batches,
+            batches_before + 1);
+  // Deletes-only form, and a key that matches nothing is a no-op.
+  t.ApplyUpdate("k", {10});
+  EXPECT_EQ(t.NumRows(), 3u);
+  t.ApplyUpdate("k", {999});
+  EXPECT_EQ(t.NumRows(), 3u);
+  // Differential against a fresh rebuild of the surviving column.
+  SortIndex scratch(t.Column("k"), *IndexSpec::Parse("part:2/css:16"));
+  EXPECT_EQ(t.GetSortIndex("k").sorted_keys(), scratch.sorted_keys());
+  EXPECT_EQ(t.GetSortIndex("k").rids(), scratch.rids());
+}
+
+TEST(Table, DeleteEverythingThenAppendFromEmpty) {
+  Table t;
+  t.AddColumn("k", {5, 5, 7});
+  t.BuildSortIndex("k", *IndexSpec::Parse("css:16"));
+  std::vector<Rid> all{0, 1, 2};
+  t.DeleteRows(all);
+  EXPECT_EQ(t.NumRows(), 0u);
+  EXPECT_TRUE(t.GetSortIndex("k").sorted_keys().empty());
+  EXPECT_TRUE(SelectRange(t, "k", 0, 0xffffffffu).empty());
+  t.AppendRows({{"k", {9, 3, 9}}});
+  EXPECT_EQ(t.NumRows(), 3u);
+  EXPECT_EQ(t.GetSortIndex("k").Equal(9), (std::vector<Rid>{0, 2}));
+  EXPECT_EQ(SelectRange(t, "k", 0, 10), (std::vector<Rid>{1, 0, 2}));
+}
+
+TEST(Query, OperatorsCorrectAfterDeletes) {
+  // SelectRange/GroupBy/IndexedJoin against a delete-heavy table must
+  // equal a table rebuilt from scratch over the surviving rows.
+  Table t = MakeOrders(20'000, 300, 61);
+  t.BuildSortIndex("customer", *IndexSpec::Parse("part:8/css:16"));
+  t.BuildSortIndex("day", *IndexSpec::Parse("css:16"));
+  Pcg32 rng(0x63);
+  std::vector<Rid> doomed;
+  for (Rid r = 0; r < t.NumRows(); ++r) {
+    if (rng.Below(4) == 0) doomed.push_back(r);
+  }
+  t.DeleteRows(doomed);
+
+  Table fresh;
+  for (const char* col : {"customer", "amount", "day"}) {
+    fresh.AddColumn(col, t.Column(col));
+  }
+  fresh.BuildSortIndex("customer", *IndexSpec::Parse("part:8/css:16"));
+  fresh.BuildSortIndex("day", *IndexSpec::Parse("css:16"));
+
+  EXPECT_EQ(SelectRange(t, "day", 50, 120), SelectRange(fresh, "day", 50, 120));
+  auto grouped = GroupBy(t, "customer", "amount", 300);
+  auto grouped_fresh = GroupBy(fresh, "customer", "amount", 300);
+  ASSERT_EQ(grouped.size(), grouped_fresh.size());
+  for (size_t g = 0; g < grouped.size(); ++g) {
+    ASSERT_EQ(grouped[g].count, grouped_fresh[g].count) << g;
+    ASSERT_EQ(grouped[g].sum, grouped_fresh[g].sum) << g;
+  }
+  Table dims;
+  dims.AddColumn("id", [&] {
+    std::vector<uint32_t> ids(300);
+    std::iota(ids.begin(), ids.end(), 0u);
+    return ids;
+  }());
+  auto joined = IndexedJoin(dims, "id", t, "customer");
+  auto joined_fresh = IndexedJoin(dims, "id", fresh, "customer");
+  ASSERT_EQ(joined.size(), joined_fresh.size());
+  for (size_t i = 0; i < joined.size(); ++i) {
+    ASSERT_EQ(joined[i].outer, joined_fresh[i].outer) << i;
+    ASSERT_EQ(joined[i].inner, joined_fresh[i].inner) << i;
+  }
+}
+
+TEST(Query, CountEqualAndCountRangeMatchSelectSizes) {
+  Table t = MakeOrders(15'000, 200, 67);
+  // Scan path first, then indexed (ordered and hash).
+  for (const char* spec_text : {"", "css:16", "hash:10", "part:4/btree:32"}) {
+    if (*spec_text != '\0') {
+      t.BuildSortIndex("day", *IndexSpec::Parse(spec_text));
+    }
+    for (uint32_t v : {0u, 100u, 364u, 365u, 9999u}) {
+      ASSERT_EQ(CountEqual(t, "day", v), SelectEqual(t, "day", v).size())
+          << spec_text << " v=" << v;
+    }
+    for (auto [lo, hi] : std::initializer_list<std::pair<uint32_t, uint32_t>>{
+             {100, 200}, {0, 365}, {7, 7}, {200, 100}, {0, 0xffffffffu}}) {
+      ASSERT_EQ(CountRange(t, "day", lo, hi),
+                SelectRange(t, "day", lo, hi).size())
+          << spec_text << " [" << lo << ", " << hi << ")";
     }
   }
 }

@@ -1,0 +1,522 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "serve/statement.h"
+#include "serve/update_queue.h"
+#include "util/rng.h"
+#include "workload/batch_update.h"
+
+// The serving layer's concurrency suite. The load-bearing tests run real
+// reader threads against a live writer and verify every recorded probe
+// bit-exactly against a serial oracle replayed from the journal — the
+// snapshot-consistency contract, checked at every version a reader
+// actually saw. Runs in the TSan CI lane, so sizes stay modest.
+
+namespace cssidx::serve {
+namespace {
+
+std::string KeysStatement(const char* verb, const char* table,
+                          const std::vector<uint32_t>& keys) {
+  std::string text = std::string(verb) + " " + table;
+  for (uint32_t k : keys) text += " " + std::to_string(k);
+  return text;
+}
+
+// ------------------------------------------------------------- statements
+
+TEST(Statement, ParsesEveryVerb) {
+  auto find = ParseStatement("FIND t 1 2 3");
+  ASSERT_TRUE(find.has_value());
+  EXPECT_EQ(find->verb, Verb::kFind);
+  EXPECT_EQ(find->table, "t");
+  EXPECT_EQ(find->keys, (std::vector<uint32_t>{1, 2, 3}));
+
+  auto count = ParseStatement("COUNT orders 42");
+  ASSERT_TRUE(count.has_value());
+  EXPECT_EQ(count->verb, Verb::kCount);
+
+  auto range = ParseStatement("RANGE t 10 20");
+  ASSERT_TRUE(range.has_value());
+  EXPECT_EQ(range->verb, Verb::kRange);
+  EXPECT_EQ(range->lo, 10u);
+  EXPECT_EQ(range->hi, 20u);
+  EXPECT_TRUE(range->keys.empty());
+
+  auto join = ParseStatement("JOIN outer inner");
+  ASSERT_TRUE(join.has_value());
+  EXPECT_EQ(join->verb, Verb::kJoin);
+  EXPECT_EQ(join->table, "outer");
+  EXPECT_EQ(join->table2, "inner");
+
+  auto insert = ParseStatement("  INSERT \t t  7 ");
+  ASSERT_TRUE(insert.has_value());
+  EXPECT_EQ(insert->verb, Verb::kInsert);
+  EXPECT_EQ(insert->keys, (std::vector<uint32_t>{7}));
+
+  auto del = ParseStatement("DELETE t 4294967295");
+  ASSERT_TRUE(del.has_value());
+  EXPECT_EQ(del->keys, (std::vector<uint32_t>{4294967295u}));
+}
+
+TEST(Statement, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(ParseStatement("", &error).has_value());
+  EXPECT_FALSE(ParseStatement("   ", &error).has_value());
+  EXPECT_FALSE(ParseStatement("SELECT t 1", &error).has_value());
+  EXPECT_NE(error.find("SELECT"), std::string::npos);
+  EXPECT_FALSE(ParseStatement("FIND", &error).has_value());
+  EXPECT_FALSE(ParseStatement("FIND t", &error).has_value());
+  EXPECT_FALSE(ParseStatement("FIND t x", &error).has_value());
+  EXPECT_FALSE(ParseStatement("FIND t -1", &error).has_value());
+  EXPECT_FALSE(ParseStatement("FIND t 4294967296", &error).has_value());
+  EXPECT_FALSE(ParseStatement("RANGE t 1", &error).has_value());
+  EXPECT_FALSE(ParseStatement("RANGE t 1 2 3", &error).has_value());
+  EXPECT_FALSE(ParseStatement("JOIN t", &error).has_value());
+  EXPECT_FALSE(ParseStatement("JOIN a b c", &error).has_value());
+  EXPECT_NE(std::string(StatementGrammarHelp()).find("RANGE"),
+            std::string::npos);
+}
+
+// -------------------------------------------------------------- coalescing
+
+TEST(Coalesce, EquivalentToSequentialApplicationOnRandomBatches) {
+  Pcg32 rng(0xc0a1);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<uint32_t> initial(200);
+    for (auto& k : initial) k = rng.Below(60);
+    std::sort(initial.begin(), initial.end());
+
+    std::vector<workload::UpdateBatch> batches(1 + rng.Below(6));
+    for (auto& b : batches) {
+      b.inserts.resize(rng.Below(8));
+      for (auto& k : b.inserts) k = rng.Below(60);
+      b.deletes.resize(rng.Below(8));
+      for (auto& k : b.deletes) k = rng.Below(60);
+    }
+
+    std::vector<uint32_t> sequential = initial;
+    for (const auto& b : batches) {
+      sequential = workload::ApplyBatch(sequential, b);
+    }
+    workload::UpdateBatch merged = Coalesce(batches);
+    EXPECT_TRUE(std::is_sorted(merged.deletes.begin(), merged.deletes.end()));
+    EXPECT_EQ(std::adjacent_find(merged.deletes.begin(), merged.deletes.end()),
+              merged.deletes.end());
+    std::vector<uint32_t> coalesced = workload::ApplyBatch(initial, merged);
+    ASSERT_EQ(coalesced, sequential) << "trial " << trial;
+  }
+}
+
+TEST(Coalesce, InsertAfterDeleteSurvivesAndBeforeDies) {
+  workload::UpdateBatch first{{5, 7}, {}};
+  workload::UpdateBatch second{{}, {5}};
+  workload::UpdateBatch third{{5}, {}};
+  workload::UpdateBatch merged = Coalesce(std::vector{first, second, third});
+  // The first 5 dies to the later delete; the last 5 survives it.
+  EXPECT_EQ(merged.inserts, (std::vector<uint32_t>{7, 5}));
+  EXPECT_EQ(merged.deletes, (std::vector<uint32_t>{5}));
+}
+
+// ------------------------------------------------------- queue admission
+
+TEST(UpdateQueue, RejectAdmissionBouncesWhenFull) {
+  Server::Options options;
+  options.queue_capacity = 2;
+  options.admission = Admission::kReject;
+  Server server(options);
+  server.CreateTable("t", {1, 2, 3});
+  Session session = server.OpenSession();
+
+  EXPECT_TRUE(session.Execute("INSERT t 10").ok());
+  EXPECT_TRUE(session.Execute("INSERT t 11").ok());
+  StatementResult bounced = session.Execute("INSERT t 12");
+  EXPECT_EQ(bounced.status, StatementStatus::kRejected);
+  EXPECT_EQ(session.stats().writes_enqueued, 2u);
+  EXPECT_EQ(session.stats().writes_rejected, 1u);
+  EXPECT_EQ(server.queue_stats().rejected_batches, 1u);
+
+  // The accepted writes (and only those) apply on Start; reads keep
+  // working after Stop, writes get kClosed.
+  server.Start();
+  server.Stop();
+  EXPECT_EQ(server.TableSnapshot("t")->keys(),
+            (std::vector<uint32_t>{1, 2, 3, 10, 11}));
+  EXPECT_TRUE(session.Execute("FIND t 10").ok());
+  EXPECT_EQ(session.Execute("INSERT t 13").status, StatementStatus::kClosed);
+}
+
+TEST(UpdateQueue, BlockAdmissionParksProducerUntilDrained) {
+  Server::Options options;
+  options.queue_capacity = 1;
+  options.admission = Admission::kBlock;
+  Server server(options);
+  server.CreateTable("t", {});
+
+  std::thread producer([&] {
+    Session session = server.OpenSession();
+    EXPECT_TRUE(session.Execute("INSERT t 1").ok());
+    EXPECT_TRUE(session.Execute("INSERT t 2").ok());  // parks: queue full
+    EXPECT_TRUE(session.Execute("INSERT t 3").ok());
+  });
+  // Wait until the producer is provably parked on the full queue, then
+  // start the writer, whose drain frees the slot.
+  while (server.queue_stats().blocked_pushes == 0) {
+    std::this_thread::yield();
+  }
+  server.Start();
+  producer.join();
+  server.Stop();
+  EXPECT_EQ(server.TableSnapshot("t")->keys(),
+            (std::vector<uint32_t>{1, 2, 3}));
+  EXPECT_GE(server.queue_stats().blocked_pushes, 1u);
+  EXPECT_EQ(server.queue_stats().enqueued_batches, 3u);
+}
+
+TEST(Server, BacklogCoalescesIntoOneRebuild) {
+  // Eight batches queued before the writer exists = a deep backlog the
+  // moment it starts: ONE drain cycle, ONE coalesced application, ONE
+  // published version — and the final state equals applying the eight
+  // batches one by one.
+  Server::Options options;
+  options.queue_capacity = 64;
+  options.journal = true;
+  Server server(options);
+  Pcg32 rng(0xbac1);
+  std::vector<uint32_t> initial(500);
+  for (auto& k : initial) k = rng.Below(120);
+  server.CreateTable("t", initial);
+
+  std::vector<workload::UpdateBatch> batches(8);
+  Session session = server.OpenSession();
+  for (auto& b : batches) {
+    b.inserts.resize(5);
+    for (auto& k : b.inserts) k = rng.Below(120);
+    b.deletes.resize(5);
+    for (auto& k : b.deletes) k = rng.Below(120);
+    ASSERT_TRUE(session.Execute(KeysStatement("INSERT", "t", b.inserts)).ok());
+    ASSERT_TRUE(session.Execute(KeysStatement("DELETE", "t", b.deletes)).ok());
+  }
+  server.Start();
+  server.Stop();
+
+  std::vector<uint32_t> oracle = initial;
+  std::sort(oracle.begin(), oracle.end());
+  for (const auto& b : batches) {
+    oracle = workload::ApplyBatch(oracle, {b.inserts, {}});
+    oracle = workload::ApplyBatch(oracle, {{}, b.deletes});
+  }
+  EXPECT_EQ(server.TableSnapshot("t")->keys(), oracle);
+
+  ServerStats stats = server.writer_stats();
+  EXPECT_EQ(stats.drain_cycles, 1u);
+  EXPECT_EQ(stats.batches_applied, 16u);
+  EXPECT_EQ(stats.groups_published, 1u);
+  EXPECT_EQ(server.TableMaintenanceStats("t").batches, 1u);
+  EXPECT_EQ(server.queue_stats().depth_high_water, 16u);
+  ASSERT_EQ(server.applied_groups().size(), 1u);
+  EXPECT_EQ(server.applied_groups()[0].batches.size(), 16u);
+  EXPECT_EQ(server.applied_groups()[0].sequence, 2u);
+  EXPECT_EQ(server.TableSnapshot("t")->sequence(), 2u);
+}
+
+// ------------------------------------------------- statement-layer e2e
+
+TEST(Server, DeleteEverythingAndInsertFromEmptyThroughStatements) {
+  Server server;
+  server.CreateTable("t", {9, 3, 9, 3, 5});
+  server.Start();
+  Session session = server.OpenSession();
+  // DELETE removes every copy of each key.
+  ASSERT_TRUE(session.Execute("DELETE t 3 5 9").ok());
+  // Insert-from-empty, including a key that was just deleted.
+  ASSERT_TRUE(session.Execute("INSERT t 9 1 9").ok());
+  server.Stop();
+  EXPECT_EQ(server.TableSnapshot("t")->keys(),
+            (std::vector<uint32_t>{1, 9, 9}));
+
+  StatementResult find = session.Execute("FIND t 9 2");
+  ASSERT_TRUE(find.ok());
+  EXPECT_EQ(find.positions, (std::vector<int64_t>{1, -1}));
+  StatementResult count = session.Execute("COUNT t 9 1 5");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.counts, (std::vector<size_t>{2, 1, 0}));
+  EXPECT_EQ(count.count, 3u);
+  StatementResult range = session.Execute("RANGE t 1 10");
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range.count, 3u);
+  EXPECT_EQ(range.range_begin, 0u);
+  EXPECT_EQ(range.range_end, 3u);
+  // Every read resolved against the same published version.
+  EXPECT_EQ(find.version, range.version);
+
+  StatementResult bad = session.Execute("FIND nope 1");
+  EXPECT_EQ(bad.status, StatementStatus::kUnknownTable);
+  StatementResult garbage = session.Execute("FROB t 1");
+  EXPECT_EQ(garbage.status, StatementStatus::kParseError);
+  EXPECT_EQ(session.stats().parse_errors, 1u);
+  EXPECT_GE(session.stats().probes, 7u);
+}
+
+TEST(Server, TableRegistryRules) {
+  Server server;
+  server.CreateTable("t", {1});
+  EXPECT_THROW(server.CreateTable("t", {2}), std::invalid_argument);
+  EXPECT_THROW(server.CreateTable("bad", {1}, IndexSpec().WithNodeEntries(12)),
+               std::invalid_argument);
+  EXPECT_THROW(server.TableSnapshot("nope"), std::out_of_range);
+  server.Start();
+  EXPECT_THROW(server.CreateTable("late", {1}), std::logic_error);
+  EXPECT_THROW(server.Start(), std::logic_error);
+  server.Stop();
+  server.Stop();  // idempotent
+}
+
+// ------------------------------------- concurrent differential (TSan'd)
+
+struct RecordedRead {
+  char kind = 'F';  // F[ind] / C[ount] / R[ange]
+  uint64_t version = 0;
+  std::vector<uint32_t> keys;          // FIND/COUNT
+  uint32_t lo = 0, hi = 0;             // RANGE
+  std::vector<int64_t> positions;      // FIND
+  std::vector<size_t> counts;          // COUNT
+  size_t range_begin = 0, range_end = 0;
+  uint64_t count = 0;
+};
+
+/// Replays the journal into a map: version -> full sorted key state of
+/// `table` as of that version. Version 1 is the initial build.
+std::map<uint64_t, std::vector<uint32_t>> OracleStates(
+    const Server& server, uint32_t table, std::vector<uint32_t> initial) {
+  std::sort(initial.begin(), initial.end());
+  std::map<uint64_t, std::vector<uint32_t>> states;
+  states[1] = initial;
+  std::vector<uint32_t> current = std::move(initial);
+  for (const AppliedGroup& group : server.applied_groups()) {
+    if (group.table != table) continue;
+    for (const workload::UpdateBatch& batch : group.batches) {
+      current = workload::ApplyBatch(current, batch);
+    }
+    states[group.sequence] = current;
+  }
+  return states;
+}
+
+void VerifyAgainstOracle(
+    const std::vector<RecordedRead>& reads,
+    const std::map<uint64_t, std::vector<uint32_t>>& states,
+    const std::string& label) {
+  for (size_t i = 0; i < reads.size(); ++i) {
+    const RecordedRead& r = reads[i];
+    auto it = states.find(r.version);
+    ASSERT_NE(it, states.end())
+        << label << " read " << i << ": unknown version " << r.version;
+    const std::vector<uint32_t>& keys = it->second;
+    if (r.kind == 'F') {
+      for (size_t k = 0; k < r.keys.size(); ++k) {
+        auto lb = std::lower_bound(keys.begin(), keys.end(), r.keys[k]);
+        int64_t expected =
+            (lb != keys.end() && *lb == r.keys[k]) ? lb - keys.begin() : -1;
+        ASSERT_EQ(r.positions[k], expected)
+            << label << " read " << i << " key " << r.keys[k]
+            << " at version " << r.version;
+      }
+    } else if (r.kind == 'C') {
+      for (size_t k = 0; k < r.keys.size(); ++k) {
+        size_t expected =
+            std::upper_bound(keys.begin(), keys.end(), r.keys[k]) -
+            std::lower_bound(keys.begin(), keys.end(), r.keys[k]);
+        ASSERT_EQ(r.counts[k], expected)
+            << label << " read " << i << " key " << r.keys[k]
+            << " at version " << r.version;
+      }
+    } else {
+      size_t begin = std::lower_bound(keys.begin(), keys.end(), r.lo) -
+                     keys.begin();
+      size_t end = std::lower_bound(keys.begin(), keys.end(), r.hi) -
+                   keys.begin();
+      if (r.hi <= r.lo) begin = end = 0;
+      ASSERT_EQ(r.range_begin, begin) << label << " read " << i;
+      ASSERT_EQ(r.range_end, end) << label << " read " << i;
+      ASSERT_EQ(r.count, end - begin) << label << " read " << i;
+    }
+  }
+}
+
+TEST(Server, ConcurrentReadersSeeOracleStateAtEveryVersion) {
+  // The acceptance gate: N reader threads hammer FIND/COUNT/RANGE while
+  // producers push INSERT/DELETE through a tight queue (so the writer
+  // coalesces under real pressure), journal on. Afterwards every recorded
+  // probe must be bit-identical to the serial oracle at the version the
+  // read reported — for an ordered spec, a partitioned spec, and hash.
+  for (const char* spec_text : {"css:16", "part:8/css:16", "hash:10"}) {
+    SCOPED_TRACE(spec_text);
+    Server::Options options;
+    options.queue_capacity = 4;  // tight: forces blocking + deep coalesces
+    options.admission = Admission::kBlock;
+    options.journal = true;
+    Server server(options);
+    Pcg32 seed_rng(0xd1f);
+    std::vector<uint32_t> initial(2'000);
+    for (auto& k : initial) k = seed_rng.Below(500);
+    const uint32_t table_id =
+        server.CreateTable("t", initial, *IndexSpec::Parse(spec_text));
+    server.Start();
+
+    std::atomic<bool> writers_done{false};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 2; ++p) {
+      producers.emplace_back([&, p] {
+        Session session = server.OpenSession();
+        Pcg32 rng(0x9000 + p);
+        for (int s = 0; s < 40; ++s) {
+          std::vector<uint32_t> keys(6);
+          for (auto& k : keys) k = rng.Below(500);
+          const char* verb = (s % 2 == p % 2) ? "INSERT" : "DELETE";
+          ASSERT_TRUE(session.Execute(KeysStatement(verb, "t", keys)).ok());
+        }
+      });
+    }
+
+    std::vector<std::vector<RecordedRead>> recorded(3);
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 3; ++t) {
+      readers.emplace_back([&, t] {
+        Session session = server.OpenSession();
+        Pcg32 rng(0x4ead + t);
+        // Keep reading until the producers finish, then a few more
+        // statements against the final drained state.
+        for (int s = 0; s < 150 || (!writers_done.load() && s < 100'000);
+             ++s) {
+          RecordedRead r;
+          r.version = 0;
+          switch (s % 3) {
+            case 0: {
+              r.kind = 'F';
+              r.keys.resize(8);
+              for (auto& k : r.keys) k = rng.Below(520);
+              StatementResult res =
+                  session.Execute(KeysStatement("FIND", "t", r.keys));
+              ASSERT_TRUE(res.ok());
+              r.version = res.version;
+              r.positions = std::move(res.positions);
+              break;
+            }
+            case 1: {
+              r.kind = 'C';
+              r.keys.resize(8);
+              for (auto& k : r.keys) k = rng.Below(520);
+              StatementResult res =
+                  session.Execute(KeysStatement("COUNT", "t", r.keys));
+              ASSERT_TRUE(res.ok());
+              r.version = res.version;
+              r.counts = std::move(res.counts);
+              break;
+            }
+            default: {
+              r.kind = 'R';
+              r.lo = rng.Below(520);
+              r.hi = rng.Below(520);
+              StatementResult res = session.Execute(
+                  "RANGE t " + std::to_string(r.lo) + " " +
+                  std::to_string(r.hi));
+              ASSERT_TRUE(res.ok());
+              r.version = res.version;
+              r.range_begin = res.range_begin;
+              r.range_end = res.range_end;
+              r.count = res.count;
+              break;
+            }
+          }
+          recorded[t].push_back(std::move(r));
+        }
+      });
+    }
+
+    for (auto& p : producers) p.join();
+    writers_done.store(true);
+    for (auto& r : readers) r.join();
+    server.Stop();
+
+    // Sanity on the pressure itself: everything accepted was applied.
+    QueueStats queue = server.queue_stats();
+    ServerStats writer = server.writer_stats();
+    EXPECT_EQ(queue.enqueued_batches, 80u);
+    EXPECT_EQ(writer.batches_applied, 80u);
+    EXPECT_LE(writer.groups_published, writer.batches_applied);
+
+    auto states = OracleStates(server, table_id, initial);
+    for (int t = 0; t < 3; ++t) {
+      VerifyAgainstOracle(recorded[t], states,
+                          std::string(spec_text) + " reader " +
+                              std::to_string(t));
+    }
+    // Final published state equals the full serial application.
+    EXPECT_EQ(server.TableSnapshot("t")->keys(), states.rbegin()->second);
+  }
+}
+
+TEST(Server, JoinIsConsistentAcrossTwoSnapshots) {
+  Server::Options options;
+  options.queue_capacity = 4;
+  options.journal = true;
+  Server server(options);
+  Pcg32 seed_rng(0x10ad);
+  std::vector<uint32_t> outer_keys(400), inner_keys(600);
+  for (auto& k : outer_keys) k = seed_rng.Below(80);
+  for (auto& k : inner_keys) k = seed_rng.Below(80);
+  const uint32_t outer_id = server.CreateTable("outer", outer_keys);
+  const uint32_t inner_id = server.CreateTable("inner", inner_keys);
+  server.Start();
+
+  std::thread producer([&] {
+    Session session = server.OpenSession();
+    Pcg32 rng(0x77aa);
+    for (int s = 0; s < 30; ++s) {
+      std::vector<uint32_t> keys(4);
+      for (auto& k : keys) k = rng.Below(80);
+      const char* table = (s % 2 == 0) ? "outer" : "inner";
+      const char* verb = (s % 3 == 0) ? "DELETE" : "INSERT";
+      ASSERT_TRUE(session.Execute(KeysStatement(verb, table, keys)).ok());
+    }
+  });
+
+  struct RecordedJoin {
+    uint64_t version = 0, version2 = 0;
+    uint64_t count = 0;
+  };
+  std::vector<RecordedJoin> joins;
+  Session session = server.OpenSession();
+  for (int s = 0; s < 60; ++s) {
+    StatementResult res = session.Execute("JOIN outer inner");
+    ASSERT_TRUE(res.ok());
+    joins.push_back({res.version, res.version2, res.count});
+  }
+  producer.join();
+  server.Stop();
+
+  auto outer_states = OracleStates(server, outer_id, outer_keys);
+  auto inner_states = OracleStates(server, inner_id, inner_keys);
+  for (size_t i = 0; i < joins.size(); ++i) {
+    const auto& outer_state = outer_states.at(joins[i].version);
+    const auto& inner_state = inner_states.at(joins[i].version2);
+    uint64_t expected = 0;
+    for (uint32_t k : outer_state) {
+      expected += std::upper_bound(inner_state.begin(), inner_state.end(), k) -
+                  std::lower_bound(inner_state.begin(), inner_state.end(), k);
+    }
+    ASSERT_EQ(joins[i].count, expected) << "join " << i;
+  }
+}
+
+}  // namespace
+}  // namespace cssidx::serve

@@ -21,6 +21,18 @@ from scratch, on this machine, not merely match a baseline ratio. A set
 floor with no part:* maintenance rows to check also fails, so the
 guarantee cannot be disabled by accidentally dropping --update.
 
+Serving-layer gate (independent of the baseline file): --serving-json
+points at a bench_serving JSON and --max-coalesce-ratio (0 = off) caps
+groups_published / enqueued_batches for every pressure row — under
+writer pressure the coalescing path must apply measurably fewer rebuilds
+than batches were enqueued. The invariant is a within-run ratio, so it
+transfers off the 1-core dev container (hardware_threads is recorded in
+the JSON for the day a gate wants to condition on it). Every serving row
+is additionally checked for lost updates (batches_applied must equal
+enqueued_batches — the queue accepted nothing it did not apply — and
+groups_published can never exceed batches_applied). A set cap with no
+pressure rows to check fails, mirroring --min-update-speedup.
+
 Two metrics:
 
   speedup     (default) gate on each row's batched-vs-scalar speedup —
@@ -39,7 +51,8 @@ geomean passes.
 
 Usage:
   check_bench_regression.py BASELINE.json CURRENT.json \
-      [--metric speedup|batched_ns] [--tolerance 0.25]
+      [--metric speedup|batched_ns] [--tolerance 0.25] \
+      [--serving-json SERVING.json] [--max-coalesce-ratio 0.9]
 """
 
 import argparse
@@ -67,6 +80,51 @@ def row_metric(row, metric):
     return None if not ns else 1e3 / ns
 
 
+def check_serving(path, max_coalesce_ratio):
+    """Returns True when the serving gate FAILED."""
+    with open(path) as f:
+        doc = json.load(f)
+    rows = doc.get("serving", [])
+    failed = False
+    pressure_checked = 0
+    for row in rows:
+        label = f"{row.get('scenario', '?')}/{row.get('spec', '?')}"
+        enqueued = row.get("enqueued_batches", 0)
+        applied = row.get("batches_applied", 0)
+        published = row.get("groups_published", 0)
+        # Conservation: everything accepted was applied, and a coalesced
+        # application can never publish more versions than batches it ate.
+        if applied != enqueued:
+            print(f"FAIL: serving {label}: applied {applied} batches but "
+                  f"enqueued {enqueued} (lost or phantom updates)")
+            failed = True
+        if published > applied:
+            print(f"FAIL: serving {label}: published {published} versions "
+                  f"from {applied} batches")
+            failed = True
+        if not row.get("pressure"):
+            continue
+        pressure_checked += 1
+        ratio = (published / enqueued) if enqueued else 0.0
+        print(f"serving coalesce: {label:<24} enqueued={enqueued:>6} "
+              f"published={published:>6} ratio={ratio:.4f} "
+              f"(cap {max_coalesce_ratio:.2f})")
+        if enqueued == 0:
+            print(f"FAIL: serving {label}: pressure scenario enqueued "
+                  f"nothing — no pressure was generated")
+            failed = True
+        elif ratio > max_coalesce_ratio:
+            print(f"FAIL: serving {label}: coalescing applied {published} "
+                  f"rebuilds for {enqueued} enqueued batches "
+                  f"(ratio {ratio:.3f} > cap {max_coalesce_ratio:.2f})")
+            failed = True
+    if pressure_checked == 0:
+        print("FAIL: --max-coalesce-ratio set but the serving JSON has no "
+              "pressure rows (bench_serving not run, or scenarios changed?)")
+        failed = True
+    return failed
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -79,7 +137,27 @@ def main():
                         help="absolute floor on incremental-vs-full speedup "
                              "for part:* maintenance rows in CURRENT "
                              "(0 = off)")
+    parser.add_argument("--serving-json", default=None,
+                        help="bench_serving JSON to gate on coalescing "
+                             "efficiency (requires --max-coalesce-ratio)")
+    parser.add_argument("--max-coalesce-ratio", type=float, default=0.0,
+                        help="cap on groups_published/enqueued_batches for "
+                             "pressure rows in --serving-json (0 = off)")
     args = parser.parse_args()
+
+    # Serving gate: a within-run efficiency invariant, checked against the
+    # CURRENT machine's bench_serving output, not the baseline.
+    serving_failed = False
+    if args.max_coalesce_ratio > 0:
+        if not args.serving_json:
+            print("FAIL: --max-coalesce-ratio set without --serving-json")
+            serving_failed = True
+        else:
+            serving_failed = check_serving(args.serving_json,
+                                           args.max_coalesce_ratio)
+    elif args.serving_json:
+        print("WARNING: --serving-json given without --max-coalesce-ratio; "
+              "serving rows not gated")
 
     base_doc, base_rows = load_rows(args.baseline)
     cur_doc, cur_rows = load_rows(args.current)
@@ -117,7 +195,7 @@ def main():
     if not common:
         print("WARNING: no common (spec, batch, threads) rows between "
               f"{args.baseline} and {args.current}; nothing to gate")
-        return 1 if floor_failed else 0
+        return 1 if (floor_failed or serving_failed) else 0
 
     log_sum = 0.0
     compared = 0
@@ -140,7 +218,7 @@ def main():
 
     if compared == 0:
         print("WARNING: no comparable rows; nothing to gate")
-        return 1 if floor_failed else 0
+        return 1 if (floor_failed or serving_failed) else 0
 
     geomean = math.exp(log_sum / compared)
     floor = 1 - args.tolerance
@@ -154,6 +232,9 @@ def main():
         failed = True
     if floor_failed:
         print("FAIL: maintenance speedup floor violated (see above)")
+        failed = True
+    if serving_failed:
+        print("FAIL: serving coalesce gate violated (see above)")
         failed = True
     if failed:
         return 1
