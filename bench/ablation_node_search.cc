@@ -4,13 +4,17 @@
 //
 // Same tree, same directory, same lookups — only the intra-node search
 // differs: compile-time unrolled if-else tree vs a runtime binary-search
-// loop.
+// loop. A second table ablates the next rung on the same ladder: the
+// scalar unrolled search vs the SIMD compare+count kernels
+// (simd_node_search.h), A/B'd in-process via SetNodeSearchPath, for both
+// scalar descents and the group-probing batched kernel.
 
 #include <string>
 #include <vector>
 
 #include "core/full_css_tree.h"
 #include "core/level_css_tree.h"
+#include "core/simd_node_search.h"
 #include "harness.h"
 #include "util/timer.h"
 #include "workload/key_gen.h"
@@ -69,6 +73,48 @@ void Run(Table& table, const std::vector<Key>& keys,
   }
 }
 
+template <typename TreeT>
+double MinBatchedSeconds(const TreeT& tree, const std::vector<Key>& lookups,
+                         int repeats) {
+  std::vector<size_t> out(lookups.size());
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    cssidx::Timer timer;
+    tree.LowerBoundBatch(lookups, out);
+    double sec = timer.Seconds();
+    g_sink = g_sink + out[out.size() / 2];
+    if (sec < best) best = sec;
+  }
+  return best;
+}
+
+template <int M>
+void RunSimd(Table& table, const std::vector<Key>& keys,
+             const std::vector<Key>& lookups, int repeats, bool level) {
+  const cssidx::NodeSearchPath simd = cssidx::DetectedNodeSearchPath();
+  auto measure = [&](const auto& tree) {
+    cssidx::SetNodeSearchPath(cssidx::NodeSearchPath::kScalar);
+    double scalar_probe = MinUnrolledSeconds(tree, lookups, repeats);
+    double scalar_batch = MinBatchedSeconds(tree, lookups, repeats);
+    cssidx::SetNodeSearchPath(simd);
+    double simd_probe = MinUnrolledSeconds(tree, lookups, repeats);
+    double simd_batch = MinBatchedSeconds(tree, lookups, repeats);
+    std::string name = std::string(level ? "level" : "full") +
+                       " CSS-tree/m=" + std::to_string(M);
+    table.AddRow({name, "scalar probes", Table::Num(scalar_probe),
+                  Table::Num(simd_probe),
+                  Table::Num(scalar_probe / simd_probe, 3) + "x"});
+    table.AddRow({name, "batched", Table::Num(scalar_batch),
+                  Table::Num(simd_batch),
+                  Table::Num(scalar_batch / simd_batch, 3) + "x"});
+  };
+  if (level) {
+    measure(cssidx::LevelCssTree<M>(keys));
+  } else {
+    measure(cssidx::FullCssTree<M>(keys));
+  }
+}
+
 }  // namespace
 }  // namespace cssidx::bench
 
@@ -90,5 +136,19 @@ int main(int argc, char** argv) {
   Run<16>(table, keys, lookups, options.repeats, true);
   Run<32>(table, keys, lookups, options.repeats, true);
   table.Print("Node-search ablation, n = " + std::to_string(n));
+
+  Table simd({"tree", "probe style", "scalar unrolled (s)", "simd (s)",
+              "speedup"});
+  RunSimd<8>(simd, keys, lookups, options.repeats, false);
+  RunSimd<16>(simd, keys, lookups, options.repeats, false);
+  RunSimd<32>(simd, keys, lookups, options.repeats, false);
+  RunSimd<16>(simd, keys, lookups, options.repeats, true);
+  RunSimd<32>(simd, keys, lookups, options.repeats, true);
+  simd.Print(
+      "SIMD node-search ablation (dispatch path: " +
+      std::string(
+          cssidx::NodeSearchPathName(cssidx::DetectedNodeSearchPath())) +
+      "), n = " + std::to_string(n));
+  cssidx::SetNodeSearchPath(cssidx::DetectedNodeSearchPath());
   return 0;
 }

@@ -46,6 +46,7 @@
 
 #include "core/builder.h"
 #include "core/maintained_index.h"
+#include "core/simd_node_search.h"
 #include "harness.h"
 #include "util/bits.h"
 #include "util/thread_pool.h"
@@ -261,6 +262,43 @@ int main(int argc, char** argv) {
     }
   }
 
+  // SIMD sweep: the same group-probing batched kernel, A/B'd between the
+  // forced-scalar unrolled node search and the process's widest SIMD path
+  // (simd_node_search.h) via SetNodeSearchPath. Row schema matches the
+  // other blocks: "scalar" is the scalar-unrolled batched descent,
+  // "batched" the SIMD batched descent, so "speedup" is SIMD-vs-scalar at
+  // identical probe plans. On a scalar-only detection (CSSIDX_FORCE_SCALAR
+  // or non-x86) both measurements take the same path and speedup pins ~1.
+  bench::Table simd_table({"spec", "batch", "scalar-unrolled ns/probe",
+                           "simd ns/probe", "speedup"});
+  std::vector<Row> simd_rows;
+  {
+    const NodeSearchPath widest = DetectedNodeSearchPath();
+    std::vector<std::string> simd_texts{"css:16", "css:32", "lcss:16",
+                                        "btree:16",
+                                        "hash:" + std::to_string(hash_bits)};
+    if (options.quick) simd_texts = {"css:16"};
+    const size_t simd_batch = 256;
+    for (const std::string& text : simd_texts) {
+      IndexSpec spec = *IndexSpec::Parse(text);
+      AnyIndex index = BuildIndex(spec, keys);
+      SetNodeSearchPath(NodeSearchPath::kScalar);
+      double scalar_sec = bench::MinFindBatchSeconds(index, lookups,
+                                                     simd_batch,
+                                                     options.repeats);
+      SetNodeSearchPath(widest);
+      double simd_sec = bench::MinFindBatchSeconds(index, lookups, simd_batch,
+                                                   options.repeats);
+      double scalar_ns = scalar_sec / static_cast<double>(lookups.size()) * 1e9;
+      double simd_ns = simd_sec / static_cast<double>(lookups.size()) * 1e9;
+      simd_rows.push_back({spec.ToString(), simd_batch, scalar_ns, simd_ns});
+      simd_table.AddRow({spec.ToString(), std::to_string(simd_batch),
+                         bench::Table::Num(scalar_ns, 4),
+                         bench::Table::Num(simd_ns, 4),
+                         bench::Table::Num(scalar_ns / simd_ns, 3)});
+    }
+  }
+
   // Maintenance sweep: full rebuild vs shard-incremental refresh for a
   // localized batch, in refreshed keys per second (the whole index is
   // live again after each publish, so n / seconds is the service rate of
@@ -328,6 +366,11 @@ int main(int argc, char** argv) {
     part_table.Print("range-partitioned specs, batched vs scalar, n=" +
                      std::to_string(n));
   }
+  simd_table.Print(
+      "SIMD vs scalar-unrolled node search, batched probes (dispatch "
+      "path: " +
+      std::string(NodeSearchPathName(DetectedNodeSearchPath())) +
+      "), n=" + std::to_string(n));
   if (update_mode) {
     update_table.Print(
         "batch maintenance: full rebuild vs incremental refresh "
@@ -345,9 +388,11 @@ int main(int argc, char** argv) {
   std::fprintf(json,
                "{\n  \"bench\": \"batch_lookup\",\n  \"n\": %zu,\n"
                "  \"lookups\": %zu,\n  \"repeats\": %d,\n"
-               "  \"hardware_threads\": %d,\n  \"results\": [\n",
+               "  \"hardware_threads\": %d,\n"
+               "  \"node_search_path\": \"%s\",\n  \"results\": [\n",
                n, lookups.size(), options.repeats,
-               ThreadPool::HardwareThreads());
+               ThreadPool::HardwareThreads(),
+               NodeSearchPathName(DetectedNodeSearchPath()));
   EmitRows(json, rows);
   if (range_mode) {
     std::fprintf(json, "  ],\n  \"range_probes\": [\n");
@@ -357,6 +402,10 @@ int main(int argc, char** argv) {
     std::fprintf(json, "  ],\n  \"partitioned\": [\n");
     EmitRows(json, part_rows);
   }
+  // Same row schema — here "scalar" is the scalar-unrolled batched
+  // descent and "batched" the SIMD one, so "speedup" is SIMD-vs-scalar.
+  std::fprintf(json, "  ],\n  \"simd\": [\n");
+  EmitRows(json, simd_rows);
   if (update_mode) {
     // Same row schema as the probe blocks — here "scalar" is the full
     // rebuild and "batched" the incremental refresh, both in ns per

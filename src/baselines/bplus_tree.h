@@ -9,6 +9,7 @@
 
 #include "core/index.h"
 #include "core/node_search.h"
+#include "core/simd_node_search.h"
 #include "util/aligned_buffer.h"
 #include "util/macros.h"
 
@@ -54,8 +55,10 @@ class BPlusTree {
     uint32_t node = root_;
     for (int level = height_; level > 0; --level) {
       const uint32_t* slots = arena_ptr_ + static_cast<size_t>(node) * Slots;
-      // Keys sit at odd slot indices (stride 2 starting at slot 1).
-      int j = UnrolledLowerBound<kRoutingKeys, 2>(slots + 1, k);
+      // Keys sit at odd slot indices (stride 2 starting at slot 1); the
+      // SIMD path compacts the even lanes of interleaved loads instead
+      // of gathering.
+      int j = DispatchedLowerBound<kRoutingKeys, 2>(slots + 1, k);
       node = slots[2 * j];
     }
     return SearchChunk(node, k);
@@ -91,7 +94,7 @@ class BPlusTree {
         for (size_t g = 0; g < kGroupProbes; ++g) {
           const uint32_t* slots =
               arena_ptr_ + static_cast<size_t>(node[g]) * Slots;
-          int j = UnrolledLowerBound<kRoutingKeys, 2>(slots + 1, keys[i + g]);
+          int j = DispatchedLowerBound<kRoutingKeys, 2>(slots + 1, keys[i + g]);
           node[g] = slots[2 * j];
           if (level > 1) {
             CSSIDX_PREFETCH(arena_ptr_ + static_cast<size_t>(node[g]) * Slots);
@@ -242,9 +245,10 @@ class BPlusTree {
     size_t end = start + Slots < n_ ? start + Slots : n_;
     int j;
     if (CSSIDX_LIKELY(end - start == Slots)) {
-      j = UnrolledLowerBound<Slots>(a_ + start, k);
+      j = DispatchedLowerBound<Slots>(a_ + start, k);
     } else {
-      j = GenericLowerBound(a_ + start, static_cast<int>(end - start), k);
+      // Partial trailing chunk: runtime length, same dispatched contract.
+      j = DispatchedLowerBoundN(a_ + start, static_cast<int>(end - start), k);
     }
     return start + static_cast<size_t>(j);
   }

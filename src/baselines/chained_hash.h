@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/index.h"
+#include "core/simd_node_search.h"
 #include "util/bits.h"
 #include "util/macros.h"
 
@@ -98,18 +99,9 @@ class ChainedHashIndex {
     }
   }
 
-  /// §3.6: hashing scans the whole chain for all matches.
-  size_t CountEqual(Key k) const {
-    size_t count = 0;
-    const Bucket* bucket = &arena_[Slot(k)];
-    while (true) {
-      for (uint32_t i = 0; i < bucket->count; ++i) {
-        if (bucket->pairs[i].key == k) ++count;
-      }
-      if (bucket->next == kNoNext) return count;
-      bucket = &arena_[bucket->next];
-    }
-  }
+  /// §3.6: hashing scans the whole chain for all matches (one pass,
+  /// shared with the range kernel — SIMD-dispatched on 64-byte buckets).
+  size_t CountEqual(Key k) const { return EqualRangeInChain(Slot(k), k).size(); }
 
   /// Batched EqualRange: the same slot-precompute + bucket-prefetch group
   /// pattern as FindBatch, but each chain is scanned ONCE, yielding the
@@ -175,6 +167,53 @@ class ChainedHashIndex {
   }
 
  private:
+  /// A 64-byte bucket is exactly the vector-friendly unit: 16 aligned
+  /// uint32 lanes [count, next, k0, r0, ..., k6, r6]. The SIMD chain scan
+  /// compares the probe against ALL lanes at once and masks the result
+  /// down to the key lanes below 2 + 2*count; the lowest set lane is the
+  /// earliest-inserted (= leftmost array position) match, preserving the
+  /// scalar scan's order exactly.
+  static constexpr bool kSimdBucket =
+      LineBytes == 64 && CSSIDX_HAVE_SSE2 != 0;
+
+#if CSSIDX_HAVE_SSE2
+  /// Bitmask over the bucket's 16 lanes: bit (2 + 2*i) set iff
+  /// pairs[i].key == k and i < count. Pair index = (lane - 2) / 2.
+  CSSIDX_ALWAYS_INLINE static uint32_t MatchLaneBits(const Bucket& b,
+                                                     Key k) {
+    const auto* lanes = reinterpret_cast<const uint32_t*>(&b);
+    uint32_t bits;
+#if CSSIDX_HAVE_AVX2
+    if (internal_node_search::g_active_path == NodeSearchPath::kAvx2) {
+      const __m256i vk = _mm256_set1_epi32(static_cast<int>(k));
+      __m256i lo = _mm256_load_si256(reinterpret_cast<const __m256i*>(lanes));
+      __m256i hi =
+          _mm256_load_si256(reinterpret_cast<const __m256i*>(lanes + 8));
+      bits = static_cast<uint32_t>(
+                 _mm256_movemask_ps(_mm256_castsi256_ps(
+                     _mm256_cmpeq_epi32(lo, vk)))) |
+             (static_cast<uint32_t>(_mm256_movemask_ps(_mm256_castsi256_ps(
+                  _mm256_cmpeq_epi32(hi, vk))))
+              << 8);
+    } else
+#endif
+    {
+      const __m128i vk = _mm_set1_epi32(static_cast<int>(k));
+      bits = 0;
+      for (int v = 0; v < 4; ++v) {
+        __m128i x =
+            _mm_load_si128(reinterpret_cast<const __m128i*>(lanes + 4 * v));
+        bits |= static_cast<uint32_t>(_mm_movemask_ps(
+                    _mm_castsi128_ps(_mm_cmpeq_epi32(x, vk))))
+                << (4 * v);
+      }
+    }
+    // Key slots are the even lanes from 2 on; occupied ones sit below
+    // lane 2 + 2*count (count <= 7, so the shift is at most 16).
+    return bits & 0x5554u & ((1u << (2 + 2 * b.count)) - 1u);
+  }
+#endif  // CSSIDX_HAVE_SSE2
+
   /// One pass over the chain: leftmost matching array position plus the
   /// match count. Matches appear along the chain in insertion (= array)
   /// order, so the first one seen is the leftmost.
@@ -182,6 +221,26 @@ class ChainedHashIndex {
     size_t leftmost = n_;
     size_t count = 0;
     const Bucket* bucket = &arena_[slot];
+#if CSSIDX_HAVE_SSE2
+    if constexpr (kSimdBucket) {
+      if (internal_node_search::g_active_path != NodeSearchPath::kScalar) {
+        while (true) {
+          uint32_t m = MatchLaneBits(*bucket, k);
+          if (m != 0) {
+            if (count == 0) {
+              unsigned lane = static_cast<unsigned>(__builtin_ctz(m));
+              leftmost = bucket->pairs[(lane - 2) / 2].rid;
+            }
+            count += static_cast<size_t>(__builtin_popcount(m));
+          }
+          if (bucket->next == kNoNext) {
+            return PositionRange{leftmost, leftmost + count};
+          }
+          bucket = &arena_[bucket->next];
+        }
+      }
+    }
+#endif
     while (true) {
       uint32_t in_bucket = bucket->count;
       for (uint32_t i = 0; i < in_bucket; ++i) {
@@ -198,6 +257,21 @@ class ChainedHashIndex {
 
   int64_t FindInChain(uint32_t slot, Key k) const {
     const Bucket* bucket = &arena_[slot];
+#if CSSIDX_HAVE_SSE2
+    if constexpr (kSimdBucket) {
+      if (internal_node_search::g_active_path != NodeSearchPath::kScalar) {
+        while (true) {
+          uint32_t m = MatchLaneBits(*bucket, k);
+          if (m != 0) {
+            unsigned lane = static_cast<unsigned>(__builtin_ctz(m));
+            return bucket->pairs[(lane - 2) / 2].rid;
+          }
+          if (bucket->next == kNoNext) return kNotFound;
+          bucket = &arena_[bucket->next];
+        }
+      }
+    }
+#endif
     while (true) {
       uint32_t count = bucket->count;
       for (uint32_t i = 0; i < count; ++i) {

@@ -8,6 +8,7 @@
 
 #include "core/index.h"
 #include "core/node_search.h"
+#include "core/simd_node_search.h"
 #include "util/macros.h"
 
 // T-tree (Lehman & Carey 1986), the classic main-memory index the paper
@@ -235,9 +236,9 @@ class TTreeIndex {
 
   static int SearchInNode(const Node& node, Key k) {
     if (CSSIDX_LIKELY(node.count == Entries)) {
-      return UnrolledLowerBound<Entries>(node.keys, k);
+      return DispatchedLowerBound<Entries>(node.keys, k);
     }
-    return GenericLowerBound(node.keys, static_cast<int>(node.count), k);
+    return DispatchedLowerBoundN(node.keys, static_cast<int>(node.count), k);
   }
 
   /// Balanced midpoint recursion over array chunks of `Entries` keys.

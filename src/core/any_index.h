@@ -28,6 +28,14 @@
 // EqualRange/CountEqual are convenience wrappers over a batch of one.
 // Timing benches that sweep node sizes still use the templates directly,
 // as before.
+//
+// Beneath every batch kernel, the intra-node search itself is
+// SIMD-dispatched (simd_node_search.h: SSE2/AVX2 compare+count with the
+// scalar unrolled search of §6.2 as fallback). That layer is invisible
+// here by design: the count-of-keys-less-than-k formulation makes every
+// dispatch path return the identical leftmost position, so nothing in
+// this contract — nor in any result a caller can observe — depends on
+// which path executed.
 
 namespace cssidx {
 
@@ -105,9 +113,14 @@ class AnyIndex {
    public:
     virtual ~Impl() = default;
     /// out[i] = first position >= keys[i] (size() for unordered methods).
+    /// "First" is load-bearing: duplicate routing (§4.1.2) directs an
+    /// equal key to the LEFTMOST matching position, so a duplicate run can
+    /// be enumerated from its lower bound.
     virtual void LowerBoundBatch(std::span<const Key> keys,
                                  std::span<size_t> out) const = 0;
-    /// out[i] = leftmost position of keys[i] or kNotFound.
+    /// out[i] = leftmost position of keys[i] or kNotFound. Results are
+    /// independent of batch boundaries and thread policy: probing one key
+    /// in a batch of 4096 equals probing it alone.
     virtual void FindBatch(std::span<const Key> keys,
                            std::span<int64_t> out) const = 0;
     /// out[i] = the half-open positional span of keys[i]'s duplicate run

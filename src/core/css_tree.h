@@ -11,6 +11,7 @@
 #include "core/css_layout.h"
 #include "core/index.h"
 #include "core/node_search.h"
+#include "core/simd_node_search.h"
 #include "util/aligned_buffer.h"
 #include "util/macros.h"
 
@@ -82,7 +83,7 @@ class BasicCssTree {
     const KeyT* dir = dir_keys_;
     while (d < internal) {
       const KeyT* node = dir + d * Stride;
-      int j = UnrolledLowerBound<kInternalKeys, 1, KeyT>(node, k);
+      int j = DispatchedLowerBound<kInternalKeys, 1, KeyT>(node, k);
       d = d * Fanout + 1 + static_cast<uint64_t>(j);
     }
     return SearchLeaf(d, k);
@@ -128,8 +129,8 @@ class BasicCssTree {
           for (size_t g = 0; g < kGroupProbes; ++g) {
             if (d[g] >= internal) continue;
             const KeyT* node = dir + d[g] * Stride;
-            int j = UnrolledLowerBound<kInternalKeys, 1, KeyT>(node,
-                                                               keys[i + g]);
+            int j = DispatchedLowerBound<kInternalKeys, 1, KeyT>(
+                node, keys[i + g]);
             d[g] = d[g] * Fanout + 1 + static_cast<uint64_t>(j);
             if (d[g] < internal) {
               CSSIDX_PREFETCH(dir + d[g] * Stride);
@@ -282,9 +283,10 @@ class BasicCssTree {
     auto [lo, hi] = LeafRange(leaf);
     int j;
     if (CSSIDX_LIKELY(hi - lo == Stride)) {
-      j = UnrolledLowerBound<Stride, 1, KeyT>(a_ + lo, k);
+      j = DispatchedLowerBound<Stride, 1, KeyT>(a_ + lo, k);
     } else {
-      j = GenericLowerBound(a_ + lo, static_cast<int>(hi - lo), k);
+      // Partial trailing leaf: runtime length, same dispatched contract.
+      j = DispatchedLowerBoundN(a_ + lo, static_cast<int>(hi - lo), k);
     }
     return lo + static_cast<size_t>(j);
   }

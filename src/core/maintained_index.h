@@ -127,7 +127,9 @@ class MaintainedIndex {
   void ApplySortedBatch(std::vector<Key> sorted_inserts,
                         std::vector<Key> sorted_deletes);
 
-  /// Writer: replace the dataset outright (bulk reload).
+  /// Writer: replace the dataset outright (bulk reload — the paper's
+  /// §2.2 batch lifecycle with a batch of "everything"). Publishes one
+  /// fresh version (sequence +1) even when the keys are unchanged.
   void Rebuild(std::vector<Key> sorted_keys);
 
   // The full batch-probe surface, each call against one fresh snapshot

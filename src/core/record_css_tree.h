@@ -11,6 +11,7 @@
 #include "core/css_layout.h"
 #include "core/index.h"
 #include "core/node_search.h"
+#include "core/simd_node_search.h"
 #include "util/aligned_buffer.h"
 #include "util/macros.h"
 
@@ -56,7 +57,7 @@ class RecordCssTree {
     const uint64_t internal = layout_.internal_nodes;
     while (d < internal) {
       const Key* node = dir_keys_ + d * kStride;
-      int j = UnrolledLowerBound<kStride>(node, k);
+      int j = DispatchedLowerBound<kStride>(node, k);
       d = d * kFanout + 1 + static_cast<uint64_t>(j);
     }
     return SearchLeaf(d, k);
@@ -87,7 +88,7 @@ class RecordCssTree {
           for (size_t g = 0; g < kGroupProbes; ++g) {
             if (d[g] >= internal) continue;
             const Key* node = dir + d[g] * kStride;
-            int j = UnrolledLowerBound<kStride>(node, keys[i + g]);
+            int j = DispatchedLowerBound<kStride>(node, keys[i + g]);
             d[g] = d[g] * kFanout + 1 + static_cast<uint64_t>(j);
             if (d[g] < internal) {
               CSSIDX_PREFETCH(dir + d[g] * kStride);

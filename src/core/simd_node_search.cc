@@ -1,0 +1,101 @@
+#include "core/simd_node_search.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#define CSSIDX_X86_64 1
+#else
+#define CSSIDX_X86_64 0
+#endif
+
+// Path detection: CPUID capability ∩ compiled-in kernels ∩ environment.
+//
+// The AVX2 check follows the required protocol, not just the feature bit:
+// leaf 1 must report OSXSAVE (the OS uses XSAVE at context switch), XCR0
+// must show the OS actually saves XMM+YMM state, and leaf 7 must report
+// AVX2 itself. Skipping the XCR0 step is how binaries SIGILL inside VMs
+// whose hypervisor masks YMM state — the classic dispatch bug.
+//
+// The result is then capped by what THIS build compiled: without -mavx2 /
+// -march=native the AVX2 kernels do not exist in the binary, so detection
+// tops out at SSE2 (and the per-call dispatch would fall back anyway —
+// belt and suspenders). CSSIDX_FORCE_SCALAR (any value but "0") caps to
+// scalar: the debugging/CI escape hatch, read once at startup.
+
+namespace cssidx {
+
+namespace {
+
+NodeSearchPath DetectOnce() {
+  const char* force = std::getenv("CSSIDX_FORCE_SCALAR");
+  if (force != nullptr && std::strcmp(force, "0") != 0) {
+    return NodeSearchPath::kScalar;
+  }
+#if CSSIDX_X86_64 && CSSIDX_HAVE_SSE2
+  NodeSearchPath best = NodeSearchPath::kSse2;  // x86-64 baseline
+#if CSSIDX_HAVE_AVX2
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) && (ecx & bit_OSXSAVE) != 0) {
+    // XCR0 bits 1 (XMM) and 2 (YMM) must both be OS-enabled. Inline asm
+    // rather than _xgetbv: the intrinsic needs -mxsave, which -mavx2
+    // alone does not imply.
+    unsigned xcr0_lo = 0, xcr0_hi = 0;
+    __asm__("xgetbv" : "=a"(xcr0_lo), "=d"(xcr0_hi) : "c"(0u));
+    unsigned xcr0 = xcr0_lo;
+    (void)xcr0_hi;
+    if ((xcr0 & 0x6u) == 0x6u &&
+        __get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) &&
+        (ebx & bit_AVX2) != 0) {
+      best = NodeSearchPath::kAvx2;
+    }
+  }
+#endif
+  return best;
+#else
+  return NodeSearchPath::kScalar;
+#endif
+}
+
+}  // namespace
+
+namespace internal_node_search {
+
+// Dynamic init; zero-init (kScalar) before that, so probes from other
+// static initializers are safe.
+NodeSearchPath g_active_path = DetectOnce();
+
+}  // namespace internal_node_search
+
+const char* NodeSearchPathName(NodeSearchPath path) {
+  switch (path) {
+    case NodeSearchPath::kAvx2:
+      return "avx2";
+    case NodeSearchPath::kSse2:
+      return "sse2";
+    case NodeSearchPath::kScalar:
+      return "scalar";
+  }
+  return "scalar";
+}
+
+NodeSearchPath DetectedNodeSearchPath() {
+  static const NodeSearchPath detected = DetectOnce();
+  return detected;
+}
+
+NodeSearchPath ActiveNodeSearchPath() {
+  return internal_node_search::g_active_path;
+}
+
+NodeSearchPath SetNodeSearchPath(NodeSearchPath path) {
+  NodeSearchPath capped = path;
+  if (static_cast<int>(capped) > static_cast<int>(DetectedNodeSearchPath())) {
+    capped = DetectedNodeSearchPath();
+  }
+  internal_node_search::g_active_path = capped;
+  return capped;
+}
+
+}  // namespace cssidx

@@ -1,0 +1,290 @@
+#ifndef CSSIDX_CORE_SIMD_NODE_SEARCH_H_
+#define CSSIDX_CORE_SIMD_NODE_SEARCH_H_
+
+#include <cstdint>
+#include <type_traits>
+
+#include "core/node_search.h"
+#include "util/macros.h"
+
+// SIMD intra-node search with runtime dispatch.
+//
+// The paper's §6.2 result — hard-coding the intra-node search buys 20-45%
+// — is a statement about instruction-level waste once the node is cache
+// resident. Vector hardware removes the next layer of that waste: instead
+// of log2(m) dependent compare-and-branch steps (each a potential
+// mispredict), one compare of the probe against ALL of a node's keys plus
+// a horizontal count answers the search branch-free.
+//
+// The trick that keeps the §4.1.2 leftmost-on-ties contract for free: a
+// node's keys are sorted (that is what makes binary search valid in the
+// first place), so the lower-bound index — the smallest i with
+// keys[i*Stride] >= k — EQUALS the number of keys strictly less than k.
+// A vector compare "key < k" over every key slot, accumulated and
+// horizontally summed, therefore lands on exactly the slot the scalar
+// UnrolledLowerBound picks, duplicates and all. No masks to order, no
+// tie-break logic: bit-identical by construction.
+//
+// Paths, selected once at startup and switchable for tests/benches:
+//
+//   kScalar  UnrolledLowerBound (node_search.h), always available.
+//   kSse2    128-bit compare+accumulate, 4 keys/step. SSE2 is x86-64
+//            baseline, so this is compiled into every x86-64 build.
+//   kAvx2    256-bit, 8 keys/step. Only compiled when the build enables
+//            AVX2 (-mavx2 / -march=native, see CSSIDX_MARCH_NATIVE in
+//            CMake); otherwise a runtime request for it falls back to
+//            SSE2 in the dispatch below.
+//
+// Detection (simd_node_search.cc) intersects CPUID capability (AVX2 needs
+// the OSXSAVE/XCR0 dance — the OS must save YMM state), what this build
+// compiled in, and the CSSIDX_FORCE_SCALAR environment escape hatch. The
+// active path is process-global and deliberately NOT atomic: it is set at
+// static init, and may be re-set by single-threaded test/bench code via
+// SetNodeSearchPath while no probes are in flight (thread-pool dispatch
+// edges order any later parallel readers).
+//
+// Strided nodes (B+-tree interleaved key/pointer slots, Stride == 2) are
+// handled with even-lane shuffles rather than gathers; the kernels read
+// only slots that exist in the node (proof at the Stride == 2 loads
+// below). uint64 keys and off-width strides fall back to the scalar
+// unrolled path via kHasSimdNodeSearch — dispatch is compile-time where
+// the answer is static, runtime only where it is not.
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#define CSSIDX_HAVE_SSE2 1
+#else
+#define CSSIDX_HAVE_SSE2 0
+#endif
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define CSSIDX_HAVE_AVX2 1
+#else
+#define CSSIDX_HAVE_AVX2 0
+#endif
+
+namespace cssidx {
+
+/// Widest vector path the current process will use for intra-node search.
+/// Order matters: numeric comparison == capability comparison.
+enum class NodeSearchPath : int { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// "scalar" / "sse2" / "avx2" — for bench JSON and log lines.
+const char* NodeSearchPathName(NodeSearchPath path);
+
+/// Widest path this build + CPU + environment supports: CPUID capability,
+/// capped by what was compiled in, forced to kScalar when the
+/// CSSIDX_FORCE_SCALAR environment variable is set (to anything but "0").
+/// Computed once; cheap to call.
+NodeSearchPath DetectedNodeSearchPath();
+
+/// The path probes dispatch on right now (== Detected unless overridden).
+NodeSearchPath ActiveNodeSearchPath();
+
+/// Overrides the active path, clamped to DetectedNodeSearchPath(); returns
+/// the path actually installed. For differential tests and ablation
+/// benches (scalar vs SIMD in one process). Call only while no probes are
+/// in flight — the variable is unsynchronized by design (see above).
+NodeSearchPath SetNodeSearchPath(NodeSearchPath path);
+
+namespace internal_node_search {
+
+/// The active path. Zero-init (= kScalar) until the dynamic initializer
+/// in simd_node_search.cc runs, so probes issued during static init are
+/// safe — they just take the scalar path.
+extern NodeSearchPath g_active_path;
+
+/// True when a SIMD kernel exists for this node shape: 4-byte keys (the
+/// paper's K = 4; uint64 trees fall back to scalar), dense or B+-tree
+/// interleaved layout, and enough keys that one vector step beats the
+/// sequential scan the scalar path would use anyway.
+template <int Count, int Stride, typename KeyT>
+inline constexpr bool kHasSimdNodeSearch =
+    CSSIDX_HAVE_SSE2 != 0 && std::is_same_v<KeyT, uint32_t> &&
+    (Stride == 1 || Stride == 2) && Count >= 8;
+
+#if CSSIDX_HAVE_SSE2
+
+CSSIDX_ALWAYS_INLINE __m128i BiasSigned128(__m128i v) {
+  // SSE2 has no unsigned compare; XOR with 2^31 maps unsigned order onto
+  // signed order so _mm_cmpgt_epi32 compares uint32 correctly.
+  return _mm_xor_si128(v, _mm_set1_epi32(static_cast<int>(0x80000000u)));
+}
+
+/// Keys at even element offsets of two consecutive 128-bit loads,
+/// compacted into one vector: [p[0], p[2], p[4], p[6]].
+CSSIDX_ALWAYS_INLINE __m128i EvenLanes128(const uint32_t* p) {
+  __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 4));
+  return _mm_unpacklo_epi64(_mm_shuffle_epi32(a, _MM_SHUFFLE(3, 1, 2, 0)),
+                            _mm_shuffle_epi32(b, _MM_SHUFFLE(3, 1, 2, 0)));
+}
+
+/// Lower bound over Count sorted keys via "count keys < k": each cmpgt
+/// lane contributes -1, accumulated per lane and horizontally summed at
+/// the end — no movemask, no popcount, no branches. The trailing
+/// Count % 4 keys fold in as branchless scalar compares.
+template <int Count, int Stride>
+CSSIDX_ALWAYS_INLINE int SseLowerBound(const uint32_t* keys, uint32_t k) {
+  static_assert(Stride == 1 || Stride == 2);
+  const __m128i vk = BiasSigned128(_mm_set1_epi32(static_cast<int>(k)));
+  __m128i acc = _mm_setzero_si128();
+  int i = 0;
+  for (; i + 4 <= Count; i += 4) {
+    // Stride 2 reads slots [2i, 2i+7]: the last is key (i+3)'s trailing
+    // pointer slot, which exists for every B+-tree node (a node stores
+    // Count keys AND Count+1 pointers, so slot 2*Count is always there).
+    __m128i v = Stride == 1 ? _mm_loadu_si128(
+                                  reinterpret_cast<const __m128i*>(keys + i))
+                            : EvenLanes128(keys + 2 * i);
+    acc = _mm_add_epi32(acc, _mm_cmpgt_epi32(vk, BiasSigned128(v)));
+  }
+  acc = _mm_add_epi32(acc, _mm_shuffle_epi32(acc, _MM_SHUFFLE(1, 0, 3, 2)));
+  acc = _mm_add_epi32(acc, _mm_shuffle_epi32(acc, _MM_SHUFFLE(2, 3, 0, 1)));
+  int less = -_mm_cvtsi128_si32(acc);
+  for (; i < Count; ++i) less += keys[i * Stride] < k ? 1 : 0;
+  return less;
+}
+
+/// Runtime-count twin for partial trailing leaves/chunks (dense layout
+/// only — every partial leaf in the suite is a bare key array).
+CSSIDX_ALWAYS_INLINE int SseLowerBoundN(const uint32_t* keys, int count,
+                                        uint32_t k) {
+  const __m128i vk = BiasSigned128(_mm_set1_epi32(static_cast<int>(k)));
+  __m128i acc = _mm_setzero_si128();
+  int i = 0;
+  for (; i + 4 <= count; i += 4) {
+    __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(keys + i));
+    acc = _mm_add_epi32(acc, _mm_cmpgt_epi32(vk, BiasSigned128(v)));
+  }
+  acc = _mm_add_epi32(acc, _mm_shuffle_epi32(acc, _MM_SHUFFLE(1, 0, 3, 2)));
+  acc = _mm_add_epi32(acc, _mm_shuffle_epi32(acc, _MM_SHUFFLE(2, 3, 0, 1)));
+  int less = -_mm_cvtsi128_si32(acc);
+  for (; i < count; ++i) less += keys[i] < k ? 1 : 0;
+  return less;
+}
+
+#endif  // CSSIDX_HAVE_SSE2
+
+#if CSSIDX_HAVE_AVX2
+
+CSSIDX_ALWAYS_INLINE __m256i BiasSigned256(__m256i v) {
+  return _mm256_xor_si256(v,
+                          _mm256_set1_epi32(static_cast<int>(0x80000000u)));
+}
+
+/// 8-key step of the same count-keys-less-than-k scheme. Stride 2
+/// compacts the even lanes of two 256-bit loads (16 slots -> 8 keys)
+/// with one cross-lane permute each plus a 128-bit-half merge.
+template <int Count, int Stride>
+CSSIDX_ALWAYS_INLINE int AvxLowerBound(const uint32_t* keys, uint32_t k) {
+  static_assert(Stride == 1 || Stride == 2);
+  const __m256i vk = BiasSigned256(_mm256_set1_epi32(static_cast<int>(k)));
+  __m256i acc = _mm256_setzero_si256();
+  int i = 0;
+  if constexpr (Stride == 1) {
+    for (; i + 8 <= Count; i += 8) {
+      __m256i v =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+      acc = _mm256_add_epi32(acc, _mm256_cmpgt_epi32(vk, BiasSigned256(v)));
+    }
+  } else {
+    const __m256i evens = _mm256_setr_epi32(0, 2, 4, 6, 0, 2, 4, 6);
+    for (; i + 8 <= Count; i += 8) {
+      // Reads slots [2i, 2i+15]; slot 2*Count exists (see SseLowerBound).
+      __m256i a = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(keys + 2 * i));
+      __m256i b = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(keys + 2 * i + 8));
+      __m256i lo = _mm256_permutevar8x32_epi32(a, evens);  // keys i..i+3
+      __m256i hi = _mm256_permutevar8x32_epi32(b, evens);  // keys i+4..i+7
+      __m256i v = _mm256_permute2x128_si256(lo, hi, 0x20);
+      acc = _mm256_add_epi32(acc, _mm256_cmpgt_epi32(vk, BiasSigned256(v)));
+    }
+  }
+  __m128i acc4 = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                               _mm256_extracti128_si256(acc, 1));
+  acc4 = _mm_add_epi32(acc4, _mm_shuffle_epi32(acc4, _MM_SHUFFLE(1, 0, 3, 2)));
+  acc4 = _mm_add_epi32(acc4, _mm_shuffle_epi32(acc4, _MM_SHUFFLE(2, 3, 0, 1)));
+  int less = -_mm_cvtsi128_si32(acc4);
+  for (; i < Count; ++i) less += keys[i * Stride] < k ? 1 : 0;
+  return less;
+}
+
+CSSIDX_ALWAYS_INLINE int AvxLowerBoundN(const uint32_t* keys, int count,
+                                        uint32_t k) {
+  const __m256i vk = BiasSigned256(_mm256_set1_epi32(static_cast<int>(k)));
+  __m256i acc = _mm256_setzero_si256();
+  int i = 0;
+  for (; i + 8 <= count; i += 8) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    acc = _mm256_add_epi32(acc, _mm256_cmpgt_epi32(vk, BiasSigned256(v)));
+  }
+  __m128i acc4 = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                               _mm256_extracti128_si256(acc, 1));
+  acc4 = _mm_add_epi32(acc4, _mm_shuffle_epi32(acc4, _MM_SHUFFLE(1, 0, 3, 2)));
+  acc4 = _mm_add_epi32(acc4, _mm_shuffle_epi32(acc4, _MM_SHUFFLE(2, 3, 0, 1)));
+  int less = -_mm_cvtsi128_si32(acc4);
+  for (; i < count; ++i) less += keys[i] < k ? 1 : 0;
+  return less;
+}
+
+#endif  // CSSIDX_HAVE_AVX2
+
+}  // namespace internal_node_search
+
+/// The dispatched intra-node lower bound: same contract as
+/// UnrolledLowerBound (smallest i in [0, Count) with keys[i*Stride] >= k,
+/// leftmost slot on ties — §4.1.2's duplicate routing depends on it), with
+/// the search itself running on the widest path the process selected.
+/// Node shapes without a SIMD kernel compile straight to the scalar
+/// unrolled search with zero dispatch cost.
+template <int Count, int Stride = 1, typename KeyT = Key>
+CSSIDX_ALWAYS_INLINE int DispatchedLowerBound(const KeyT* keys, KeyT k) {
+  using internal_node_search::kHasSimdNodeSearch;
+  if constexpr (kHasSimdNodeSearch<Count, Stride, KeyT>) {
+    const NodeSearchPath path = internal_node_search::g_active_path;
+#if CSSIDX_HAVE_AVX2
+    if (CSSIDX_LIKELY(path == NodeSearchPath::kAvx2)) {
+      return internal_node_search::AvxLowerBound<Count, Stride>(keys, k);
+    }
+#endif
+#if CSSIDX_HAVE_SSE2
+    if (path != NodeSearchPath::kScalar) {
+      // A kAvx2 request in a build without AVX2 compiled in lands here:
+      // SSE2 is the widest path this binary owns.
+      return internal_node_search::SseLowerBound<Count, Stride>(keys, k);
+    }
+#endif
+  }
+  return UnrolledLowerBound<Count, Stride, KeyT>(keys, k);
+}
+
+/// Runtime-length dispatched lower bound, for partial trailing leaves and
+/// B+-tree tail chunks whose length is only known at run time. Dense
+/// layouts only; non-uint32 keys and strided calls take the generic loop.
+template <typename KeyT = Key>
+CSSIDX_ALWAYS_INLINE int DispatchedLowerBoundN(const KeyT* keys, int count,
+                                               KeyT k, int stride = 1) {
+#if CSSIDX_HAVE_SSE2
+  if constexpr (std::is_same_v<KeyT, uint32_t>) {
+    if (stride == 1 && count >= 8) {
+      const NodeSearchPath path = internal_node_search::g_active_path;
+#if CSSIDX_HAVE_AVX2
+      if (CSSIDX_LIKELY(path == NodeSearchPath::kAvx2)) {
+        return internal_node_search::AvxLowerBoundN(keys, count, k);
+      }
+#endif
+      if (path != NodeSearchPath::kScalar) {
+        return internal_node_search::SseLowerBoundN(keys, count, k);
+      }
+    }
+  }
+#endif
+  return GenericLowerBound(keys, count, k, stride);
+}
+
+}  // namespace cssidx
+
+#endif  // CSSIDX_CORE_SIMD_NODE_SEARCH_H_

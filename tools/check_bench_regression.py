@@ -21,6 +21,17 @@ from scratch, on this machine, not merely match a baseline ratio. A set
 floor with no part:* maintenance rows to check also fails, so the
 guarantee cannot be disabled by accidentally dropping --update.
 
+SIMD rows ("simd" block: SIMD-vs-scalar-unrolled batched descents at
+identical probe plans) join the same geomean, and carry their own
+absolute floor: --min-simd-speedup (default 0 = off) fails the gate
+when any CURRENT css:* simd row's speedup falls below the floor — the
+vector kernels must actually beat the scalar unrolled search on this
+machine. The floor only binds when the recording process dispatched a
+SIMD path (the JSON's "node_search_path" is not "scalar"): a forced-
+scalar or non-x86 run measures scalar-vs-scalar, where ~1.0 is correct.
+A set floor with no css:* simd rows in a SIMD-dispatching run fails,
+mirroring --min-update-speedup.
+
 Serving-layer gate (independent of the baseline file): --serving-json
 points at a bench_serving JSON and --max-coalesce-ratio (0 = off) caps
 groups_published / enqueued_batches for every pressure row — under
@@ -65,7 +76,8 @@ def load_rows(path):
     with open(path) as f:
         doc = json.load(f)
     rows = {}
-    for block in ("results", "range_probes", "partitioned", "maintenance"):
+    for block in ("results", "range_probes", "partitioned", "simd",
+                  "maintenance"):
         for row in doc.get(block, []):
             key = (block, row["spec"], row["batch"], row.get("threads", 1))
             rows[key] = row
@@ -137,6 +149,11 @@ def main():
                         help="absolute floor on incremental-vs-full speedup "
                              "for part:* maintenance rows in CURRENT "
                              "(0 = off)")
+    parser.add_argument("--min-simd-speedup", type=float, default=0.0,
+                        help="absolute floor on SIMD-vs-scalar-unrolled "
+                             "speedup for css:* simd rows in CURRENT; only "
+                             "binds when CURRENT dispatched a SIMD path "
+                             "(0 = off)")
     parser.add_argument("--serving-json", default=None,
                         help="bench_serving JSON to gate on coalescing "
                              "efficiency (requires --max-coalesce-ratio)")
@@ -191,6 +208,38 @@ def main():
                   "maintenance rows (bench run without --update?)")
             floor_failed = True
 
+    # Absolute floor for the SIMD node-search path: on a machine where a
+    # vector path dispatched, the css:* batched descent must beat the
+    # scalar unrolled search by at least the requested factor. Skipped
+    # entirely when the recording run was scalar (forced or non-x86) —
+    # there both sides of the A/B are the same kernel.
+    cur_path = cur_doc.get("node_search_path", "scalar")
+    if args.min_simd_speedup > 0:
+        if cur_path == "scalar":
+            print("simd floor: CURRENT dispatched the scalar path "
+                  "(forced or non-x86); SIMD floor not applicable")
+        else:
+            checked = 0
+            for key, row in sorted(cur_rows.items()):
+                if key[0] != "simd" or not key[1].startswith("css:"):
+                    continue
+                speedup = row.get("speedup")
+                if speedup is None:
+                    continue
+                checked += 1
+                print(f"simd floor [{cur_path}]: {key[1]:<12} "
+                      f"batch={key[2]:>6} speedup={speedup:.3f} "
+                      f"(floor {args.min_simd_speedup:.2f})")
+                if speedup < args.min_simd_speedup:
+                    print(f"FAIL: {key[1]} batch={key[2]} SIMD node search "
+                          f"only {speedup:.2f}x over scalar unrolled "
+                          f"(floor {args.min_simd_speedup:.2f}x)")
+                    floor_failed = True
+            if checked == 0:
+                print("FAIL: --min-simd-speedup set but CURRENT has no "
+                      "css:* simd rows (bench schema changed?)")
+                floor_failed = True
+
     common = sorted(set(base_rows) & set(cur_rows))
     if not common:
         print("WARNING: no common (spec, batch, threads) rows between "
@@ -231,7 +280,8 @@ def main():
               f">{args.tolerance:.0%} vs {args.baseline}")
         failed = True
     if floor_failed:
-        print("FAIL: maintenance speedup floor violated (see above)")
+        print("FAIL: absolute speedup floor violated "
+              "(maintenance/simd — see above)")
         failed = True
     if serving_failed:
         print("FAIL: serving coalesce gate violated (see above)")
