@@ -44,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "analytic/space_model.h"
 #include "core/builder.h"
 #include "core/maintained_index.h"
 #include "core/simd_node_search.h"
@@ -299,6 +300,73 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Key-width sweep (§5's K parameter): css:16 (4-byte keys, m=16) vs
+  // css64:8 (8-byte keys, m=8) at the same one-cache-line node budget,
+  // probing the same logical key set widened past 2^32. Alongside the
+  // probe timings the block records each directory's bytes, and the
+  // measured 8-byte/4-byte space ratio next to the analytic model's
+  // (nK^2/sc, so (8/4)^2 = 4 exactly at fixed sc) — gated against each
+  // other by check_bench_regression.py's --key-width-space-band.
+  bench::Table width_table({"spec", "K", "batch", "scalar ns/probe",
+                            "batched ns/probe", "speedup", "directory"});
+  std::vector<Row> width_rows;
+  double width_space32 = 0, width_space64 = 0;
+  {
+    std::vector<uint64_t> keys64(keys.begin(), keys.end());
+    for (auto& k : keys64) k |= (1ull << 40);  // force genuinely wide keys
+    std::vector<uint64_t> lookups64(lookups.begin(), lookups.end());
+    for (auto& k : lookups64) k |= (1ull << 40);
+    const size_t width_batch = 256;
+
+    IndexSpec spec32 = *IndexSpec::Parse("css:16");
+    AnyIndex index32 = BuildIndex(spec32, keys);
+    width_space32 = static_cast<double>(index32.SpaceBytes());
+    double scalar32 =
+        bench::MinFindSeconds(index32, lookups, options.repeats) /
+        static_cast<double>(lookups.size()) * 1e9;
+    double batched32 =
+        bench::MinFindBatchSeconds(index32, lookups, width_batch,
+                                   options.repeats) /
+        static_cast<double>(lookups.size()) * 1e9;
+    width_rows.push_back({spec32.ToString(), width_batch, scalar32,
+                          batched32});
+    width_table.AddRow({spec32.ToString(), "4", std::to_string(width_batch),
+                        bench::Table::Num(scalar32, 4),
+                        bench::Table::Num(batched32, 4),
+                        bench::Table::Num(scalar32 / batched32, 3),
+                        bench::Table::Bytes(width_space32)});
+
+    IndexSpec spec64 = *IndexSpec::Parse("css64:8");
+    AnyIndex64 index64 = BuildIndex64(spec64, keys64);
+    width_space64 = static_cast<double>(index64.SpaceBytes());
+    double scalar64 =
+        bench::MinFindSeconds<Key64>(index64, lookups64, options.repeats) /
+        static_cast<double>(lookups64.size()) * 1e9;
+    double batched64 =
+        bench::MinFindBatchSeconds<Key64>(index64, lookups64, width_batch,
+                                          options.repeats) /
+        static_cast<double>(lookups64.size()) * 1e9;
+    width_rows.push_back({spec64.ToString(), width_batch, scalar64,
+                          batched64});
+    width_table.AddRow({spec64.ToString(), "8", std::to_string(width_batch),
+                        bench::Table::Num(scalar64, 4),
+                        bench::Table::Num(batched64, 4),
+                        bench::Table::Num(scalar64 / batched64, 3),
+                        bench::Table::Bytes(width_space64)});
+  }
+  // The analytic counterpart of the measured ratio, from the Figure 7
+  // formula at this n: both widths fill one cache line, so the ratio is
+  // K^2-driven and exactly 4 up to directory rounding.
+  analytic::Params params32 = analytic::Table1();
+  params32.n = static_cast<double>(n);
+  analytic::Params params64 = params32;
+  params64.K = 8;
+  double width_model_ratio =
+      analytic::FullCssSpace(params64, params64.SlotsPerNode()) /
+      analytic::FullCssSpace(params32, params32.SlotsPerNode());
+  double width_measured_ratio =
+      width_space32 > 0 ? width_space64 / width_space32 : 0.0;
+
   // Maintenance sweep: full rebuild vs shard-incremental refresh for a
   // localized batch, in refreshed keys per second (the whole index is
   // live again after each publish, so n / seconds is the service rate of
@@ -371,6 +439,10 @@ int main(int argc, char** argv) {
       "path: " +
       std::string(NodeSearchPathName(DetectedNodeSearchPath())) +
       "), n=" + std::to_string(n));
+  width_table.Print(
+      "key width at a fixed 64B node: measured space ratio " +
+      bench::Table::Num(width_measured_ratio, 3) + " vs model " +
+      bench::Table::Num(width_model_ratio, 3) + ", n=" + std::to_string(n));
   if (update_mode) {
     update_table.Print(
         "batch maintenance: full rebuild vs incremental refresh "
@@ -406,6 +478,11 @@ int main(int argc, char** argv) {
   // descent and "batched" the SIMD one, so "speedup" is SIMD-vs-scalar.
   std::fprintf(json, "  ],\n  \"simd\": [\n");
   EmitRows(json, simd_rows);
+  // Key-width rows share the probe-row schema (so they join the geomean
+  // gate); the space ratios land in a trailing "key_width_space" object
+  // for the --key-width-space-band model check.
+  std::fprintf(json, "  ],\n  \"key_width\": [\n");
+  EmitRows(json, width_rows);
   if (update_mode) {
     // Same row schema as the probe blocks — here "scalar" is the full
     // rebuild and "batched" the incremental refresh, both in ns per
@@ -426,7 +503,12 @@ int main(int argc, char** argv) {
         r.timing.PerThreadMProbesPerSec(), r.scaling,
         i + 1 < scaling_rows.size() ? "," : "");
   }
-  std::fprintf(json, "  ]\n}\n");
+  std::fprintf(json,
+               "  ],\n  \"key_width_space\": {\"measured_ratio\": %.4f, "
+               "\"model_ratio\": %.4f, \"bytes_4\": %.0f, \"bytes_8\": "
+               "%.0f}\n}\n",
+               width_measured_ratio, width_model_ratio, width_space32,
+               width_space64);
   std::fclose(json);
   std::printf("\nwrote %s\n", json_path.c_str());
   return 0;

@@ -39,14 +39,16 @@ struct Options {
 
 /// Minimum wall-clock seconds over `repeats` runs of the full lookup batch
 /// using Find (successful exact-match lookups, the paper's workload).
-template <typename IndexT>
-double MinFindSeconds(const IndexT& index, const std::vector<Key>& lookups,
+/// KeyT is non-deduced (defaults to Key), matching FindBlocked: 8-byte
+/// callers write MinFindSeconds<Key64>(index64, ...).
+template <typename KeyT = Key, typename IndexT>
+double MinFindSeconds(const IndexT& index, const std::vector<KeyT>& lookups,
                       int repeats) {
   double best = 1e300;
   for (int r = 0; r < repeats; ++r) {
     uint64_t sum = 0;
     Timer timer;
-    for (Key k : lookups) {
+    for (KeyT k : lookups) {
       sum += static_cast<uint64_t>(index.Find(k));
     }
     double sec = timer.Seconds();
@@ -59,15 +61,15 @@ double MinFindSeconds(const IndexT& index, const std::vector<Key>& lookups,
 /// Minimum wall-clock seconds over `repeats` runs of the full lookup set
 /// issued through FindBatch in blocks of `batch` probes. Works for AnyIndex
 /// and for any template with a span-based FindBatch.
-template <typename IndexT>
+template <typename KeyT = Key, typename IndexT>
 double MinFindBatchSeconds(const IndexT& index,
-                           const std::vector<Key>& lookups, size_t batch,
+                           const std::vector<KeyT>& lookups, size_t batch,
                            int repeats) {
   std::vector<int64_t> out(lookups.size());
   double best = 1e300;
   for (int r = 0; r < repeats; ++r) {
     Timer timer;
-    FindBlocked(index, lookups, batch, out);
+    FindBlocked<KeyT>(index, lookups, batch, out);
     double sec = timer.Seconds();
     uint64_t sum = 0;
     for (int64_t v : out) sum += static_cast<uint64_t>(v);
@@ -80,15 +82,15 @@ double MinFindBatchSeconds(const IndexT& index,
 /// Minimum wall-clock seconds over `repeats` runs of the full lookup set
 /// probed one scalar EqualRange at a time (a batch of one through the
 /// virtual hop) — the pre-batch duplicate-expansion path.
-template <typename IndexT>
+template <typename KeyT = Key, typename IndexT>
 double MinEqualRangeScalarSeconds(const IndexT& index,
-                                  const std::vector<Key>& lookups,
+                                  const std::vector<KeyT>& lookups,
                                   int repeats) {
   double best = 1e300;
   for (int r = 0; r < repeats; ++r) {
     uint64_t sum = 0;
     Timer timer;
-    for (Key k : lookups) {
+    for (KeyT k : lookups) {
       PositionRange range = index.EqualRange(k);
       sum += range.begin + range.end;
     }
@@ -101,15 +103,16 @@ double MinEqualRangeScalarSeconds(const IndexT& index,
 
 /// Minimum wall-clock seconds over `repeats` runs of the full lookup set
 /// issued through EqualRangeBatch in blocks of `batch` probes.
-template <typename IndexT>
+template <typename KeyT = Key, typename IndexT>
 double MinEqualRangeBatchSeconds(const IndexT& index,
-                                 const std::vector<Key>& lookups,
+                                 const std::vector<KeyT>& lookups,
                                  size_t batch, int repeats) {
   std::vector<PositionRange> out(lookups.size());
   double best = 1e300;
   for (int r = 0; r < repeats; ++r) {
     Timer timer;
-    EqualRangeBlocked(index, lookups, batch, std::span<PositionRange>(out));
+    EqualRangeBlocked<KeyT>(index, lookups, batch,
+                           std::span<PositionRange>(out));
     double sec = timer.Seconds();
     uint64_t sum = 0;
     for (const PositionRange& range : out) sum += range.begin + range.end;
@@ -146,9 +149,9 @@ struct BatchTiming {
 /// `batch`-probe blocks, each block sharded per `opts`. The returned
 /// timing records the *effective* executor count (opts.threads, with 0
 /// resolved to the pool's width) for per-thread throughput.
-template <typename IndexT>
+template <typename KeyT = Key, typename IndexT>
 BatchTiming MinFindBatchTiming(const IndexT& index,
-                               const std::vector<Key>& lookups, size_t batch,
+                               const std::vector<KeyT>& lookups, size_t batch,
                                int repeats, const ProbeOptions& opts) {
   std::vector<int64_t> out(lookups.size());
   BatchTiming timing;
@@ -159,7 +162,8 @@ BatchTiming MinFindBatchTiming(const IndexT& index,
   timing.seconds = 1e300;
   for (int r = 0; r < repeats; ++r) {
     Timer timer;
-    FindBlocked(index, lookups, batch, std::span<int64_t>(out), opts);
+    FindBlocked<KeyT>(index, lookups, batch, std::span<int64_t>(out),
+                      opts);
     double sec = timer.Seconds();
     uint64_t sum = 0;
     for (int64_t v : out) sum += static_cast<uint64_t>(v);

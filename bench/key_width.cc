@@ -1,13 +1,16 @@
 // §5 parameter study: the key width K. A 64-byte node holds sc/K keys, so
 // doubling K halves the branching factor and adds roughly
 // log_{9}(n)/log_{17}(n) more levels. This bench holds the node byte
-// budget fixed (one cache line) and compares 4-byte against 8-byte keys.
+// budget fixed (one cache line) and compares 4-byte against 8-byte keys —
+// through the IndexSpec grammar ("css:16" vs "css64:8" and friends), so
+// the sweep exercises the same builder, dispatch, and batched-probe path
+// as every CLI, test, and serving table, not a private template
+// instantiation.
 
 #include <string>
 #include <vector>
 
-#include "core/full_css_tree.h"
-#include "core/level_css_tree.h"
+#include "core/builder.h"
 #include "harness.h"
 #include "util/rng.h"
 #include "workload/key_gen.h"
@@ -16,21 +19,32 @@
 namespace cssidx::bench {
 namespace {
 
-template <typename TreeT, typename KeyT>
-double Time(const std::vector<KeyT>& keys, const std::vector<KeyT>& lookups,
-            int repeats, double* space) {
-  TreeT tree(keys);
-  *space = static_cast<double>(tree.SpaceBytes());
+/// Scalar LowerBound loop (the paper's one-lookup-at-a-time workload).
+template <typename IndexT, typename KeyT>
+double TimeScalar(const IndexT& index, const std::vector<KeyT>& lookups,
+                  int repeats) {
   double best = 1e300;
   for (int r = 0; r < repeats; ++r) {
     uint64_t sum = 0;
     cssidx::Timer timer;
-    for (KeyT k : lookups) sum += tree.LowerBound(k);
+    for (KeyT k : lookups) sum += index.LowerBound(k);
     double sec = timer.Seconds();
     g_sink = g_sink + sum;
     if (sec < best) best = sec;
   }
   return best;
+}
+
+template <typename IndexT, typename KeyT>
+void AddRow(Table& table, const IndexSpec& spec, const IndexT& index,
+            const std::vector<KeyT>& lookups, int repeats) {
+  double t = TimeScalar(index, lookups, repeats);
+  double batched =
+      MinFindBatchSeconds<KeyT>(index, lookups, 256, repeats);
+  table.AddRow({spec.ToString(), std::to_string(spec.key_width()),
+                spec.sized() ? std::to_string(spec.node_entries()) : "-",
+                Table::Num(t), Table::Num(batched),
+                Table::Bytes(index.SpaceBytes())});
 }
 
 }  // namespace
@@ -40,7 +54,8 @@ int main(int argc, char** argv) {
   using namespace cssidx::bench;
   Options options = Options::Parse(argc, argv);
   PrintHeader("Key-width sweep (§5's K parameter)",
-              "4-byte vs 8-byte keys at a fixed 64B node budget", options);
+              "4-byte vs 8-byte keys at a fixed 64B node budget, via the "
+              "IndexSpec grammar", options);
   size_t n = options.n ? options.n : 2'000'000;
   if (options.quick) n = 300'000;
 
@@ -52,21 +67,25 @@ int main(int argc, char** argv) {
   std::vector<uint64_t> lookups64(lookups32.begin(), lookups32.end());
   for (auto& k : lookups64) k |= (1ull << 40);
 
-  Table table({"tree", "K", "keys/node", "time (s)", "directory"});
-  double space = 0;
-  double t;
-  t = Time<cssidx::FullCssTree<16>>(keys32, lookups32, options.repeats,
-                                    &space);
-  table.AddRow({"full CSS", "4", "16", Table::Num(t), Table::Bytes(space)});
-  t = Time<cssidx::FullCssTree64<8>>(keys64, lookups64, options.repeats,
-                                     &space);
-  table.AddRow({"full CSS", "8", "8", Table::Num(t), Table::Bytes(space)});
-  t = Time<cssidx::LevelCssTree<16>>(keys32, lookups32, options.repeats,
-                                     &space);
-  table.AddRow({"level CSS", "4", "16", Table::Num(t), Table::Bytes(space)});
-  t = Time<cssidx::LevelCssTree64<8>>(keys64, lookups64, options.repeats,
-                                      &space);
-  table.AddRow({"level CSS", "8", "8", Table::Num(t), Table::Bytes(space)});
+  // Each pair holds the node byte budget fixed: 16 4-byte keys or 8
+  // 8-byte keys per cache line (bin carries no node, so its pair shows
+  // the pure key-compare cost of the wider type).
+  const std::vector<std::pair<std::string, std::string>> pairs{
+      {"css:16", "css64:8"},
+      {"lcss:16", "lcss64:8"},
+      {"btree:16", "btree64:8"},
+      {"bin", "bin64"}};
+
+  Table table({"spec", "K", "keys/node", "time (s)", "batched (s)",
+               "directory"});
+  for (const auto& [narrow_text, wide_text] : pairs) {
+    cssidx::IndexSpec narrow = *cssidx::IndexSpec::Parse(narrow_text);
+    cssidx::AnyIndex index32 = cssidx::BuildIndex(narrow, keys32);
+    AddRow(table, narrow, index32, lookups32, options.repeats);
+    cssidx::IndexSpec wide = *cssidx::IndexSpec::Parse(wide_text);
+    cssidx::AnyIndex64 index64 = cssidx::BuildIndex64(wide, keys64);
+    AddRow(table, wide, index64, lookups64, options.repeats);
+  }
   table.Print("Key width at fixed node bytes, n = " + std::to_string(n));
   return 0;
 }

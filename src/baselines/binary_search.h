@@ -15,13 +15,14 @@
 
 namespace cssidx {
 
-class BinarySearchIndex {
+template <typename KeyT = Key>
+class BasicBinarySearchIndex {
  public:
-  BinarySearchIndex(const Key* keys, size_t n) : a_(keys), n_(n) {}
-  explicit BinarySearchIndex(const std::vector<Key>& keys)
-      : BinarySearchIndex(keys.data(), keys.size()) {}
+  BasicBinarySearchIndex(const KeyT* keys, size_t n) : a_(keys), n_(n) {}
+  explicit BasicBinarySearchIndex(const std::vector<KeyT>& keys)
+      : BasicBinarySearchIndex(keys.data(), keys.size()) {}
 
-  size_t LowerBound(Key k) const {
+  size_t LowerBound(KeyT k) const {
     size_t lo = 0;
     size_t len = n_;
     while (len >= 5) {
@@ -39,23 +40,23 @@ class BinarySearchIndex {
     return lo;
   }
 
-  int64_t Find(Key k) const {
+  int64_t Find(KeyT k) const {
     size_t pos = LowerBound(k);
     if (pos < n_ && a_[pos] == k) return static_cast<int64_t>(pos);
     return kNotFound;
   }
 
-  size_t CountEqual(Key k) const {
+  size_t CountEqual(KeyT k) const {
     return ::cssidx::CountEqual(*this, a_, n_, k);
   }
 
   template <typename Tracer>
-  size_t LowerBoundTraced(Key k, const Tracer& tracer) const {
+  size_t LowerBoundTraced(KeyT k, const Tracer& tracer) const {
     size_t lo = 0;
     size_t len = n_;
     while (len > 0) {
       size_t half = len >> 1;
-      tracer.Touch(a_ + lo + half, sizeof(Key));
+      tracer.Touch(a_ + lo + half, sizeof(KeyT));
       if (a_[lo + half] >= k) {
         len = half;
       } else {
@@ -71,9 +72,11 @@ class BinarySearchIndex {
   size_t size() const { return n_; }
 
  private:
-  const Key* a_;
+  const KeyT* a_;
   size_t n_;
 };
+
+using BinarySearchIndex = BasicBinarySearchIndex<Key>;
 
 }  // namespace cssidx
 

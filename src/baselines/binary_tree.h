@@ -20,7 +20,8 @@
 
 namespace cssidx {
 
-class BinaryTreeIndex {
+template <typename KeyT = Key>
+class BasicBinaryTreeIndex {
  public:
 #ifdef CSSIDX_WIDE_POINTERS
   using NodeRef = uint64_t;
@@ -30,20 +31,20 @@ class BinaryTreeIndex {
   static constexpr NodeRef kNull = static_cast<NodeRef>(-1);
 
   struct Node {
-    Key key;
+    KeyT key;
     uint32_t rid;  // array position (leftmost among duplicates, see Build)
     NodeRef left;
     NodeRef right;
   };
 
-  BinaryTreeIndex(const Key* keys, size_t n) : a_(keys), n_(n) {
+  BasicBinaryTreeIndex(const KeyT* keys, size_t n) : a_(keys), n_(n) {
     nodes_.reserve(n);
     BuildLevelOrder();
   }
-  explicit BinaryTreeIndex(const std::vector<Key>& keys)
-      : BinaryTreeIndex(keys.data(), keys.size()) {}
+  explicit BasicBinaryTreeIndex(const std::vector<KeyT>& keys)
+      : BasicBinaryTreeIndex(keys.data(), keys.size()) {}
 
-  size_t LowerBound(Key k) const {
+  size_t LowerBound(KeyT k) const {
     NodeRef cur = root_;
     size_t best = n_;
     while (cur != kNull) {
@@ -61,18 +62,18 @@ class BinaryTreeIndex {
     return best;
   }
 
-  int64_t Find(Key k) const {
+  int64_t Find(KeyT k) const {
     size_t pos = LowerBound(k);
     if (pos < n_ && a_[pos] == k) return static_cast<int64_t>(pos);
     return kNotFound;
   }
 
-  size_t CountEqual(Key k) const {
+  size_t CountEqual(KeyT k) const {
     return ::cssidx::CountEqual(*this, a_, n_, k);
   }
 
   template <typename Tracer>
-  size_t LowerBoundTraced(Key k, const Tracer& tracer) const {
+  size_t LowerBoundTraced(KeyT k, const Tracer& tracer) const {
     NodeRef cur = root_;
     size_t best = n_;
     while (cur != kNull) {
@@ -122,11 +123,13 @@ class BinaryTreeIndex {
     }
   }
 
-  const Key* a_;
+  const KeyT* a_;
   size_t n_;
   std::vector<Node> nodes_;
   NodeRef root_ = kNull;
 };
+
+using BinaryTreeIndex = BasicBinaryTreeIndex<Key>;
 
 }  // namespace cssidx
 

@@ -20,7 +20,8 @@
 //
 // Implementation choices follow §6.2 exactly:
 //   * each key and its child pointer are physically adjacent — a node is an
-//     array of 4-byte slots [p0 k0 p1 k1 ... ], so one line load serves the
+//     array of key-width slots [p0 k0 p1 k1 ... ] (4-byte for the paper's
+//     K = 4, 8-byte for the css64 menu), so one line load serves the
 //     comparison and the branch;
 //   * with an even number of slots there is one more pointer than key
 //     positions allow, so one slot is left empty;
@@ -35,7 +36,7 @@
 
 namespace cssidx {
 
-template <int Slots>
+template <int Slots, typename KeyT = Key>
 class BPlusTree {
   static_assert(Slots >= 4, "a node needs at least two children");
 
@@ -46,31 +47,31 @@ class BPlusTree {
   static constexpr int kRoutingKeys = kFanout - 1;
   static constexpr size_t kGroupProbes = 8;
 
-  BPlusTree(const Key* keys, size_t n) : a_(keys), n_(n) { Build(); }
-  explicit BPlusTree(const std::vector<Key>& keys)
+  BPlusTree(const KeyT* keys, size_t n) : a_(keys), n_(n) { Build(); }
+  explicit BPlusTree(const std::vector<KeyT>& keys)
       : BPlusTree(keys.data(), keys.size()) {}
 
-  size_t LowerBound(Key k) const {
+  size_t LowerBound(KeyT k) const {
     if (CSSIDX_UNLIKELY(n_ == 0)) return 0;
     uint32_t node = root_;
     for (int level = height_; level > 0; --level) {
-      const uint32_t* slots = arena_ptr_ + static_cast<size_t>(node) * Slots;
+      const KeyT* slots = arena_ptr_ + static_cast<size_t>(node) * Slots;
       // Keys sit at odd slot indices (stride 2 starting at slot 1); the
       // SIMD path compacts the even lanes of interleaved loads instead
-      // of gathering.
-      int j = DispatchedLowerBound<kRoutingKeys, 2>(slots + 1, k);
-      node = slots[2 * j];
+      // of gathering (8-byte strided nodes take the scalar unroll).
+      int j = DispatchedLowerBound<kRoutingKeys, 2, KeyT>(slots + 1, k);
+      node = static_cast<uint32_t>(slots[2 * j]);
     }
     return SearchChunk(node, k);
   }
 
-  int64_t Find(Key k) const {
+  int64_t Find(KeyT k) const {
     size_t pos = LowerBound(k);
     if (pos < n_ && a_[pos] == k) return static_cast<int64_t>(pos);
     return kNotFound;
   }
 
-  size_t CountEqual(Key k) const {
+  size_t CountEqual(KeyT k) const {
     return ::cssidx::CountEqual(*this, a_, n_, k);
   }
 
@@ -78,7 +79,7 @@ class BPlusTree {
   /// descends the same number of levels (bulk-loaded tree), so the group
   /// walks down in lockstep; each level's node fetches are prefetched one
   /// level ahead across the whole group.
-  void LowerBoundBatch(std::span<const Key> keys,
+  void LowerBoundBatch(std::span<const KeyT> keys,
                        std::span<size_t> out) const {
     assert(out.size() >= keys.size());
     const size_t count = keys.size();
@@ -92,10 +93,11 @@ class BPlusTree {
       for (size_t g = 0; g < kGroupProbes; ++g) node[g] = root_;
       for (int level = height_; level > 0; --level) {
         for (size_t g = 0; g < kGroupProbes; ++g) {
-          const uint32_t* slots =
+          const KeyT* slots =
               arena_ptr_ + static_cast<size_t>(node[g]) * Slots;
-          int j = DispatchedLowerBound<kRoutingKeys, 2>(slots + 1, keys[i + g]);
-          node[g] = slots[2 * j];
+          int j = DispatchedLowerBound<kRoutingKeys, 2, KeyT>(slots + 1,
+                                                              keys[i + g]);
+          node[g] = static_cast<uint32_t>(slots[2 * j]);
           if (level > 1) {
             CSSIDX_PREFETCH(arena_ptr_ + static_cast<size_t>(node[g]) * Slots);
           } else {
@@ -111,37 +113,37 @@ class BPlusTree {
   }
 
   /// Batched Find over the same group-probing kernel.
-  void FindBatch(std::span<const Key> keys, std::span<int64_t> out) const {
+  void FindBatch(std::span<const KeyT> keys, std::span<int64_t> out) const {
     assert(out.size() >= keys.size());
     FindBatchViaLowerBound(*this, a_, n_, keys, out);
   }
 
   /// Batched EqualRange: both run bounds through the group-probing
   /// LowerBound kernel (see EqualRangeBatchViaLowerBound).
-  void EqualRangeBatch(std::span<const Key> keys,
+  void EqualRangeBatch(std::span<const KeyT> keys,
                        std::span<PositionRange> out) const {
     assert(out.size() >= keys.size());
     EqualRangeBatchViaLowerBound(*this, n_, keys, out);
   }
 
   /// Batched CountEqual over the same range kernel.
-  void CountEqualBatch(std::span<const Key> keys,
+  void CountEqualBatch(std::span<const KeyT> keys,
                        std::span<size_t> out) const {
     assert(out.size() >= keys.size());
     CountEqualBatchViaEqualRange(*this, keys, out);
   }
 
   template <typename Tracer>
-  size_t LowerBoundTraced(Key k, const Tracer& tracer) const {
+  size_t LowerBoundTraced(KeyT k, const Tracer& tracer) const {
     if (n_ == 0) return 0;
     uint32_t node = root_;
     for (int level = height_; level > 0; --level) {
-      const uint32_t* slots = arena_ptr_ + static_cast<size_t>(node) * Slots;
+      const KeyT* slots = arena_ptr_ + static_cast<size_t>(node) * Slots;
       int lo = 0;
       int len = kRoutingKeys;
       while (len > 0) {
         int half = len / 2;
-        tracer.Touch(slots + 1 + 2 * (lo + half), sizeof(Key));
+        tracer.Touch(slots + 1 + 2 * (lo + half), sizeof(KeyT));
         if (slots[1 + 2 * (lo + half)] >= k) {
           len = half;
         } else {
@@ -149,8 +151,8 @@ class BPlusTree {
           len -= half + 1;
         }
       }
-      tracer.Touch(slots + 2 * lo, sizeof(uint32_t));
-      node = slots[2 * lo];
+      tracer.Touch(slots + 2 * lo, sizeof(KeyT));
+      node = static_cast<uint32_t>(slots[2 * lo]);
     }
     size_t start = static_cast<size_t>(node) * Slots;
     size_t end = start + Slots < n_ ? start + Slots : n_;
@@ -158,7 +160,7 @@ class BPlusTree {
     int len = static_cast<int>(end - start);
     while (len > 0) {
       int half = len / 2;
-      tracer.Touch(a_ + start + lo + half, sizeof(Key));
+      tracer.Touch(a_ + start + lo + half, sizeof(KeyT));
       if (a_[start + lo + half] >= k) {
         len = half;
       } else {
@@ -179,7 +181,7 @@ class BPlusTree {
     if (n_ == 0) return;
     size_t num_chunks = (n_ + Slots - 1) / Slots;
     // Max key per node of the level currently being grouped.
-    std::vector<Key> maxes(num_chunks);
+    std::vector<KeyT> maxes(num_chunks);
     for (size_t c = 0; c < num_chunks; ++c) {
       size_t end = (c + 1) * static_cast<size_t>(Slots);
       if (end > n_) end = n_;
@@ -193,10 +195,10 @@ class BPlusTree {
          width = (width + kFanout - 1) / kFanout) {
       total_nodes += (width + kFanout - 1) / kFanout;
     }
-    arena_buf_ = AlignedBuffer(total_nodes * Slots * sizeof(uint32_t),
+    arena_buf_ = AlignedBuffer(total_nodes * Slots * sizeof(KeyT),
                                kCacheLineBytes);
-    arena_ptr_ = arena_buf_.as<uint32_t>();
-    arena_bytes_ = total_nodes * Slots * sizeof(uint32_t);
+    arena_ptr_ = arena_buf_.template as<KeyT>();
+    arena_bytes_ = total_nodes * Slots * sizeof(KeyT);
 
     // Children of level-1 nodes are chunk ids; higher levels point at node
     // ids within the arena. Build bottom-up.
@@ -208,15 +210,15 @@ class BPlusTree {
     while (child_ids.size() > 1) {
       size_t parents = (child_ids.size() + kFanout - 1) / kFanout;
       std::vector<uint32_t> parent_ids(parents);
-      std::vector<Key> parent_maxes(parents);
+      std::vector<KeyT> parent_maxes(parents);
       for (size_t p = 0; p < parents; ++p) {
         uint32_t id = next_node++;
         parent_ids[p] = id;
-        uint32_t* slots = arena_ptr_ + static_cast<size_t>(id) * Slots;
+        KeyT* slots = arena_ptr_ + static_cast<size_t>(id) * Slots;
         size_t first = p * kFanout;
         size_t count = child_ids.size() - first;
         if (count > static_cast<size_t>(kFanout)) count = kFanout;
-        Key group_max = maxes[first + count - 1];
+        KeyT group_max = maxes[first + count - 1];
         for (int j = 0; j < kFanout; ++j) {
           size_t c = j < static_cast<int>(count) ? first + j
                                                  : first + count - 1;
@@ -240,12 +242,12 @@ class BPlusTree {
     root_ = child_ids[0];
   }
 
-  CSSIDX_ALWAYS_INLINE size_t SearchChunk(uint32_t chunk, Key k) const {
+  CSSIDX_ALWAYS_INLINE size_t SearchChunk(uint32_t chunk, KeyT k) const {
     size_t start = static_cast<size_t>(chunk) * Slots;
     size_t end = start + Slots < n_ ? start + Slots : n_;
     int j;
     if (CSSIDX_LIKELY(end - start == Slots)) {
-      j = DispatchedLowerBound<Slots>(a_ + start, k);
+      j = DispatchedLowerBound<Slots, 1, KeyT>(a_ + start, k);
     } else {
       // Partial trailing chunk: runtime length, same dispatched contract.
       j = DispatchedLowerBoundN(a_ + start, static_cast<int>(end - start), k);
@@ -253,10 +255,10 @@ class BPlusTree {
     return start + static_cast<size_t>(j);
   }
 
-  const Key* a_;
+  const KeyT* a_;
   size_t n_;
   AlignedBuffer arena_buf_;
-  uint32_t* arena_ptr_ = nullptr;
+  KeyT* arena_ptr_ = nullptr;
   size_t arena_bytes_ = 0;
   uint32_t root_ = 0;
   int height_ = 0;  // number of internal levels above the leaf chunks

@@ -2,6 +2,7 @@
 #define CSSIDX_BASELINES_INTERPOLATION_SEARCH_H_
 
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "core/index.h"
@@ -17,29 +18,31 @@
 
 namespace cssidx {
 
-class InterpolationSearchIndex {
+template <typename KeyT = Key>
+class BasicInterpolationSearchIndex {
  public:
-  InterpolationSearchIndex(const Key* keys, size_t n) : a_(keys), n_(n) {}
-  explicit InterpolationSearchIndex(const std::vector<Key>& keys)
-      : InterpolationSearchIndex(keys.data(), keys.size()) {}
+  BasicInterpolationSearchIndex(const KeyT* keys, size_t n)
+      : a_(keys), n_(n) {}
+  explicit BasicInterpolationSearchIndex(const std::vector<KeyT>& keys)
+      : BasicInterpolationSearchIndex(keys.data(), keys.size()) {}
 
-  size_t LowerBound(Key k) const {
+  size_t LowerBound(KeyT k) const {
     NullProbe probe;
     return LowerBoundImpl(k, probe);
   }
 
-  int64_t Find(Key k) const {
+  int64_t Find(KeyT k) const {
     size_t pos = LowerBound(k);
     if (pos < n_ && a_[pos] == k) return static_cast<int64_t>(pos);
     return kNotFound;
   }
 
-  size_t CountEqual(Key k) const {
+  size_t CountEqual(KeyT k) const {
     return ::cssidx::CountEqual(*this, a_, n_, k);
   }
 
   template <typename Tracer>
-  size_t LowerBoundTraced(Key k, const Tracer& tracer) const {
+  size_t LowerBoundTraced(KeyT k, const Tracer& tracer) const {
     TracerProbe<Tracer> probe{&tracer};
     return LowerBoundImpl(k, probe);
   }
@@ -51,16 +54,16 @@ class InterpolationSearchIndex {
   static constexpr int kMaxInterpolationSteps = 64;
 
   struct NullProbe {
-    void operator()(const Key*) const {}
+    void operator()(const KeyT*) const {}
   };
   template <typename Tracer>
   struct TracerProbe {
     const Tracer* tracer;
-    void operator()(const Key* p) const { tracer->Touch(p, sizeof(Key)); }
+    void operator()(const KeyT* p) const { tracer->Touch(p, sizeof(KeyT)); }
   };
 
   template <typename Probe>
-  size_t LowerBoundImpl(Key k, const Probe& probe) const {
+  size_t LowerBoundImpl(KeyT k, const Probe& probe) const {
     if (n_ == 0) return 0;
     // Invariant: the answer lies in [lo, hi]; a_[lo] and a_[hi] are live.
     size_t lo = 0;
@@ -72,12 +75,16 @@ class InterpolationSearchIndex {
     // Here a_[lo] < k <= a_[hi].
     int interp_steps = 0;
     while (hi - lo > 1) {
-      uint64_t span = a_[hi] - a_[lo];
+      // The position estimate multiplies a key delta by a position delta;
+      // for 8-byte keys that product needs 128 bits to stay exact.
+      using Wide =
+          std::conditional_t<sizeof(KeyT) == 8, unsigned __int128, uint64_t>;
+      Wide span = a_[hi] - a_[lo];
       size_t mid;
       if (span == 0 || ++interp_steps > kMaxInterpolationSteps) {
         mid = lo + (hi - lo) / 2;  // flat run or slow progress: bisect
       } else {
-        uint64_t offset = static_cast<uint64_t>(k - a_[lo]) * (hi - lo) / span;
+        Wide offset = static_cast<Wide>(k - a_[lo]) * (hi - lo) / span;
         mid = lo + static_cast<size_t>(offset);
         // Keep the invariant endpoints strictly inside the bracket.
         if (mid <= lo) mid = lo + 1;
@@ -93,9 +100,11 @@ class InterpolationSearchIndex {
     return hi;  // first position with a_[pos] >= k
   }
 
-  const Key* a_;
+  const KeyT* a_;
   size_t n_;
 };
+
+using InterpolationSearchIndex = BasicInterpolationSearchIndex<Key>;
 
 }  // namespace cssidx
 

@@ -31,7 +31,7 @@
 
 namespace cssidx {
 
-template <int Entries>
+template <int Entries, typename KeyT = Key>
 class TTreeIndex {
   static_assert(Entries >= 2, "a T-tree node needs at least two entries");
 
@@ -50,19 +50,19 @@ class TTreeIndex {
     NodeRef left;
     NodeRef right;
     uint32_t count;
-    Key keys[Entries];      // keys[0] shares a line with the child refs
+    KeyT keys[Entries];     // keys[0] shares a line with the child refs
     uint32_t rids[Entries];
   };
 
-  TTreeIndex(const Key* keys, size_t n) : a_(keys), n_(n) {
+  TTreeIndex(const KeyT* keys, size_t n) : a_(keys), n_(n) {
     size_t chunks = (n + Entries - 1) / Entries;
     nodes_.reserve(chunks);
     root_ = BuildRange(0, chunks);
   }
-  explicit TTreeIndex(const std::vector<Key>& keys)
+  explicit TTreeIndex(const std::vector<KeyT>& keys)
       : TTreeIndex(keys.data(), keys.size()) {}
 
-  size_t LowerBound(Key k) const {
+  size_t LowerBound(KeyT k) const {
     // LC86b's improved search: compare only the *smallest* key per node on
     // the way down (one cache line: child refs + min share it), remember
     // the last node where we turned right (the only candidate that can
@@ -92,7 +92,7 @@ class TTreeIndex {
   /// prefetched the moment its ref is read, so the miss overlaps the other
   /// probes' compares exactly as in the CSS-tree kernel. Results are
   /// identical to scalar LowerBound.
-  void LowerBoundBatch(std::span<const Key> keys,
+  void LowerBoundBatch(std::span<const KeyT> keys,
                        std::span<size_t> out) const {
     assert(out.size() >= keys.size());
     const size_t count = keys.size();
@@ -131,7 +131,7 @@ class TTreeIndex {
   }
 
   /// Batched Find over the same group-probing kernel.
-  void FindBatch(std::span<const Key> keys, std::span<int64_t> out) const {
+  void FindBatch(std::span<const KeyT> keys, std::span<int64_t> out) const {
     assert(out.size() >= keys.size());
     FindBatchViaLowerBound(*this, a_, n_, keys, out);
   }
@@ -140,7 +140,7 @@ class TTreeIndex {
   /// each node compares against both boundary keys, so right-descents
   /// touch the max key's cache line as well as the header line. The paper
   /// used the improved version because this one is "a little bit" worse.
-  size_t LowerBoundBasic(Key k) const {
+  size_t LowerBoundBasic(KeyT k) const {
     NodeRef cur = root_;
     const Node* successor = nullptr;
     while (cur != kNull) {
@@ -158,18 +158,18 @@ class TTreeIndex {
     return successor != nullptr ? successor->rids[0] : n_;
   }
 
-  int64_t Find(Key k) const {
+  int64_t Find(KeyT k) const {
     size_t pos = LowerBound(k);
     if (pos < n_ && a_[pos] == k) return static_cast<int64_t>(pos);
     return kNotFound;
   }
 
-  size_t CountEqual(Key k) const {
+  size_t CountEqual(KeyT k) const {
     return ::cssidx::CountEqual(*this, a_, n_, k);
   }
 
   template <typename Tracer>
-  size_t LowerBoundTraced(Key k, const Tracer& tracer) const {
+  size_t LowerBoundTraced(KeyT k, const Tracer& tracer) const {
     NodeRef cur = root_;
     const Node* bounding = nullptr;
     const Node* successor = nullptr;
@@ -177,7 +177,7 @@ class TTreeIndex {
       const Node& node = nodes_[cur];
       // Header + min key live on one line (the LC86b layout win); the
       // improved search touches nothing else on the way down.
-      tracer.Touch(&node, offsetof(Node, keys) + sizeof(Key));
+      tracer.Touch(&node, offsetof(Node, keys) + sizeof(KeyT));
       if (k <= node.keys[0]) {
         successor = &node;
         cur = node.left;
@@ -191,7 +191,7 @@ class TTreeIndex {
       int len = static_cast<int>(bounding->count);
       while (len > 0) {
         int half = len / 2;
-        tracer.Touch(&bounding->keys[lo + half], sizeof(Key));
+        tracer.Touch(&bounding->keys[lo + half], sizeof(KeyT));
         if (bounding->keys[lo + half] >= k) {
           len = half;
         } else {
@@ -221,7 +221,7 @@ class TTreeIndex {
   /// descents both end here).
   CSSIDX_ALWAYS_INLINE size_t ResolveLowerBound(const Node* bounding,
                                                 const Node* successor,
-                                                Key k) const {
+                                                KeyT k) const {
     if (bounding != nullptr) {
       int j = SearchInNode(*bounding, k);
       if (j < static_cast<int>(bounding->count)) {
@@ -234,9 +234,9 @@ class TTreeIndex {
     return successor != nullptr ? successor->rids[0] : n_;
   }
 
-  static int SearchInNode(const Node& node, Key k) {
+  static int SearchInNode(const Node& node, KeyT k) {
     if (CSSIDX_LIKELY(node.count == Entries)) {
-      return DispatchedLowerBound<Entries>(node.keys, k);
+      return DispatchedLowerBound<Entries, 1, KeyT>(node.keys, k);
     }
     return DispatchedLowerBoundN(node.keys, static_cast<int>(node.count), k);
   }
@@ -264,7 +264,7 @@ class TTreeIndex {
     return ref;
   }
 
-  const Key* a_;
+  const KeyT* a_;
   size_t n_;
   std::vector<Node> nodes_;
   NodeRef root_ = kNull;

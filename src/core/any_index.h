@@ -6,6 +6,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <utility>
 
 #include "core/index.h"
@@ -74,38 +75,44 @@ void ParallelProbe(const ProbeOptions& opts, size_t n, Fn&& body) {
 }
 
 /// An index type that provides its own group-probing LowerBound kernel.
-template <typename T>
+template <typename T, typename KeyT = Key>
 concept HasLowerBoundBatch =
-    requires(const T& t, std::span<const Key> in, std::span<size_t> out) {
+    requires(const T& t, std::span<const KeyT> in, std::span<size_t> out) {
       t.LowerBoundBatch(in, out);
     };
 
 /// An index type that provides its own group-probing Find kernel.
-template <typename T>
+template <typename T, typename KeyT = Key>
 concept HasFindBatch =
-    requires(const T& t, std::span<const Key> in, std::span<int64_t> out) {
+    requires(const T& t, std::span<const KeyT> in, std::span<int64_t> out) {
       t.FindBatch(in, out);
     };
 
 /// An index type that provides its own batched EqualRange kernel.
-template <typename T>
+template <typename T, typename KeyT = Key>
 concept HasEqualRangeBatch =
-    requires(const T& t, std::span<const Key> in,
+    requires(const T& t, std::span<const KeyT> in,
              std::span<PositionRange> out) {
       t.EqualRangeBatch(in, out);
     };
 
 /// An index type that provides its own batched CountEqual kernel.
-template <typename T>
+template <typename T, typename KeyT = Key>
 concept HasCountEqualBatch =
-    requires(const T& t, std::span<const Key> in, std::span<size_t> out) {
+    requires(const T& t, std::span<const KeyT> in, std::span<size_t> out) {
       t.CountEqualBatch(in, out);
     };
 
 /// Runtime facade over any index in the suite. Copyable and cheap to pass
 /// by value (the underlying structure is shared, immutable, and built once
 /// — the OLAP rebuild-on-batch lifecycle replaces whole objects).
-class AnyIndex {
+/// Templated on the key type — the spec's key-width dimension selects
+/// BasicAnyIndex<Key> (4-byte, the default everywhere) or
+/// BasicAnyIndex<Key64> ("css64" and friends). The two facades are
+/// distinct types on purpose: key width changes what gets built, so it is
+/// pinned at build time like the method itself.
+template <typename KeyT>
+class BasicAnyIndex {
  public:
   /// The virtual boundary. Implementations are batch-oriented; everything
   /// scalar is derived.
@@ -116,21 +123,21 @@ class AnyIndex {
     /// "First" is load-bearing: duplicate routing (§4.1.2) directs an
     /// equal key to the LEFTMOST matching position, so a duplicate run can
     /// be enumerated from its lower bound.
-    virtual void LowerBoundBatch(std::span<const Key> keys,
+    virtual void LowerBoundBatch(std::span<const KeyT> keys,
                                  std::span<size_t> out) const = 0;
     /// out[i] = leftmost position of keys[i] or kNotFound. Results are
     /// independent of batch boundaries and thread policy: probing one key
     /// in a batch of 4096 equals probing it alone.
-    virtual void FindBatch(std::span<const Key> keys,
+    virtual void FindBatch(std::span<const KeyT> keys,
                            std::span<int64_t> out) const = 0;
     /// out[i] = the half-open positional span of keys[i]'s duplicate run
     /// (§3.6): {leftmost match, leftmost match + count}. Absent keys yield
     /// an empty span anchored at the insertion point (ordered methods) or
     /// at size() (hash).
-    virtual void EqualRangeBatch(std::span<const Key> keys,
+    virtual void EqualRangeBatch(std::span<const KeyT> keys,
                                  std::span<PositionRange> out) const = 0;
     /// out[i] = number of occurrences of keys[i] (§3.6).
-    virtual void CountEqualBatch(std::span<const Key> keys,
+    virtual void CountEqualBatch(std::span<const KeyT> keys,
                                  std::span<size_t> out) const = 0;
 
     /// Policy-aware entry points. The default shards the probe span into
@@ -139,7 +146,7 @@ class AnyIndex {
     /// index) override these instead: they already split work along a
     /// structural axis (key-range shards), so they spend the thread
     /// budget dispatching whole shards rather than re-sharding spans.
-    virtual void LowerBoundBatch(std::span<const Key> keys,
+    virtual void LowerBoundBatch(std::span<const KeyT> keys,
                                  std::span<size_t> out,
                                  const ProbeOptions& opts) const {
       ParallelProbe(opts, keys.size(), [&](size_t begin, size_t end) {
@@ -147,14 +154,14 @@ class AnyIndex {
                         out.subspan(begin, end - begin));
       });
     }
-    virtual void FindBatch(std::span<const Key> keys, std::span<int64_t> out,
+    virtual void FindBatch(std::span<const KeyT> keys, std::span<int64_t> out,
                            const ProbeOptions& opts) const {
       ParallelProbe(opts, keys.size(), [&](size_t begin, size_t end) {
         FindBatch(keys.subspan(begin, end - begin),
                   out.subspan(begin, end - begin));
       });
     }
-    virtual void EqualRangeBatch(std::span<const Key> keys,
+    virtual void EqualRangeBatch(std::span<const KeyT> keys,
                                  std::span<PositionRange> out,
                                  const ProbeOptions& opts) const {
       ParallelProbe(opts, keys.size(), [&](size_t begin, size_t end) {
@@ -162,7 +169,7 @@ class AnyIndex {
                         out.subspan(begin, end - begin));
       });
     }
-    virtual void CountEqualBatch(std::span<const Key> keys,
+    virtual void CountEqualBatch(std::span<const KeyT> keys,
                                  std::span<size_t> out,
                                  const ProbeOptions& opts) const {
       ParallelProbe(opts, keys.size(), [&](size_t begin, size_t end) {
@@ -179,8 +186,8 @@ class AnyIndex {
   };
 
   /// Empty handle; falsy. BuildIndex returns this for off-menu specs.
-  AnyIndex() = default;
-  AnyIndex(IndexSpec spec, std::shared_ptr<const Impl> impl)
+  BasicAnyIndex() = default;
+  BasicAnyIndex(IndexSpec spec, std::shared_ptr<const Impl> impl)
       : spec_(spec), name_(spec.DisplayName()), impl_(std::move(impl)) {}
 
   explicit operator bool() const { return impl_ != nullptr; }
@@ -191,18 +198,18 @@ class AnyIndex {
   // The two-argument forms use the spec's probe-thread policy (the "@tN"
   // suffix, default 1 = inline), so a spec like "css:16@t8" parallelizes
   // every large batch probed through the facade with no caller changes.
-  void FindBatch(std::span<const Key> keys, std::span<int64_t> out) const {
+  void FindBatch(std::span<const KeyT> keys, std::span<int64_t> out) const {
     FindBatch(keys, out, ProbeOptions{.threads = spec_.probe_threads()});
   }
-  void LowerBoundBatch(std::span<const Key> keys,
+  void LowerBoundBatch(std::span<const KeyT> keys,
                        std::span<size_t> out) const {
     LowerBoundBatch(keys, out, ProbeOptions{.threads = spec_.probe_threads()});
   }
-  void EqualRangeBatch(std::span<const Key> keys,
+  void EqualRangeBatch(std::span<const KeyT> keys,
                        std::span<PositionRange> out) const {
     EqualRangeBatch(keys, out, ProbeOptions{.threads = spec_.probe_threads()});
   }
-  void CountEqualBatch(std::span<const Key> keys,
+  void CountEqualBatch(std::span<const KeyT> keys,
                        std::span<size_t> out) const {
     CountEqualBatch(keys, out, ProbeOptions{.threads = spec_.probe_threads()});
   }
@@ -212,44 +219,44 @@ class AnyIndex {
   /// structure's own group-probing + prefetch kernel; composite
   /// structures (partitioned indexes) instead dispatch whole key-range
   /// shards. Either way, results land in place in `out`.
-  void FindBatch(std::span<const Key> keys, std::span<int64_t> out,
+  void FindBatch(std::span<const KeyT> keys, std::span<int64_t> out,
                  const ProbeOptions& opts) const {
     assert(impl_ != nullptr);
     impl_->FindBatch(keys, out, opts);
   }
-  void LowerBoundBatch(std::span<const Key> keys, std::span<size_t> out,
+  void LowerBoundBatch(std::span<const KeyT> keys, std::span<size_t> out,
                        const ProbeOptions& opts) const {
     assert(impl_ != nullptr);
     impl_->LowerBoundBatch(keys, out, opts);
   }
-  void EqualRangeBatch(std::span<const Key> keys, std::span<PositionRange> out,
+  void EqualRangeBatch(std::span<const KeyT> keys, std::span<PositionRange> out,
                        const ProbeOptions& opts) const {
     assert(impl_ != nullptr);
     impl_->EqualRangeBatch(keys, out, opts);
   }
-  void CountEqualBatch(std::span<const Key> keys, std::span<size_t> out,
+  void CountEqualBatch(std::span<const KeyT> keys, std::span<size_t> out,
                        const ProbeOptions& opts) const {
     assert(impl_ != nullptr);
     impl_->CountEqualBatch(keys, out, opts);
   }
 
   /// Scalar probes: batches of one.
-  int64_t Find(Key k) const {
+  int64_t Find(KeyT k) const {
     int64_t out;
     FindBatch({&k, 1}, {&out, 1});
     return out;
   }
-  size_t LowerBound(Key k) const {
+  size_t LowerBound(KeyT k) const {
     size_t out;
     LowerBoundBatch({&k, 1}, {&out, 1});
     return out;
   }
-  PositionRange EqualRange(Key k) const {
+  PositionRange EqualRange(KeyT k) const {
     PositionRange out;
     EqualRangeBatch({&k, 1}, {&out, 1});
     return out;
   }
-  size_t CountEqual(Key k) const {
+  size_t CountEqual(KeyT k) const {
     size_t out;
     CountEqualBatch({&k, 1}, {&out, 1});
     return out;
@@ -280,20 +287,24 @@ class AnyIndex {
   std::shared_ptr<const Impl> impl_;
 };
 
+/// The 4-byte-key facade every existing caller names, and its 8-byte twin.
+using AnyIndex = BasicAnyIndex<Key>;
+using AnyIndex64 = BasicAnyIndex<Key64>;
+
 /// Adapter for OrderedIndex templates. Uses the structure's own batch
 /// kernels when it has them; otherwise falls back to a plain probe loop
 /// (group probing without prefetch — dispatch still amortized). The range
 /// fallback derives each span from LowerBound + CountEqual, so every
 /// ordered method — T-tree and the array baselines included — satisfies
 /// the full range-batch contract whether or not it ships a kernel.
-template <typename IndexT>
-class OrderedBatchImpl final : public AnyIndex::Impl {
+template <typename IndexT, typename KeyT = Key>
+class OrderedBatchImpl final : public BasicAnyIndex<KeyT>::Impl {
  public:
   explicit OrderedBatchImpl(IndexT index) : index_(std::move(index)) {}
 
-  void LowerBoundBatch(std::span<const Key> keys,
+  void LowerBoundBatch(std::span<const KeyT> keys,
                        std::span<size_t> out) const override {
-    if constexpr (HasLowerBoundBatch<IndexT>) {
+    if constexpr (HasLowerBoundBatch<IndexT, KeyT>) {
       index_.LowerBoundBatch(keys, out);
     } else {
       for (size_t i = 0; i < keys.size(); ++i) {
@@ -302,9 +313,9 @@ class OrderedBatchImpl final : public AnyIndex::Impl {
     }
   }
 
-  void FindBatch(std::span<const Key> keys,
+  void FindBatch(std::span<const KeyT> keys,
                  std::span<int64_t> out) const override {
-    if constexpr (HasFindBatch<IndexT>) {
+    if constexpr (HasFindBatch<IndexT, KeyT>) {
       index_.FindBatch(keys, out);
     } else {
       for (size_t i = 0; i < keys.size(); ++i) {
@@ -313,11 +324,11 @@ class OrderedBatchImpl final : public AnyIndex::Impl {
     }
   }
 
-  void EqualRangeBatch(std::span<const Key> keys,
+  void EqualRangeBatch(std::span<const KeyT> keys,
                        std::span<PositionRange> out) const override {
-    if constexpr (HasEqualRangeBatch<IndexT>) {
+    if constexpr (HasEqualRangeBatch<IndexT, KeyT>) {
       index_.EqualRangeBatch(keys, out);
-    } else if constexpr (HasLowerBoundBatch<IndexT>) {
+    } else if constexpr (HasLowerBoundBatch<IndexT, KeyT>) {
       // No range kernel, but a LowerBound kernel: both bounds still probe
       // with group probing + prefetch (shared adapter of the contract).
       EqualRangeBatchViaLowerBound(index_, index_.size(), keys, out);
@@ -329,11 +340,11 @@ class OrderedBatchImpl final : public AnyIndex::Impl {
     }
   }
 
-  void CountEqualBatch(std::span<const Key> keys,
+  void CountEqualBatch(std::span<const KeyT> keys,
                        std::span<size_t> out) const override {
-    if constexpr (HasCountEqualBatch<IndexT>) {
+    if constexpr (HasCountEqualBatch<IndexT, KeyT>) {
       index_.CountEqualBatch(keys, out);
-    } else if constexpr (HasLowerBoundBatch<IndexT>) {
+    } else if constexpr (HasLowerBoundBatch<IndexT, KeyT>) {
       CountEqualBatchViaEqualRange(*this, keys, out);
     } else {
       for (size_t i = 0; i < keys.size(); ++i) {
@@ -356,28 +367,28 @@ class OrderedBatchImpl final : public AnyIndex::Impl {
 /// in the sorted array, so {leftmost, leftmost + count} is a real span.
 /// Absent keys anchor their empty span at size() (no insertion point
 /// without ordered access).
-template <typename HashT>
-class UnorderedBatchImpl final : public AnyIndex::Impl {
+template <typename HashT, typename KeyT = Key>
+class UnorderedBatchImpl final : public BasicAnyIndex<KeyT>::Impl {
  public:
   explicit UnorderedBatchImpl(HashT index) : index_(std::move(index)) {}
 
-  void LowerBoundBatch(std::span<const Key> keys,
+  void LowerBoundBatch(std::span<const KeyT> keys,
                        std::span<size_t> out) const override {
     for (size_t i = 0; i < keys.size(); ++i) out[i] = index_.size();
   }
 
-  void FindBatch(std::span<const Key> keys,
+  void FindBatch(std::span<const KeyT> keys,
                  std::span<int64_t> out) const override {
-    if constexpr (HasFindBatch<HashT>) {
+    if constexpr (HasFindBatch<HashT, KeyT>) {
       index_.FindBatch(keys, out);
     } else {
       for (size_t i = 0; i < keys.size(); ++i) out[i] = index_.Find(keys[i]);
     }
   }
 
-  void EqualRangeBatch(std::span<const Key> keys,
+  void EqualRangeBatch(std::span<const KeyT> keys,
                        std::span<PositionRange> out) const override {
-    if constexpr (HasEqualRangeBatch<HashT>) {
+    if constexpr (HasEqualRangeBatch<HashT, KeyT>) {
       index_.EqualRangeBatch(keys, out);
     } else {
       for (size_t i = 0; i < keys.size(); ++i) {
@@ -392,9 +403,9 @@ class UnorderedBatchImpl final : public AnyIndex::Impl {
     }
   }
 
-  void CountEqualBatch(std::span<const Key> keys,
+  void CountEqualBatch(std::span<const KeyT> keys,
                        std::span<size_t> out) const override {
-    if constexpr (HasCountEqualBatch<HashT>) {
+    if constexpr (HasCountEqualBatch<HashT, KeyT>) {
       index_.CountEqualBatch(keys, out);
     } else {
       for (size_t i = 0; i < keys.size(); ++i) {
@@ -415,9 +426,11 @@ class UnorderedBatchImpl final : public AnyIndex::Impl {
 /// writing every result into `out` — the shared front-end loop for callers
 /// that stream a large probe set at a fixed batch size (joins, benches,
 /// the advisor). Works for AnyIndex and for any template with a span-based
-/// FindBatch.
-template <typename IndexT>
-void FindBlocked(const IndexT& index, std::span<const Key> keys,
+/// FindBatch. KeyT is non-deduced (defaults to Key): 8-byte callers write
+/// FindBlocked<Key64>(index64, ...).
+template <typename KeyT = Key, typename IndexT>
+void FindBlocked(const IndexT& index,
+                 std::type_identity_t<std::span<const KeyT>> keys,
                  size_t batch, std::span<int64_t> out) {
   batch = std::max<size_t>(batch, 1);  // batch == 0 must not loop forever
   for (size_t i = 0; i < keys.size(); i += batch) {
@@ -428,9 +441,11 @@ void FindBlocked(const IndexT& index, std::span<const Key> keys,
 
 /// As above with an explicit execution policy per block — the front-end
 /// for callers sweeping thread counts at a fixed block size.
-template <typename IndexT>
-void FindBlocked(const IndexT& index, std::span<const Key> keys, size_t batch,
-                 std::span<int64_t> out, const ProbeOptions& opts) {
+template <typename KeyT = Key, typename IndexT>
+void FindBlocked(const IndexT& index,
+                 std::type_identity_t<std::span<const KeyT>> keys,
+                 size_t batch, std::span<int64_t> out,
+                 const ProbeOptions& opts) {
   batch = std::max<size_t>(batch, 1);
   for (size_t i = 0; i < keys.size(); i += batch) {
     size_t len = std::min(keys.size() - i, batch);
@@ -440,8 +455,9 @@ void FindBlocked(const IndexT& index, std::span<const Key> keys, size_t batch,
 
 /// Blocked front-end for range probes: EqualRangeBatch in blocks of at
 /// most `batch` probes (the range twin of FindBlocked).
-template <typename IndexT>
-void EqualRangeBlocked(const IndexT& index, std::span<const Key> keys,
+template <typename KeyT = Key, typename IndexT>
+void EqualRangeBlocked(const IndexT& index,
+                       std::type_identity_t<std::span<const KeyT>> keys,
                        size_t batch, std::span<PositionRange> out) {
   batch = std::max<size_t>(batch, 1);
   for (size_t i = 0; i < keys.size(); i += batch) {
@@ -451,10 +467,18 @@ void EqualRangeBlocked(const IndexT& index, std::span<const Key> keys,
 }
 
 /// Wraps a concrete ordered index template instance into the facade.
+/// Pass KeyT explicitly for the 8-byte facade:
+/// MakeOrderedAnyIndexFor<Key64>(spec, FullCssTree64<16>(...)).
+template <typename KeyT, typename IndexT>
+BasicAnyIndex<KeyT> MakeOrderedAnyIndexFor(IndexSpec spec, IndexT index) {
+  return BasicAnyIndex<KeyT>(
+      spec,
+      std::make_shared<OrderedBatchImpl<IndexT, KeyT>>(std::move(index)));
+}
+
 template <typename IndexT>
 AnyIndex MakeOrderedAnyIndex(IndexSpec spec, IndexT index) {
-  return AnyIndex(spec,
-                  std::make_shared<OrderedBatchImpl<IndexT>>(std::move(index)));
+  return MakeOrderedAnyIndexFor<Key>(spec, std::move(index));
 }
 
 /// Wraps a concrete hash index instance into the facade.

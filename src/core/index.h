@@ -14,11 +14,14 @@
 // are domain IDs; §5: K = R = 4 bytes). The position of a key in the array
 // *is* its RID: the paper's "list of record-identifiers sorted by the
 // attribute" means position i of the index maps to RID list entry i.
-// Indexes therefore return array positions.
+// Indexes therefore return array positions. §5 also treats key width as a
+// free parameter (a 64-byte node holds sc/K keys); Key64 is the 8-byte
+// instantiation, reachable through the "css64"-style spec tokens.
 
 namespace cssidx {
 
 using Key = uint32_t;
+using Key64 = uint64_t;
 
 /// Returned by Find when the key is absent.
 inline constexpr int64_t kNotFound = -1;
@@ -50,8 +53,8 @@ concept OrderedIndex = requires(const T& t, Key k) {
 
 /// §3.6 duplicate handling, shared by all ordered methods: find the
 /// leftmost match, then scan right. Runs against the underlying array.
-template <typename IndexT>
-size_t CountEqual(const IndexT& index, const Key* keys, size_t n, Key k) {
+template <typename IndexT, typename KeyT>
+size_t CountEqual(const IndexT& index, const KeyT* keys, size_t n, KeyT k) {
   size_t pos = index.LowerBound(k);
   size_t count = 0;
   while (pos + count < n && keys[pos + count] == k) ++count;

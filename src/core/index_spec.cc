@@ -106,7 +106,11 @@ bool IndexSpec::sized() const {
 bool IndexSpec::OnMenu() const {
   if (probe_threads_ < 0 || probe_threads_ > 256) return false;
   if (partitions_ < 0 || partitions_ > 256) return false;
+  if (key_width_ != 4 && key_width_ != 8) return false;
   if (method_ == Method::kHash) {
+    // No 64-bit hash build: the chained-hash bucket layout is hard-wired
+    // to 4-byte keys (16 per cache line).
+    if (key_width_ != 4) return false;
     return hash_dir_bits_ >= 0 && hash_dir_bits_ <= 28;
   }
   if (!sized()) return true;
@@ -166,6 +170,14 @@ std::optional<IndexSpec> IndexSpec::Parse(std::string_view text) {
     }
     param = value;
   }
+  // A trailing "64" on the method token selects 8-byte keys ("css64",
+  // "binary-tree64", ...). "hash64" parses to a hash spec with width 8,
+  // which OnMenu then rejects — no special case needed.
+  int key_width = 4;
+  if (token.size() > 2 && token.substr(token.size() - 2) == "64") {
+    key_width = 8;
+    token = token.substr(0, token.size() - 2);
+  }
   auto method = MethodFromToken(token);
   if (!method) return std::nullopt;
 
@@ -175,7 +187,9 @@ std::optional<IndexSpec> IndexSpec::Parse(std::string_view text) {
     if (*method != Method::kHash && !spec.sized()) return std::nullopt;
     spec = IndexSpec(*method, *param);
   }
-  spec = spec.WithProbeThreads(threads).WithPartitions(partitions);
+  spec = spec.WithProbeThreads(threads)
+             .WithPartitions(partitions)
+             .WithKeyWidth(key_width);
   if (!spec.OnMenu()) return std::nullopt;
   return spec;
 }
@@ -186,7 +200,8 @@ const char* IndexSpec::GrammarHelp() {
          "CSS: powers of two); optional part:K/ prefix splits the sorted "
          "array into K key-range shards, one inner index each "
          "(part:8/css:16); optional @tN probes batches with N threads "
-         "(css:16@t8; t0 = one per hardware thread)";
+         "(css:16@t8; t0 = one per hardware thread); a 64 suffix on the "
+         "method selects 8-byte keys (css64:16; no hash64)";
 }
 
 std::string IndexSpec::ToString() const {
@@ -197,6 +212,7 @@ std::string IndexSpec::ToString() const {
     out += '/';
   }
   out += CanonicalToken(method_);
+  if (key_width_ == 8) out += "64";
   if (method_ == Method::kHash) {
     out += ':';
     out += std::to_string(hash_dir_bits_);
@@ -213,6 +229,7 @@ std::string IndexSpec::ToString() const {
 
 std::string IndexSpec::DisplayName() const {
   std::string name = MethodName(method_);
+  if (key_width_ == 8) name += "/64-bit";
   if (method_ == Method::kHash) {
     name += "/dir=2^" + std::to_string(hash_dir_bits_);
   } else if (sized()) {
@@ -249,6 +266,12 @@ IndexSpec IndexSpec::WithProbeThreads(int threads) const {
 IndexSpec IndexSpec::WithPartitions(int partitions) const {
   IndexSpec spec = *this;
   spec.partitions_ = partitions;
+  return spec;
+}
+
+IndexSpec IndexSpec::WithKeyWidth(int bytes) const {
+  IndexSpec spec = *this;
+  spec.key_width_ = bytes;
   return spec;
 }
 

@@ -13,7 +13,7 @@
 // round-trips through a compact string form suitable for flags and config
 // files:
 //
-//   spec    := ["part:" K "/"] method [":" param] ["@t" threads]
+//   spec    := ["part:" K "/"] method ["64"] [":" param] ["@t" threads]
 //   method  := "bin" | "tbin" | "interp" | "ttree" | "btree" | "css"
 //            | "lcss" | "hash"
 //   param   := node entries (sized methods) or log2 directory size (hash)
@@ -28,7 +28,12 @@
 // key-range shards, one CSS-tree per shard, batch probes routed by key
 // and whole shards dispatched across 4 threads). The param defaults to
 // 16 keys/node (one 64-byte cache line) and a 2^22 hash directory when
-// omitted. Node sizes come from a fixed menu — the sizes swept in
+// omitted. A "64" suffix on the method token ("css64:16", "btree64:32",
+// "part:4/css64:16@t2") selects 8-byte keys — the paper's §5 key-width
+// parameter K: a 64-byte node holds sc/K keys, so wide keys halve the
+// branching factor and shift the space/time crossover. The width is a
+// structure knob like part:K; hash has no 64-bit build ("hash64" is
+// off the menu). Node sizes come from a fixed menu — the sizes swept in
 // Figures 12/13 — because they are template parameters underneath (§6.2
 // specializes per node size). The thread suffix is an execution policy,
 // not a structure knob: it changes how AnyIndex shards batched probe
@@ -94,6 +99,10 @@ class IndexSpec {
   /// Executors for batched probes through AnyIndex: 1 = inline (default),
   /// 0 = one per hardware thread, N = shard large spans N ways.
   int probe_threads() const { return probe_threads_; }
+  /// Key width in bytes: 4 (default, uint32_t keys) or 8 ("css64" etc.,
+  /// uint64_t keys). A structure knob — it selects which BuildIndex
+  /// family the spec is buildable through.
+  int key_width() const { return key_width_; }
   /// Key-range shards ("part:K/" prefix). 0 = unpartitioned (default);
   /// K >= 1 builds K contiguous equi-depth shards, each holding an inner
   /// index described by the rest of the spec.
@@ -113,20 +122,22 @@ class IndexSpec {
   /// True when the configuration is buildable: node size on the menu
   /// {4, 8, 16, 24, 32, 64, 128} (level CSS: powers of two only; B+-tree:
   /// every menu size), hash_dir_bits in [0, 28], probe threads in
-  /// [0, 256], partitions in [0, 256].
+  /// [0, 256], partitions in [0, 256], key width 4 or 8 (hash: 4 only).
   bool OnMenu() const;
 
   /// Copy with a different node size / directory size (for sweeps),
-  /// probe-thread policy (for scaling sweeps), or shard count.
+  /// probe-thread policy (for scaling sweeps), shard count, or key width.
   IndexSpec WithNodeEntries(int entries) const;
   IndexSpec WithHashDirBits(int bits) const;
   IndexSpec WithProbeThreads(int threads) const;
   IndexSpec WithPartitions(int partitions) const;
+  IndexSpec WithKeyWidth(int bytes) const;
 
   friend bool operator==(const IndexSpec& a, const IndexSpec& b) {
     if (a.method_ != b.method_) return false;
     if (a.probe_threads_ != b.probe_threads_) return false;
     if (a.partitions_ != b.partitions_) return false;
+    if (a.key_width_ != b.key_width_) return false;
     if (a.method_ == Method::kHash) {
       return a.hash_dir_bits_ == b.hash_dir_bits_;
     }
@@ -142,6 +153,7 @@ class IndexSpec {
   int hash_dir_bits_ = 22;
   int probe_threads_ = 1;
   int partitions_ = 0;
+  int key_width_ = 4;
 };
 
 /// One spec per method in the figures' legend order, default knobs.

@@ -8,42 +8,52 @@
 
 namespace cssidx {
 
-std::shared_ptr<const MaintainedIndex::Version> MaintainedIndex::MakeVersion(
-    const IndexSpec& spec, std::shared_ptr<const std::vector<Key>> keys,
+template <typename KeyT>
+std::shared_ptr<const typename BasicMaintainedIndex<KeyT>::Version>
+BasicMaintainedIndex<KeyT>::MakeVersion(
+    const IndexSpec& spec, std::shared_ptr<const std::vector<KeyT>> keys,
     uint64_t sequence) {
-  if (spec.partitioned() && spec.OnMenu()) {
+  if (spec.partitioned() && spec.OnMenu() &&
+      spec.key_width() == static_cast<int>(sizeof(KeyT))) {
     // Owned build: each shard's keys in their own buffer, so a later
     // RefreshWithBatch can reuse untouched shards by shared ownership.
-    auto part = PartitionedIndex::BuildOwned(spec, keys->data(), keys->size());
-    AnyIndex index = part->ok() ? AnyIndex(spec, part) : AnyIndex();
+    auto part = BasicPartitionedIndex<KeyT>::BuildOwned(spec, keys->data(),
+                                                        keys->size());
+    BasicAnyIndex<KeyT> index =
+        part->ok() ? BasicAnyIndex<KeyT>(spec, part) : BasicAnyIndex<KeyT>();
     return std::make_shared<const Version>(std::move(keys), std::move(part),
                                            std::move(index), sequence);
   }
-  AnyIndex index = BuildIndex(spec, keys->data(), keys->size());
+  BasicAnyIndex<KeyT> index = BuildIndexT<KeyT>(spec, keys->data(),
+                                                keys->size());
   return std::make_shared<const Version>(std::move(keys), nullptr,
                                          std::move(index), sequence);
 }
 
-MaintainedIndex::MaintainedIndex(const IndexSpec& spec,
-                                 std::vector<Key> sorted_keys)
+template <typename KeyT>
+BasicMaintainedIndex<KeyT>::BasicMaintainedIndex(const IndexSpec& spec,
+                                                 std::vector<KeyT> sorted_keys)
     : spec_(spec) {
   assert(std::is_sorted(sorted_keys.begin(), sorted_keys.end()));
   Publish(MakeVersion(spec_,
-                      std::make_shared<const std::vector<Key>>(
+                      std::make_shared<const std::vector<KeyT>>(
                           std::move(sorted_keys)),
                       ++sequence_));
 }
 
-void MaintainedIndex::ApplyBatch(const workload::UpdateBatch& batch) {
-  std::vector<Key> inserts = batch.inserts;
+template <typename KeyT>
+void BasicMaintainedIndex<KeyT>::ApplyBatch(
+    const workload::BasicUpdateBatch<KeyT>& batch) {
+  std::vector<KeyT> inserts = batch.inserts;
   std::sort(inserts.begin(), inserts.end());
-  std::vector<Key> deletes = batch.deletes;
+  std::vector<KeyT> deletes = batch.deletes;
   std::sort(deletes.begin(), deletes.end());
   ApplySortedBatch(std::move(inserts), std::move(deletes));
 }
 
-void MaintainedIndex::ApplySortedBatch(std::vector<Key> sorted_inserts,
-                                       std::vector<Key> sorted_deletes) {
+template <typename KeyT>
+void BasicMaintainedIndex<KeyT>::ApplySortedBatch(
+    std::vector<KeyT> sorted_inserts, std::vector<KeyT> sorted_deletes) {
   assert(ok());
   assert(std::is_sorted(sorted_inserts.begin(), sorted_inserts.end()));
   assert(std::is_sorted(sorted_deletes.begin(), sorted_deletes.end()));
@@ -53,8 +63,8 @@ void MaintainedIndex::ApplySortedBatch(std::vector<Key> sorted_inserts,
   stats_.keys_deleted += sorted_deletes.size();
   auto old = Snapshot();
   std::shared_ptr<const Version> fresh;
-  if (const PartitionedIndex* part = old->partitioned()) {
-    PartitionedIndex::Refreshed refreshed =
+  if (const BasicPartitionedIndex<KeyT>* part = old->partitioned()) {
+    typename BasicPartitionedIndex<KeyT>::Refreshed refreshed =
         part->RefreshWithSortedBatch(sorted_inserts, sorted_deletes);
     if (refreshed.rebalanced) {
       ++stats_.full_rebuilds;
@@ -65,25 +75,30 @@ void MaintainedIndex::ApplySortedBatch(std::vector<Key> sorted_inserts,
     stats_.shards_rebuilt += refreshed.shards_rebuilt;
     fresh = std::make_shared<const Version>(
         std::move(refreshed.merged_keys), refreshed.index,
-        AnyIndex(spec_, refreshed.index), ++sequence_);
+        BasicAnyIndex<KeyT>(spec_, refreshed.index), ++sequence_);
   } else {
     ++stats_.full_rebuilds;
     fresh = MakeVersion(
         spec_,
-        std::make_shared<const std::vector<Key>>(workload::ApplySortedBatch(
-            old->keys(), sorted_inserts, sorted_deletes)),
+        std::make_shared<const std::vector<KeyT>>(
+            workload::ApplySortedBatch<KeyT>(old->keys(), sorted_inserts,
+                                             sorted_deletes)),
         ++sequence_);
   }
   Publish(std::move(fresh));
 }
 
-void MaintainedIndex::Rebuild(std::vector<Key> sorted_keys) {
+template <typename KeyT>
+void BasicMaintainedIndex<KeyT>::Rebuild(std::vector<KeyT> sorted_keys) {
   assert(std::is_sorted(sorted_keys.begin(), sorted_keys.end()));
   ++stats_.full_rebuilds;
   Publish(MakeVersion(spec_,
-                      std::make_shared<const std::vector<Key>>(
+                      std::make_shared<const std::vector<KeyT>>(
                           std::move(sorted_keys)),
                       ++sequence_));
 }
+
+template class BasicMaintainedIndex<Key>;
+template class BasicMaintainedIndex<Key64>;
 
 }  // namespace cssidx

@@ -18,7 +18,8 @@
 // immutable read-optimized index; update batches arrive occasionally; the
 // index is rebuilt rather than updated in place. MaintainedIndex wraps
 // that lifecycle around *any* IndexSpec on the menu — monolithic or
-// "part:K/..." — so a live system never blocks readers on maintenance:
+// "part:K/...", 4-byte or 8-byte keys — so a live system never blocks
+// readers on maintenance:
 //
 //   - Readers take a snapshot with one pointer copy under a micro
 //     critical section (the moral equivalent of an atomic shared_ptr
@@ -53,25 +54,42 @@
 
 namespace cssidx {
 
-class MaintainedIndex {
+/// Writer-side maintenance counters (read them from the writer thread;
+/// they are not synchronized with readers). One type for every key
+/// width, so width-agnostic callers (the serving layer's introspection)
+/// can hold a reference without caring which instantiation produced it.
+struct MaintenanceStats {
+  size_t batches = 0;               // ApplyBatch calls, empty included
+  size_t full_rebuilds = 0;         // whole-structure rebuilds
+  size_t incremental_refreshes = 0; // part:K refreshes that reused shards
+  size_t shards_rebuilt = 0;        // inner rebuilds across all batches
+  size_t rebalances = 0;            // skew-triggered fence recomputations
+  size_t keys_inserted = 0;         // batch insert keys across all batches
+  size_t keys_deleted = 0;          // batch delete keys across all batches
+};
+
+template <typename KeyT>
+class BasicMaintainedIndex {
  public:
   /// An immutable published version: the merged sorted key array plus the
   /// index built over it. For partitioned specs, partitioned() exposes
   /// the composite for structural inspection (shard identity, fences).
   class Version {
    public:
-    Version(std::shared_ptr<const std::vector<Key>> keys,
-            std::shared_ptr<const PartitionedIndex> part, AnyIndex index,
-            uint64_t sequence = 0)
+    Version(std::shared_ptr<const std::vector<KeyT>> keys,
+            std::shared_ptr<const BasicPartitionedIndex<KeyT>> part,
+            BasicAnyIndex<KeyT> index, uint64_t sequence = 0)
         : keys_(std::move(keys)), part_(std::move(part)),
           index_(std::move(index)), sequence_(sequence) {}
     Version(const Version&) = delete;
     Version& operator=(const Version&) = delete;
 
-    const AnyIndex& index() const { return index_; }
-    const std::vector<Key>& keys() const { return *keys_; }
+    const BasicAnyIndex<KeyT>& index() const { return index_; }
+    const std::vector<KeyT>& keys() const { return *keys_; }
     /// Non-null only for partitioned specs.
-    const PartitionedIndex* partitioned() const { return part_.get(); }
+    const BasicPartitionedIndex<KeyT>* partitioned() const {
+      return part_.get();
+    }
     /// Publish sequence number: 1 for the initial build, +1 per published
     /// refresh/rebuild. Two snapshots with equal sequence are the same
     /// version, so a reader can report which state its results are
@@ -79,31 +97,24 @@ class MaintainedIndex {
     uint64_t sequence() const { return sequence_; }
 
    private:
-    std::shared_ptr<const std::vector<Key>> keys_;
-    std::shared_ptr<const PartitionedIndex> part_;
-    AnyIndex index_;
+    std::shared_ptr<const std::vector<KeyT>> keys_;
+    std::shared_ptr<const BasicPartitionedIndex<KeyT>> part_;
+    BasicAnyIndex<KeyT> index_;
     uint64_t sequence_ = 0;
   };
 
-  /// Writer-side maintenance counters (read them from the writer thread;
-  /// they are not synchronized with readers).
-  struct MaintenanceStats {
-    size_t batches = 0;               // ApplyBatch calls, empty included
-    size_t full_rebuilds = 0;         // whole-structure rebuilds
-    size_t incremental_refreshes = 0; // part:K refreshes that reused shards
-    size_t shards_rebuilt = 0;        // inner rebuilds across all batches
-    size_t rebalances = 0;            // skew-triggered fence recomputations
-    size_t keys_inserted = 0;         // batch insert keys across all batches
-    size_t keys_deleted = 0;          // batch delete keys across all batches
-  };
+  /// Nested alias for the shared counters type, kept so existing
+  /// `MaintainedIndex::MaintenanceStats` spellings stay valid.
+  using MaintenanceStats = cssidx::MaintenanceStats;
 
   /// Builds the initial version over `sorted_keys`. An off-menu spec
-  /// yields ok() == false (probing then asserts, as for a falsy
-  /// AnyIndex). The index owns its key array from here on.
-  MaintainedIndex(const IndexSpec& spec, std::vector<Key> sorted_keys);
+  /// (including one whose key width disagrees with KeyT) yields
+  /// ok() == false (probing then asserts, as for a falsy AnyIndex). The
+  /// index owns its key array from here on.
+  BasicMaintainedIndex(const IndexSpec& spec, std::vector<KeyT> sorted_keys);
 
-  MaintainedIndex(const MaintainedIndex&) = delete;
-  MaintainedIndex& operator=(const MaintainedIndex&) = delete;
+  BasicMaintainedIndex(const BasicMaintainedIndex&) = delete;
+  BasicMaintainedIndex& operator=(const BasicMaintainedIndex&) = delete;
 
   bool ok() const { return static_cast<bool>(Snapshot()->index()); }
 
@@ -118,64 +129,67 @@ class MaintainedIndex {
   /// shard-incrementally for partitioned specs, full rebuild otherwise.
   /// An empty batch publishes nothing. Callers must serialize writers
   /// externally (single-writer model).
-  void ApplyBatch(const workload::UpdateBatch& batch);
+  void ApplyBatch(const workload::BasicUpdateBatch<KeyT>& batch);
 
   /// ApplyBatch for writers that already hold SORTED insert/delete lists
   /// (a precondition, asserted in debug): same semantics, skips the
   /// defensive copy + sort — the engine's append path stages its inserts
   /// in sorted order anyway.
-  void ApplySortedBatch(std::vector<Key> sorted_inserts,
-                        std::vector<Key> sorted_deletes);
+  void ApplySortedBatch(std::vector<KeyT> sorted_inserts,
+                        std::vector<KeyT> sorted_deletes);
 
   /// Writer: replace the dataset outright (bulk reload — the paper's
   /// §2.2 batch lifecycle with a batch of "everything"). Publishes one
   /// fresh version (sequence +1) even when the keys are unchanged.
-  void Rebuild(std::vector<Key> sorted_keys);
+  void Rebuild(std::vector<KeyT> sorted_keys);
 
   // The full batch-probe surface, each call against one fresh snapshot
   // (one atomic load per batch — amortized to nothing by the batch-first
   // contract). Callers needing several ops against ONE coherent version
   // hold a Snapshot() instead. The two-argument forms follow the spec's
   // "@tN" probe-thread policy, as on AnyIndex.
-  void FindBatch(std::span<const Key> keys, std::span<int64_t> out) const {
+  void FindBatch(std::span<const KeyT> keys, std::span<int64_t> out) const {
     Snapshot()->index().FindBatch(keys, out);
   }
-  void LowerBoundBatch(std::span<const Key> keys,
+  void LowerBoundBatch(std::span<const KeyT> keys,
                        std::span<size_t> out) const {
     Snapshot()->index().LowerBoundBatch(keys, out);
   }
-  void EqualRangeBatch(std::span<const Key> keys,
+  void EqualRangeBatch(std::span<const KeyT> keys,
                        std::span<PositionRange> out) const {
     Snapshot()->index().EqualRangeBatch(keys, out);
   }
-  void CountEqualBatch(std::span<const Key> keys,
+  void CountEqualBatch(std::span<const KeyT> keys,
                        std::span<size_t> out) const {
     Snapshot()->index().CountEqualBatch(keys, out);
   }
-  void FindBatch(std::span<const Key> keys, std::span<int64_t> out,
+  void FindBatch(std::span<const KeyT> keys, std::span<int64_t> out,
                  const ProbeOptions& opts) const {
     Snapshot()->index().FindBatch(keys, out, opts);
   }
-  void LowerBoundBatch(std::span<const Key> keys, std::span<size_t> out,
+  void LowerBoundBatch(std::span<const KeyT> keys, std::span<size_t> out,
                        const ProbeOptions& opts) const {
     Snapshot()->index().LowerBoundBatch(keys, out, opts);
   }
-  void EqualRangeBatch(std::span<const Key> keys, std::span<PositionRange> out,
+  void EqualRangeBatch(std::span<const KeyT> keys,
+                       std::span<PositionRange> out,
                        const ProbeOptions& opts) const {
     Snapshot()->index().EqualRangeBatch(keys, out, opts);
   }
-  void CountEqualBatch(std::span<const Key> keys, std::span<size_t> out,
+  void CountEqualBatch(std::span<const KeyT> keys, std::span<size_t> out,
                        const ProbeOptions& opts) const {
     Snapshot()->index().CountEqualBatch(keys, out, opts);
   }
 
   /// Scalar probes: batches of one against the current version.
-  int64_t Find(Key k) const { return Snapshot()->index().Find(k); }
-  size_t LowerBound(Key k) const { return Snapshot()->index().LowerBound(k); }
-  PositionRange EqualRange(Key k) const {
+  int64_t Find(KeyT k) const { return Snapshot()->index().Find(k); }
+  size_t LowerBound(KeyT k) const {
+    return Snapshot()->index().LowerBound(k);
+  }
+  PositionRange EqualRange(KeyT k) const {
     return Snapshot()->index().EqualRange(k);
   }
-  size_t CountEqual(Key k) const {
+  size_t CountEqual(KeyT k) const {
     return Snapshot()->index().CountEqual(k);
   }
 
@@ -190,7 +204,7 @@ class MaintainedIndex {
 
  private:
   static std::shared_ptr<const Version> MakeVersion(
-      const IndexSpec& spec, std::shared_ptr<const std::vector<Key>> keys,
+      const IndexSpec& spec, std::shared_ptr<const std::vector<KeyT>> keys,
       uint64_t sequence);
 
   void Publish(std::shared_ptr<const Version> fresh) {
@@ -208,6 +222,9 @@ class MaintainedIndex {
   mutable std::mutex current_mu_;
   std::shared_ptr<const Version> current_;
 };
+
+using MaintainedIndex = BasicMaintainedIndex<Key>;
+using MaintainedIndex64 = BasicMaintainedIndex<Key64>;
 
 }  // namespace cssidx
 

@@ -10,11 +10,6 @@ namespace cssidx {
 
 namespace {
 
-/// Fence value for shards that start at or beyond the end of the array:
-/// strictly above every 32-bit probe, so UINT32_MAX still routes to the
-/// shard that actually holds its run.
-constexpr uint64_t kNoFence = uint64_t{1} << 32;
-
 /// Inner kernels always run inline within their shard task: the thread
 /// budget is spent dispatching shards, never nested re-sharding.
 constexpr ProbeOptions kInline{.threads = 1};
@@ -25,8 +20,18 @@ constexpr ProbeOptions kInline{.threads = 1};
 /// can collapse neighboring cuts (heavy duplicates, or K > distinct
 /// keys), leaving empty shards — harmless, their fences coincide and
 /// routing never selects them.
-void ComputeCuts(const Key* keys, size_t n, size_t k,
-                 std::vector<size_t>& bases, std::vector<uint64_t>& fences) {
+///
+/// Fences use the truncated representation (see fences() in the header):
+/// fence s is emitted only while shard s + 1 starts inside the array.
+/// Trailing empty shards — always a suffix, bases are nondecreasing —
+/// get no entry at all, so no sentinel "above every key" is ever needed
+/// and the scheme is key-width independent. (The previous uint64 fence
+/// table pinned them at 2^32: unreachable for uint32 probes, but any
+/// 64-bit key >= 2^32 would have routed PAST the last real shard into an
+/// empty one and probed nothing.)
+template <typename KeyT>
+void ComputeCuts(const KeyT* keys, size_t n, size_t k,
+                 std::vector<size_t>& bases, std::vector<KeyT>& fences) {
   bases.assign(k + 1, 0);
   bases[k] = n;
   for (size_t s = 1; s < k; ++s) {
@@ -40,16 +45,17 @@ void ComputeCuts(const Key* keys, size_t n, size_t k,
   }
   fences.clear();
   fences.reserve(k - 1);
-  for (size_t s = 1; s < k; ++s) {
-    fences.push_back(bases[s] < n ? static_cast<uint64_t>(keys[bases[s]])
-                                  : kNoFence);
+  for (size_t s = 1; s < k && bases[s] < n; ++s) {
+    fences.push_back(keys[bases[s]]);
   }
 }
 
 }  // namespace
 
-void PartitionedIndex::Init(const IndexSpec& spec, const Key* keys, size_t n,
-                            bool own_keys) {
+template <typename KeyT>
+void BasicPartitionedIndex<KeyT>::Init(const IndexSpec& spec,
+                                       const KeyT* keys, size_t n,
+                                       bool own_keys) {
   n_ = n;
   spec_ = spec;
   const size_t k = static_cast<size_t>(std::max(spec.partitions(), 1));
@@ -59,60 +65,74 @@ void PartitionedIndex::Init(const IndexSpec& spec, const Key* keys, size_t n,
   shards_.reserve(k);
   if (own_keys) owned_.reserve(k);
   for (size_t s = 0; s < k; ++s) {
-    const Key* base = keys + bases_[s];
+    const KeyT* base = keys + bases_[s];
     const size_t len = bases_[s + 1] - bases_[s];
     if (own_keys) {
-      auto buffer = std::make_shared<const std::vector<Key>>(base, base + len);
-      shards_.push_back(BuildIndex(inner, buffer->data(), buffer->size()));
+      auto buffer =
+          std::make_shared<const std::vector<KeyT>>(base, base + len);
+      shards_.push_back(BuildIndexT<KeyT>(inner, buffer->data(),
+                                          buffer->size()));
       owned_.push_back(std::move(buffer));
     } else {
-      shards_.push_back(BuildIndex(inner, base, len));
+      shards_.push_back(BuildIndexT<KeyT>(inner, base, len));
     }
   }
 }
 
-PartitionedIndex::PartitionedIndex(const IndexSpec& spec, const Key* keys,
-                                   size_t n) {
+template <typename KeyT>
+BasicPartitionedIndex<KeyT>::BasicPartitionedIndex(const IndexSpec& spec,
+                                                   const KeyT* keys,
+                                                   size_t n) {
   Init(spec, keys, n, /*own_keys=*/false);
 }
 
-std::shared_ptr<const PartitionedIndex> PartitionedIndex::BuildOwned(
-    const IndexSpec& spec, const Key* keys, size_t n) {
-  auto built = std::shared_ptr<PartitionedIndex>(new PartitionedIndex());
+template <typename KeyT>
+std::shared_ptr<const BasicPartitionedIndex<KeyT>>
+BasicPartitionedIndex<KeyT>::BuildOwned(const IndexSpec& spec,
+                                        const KeyT* keys, size_t n) {
+  auto built =
+      std::shared_ptr<BasicPartitionedIndex>(new BasicPartitionedIndex());
   built->Init(spec, keys, n, /*own_keys=*/true);
   return built;
 }
 
-PartitionedIndex::Refreshed PartitionedIndex::RefreshWithBatch(
-    const workload::UpdateBatch& batch) const {
-  std::vector<Key> inserts = batch.inserts;
+template <typename KeyT>
+typename BasicPartitionedIndex<KeyT>::Refreshed
+BasicPartitionedIndex<KeyT>::RefreshWithBatch(
+    const workload::BasicUpdateBatch<KeyT>& batch) const {
+  std::vector<KeyT> inserts = batch.inserts;
   std::sort(inserts.begin(), inserts.end());
-  std::vector<Key> deletes = batch.deletes;
+  std::vector<KeyT> deletes = batch.deletes;
   std::sort(deletes.begin(), deletes.end());
   return RefreshWithSortedBatch(inserts, deletes);
 }
 
-PartitionedIndex::Refreshed PartitionedIndex::RefreshWithSortedBatch(
-    std::span<const Key> inserts, std::span<const Key> deletes) const {
+template <typename KeyT>
+typename BasicPartitionedIndex<KeyT>::Refreshed
+BasicPartitionedIndex<KeyT>::RefreshWithSortedBatch(
+    std::span<const KeyT> inserts, std::span<const KeyT> deletes) const {
   assert(owns_shard_keys() &&
          "RefreshWithSortedBatch requires a BuildOwned-produced index");
   const size_t k = shards_.size();
 
   // Split both sorted lists at the fences — the list-side mirror of
   // ShardOf's upper_bound, so slice s holds exactly the keys a probe for
-  // them would route to shard s (empty shards get empty slices). Keys in
-  // shard s stay within [fences[s-1], fences[s]) after the merge, which
-  // is the invariant that keeps probe routing exact across refreshes.
-  auto split = [&](std::span<const Key> list) {
+  // them would route to shard s (empty shards get empty slices; shards
+  // past the last real fence get everything-above, which is slice
+  // fences_.size() — the same shard ShardOf routes those keys to). Keys
+  // in shard s stay within [fences[s-1], fences[s]) after the merge,
+  // which is the invariant that keeps probe routing exact across
+  // refreshes.
+  auto split = [&](std::span<const KeyT> list) {
     std::vector<size_t> cut(k + 1, list.size());
     cut[0] = 0;
     for (size_t s = 1; s < k; ++s) {
-      cut[s] = static_cast<size_t>(
-          std::lower_bound(list.begin(), list.end(), fences_[s - 1],
-                           [](Key a, uint64_t fence) {
-                             return static_cast<uint64_t>(a) < fence;
-                           }) -
-          list.begin());
+      cut[s] = s - 1 < fences_.size()
+                   ? static_cast<size_t>(
+                         std::lower_bound(list.begin(), list.end(),
+                                          fences_[s - 1]) -
+                         list.begin())
+                   : list.size();
     }
     return cut;
   };
@@ -120,7 +140,7 @@ PartitionedIndex::Refreshed PartitionedIndex::RefreshWithSortedBatch(
   const std::vector<size_t> del_cut = split(deletes);
 
   Refreshed out;
-  std::vector<std::shared_ptr<const std::vector<Key>>> buffers(k);
+  std::vector<std::shared_ptr<const std::vector<KeyT>>> buffers(k);
   std::vector<bool> touched(k, false);
   for (size_t s = 0; s < k; ++s) {
     touched[s] = ins_cut[s + 1] > ins_cut[s] || del_cut[s + 1] > del_cut[s];
@@ -128,8 +148,8 @@ PartitionedIndex::Refreshed PartitionedIndex::RefreshWithSortedBatch(
       buffers[s] = owned_[s];
       continue;
     }
-    buffers[s] = std::make_shared<const std::vector<Key>>(
-        workload::ApplySortedBatch(
+    buffers[s] = std::make_shared<const std::vector<KeyT>>(
+        workload::ApplySortedBatch<KeyT>(
             *owned_[s],
             inserts.subspan(ins_cut[s], ins_cut[s + 1] - ins_cut[s]),
             deletes.subspan(del_cut[s], del_cut[s + 1] - del_cut[s])));
@@ -144,7 +164,7 @@ PartitionedIndex::Refreshed PartitionedIndex::RefreshWithSortedBatch(
     max_len = std::max(max_len, buffers[s]->size());
   }
   const size_t total = bases[k];
-  auto merged = std::make_shared<std::vector<Key>>();
+  auto merged = std::make_shared<std::vector<KeyT>>();
   merged->reserve(total);
   for (const auto& buffer : buffers) {
     merged->insert(merged->end(), buffer->begin(), buffer->end());
@@ -161,7 +181,8 @@ PartitionedIndex::Refreshed PartitionedIndex::RefreshWithSortedBatch(
     return out;
   }
 
-  auto fresh = std::shared_ptr<PartitionedIndex>(new PartitionedIndex());
+  auto fresh =
+      std::shared_ptr<BasicPartitionedIndex>(new BasicPartitionedIndex());
   fresh->n_ = total;
   fresh->ordered_ = ordered_;
   fresh->spec_ = spec_;
@@ -171,7 +192,8 @@ PartitionedIndex::Refreshed PartitionedIndex::RefreshWithSortedBatch(
   fresh->shards_.reserve(k);
   for (size_t s = 0; s < k; ++s) {
     fresh->shards_.push_back(
-        touched[s] ? BuildIndex(inner, buffers[s]->data(), buffers[s]->size())
+        touched[s] ? BuildIndexT<KeyT>(inner, buffers[s]->data(),
+                                       buffers[s]->size())
                    : shards_[s]);
   }
   fresh->owned_ = std::move(buffers);
@@ -179,27 +201,32 @@ PartitionedIndex::Refreshed PartitionedIndex::RefreshWithSortedBatch(
   return out;
 }
 
-bool PartitionedIndex::ok() const {
-  for (const AnyIndex& shard : shards_) {
+template <typename KeyT>
+bool BasicPartitionedIndex<KeyT>::ok() const {
+  for (const BasicAnyIndex<KeyT>& shard : shards_) {
     if (!shard) return false;
   }
   return true;
 }
 
-size_t PartitionedIndex::ShardOf(Key key) const {
+template <typename KeyT>
+size_t BasicPartitionedIndex<KeyT>::ShardOf(KeyT key) const {
   // First shard whose fence exceeds the probe; equal fences (empty
   // shards) are skipped as a group, landing on the shard that actually
-  // starts with that key.
+  // starts with that key. A key at or above the last REAL fence lands on
+  // shard fences_.size() — the last nonempty shard — because trailing
+  // empty shards have no fence entry to route past (see fences()).
   return static_cast<size_t>(
-      std::upper_bound(fences_.begin(), fences_.end(),
-                       static_cast<uint64_t>(key)) -
+      std::upper_bound(fences_.begin(), fences_.end(), key) -
       fences_.begin());
 }
 
+template <typename KeyT>
 template <typename Out, typename ProbeFn, typename MapFn>
-void PartitionedIndex::Route(std::span<const Key> keys, std::span<Out> out,
-                             const ProbeOptions& opts, ProbeFn&& probe,
-                             MapFn&& map) const {
+void BasicPartitionedIndex<KeyT>::Route(std::span<const KeyT> keys,
+                                        std::span<Out> out,
+                                        const ProbeOptions& opts,
+                                        ProbeFn&& probe, MapFn&& map) const {
   const size_t n_probes = keys.size();
   if (n_probes == 0) return;
   const size_t k = shards_.size();
@@ -227,7 +254,7 @@ void PartitionedIndex::Route(std::span<const Key> keys, std::span<Out> out,
     ++seg[s + 1];
   }
   for (size_t s = 0; s < k; ++s) seg[s + 1] += seg[s];
-  std::vector<Key> routed(n_probes);
+  std::vector<KeyT> routed(n_probes);
   std::vector<size_t> origin(n_probes);
   {
     std::vector<size_t> cursor(seg.begin(), seg.end() - 1);
@@ -248,7 +275,7 @@ void PartitionedIndex::Route(std::span<const Key> keys, std::span<Out> out,
     for (size_t s = s_begin; s < s_end; ++s) {
       size_t len = seg[s + 1] - seg[s];
       if (len == 0) continue;
-      probe(s, std::span<const Key>(routed.data() + seg[s], len),
+      probe(s, std::span<const KeyT>(routed.data() + seg[s], len),
             std::span<Out>(local.data() + seg[s], len));
       for (size_t j = 0; j < len; ++j) {
         out[origin[seg[s] + j]] = map(s, local[seg[s] + j]);
@@ -267,9 +294,10 @@ void PartitionedIndex::Route(std::span<const Key> keys, std::span<Out> out,
   }
 }
 
-void PartitionedIndex::LowerBoundBatch(std::span<const Key> keys,
-                                       std::span<size_t> out,
-                                       const ProbeOptions& opts) const {
+template <typename KeyT>
+void BasicPartitionedIndex<KeyT>::LowerBoundBatch(
+    std::span<const KeyT> keys, std::span<size_t> out,
+    const ProbeOptions& opts) const {
   if (!ordered_) {
     // Bare hash answers every LowerBound with size(); shard-local sizes
     // plus bases would fake positions the contract says do not exist.
@@ -278,7 +306,7 @@ void PartitionedIndex::LowerBoundBatch(std::span<const Key> keys,
   }
   Route(
       keys, out, opts,
-      [&](size_t s, std::span<const Key> in, std::span<size_t> local) {
+      [&](size_t s, std::span<const KeyT> in, std::span<size_t> local) {
         shards_[s].LowerBoundBatch(in, local, kInline);
       },
       // Routing guarantees the global lower bound lies inside shard s
@@ -287,12 +315,13 @@ void PartitionedIndex::LowerBoundBatch(std::span<const Key> keys,
       [&](size_t s, size_t pos) { return pos + bases_[s]; });
 }
 
-void PartitionedIndex::FindBatch(std::span<const Key> keys,
-                                 std::span<int64_t> out,
-                                 const ProbeOptions& opts) const {
+template <typename KeyT>
+void BasicPartitionedIndex<KeyT>::FindBatch(std::span<const KeyT> keys,
+                                            std::span<int64_t> out,
+                                            const ProbeOptions& opts) const {
   Route(
       keys, out, opts,
-      [&](size_t s, std::span<const Key> in, std::span<int64_t> local) {
+      [&](size_t s, std::span<const KeyT> in, std::span<int64_t> local) {
         shards_[s].FindBatch(in, local, kInline);
       },
       [&](size_t s, int64_t pos) {
@@ -301,12 +330,13 @@ void PartitionedIndex::FindBatch(std::span<const Key> keys,
       });
 }
 
-void PartitionedIndex::EqualRangeBatch(std::span<const Key> keys,
-                                       std::span<PositionRange> out,
-                                       const ProbeOptions& opts) const {
+template <typename KeyT>
+void BasicPartitionedIndex<KeyT>::EqualRangeBatch(
+    std::span<const KeyT> keys, std::span<PositionRange> out,
+    const ProbeOptions& opts) const {
   Route(
       keys, out, opts,
-      [&](size_t s, std::span<const Key> in,
+      [&](size_t s, std::span<const KeyT> in,
           std::span<PositionRange> local) {
         shards_[s].EqualRangeBatch(in, local, kInline);
       },
@@ -319,56 +349,79 @@ void PartitionedIndex::EqualRangeBatch(std::span<const Key> keys,
       });
 }
 
-void PartitionedIndex::CountEqualBatch(std::span<const Key> keys,
-                                       std::span<size_t> out,
-                                       const ProbeOptions& opts) const {
+template <typename KeyT>
+void BasicPartitionedIndex<KeyT>::CountEqualBatch(
+    std::span<const KeyT> keys, std::span<size_t> out,
+    const ProbeOptions& opts) const {
   Route(
       keys, out, opts,
-      [&](size_t s, std::span<const Key> in, std::span<size_t> local) {
+      [&](size_t s, std::span<const KeyT> in, std::span<size_t> local) {
         shards_[s].CountEqualBatch(in, local, kInline);
       },
       [](size_t, size_t count) { return count; });
 }
 
-void PartitionedIndex::LowerBoundBatch(std::span<const Key> keys,
-                                       std::span<size_t> out) const {
+template <typename KeyT>
+void BasicPartitionedIndex<KeyT>::LowerBoundBatch(
+    std::span<const KeyT> keys, std::span<size_t> out) const {
   LowerBoundBatch(keys, out, kInline);
 }
 
-void PartitionedIndex::FindBatch(std::span<const Key> keys,
-                                 std::span<int64_t> out) const {
+template <typename KeyT>
+void BasicPartitionedIndex<KeyT>::FindBatch(std::span<const KeyT> keys,
+                                            std::span<int64_t> out) const {
   FindBatch(keys, out, kInline);
 }
 
-void PartitionedIndex::EqualRangeBatch(std::span<const Key> keys,
-                                       std::span<PositionRange> out) const {
+template <typename KeyT>
+void BasicPartitionedIndex<KeyT>::EqualRangeBatch(
+    std::span<const KeyT> keys, std::span<PositionRange> out) const {
   EqualRangeBatch(keys, out, kInline);
 }
 
-void PartitionedIndex::CountEqualBatch(std::span<const Key> keys,
-                                       std::span<size_t> out) const {
+template <typename KeyT>
+void BasicPartitionedIndex<KeyT>::CountEqualBatch(
+    std::span<const KeyT> keys, std::span<size_t> out) const {
   CountEqualBatch(keys, out, kInline);
 }
 
-size_t PartitionedIndex::SpaceBytes() const {
-  size_t total = fences_.capacity() * sizeof(uint64_t) +
+template <typename KeyT>
+size_t BasicPartitionedIndex<KeyT>::SpaceBytes() const {
+  size_t total = fences_.capacity() * sizeof(KeyT) +
                  bases_.capacity() * sizeof(size_t) +
-                 shards_.capacity() * sizeof(AnyIndex);
-  for (const AnyIndex& shard : shards_) total += shard.SpaceBytes();
+                 shards_.capacity() * sizeof(BasicAnyIndex<KeyT>);
+  for (const BasicAnyIndex<KeyT>& shard : shards_) {
+    total += shard.SpaceBytes();
+  }
   // Owned (maintained-path) indexes hold a per-shard copy of the keys on
   // top of whatever contiguous array the snapshot publishes.
   for (const auto& buffer : owned_) {
-    total += buffer->capacity() * sizeof(Key);
+    total += buffer->capacity() * sizeof(KeyT);
   }
   return total;
 }
 
+template class BasicPartitionedIndex<Key>;
+template class BasicPartitionedIndex<Key64>;
+
+template <typename KeyT>
+BasicAnyIndex<KeyT> BuildPartitionedIndexT(const IndexSpec& spec,
+                                           const KeyT* keys, size_t n) {
+  if (!spec.partitioned() || !spec.OnMenu()) return {};
+  if (spec.key_width() != static_cast<int>(sizeof(KeyT))) return {};
+  auto impl = std::make_shared<BasicPartitionedIndex<KeyT>>(spec, keys, n);
+  if (!impl->ok()) return {};
+  return BasicAnyIndex<KeyT>(spec, std::move(impl));
+}
+
+template AnyIndex BuildPartitionedIndexT<Key>(const IndexSpec&, const Key*,
+                                              size_t);
+template AnyIndex64 BuildPartitionedIndexT<Key64>(const IndexSpec&,
+                                                  const Key64*, size_t);
+
 AnyIndex BuildPartitionedIndex(const IndexSpec& spec, const Key* keys,
                                size_t n) {
-  if (!spec.partitioned() || !spec.OnMenu()) return {};
-  auto impl = std::make_shared<PartitionedIndex>(spec, keys, n);
-  if (!impl->ok()) return {};
-  return AnyIndex(spec, std::move(impl));
+  return BuildPartitionedIndexT<Key>(spec, keys, n);
 }
 
 }  // namespace cssidx

@@ -54,21 +54,22 @@ namespace cssidx {
 /// full rebuild to restore balance.
 inline constexpr size_t kRebalanceSkew = 4;
 
-class PartitionedIndex final : public AnyIndex::Impl {
+template <typename KeyT>
+class BasicPartitionedIndex final : public BasicAnyIndex<KeyT>::Impl {
  public:
   /// Builds K equi-depth shards over keys[0..n) (sorted, must outlive the
   /// index), each holding an inner index built from spec.Inner(). Prefer
   /// BuildPartitionedIndex, which validates the spec and reports
   /// unbuildable configurations as a falsy AnyIndex.
-  PartitionedIndex(const IndexSpec& spec, const Key* keys, size_t n);
+  BasicPartitionedIndex(const IndexSpec& spec, const KeyT* keys, size_t n);
 
   /// Maintained-path factory: same structure as the non-owning
   /// constructor, but every shard's keys are copied into a buffer the
   /// index owns (a shared_ptr), so RefreshWithBatch can hand untouched
   /// shards — buffer and inner index both — to its successor by shared
   /// ownership. `keys` may be freed after the call.
-  static std::shared_ptr<const PartitionedIndex> BuildOwned(
-      const IndexSpec& spec, const Key* keys, size_t n);
+  static std::shared_ptr<const BasicPartitionedIndex> BuildOwned(
+      const IndexSpec& spec, const KeyT* keys, size_t n);
 
   /// One shard-incremental maintenance step (the paper's batch model on
   /// the fence structure), valid only for BuildOwned/RefreshWithBatch
@@ -80,39 +81,40 @@ class PartitionedIndex final : public AnyIndex::Impl {
   /// kRebalanceSkew times the equi-depth target, in which case the whole
   /// structure is rebuilt with fresh equi-depth fences.
   struct Refreshed {
-    std::shared_ptr<const PartitionedIndex> index;
+    std::shared_ptr<const BasicPartitionedIndex> index;
     /// The full merged key array, contiguous, for callers that publish a
     /// (keys, index) snapshot pair.
-    std::shared_ptr<const std::vector<Key>> merged_keys;
+    std::shared_ptr<const std::vector<KeyT>> merged_keys;
     size_t shards_rebuilt = 0;
     bool rebalanced = false;
   };
-  Refreshed RefreshWithBatch(const workload::UpdateBatch& batch) const;
+  Refreshed RefreshWithBatch(
+      const workload::BasicUpdateBatch<KeyT>& batch) const;
   /// RefreshWithBatch for callers that already hold SORTED lists (a
   /// precondition, not checked): no copies, no re-sort.
-  Refreshed RefreshWithSortedBatch(std::span<const Key> inserts,
-                                   std::span<const Key> deletes) const;
+  Refreshed RefreshWithSortedBatch(std::span<const KeyT> inserts,
+                                   std::span<const KeyT> deletes) const;
 
   /// False if any inner shard failed to build (off-menu inner spec).
   bool ok() const;
 
-  void LowerBoundBatch(std::span<const Key> keys,
+  void LowerBoundBatch(std::span<const KeyT> keys,
                        std::span<size_t> out) const override;
-  void FindBatch(std::span<const Key> keys,
+  void FindBatch(std::span<const KeyT> keys,
                  std::span<int64_t> out) const override;
-  void EqualRangeBatch(std::span<const Key> keys,
+  void EqualRangeBatch(std::span<const KeyT> keys,
                        std::span<PositionRange> out) const override;
-  void CountEqualBatch(std::span<const Key> keys,
+  void CountEqualBatch(std::span<const KeyT> keys,
                        std::span<size_t> out) const override;
 
-  void LowerBoundBatch(std::span<const Key> keys, std::span<size_t> out,
+  void LowerBoundBatch(std::span<const KeyT> keys, std::span<size_t> out,
                        const ProbeOptions& opts) const override;
-  void FindBatch(std::span<const Key> keys, std::span<int64_t> out,
+  void FindBatch(std::span<const KeyT> keys, std::span<int64_t> out,
                  const ProbeOptions& opts) const override;
-  void EqualRangeBatch(std::span<const Key> keys,
+  void EqualRangeBatch(std::span<const KeyT> keys,
                        std::span<PositionRange> out,
                        const ProbeOptions& opts) const override;
-  void CountEqualBatch(std::span<const Key> keys, std::span<size_t> out,
+  void CountEqualBatch(std::span<const KeyT> keys, std::span<size_t> out,
                        const ProbeOptions& opts) const override;
 
   size_t SpaceBytes() const override;
@@ -124,47 +126,57 @@ class PartitionedIndex final : public AnyIndex::Impl {
   /// Shard s covers global positions [ShardBase(s), ShardBase(s + 1)).
   size_t ShardBase(size_t s) const { return bases_[s]; }
   /// The shard whose key range contains `key`.
-  size_t ShardOf(Key key) const;
+  size_t ShardOf(KeyT key) const;
   /// Shard s's inner index (compare AnyIndex::impl() identities across a
   /// refresh to see which shards were reused vs rebuilt).
-  const AnyIndex& shard(size_t s) const { return shards_[s]; }
-  /// The K - 1 fence values (uint64; trailing empty shards fence at 2^32).
-  std::span<const uint64_t> fences() const { return fences_; }
+  const BasicAnyIndex<KeyT>& shard(size_t s) const { return shards_[s]; }
+  /// The fence values, in key width. Truncated representation: fence s
+  /// (the lowest key of shard s + 1) is stored only while shard s + 1
+  /// starts before the end of the array, so trailing empty shards —
+  /// always a suffix, since shard bases are nondecreasing — simply have
+  /// no fence entry and can never win the upper_bound routing, at ANY key
+  /// width. (The old single-width scheme fenced them at 2^32, a sentinel
+  /// no uint32 probe could reach but every 64-bit key above 2^32 could.)
+  std::span<const KeyT> fences() const { return fences_; }
   /// True for BuildOwned/RefreshWithBatch products (the refreshable kind).
   bool owns_shard_keys() const { return !owned_.empty(); }
 
  private:
   /// Uninitialized shell for the factory/refresh paths.
-  PartitionedIndex() = default;
+  BasicPartitionedIndex() = default;
   /// The one setup sequence behind both build modes: equi-depth cuts plus
   /// per-shard inner builds, over the caller's array (own_keys = false)
   /// or per-shard owned copies of it (own_keys = true).
-  void Init(const IndexSpec& spec, const Key* keys, size_t n, bool own_keys);
+  void Init(const IndexSpec& spec, const KeyT* keys, size_t n, bool own_keys);
   /// The shared router: bucket `keys` per shard, run `probe(s, in, out)`
   /// shard-local, scatter `map(s, result)` back to input order. Dispatches
   /// whole shards to the pool per `opts`.
   template <typename Out, typename ProbeFn, typename MapFn>
-  void Route(std::span<const Key> keys, std::span<Out> out,
+  void Route(std::span<const KeyT> keys, std::span<Out> out,
              const ProbeOptions& opts, ProbeFn&& probe, MapFn&& map) const;
 
   size_t n_ = 0;
   bool ordered_ = true;
   IndexSpec spec_{};
-  /// fences_[s] is the lowest key of shard s + 1, widened to uint64 so
-  /// trailing empty shards can fence at 2^32 — above every probe, which a
-  /// UINT32_MAX sentinel could not be. Probe k routes to the first shard
-  /// whose fence exceeds k.
-  std::vector<uint64_t> fences_;  // K - 1 entries
-  std::vector<size_t> bases_;     // K + 1 entries, bases_[K] == n
-  std::vector<AnyIndex> shards_;  // K entries, possibly empty indexes
+  /// At most K - 1 entries; see fences().
+  std::vector<KeyT> fences_;
+  std::vector<size_t> bases_;  // K + 1 entries, bases_[K] == n
+  std::vector<BasicAnyIndex<KeyT>> shards_;  // K entries, maybe empty
   /// Per-shard key buffers, non-empty only on the owned (maintained)
   /// path: shard s's inner index points into *owned_[s], so a refresh can
   /// pass both to the successor and the buffer dies with its last user.
-  std::vector<std::shared_ptr<const std::vector<Key>>> owned_;
+  std::vector<std::shared_ptr<const std::vector<KeyT>>> owned_;
 };
 
+using PartitionedIndex = BasicPartitionedIndex<Key>;
+using PartitionedIndex64 = BasicPartitionedIndex<Key64>;
+
 /// Wraps a partitioned spec ("part:K/<inner>") into the facade. Returns a
-/// falsy AnyIndex when the spec is off the menu or not partitioned.
+/// falsy handle when the spec is off the menu or not partitioned.
+template <typename KeyT>
+BasicAnyIndex<KeyT> BuildPartitionedIndexT(const IndexSpec& spec,
+                                           const KeyT* keys, size_t n);
+
 AnyIndex BuildPartitionedIndex(const IndexSpec& spec, const Key* keys,
                                size_t n);
 

@@ -2,6 +2,7 @@
 #define CSSIDX_CORE_RANGE_H_
 
 #include <cstddef>
+#include <limits>
 #include <ostream>
 #include <type_traits>
 
@@ -23,32 +24,37 @@ inline std::ostream& operator<<(std::ostream& os, const PositionRange& r) {
 }
 
 /// Positions of all keys equal to `k` (the §3.6 duplicate scan as a range).
-template <typename IndexT>
-PositionRange EqualRange(const IndexT& index, const Key* keys, size_t n,
-                         Key k) {
+/// KeyT follows the backing array; the scalar key converts to it.
+template <typename IndexT, typename KeyT>
+PositionRange EqualRange(const IndexT& index, const KeyT* keys, size_t n,
+                         std::type_identity_t<KeyT> k) {
   size_t lo = index.LowerBound(k);
   size_t hi = lo;
   while (hi < n && keys[hi] == k) ++hi;
   return {lo, hi};
 }
 
-/// Positions of all keys in [lo_key, hi_key).
-template <typename IndexT>
-PositionRange HalfOpenRange(const IndexT& index, Key lo_key, Key hi_key) {
+/// Positions of all keys in [lo_key, hi_key). KeyT is non-deduced
+/// (defaults to Key): 8-byte callers write HalfOpenRange<Key64>(...).
+template <typename KeyT = Key, typename IndexT>
+PositionRange HalfOpenRange(const IndexT& index,
+                            std::type_identity_t<KeyT> lo_key,
+                            std::type_identity_t<KeyT> hi_key) {
   if (hi_key <= lo_key) return {0, 0};
   return {index.LowerBound(lo_key), index.LowerBound(hi_key)};
 }
 
-/// Positions of all keys in [lo_key, hi_key], handling hi_key = UINT32_MAX
-/// (where the half-open trick would overflow).
-template <typename IndexT>
-PositionRange ClosedRange(const IndexT& index, const Key* keys, size_t n,
-                          Key lo_key, Key hi_key) {
+/// Positions of all keys in [lo_key, hi_key], handling hi_key = max key
+/// (where the half-open trick would overflow) for any key width.
+template <typename IndexT, typename KeyT>
+PositionRange ClosedRange(const IndexT& index, const KeyT* keys, size_t n,
+                          std::type_identity_t<KeyT> lo_key,
+                          std::type_identity_t<KeyT> hi_key) {
   (void)keys;
   if (hi_key < lo_key) return {0, 0};
   size_t begin = index.LowerBound(lo_key);
   size_t end;
-  if (hi_key == static_cast<Key>(-1)) {
+  if (hi_key == std::numeric_limits<KeyT>::max()) {
     end = n;
   } else {
     end = index.LowerBound(hi_key + 1);
@@ -59,10 +65,11 @@ PositionRange ClosedRange(const IndexT& index, const Key* keys, size_t n,
 
 /// Visits every (position, key) with key in [lo_key, hi_key). `fn` returns
 /// void or bool; returning false stops early. Returns rows visited.
-template <typename IndexT, typename Fn>
-size_t ScanRange(const IndexT& index, const Key* keys, size_t n, Key lo_key,
-                 Key hi_key, Fn&& fn) {
-  PositionRange r = HalfOpenRange(index, lo_key, hi_key);
+template <typename IndexT, typename KeyT, typename Fn>
+size_t ScanRange(const IndexT& index, const KeyT* keys, size_t n,
+                 std::type_identity_t<KeyT> lo_key,
+                 std::type_identity_t<KeyT> hi_key, Fn&& fn) {
+  PositionRange r = HalfOpenRange<KeyT>(index, lo_key, hi_key);
   (void)n;
   size_t visited = 0;
   for (size_t pos = r.begin; pos < r.end; ++pos) {

@@ -46,9 +46,12 @@
 // Strided nodes (B+-tree interleaved key/pointer slots, Stride == 2) are
 // handled with even-lane shuffles rather than gathers; the kernels read
 // only slots that exist in the node (proof at the Stride == 2 loads
-// below). uint64 keys and off-width strides fall back to the scalar
-// unrolled path via kHasSimdNodeSearch — dispatch is compile-time where
-// the answer is static, runtime only where it is not.
+// below). 8-byte keys get an AVX2 4-lane variant (cmpgt_epi64 with the
+// 2^63 sign bias) for dense Stride == 1 nodes; strided or SSE2-only
+// 8-byte shapes fall back to the scalar unrolled path via
+// kHasSimdNodeSearch — bit-identical either way, so the ForcedScalar CI
+// lane covers both. Dispatch is compile-time where the answer is static,
+// runtime only where it is not.
 
 #if defined(__SSE2__)
 #include <emmintrin.h>
@@ -95,13 +98,17 @@ namespace internal_node_search {
 extern NodeSearchPath g_active_path;
 
 /// True when a SIMD kernel exists for this node shape: 4-byte keys (the
-/// paper's K = 4; uint64 trees fall back to scalar), dense or B+-tree
-/// interleaved layout, and enough keys that one vector step beats the
-/// sequential scan the scalar path would use anyway.
+/// paper's K = 4) in dense or B+-tree interleaved layout with enough keys
+/// that one vector step beats the sequential scan the scalar path would
+/// use anyway; or 8-byte keys in dense layout when AVX2 is compiled in
+/// (4 lanes per step — SSE2's 2 lanes lose to the scalar unroll, and
+/// strided 8-byte nodes don't occur on the 64-bit menu's hot path).
 template <int Count, int Stride, typename KeyT>
 inline constexpr bool kHasSimdNodeSearch =
-    CSSIDX_HAVE_SSE2 != 0 && std::is_same_v<KeyT, uint32_t> &&
-    (Stride == 1 || Stride == 2) && Count >= 8;
+    (CSSIDX_HAVE_SSE2 != 0 && std::is_same_v<KeyT, uint32_t> &&
+     (Stride == 1 || Stride == 2) && Count >= 8) ||
+    (CSSIDX_HAVE_AVX2 != 0 && std::is_same_v<KeyT, uint64_t> &&
+     Stride == 1 && Count >= 4);
 
 #if CSSIDX_HAVE_SSE2
 
@@ -230,6 +237,55 @@ CSSIDX_ALWAYS_INLINE int AvxLowerBoundN(const uint32_t* keys, int count,
   return less;
 }
 
+CSSIDX_ALWAYS_INLINE __m256i BiasSigned256x64(__m256i v) {
+  // Same trick one width up: XOR with 2^63 maps unsigned 64-bit order
+  // onto signed order for _mm256_cmpgt_epi64.
+  return _mm256_xor_si256(
+      v, _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ull)));
+}
+
+CSSIDX_ALWAYS_INLINE int HorizontalCount64(__m256i acc) {
+  // Each 64-bit lane holds -(keys counted); sum lanes, negate.
+  __m128i acc2 = _mm_add_epi64(_mm256_castsi256_si128(acc),
+                               _mm256_extracti128_si256(acc, 1));
+  acc2 = _mm_add_epi64(acc2, _mm_unpackhi_epi64(acc2, acc2));
+  return static_cast<int>(-_mm_cvtsi128_si64(acc2));
+}
+
+/// 4-key step of the count-keys-less-than-k scheme for 8-byte keys.
+/// Dense layout only (Stride == 1 enforced by kHasSimdNodeSearch).
+template <int Count>
+CSSIDX_ALWAYS_INLINE int Avx64LowerBound(const uint64_t* keys, uint64_t k) {
+  const __m256i vk =
+      BiasSigned256x64(_mm256_set1_epi64x(static_cast<long long>(k)));
+  __m256i acc = _mm256_setzero_si256();
+  int i = 0;
+  for (; i + 4 <= Count; i += 4) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    acc = _mm256_add_epi64(acc, _mm256_cmpgt_epi64(vk, BiasSigned256x64(v)));
+  }
+  int less = HorizontalCount64(acc);
+  for (; i < Count; ++i) less += keys[i] < k ? 1 : 0;
+  return less;
+}
+
+CSSIDX_ALWAYS_INLINE int Avx64LowerBoundN(const uint64_t* keys, int count,
+                                          uint64_t k) {
+  const __m256i vk =
+      BiasSigned256x64(_mm256_set1_epi64x(static_cast<long long>(k)));
+  __m256i acc = _mm256_setzero_si256();
+  int i = 0;
+  for (; i + 4 <= count; i += 4) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    acc = _mm256_add_epi64(acc, _mm256_cmpgt_epi64(vk, BiasSigned256x64(v)));
+  }
+  int less = HorizontalCount64(acc);
+  for (; i < count; ++i) less += keys[i] < k ? 1 : 0;
+  return less;
+}
+
 #endif  // CSSIDX_HAVE_AVX2
 
 }  // namespace internal_node_search
@@ -245,18 +301,28 @@ CSSIDX_ALWAYS_INLINE int DispatchedLowerBound(const KeyT* keys, KeyT k) {
   using internal_node_search::kHasSimdNodeSearch;
   if constexpr (kHasSimdNodeSearch<Count, Stride, KeyT>) {
     const NodeSearchPath path = internal_node_search::g_active_path;
+    if constexpr (std::is_same_v<KeyT, uint64_t>) {
 #if CSSIDX_HAVE_AVX2
-    if (CSSIDX_LIKELY(path == NodeSearchPath::kAvx2)) {
-      return internal_node_search::AvxLowerBound<Count, Stride>(keys, k);
-    }
+      // 8-byte keys have an AVX2 kernel only; kSse2 (and kScalar) fall
+      // through to the scalar unroll below — bit-identical answers.
+      if (CSSIDX_LIKELY(path == NodeSearchPath::kAvx2)) {
+        return internal_node_search::Avx64LowerBound<Count>(keys, k);
+      }
+#endif
+    } else {
+#if CSSIDX_HAVE_AVX2
+      if (CSSIDX_LIKELY(path == NodeSearchPath::kAvx2)) {
+        return internal_node_search::AvxLowerBound<Count, Stride>(keys, k);
+      }
 #endif
 #if CSSIDX_HAVE_SSE2
-    if (path != NodeSearchPath::kScalar) {
-      // A kAvx2 request in a build without AVX2 compiled in lands here:
-      // SSE2 is the widest path this binary owns.
-      return internal_node_search::SseLowerBound<Count, Stride>(keys, k);
-    }
+      if (path != NodeSearchPath::kScalar) {
+        // A kAvx2 request in a build without AVX2 compiled in lands here:
+        // SSE2 is the widest path this binary owns.
+        return internal_node_search::SseLowerBound<Count, Stride>(keys, k);
+      }
 #endif
+    }
   }
   return UnrolledLowerBound<Count, Stride, KeyT>(keys, k);
 }
@@ -279,6 +345,14 @@ CSSIDX_ALWAYS_INLINE int DispatchedLowerBoundN(const KeyT* keys, int count,
       if (path != NodeSearchPath::kScalar) {
         return internal_node_search::SseLowerBoundN(keys, count, k);
       }
+    }
+  }
+#endif
+#if CSSIDX_HAVE_AVX2
+  if constexpr (std::is_same_v<KeyT, uint64_t>) {
+    if (stride == 1 && count >= 4 &&
+        internal_node_search::g_active_path == NodeSearchPath::kAvx2) {
+      return internal_node_search::Avx64LowerBoundN(keys, count, k);
     }
   }
 #endif

@@ -1,9 +1,18 @@
 #include "engine/query.h"
 
 #include <algorithm>
+#include <limits>
 #include <span>
+#include <stdexcept>
 
 namespace cssidx::engine {
+namespace {
+
+/// The ID used for a string predicate value absent from the column's
+/// dictionary. Real IDs are dense from 0, so this never matches a row.
+constexpr uint32_t kAbsentId = std::numeric_limits<uint32_t>::max();
+
+}  // namespace
 
 std::vector<Rid> SelectEqual(const Table& table, const std::string& column,
                              uint32_t value) {
@@ -56,6 +65,35 @@ size_t CountRange(const Table& table, const std::string& column, uint32_t lo,
   return count;
 }
 
+std::vector<Rid> SelectEqual(const Table& table, const std::string& column,
+                             const std::string& value) {
+  const domain::StringDomain& dom = table.StringDomainOf(column);
+  return SelectEqual(table, column, dom.Encode(value).value_or(kAbsentId));
+}
+
+std::vector<Rid> SelectRange(const Table& table, const std::string& column,
+                             const std::string& lo, const std::string& hi) {
+  // The ID image of a string range (§2.1: IDs are order-preserving):
+  // [lo, hi) over values becomes [LowerBoundId(lo), LowerBoundId(hi))
+  // over IDs — neither bound has to be in the dictionary.
+  const domain::StringDomain& dom = table.StringDomainOf(column);
+  return SelectRange(table, column, dom.LowerBoundId(lo),
+                     dom.LowerBoundId(hi));
+}
+
+size_t CountEqual(const Table& table, const std::string& column,
+                  const std::string& value) {
+  const domain::StringDomain& dom = table.StringDomainOf(column);
+  return CountEqual(table, column, dom.Encode(value).value_or(kAbsentId));
+}
+
+size_t CountRange(const Table& table, const std::string& column,
+                  const std::string& lo, const std::string& hi) {
+  const domain::StringDomain& dom = table.StringDomainOf(column);
+  return CountRange(table, column, dom.LowerBoundId(lo),
+                    dom.LowerBoundId(hi));
+}
+
 std::vector<std::vector<Rid>> SelectRangeBatch(
     const Table& table, const std::string& column,
     std::span<const std::pair<uint32_t, uint32_t>> bounds) {
@@ -85,6 +123,27 @@ std::vector<JoinedPair> IndexedJoin(const Table& outer,
   const SortIndex& index = inner.GetSortIndex(inner_column);
   const auto& outer_col = outer.Column(outer_column);
   std::vector<JoinedPair> out;
+  // String columns carry per-table dictionaries, so equal VALUES need not
+  // have equal IDs; translate the outer dictionary into the inner one
+  // once (O(|outer domain| * log |inner domain|)) and probe translated
+  // IDs. Empty = no translation (plain integer join).
+  const bool outer_str = outer.HasStringColumn(outer_column);
+  const bool inner_str = inner.HasStringColumn(inner_column);
+  if (outer_str != inner_str) {
+    throw std::invalid_argument(
+        "IndexedJoin: cannot join a string column against an integer "
+        "column (" + outer_column + " vs " + inner_column + ")");
+  }
+  std::vector<uint32_t> translate;
+  if (outer_str) {
+    const domain::StringDomain& outer_dom = outer.StringDomainOf(outer_column);
+    const domain::StringDomain& inner_dom = inner.StringDomainOf(inner_column);
+    translate.resize(outer_dom.size());
+    for (uint32_t i = 0; i < translate.size(); ++i) {
+      translate[i] =
+          inner_dom.Encode(outer_dom.Decode(i)).value_or(kAbsentId);
+    }
+  }
   // Batched probe loop: the outer column is fed to the inner index a block
   // at a time, each block probed in one EqualRangeBatch the facade shards
   // into per-thread contiguous chunks (threads = 0: one per hardware
@@ -100,10 +159,18 @@ std::vector<JoinedPair> IndexedJoin(const Table& outer,
   // outer-RID order.
   constexpr size_t kProbeBlock = 64 * kParallelProbeMinShard;
   std::vector<PositionRange> found(std::min(outer_col.size(), kProbeBlock));
+  std::vector<uint32_t> translated(translate.empty() ? 0 : found.size());
   const auto& rids = index.rids();
   for (size_t base = 0; base < outer_col.size(); base += kProbeBlock) {
     size_t len = std::min(outer_col.size() - base, kProbeBlock);
-    index.EqualRangeBatch(std::span<const uint32_t>(&outer_col[base], len),
+    std::span<const uint32_t> probe_keys(&outer_col[base], len);
+    if (!translate.empty()) {
+      for (size_t i = 0; i < len; ++i) {
+        translated[i] = translate[outer_col[base + i]];
+      }
+      probe_keys = std::span<const uint32_t>(translated.data(), len);
+    }
+    index.EqualRangeBatch(probe_keys,
                           std::span<PositionRange>(found.data(), len),
                           ProbeOptions{.threads = 0});
     for (size_t i = 0; i < len; ++i) {

@@ -41,6 +41,31 @@ size_t CountEqual(const Table& table, const std::string& column,
 size_t CountRange(const Table& table, const std::string& column, uint32_t lo,
                   uint32_t hi);
 
+// String-predicate forms for string columns (AddStringColumn): the
+// predicate endpoints are encoded through the column's order-preserving
+// dictionary (§2.1) — equality via Encode, range endpoints via
+// LowerBoundId — and the query then runs on IDs through the overloads
+// above, index or scan alike. Values the dictionary has never seen
+// select nothing (equality) or clamp to the neighboring ID (range), and
+// neither bound has to be a value in the column. Throws std::out_of_range
+// if `column` is not a string column.
+
+/// RIDs of rows where a string column equals `value`.
+std::vector<Rid> SelectEqual(const Table& table, const std::string& column,
+                             const std::string& value);
+
+/// RIDs of rows where lo <= column < hi, by string comparison.
+std::vector<Rid> SelectRange(const Table& table, const std::string& column,
+                             const std::string& lo, const std::string& hi);
+
+/// Number of rows where a string column equals `value`.
+size_t CountEqual(const Table& table, const std::string& column,
+                  const std::string& value);
+
+/// Number of rows where lo <= column < hi, by string comparison.
+size_t CountRange(const Table& table, const std::string& column,
+                  const std::string& lo, const std::string& hi);
+
 /// Many SelectRanges at once: result i is exactly
 /// SelectRange(table, column, bounds[i].first, bounds[i].second), but with
 /// a sort index every range's two bound probes go through ONE batched
@@ -58,6 +83,12 @@ struct JoinedPair {
 /// Indexed nested-loop equi-join: probes the inner table's sort index on
 /// `inner_column` with batches of outer keys; emits every matching pair.
 /// The inner table must have a sort index built on `inner_column`.
+/// String columns join on VALUES, not raw IDs: two tables have two
+/// dictionaries, so when both join columns are string columns the outer
+/// IDs are translated once (outer ID -> value -> inner ID; values absent
+/// from the inner dictionary match nothing) and the probe loop runs on
+/// translated IDs. Joining a string column against an integer column is
+/// a type error (std::invalid_argument).
 std::vector<JoinedPair> IndexedJoin(const Table& outer,
                                     const std::string& outer_column,
                                     const Table& inner,

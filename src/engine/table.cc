@@ -250,6 +250,33 @@ void Table::AddColumn(const std::string& name, std::vector<uint32_t> values) {
   columns_[name] = std::move(values);
 }
 
+void Table::AddStringColumn(const std::string& name,
+                            std::vector<std::string> values) {
+  // One domain search per cell — §2.1's load path, and the workload the
+  // search structures exist for. Every value is in the dictionary by
+  // construction, so Encode cannot fail here.
+  auto dom = std::make_unique<domain::StringDomain>(
+      domain::StringDomain::FromValues(values));
+  std::vector<uint32_t> ids;
+  ids.reserve(values.size());
+  for (const std::string& v : values) ids.push_back(*dom->Encode(v));
+  AddColumn(name, std::move(ids));  // validates the row count first
+  domains_[name] = std::move(dom);
+}
+
+bool Table::HasStringColumn(const std::string& name) const {
+  return domains_.count(name) != 0;
+}
+
+const domain::StringDomain& Table::StringDomainOf(
+    const std::string& name) const {
+  auto it = domains_.find(name);
+  if (it == domains_.end()) {
+    throw std::out_of_range("no string column named " + name);
+  }
+  return *it->second;
+}
+
 void Table::AppendRows(
     const std::map<std::string, std::vector<uint32_t>>& rows) {
   if (rows.size() != columns_.size()) {

@@ -13,6 +13,7 @@
 #include "core/index.h"
 #include "core/index_spec.h"
 #include "core/maintained_index.h"
+#include "domain/domain.h"
 
 // Minimal columnar main-memory table, the §2 system context: columns store
 // 4-byte values (raw integers or domain IDs), and ordered access to a
@@ -176,6 +177,25 @@ class Table {
   /// Adds a column; all columns must have the same row count.
   void AddColumn(const std::string& name, std::vector<uint32_t> values);
 
+  /// Adds a string column the §2.1 way: the distinct values go into an
+  /// order-preserving StringDomain, and what the table stores is an
+  /// ordinary uint32 column of domain IDs — so sort indexes, selections,
+  /// joins, and GROUP BY run on the IDs unchanged, and because the
+  /// dictionary is sorted, ID order IS value order (range predicates map
+  /// through StringDomainOf().LowerBoundId). String columns are a load
+  /// path: AppendRows/ApplyUpdate mutate ID columns only (the live
+  /// string-update story, with its dictionary growth, is the serving
+  /// layer's writer).
+  void AddStringColumn(const std::string& name,
+                       std::vector<std::string> values);
+
+  /// Whether `name` is a string column (an ID column with a dictionary).
+  bool HasStringColumn(const std::string& name) const;
+
+  /// The dictionary behind a string column (throws if `name` is not one).
+  /// Decode query output with StringDomainOf(c).Decode(Column(c)[rid]).
+  const domain::StringDomain& StringDomainOf(const std::string& name) const;
+
   /// Appends a batch of rows (one value per existing column, keyed by
   /// name) and refreshes every sort index in place via ApplyAppend — the
   /// OLAP maintenance cycle, without re-sorting whole columns (and, for
@@ -233,6 +253,10 @@ class Table {
   size_t num_rows_ = 0;
   std::map<std::string, std::vector<uint32_t>> columns_;
   std::map<std::string, std::unique_ptr<SortIndex>> indexes_;
+  /// Dictionaries for string columns; the column itself lives in
+  /// columns_ as IDs. unique_ptr: StringDomain is move-only-ish and the
+  /// map must not invalidate references handed out by StringDomainOf.
+  std::map<std::string, std::unique_ptr<domain::StringDomain>> domains_;
 };
 
 }  // namespace cssidx::engine

@@ -13,6 +13,7 @@
 
 #include "core/index_spec.h"
 #include "core/maintained_index.h"
+#include "domain/domain.h"
 #include "serve/statement.h"
 #include "serve/update_queue.h"
 
@@ -55,10 +56,14 @@ struct ServerStats {
 /// group's publish, table `table` is at version `sequence`, and its state
 /// equals the initial keys plus every batch journaled for it so far,
 /// applied in order. Read only after Stop() — the join synchronizes.
+/// Exactly one of the three batch lists is populated, matching the
+/// table's key type.
 struct AppliedGroup {
   uint32_t table = 0;
   uint64_t sequence = 0;
-  std::vector<workload::UpdateBatch> batches;  // consumption order
+  std::vector<workload::UpdateBatch> batches;      // 4-byte tables
+  std::vector<workload::UpdateBatch64> batches64;  // 8-byte tables
+  std::vector<StringUpdateBatch> string_batches;   // string tables
 };
 
 /// Result of one statement. `version` is the snapshot sequence the reads
@@ -69,6 +74,9 @@ enum class StatementStatus {
   kUnknownTable,  // error names the missing table
   kRejected,      // write bounced off a full queue (Admission::kReject)
   kClosed,        // write arrived after Stop()
+  kBadKey,        // key doesn't fit the table: out of the table's width
+                  // (distinct out-of-range message) or non-numeric on an
+                  // integer table; error says which key and why
 };
 
 struct StatementResult {
@@ -108,6 +116,22 @@ class Server {
   uint32_t CreateTable(const std::string& name, std::vector<uint32_t> keys,
                        const IndexSpec& spec = IndexSpec());
 
+  /// 8-byte-key table (§5's key-width parameter through the full serving
+  /// stack). The spec's key width is forced to 8, so "css:16" and
+  /// "css64:16" both mean the same wide-key tree here.
+  uint32_t CreateTable64(const std::string& name, std::vector<uint64_t> keys,
+                         const IndexSpec& spec = IndexSpec());
+
+  /// String-keyed table (§2.1): the values feed an order-preserving
+  /// StringDomain, the key column stores 4-byte domain IDs, and the index
+  /// is built over the IDs — so statements probe on raw string tokens,
+  /// range predicates map through LowerBoundId, and the index machinery
+  /// never sees a string. `values` is the key column (duplicates allowed;
+  /// the domain stores each distinct value once).
+  uint32_t CreateStringTable(const std::string& name,
+                             std::vector<std::string> values,
+                             const IndexSpec& spec = IndexSpec());
+
   /// Launches the writer thread. Statements may be executed before Start
   /// — reads serve version 1, writes queue up — but nothing is applied
   /// until the writer runs.
@@ -129,18 +153,59 @@ class Server {
   size_t queue_depth() const { return queue_.depth(); }
   /// The journal (Options::journal). Call only after Stop().
   const std::vector<AppliedGroup>& applied_groups() const { return journal_; }
-  /// Current snapshot of a table's index (by name; throws if unknown).
+  /// Current snapshot of a table's index (by name; throws if unknown or
+  /// 8-byte — string tables report their ID index here).
   std::shared_ptr<const MaintainedIndex::Version> TableSnapshot(
       const std::string& name) const;
-  const MaintainedIndex::MaintenanceStats& TableMaintenanceStats(
+  /// Current snapshot of an 8-byte table's index.
+  std::shared_ptr<const MaintainedIndex64::Version> TableSnapshot64(
+      const std::string& name) const;
+  /// The domain dictionary behind a string table (throws otherwise).
+  /// Shared ownership because the writer can replace the dictionary when
+  /// an insert brings a new value — the returned snapshot stays valid.
+  std::shared_ptr<const domain::StringDomain> TableDomain(
+      const std::string& name) const;
+  const MaintenanceStats& TableMaintenanceStats(
       const std::string& name) const;
 
  private:
   friend class Session;
 
+  enum class TableKind { kU32, kU64, kString };
+
+  /// A string table's reader-facing state: the domain dictionary and the
+  /// ID-index version built against it, published TOGETHER. An insert of
+  /// a new value grows the domain, which renumbers IDs (order-preserving
+  /// dictionaries stay sorted), so a reader pairing an old dictionary
+  /// with a new index — or vice versa — would translate predicates into
+  /// the wrong ID space. One pointer load yields a coherent pair.
+  struct StringVersion {
+    std::shared_ptr<const domain::StringDomain> domain;
+    std::shared_ptr<const MaintainedIndex::Version> ids;
+  };
+
+  /// One mutex-guarded pointer slot, same discipline (and same TSan
+  /// rationale) as MaintainedIndex's version pointer.
+  struct StringHead {
+    mutable std::mutex mu;
+    std::shared_ptr<const StringVersion> current;
+
+    std::shared_ptr<const StringVersion> Snapshot() const {
+      std::lock_guard<std::mutex> lock(mu);
+      return current;
+    }
+    void Publish(std::shared_ptr<const StringVersion> fresh) {
+      std::lock_guard<std::mutex> lock(mu);
+      current = std::move(fresh);
+    }
+  };
+
   struct TableEntry {
     std::string name;
-    std::unique_ptr<MaintainedIndex> index;
+    TableKind kind = TableKind::kU32;
+    std::unique_ptr<MaintainedIndex> index;      // kU32; kString: over IDs
+    std::unique_ptr<MaintainedIndex64> index64;  // kU64
+    std::unique_ptr<StringHead> strings;         // kString
   };
 
   /// nullptr when the name is unknown. Safe lock-free: tables_ is

@@ -18,21 +18,35 @@ std::vector<std::string_view> Tokenize(std::string_view text) {
   return tokens;
 }
 
-bool ParseU32(std::string_view token, uint32_t* out) {
-  if (token.empty() || token.size() > 10) return false;
+enum class NumberParse {
+  kOk,          // all digits, fits in uint64
+  kNotNumeric,  // has a non-digit — a raw token (string-table key)
+  kOutOfRange,  // all digits but exceeds 2^64-1
+};
+
+NumberParse ParseU64(std::string_view token, uint64_t* out) {
+  if (token.empty()) return NumberParse::kNotNumeric;
   uint64_t value = 0;
   for (char c : token) {
-    if (c < '0' || c > '9') return false;
-    value = value * 10 + static_cast<uint64_t>(c - '0');
+    if (c < '0' || c > '9') return NumberParse::kNotNumeric;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (std::numeric_limits<uint64_t>::max() - digit) / 10) {
+      return NumberParse::kOutOfRange;
+    }
+    value = value * 10 + digit;
   }
-  if (value > std::numeric_limits<uint32_t>::max()) return false;
-  *out = static_cast<uint32_t>(value);
-  return true;
+  *out = value;
+  return NumberParse::kOk;
 }
 
 std::optional<Statement> Fail(std::string* error, std::string message) {
   if (error != nullptr) *error = std::move(message);
   return std::nullopt;
+}
+
+std::string OutOfRangeMessage(std::string_view token) {
+  return "key '" + std::string(token) +
+         "' out of range: exceeds 18446744073709551615 (2^64-1)";
 }
 
 }  // namespace
@@ -70,24 +84,40 @@ std::optional<Statement> ParseStatement(std::string_view text,
       return stmt;
     case Verb::kRange: {
       if (tokens.size() != 4) return Fail(error, "RANGE takes <lo> <hi>");
-      if (!ParseU32(tokens[2], &stmt.lo) || !ParseU32(tokens[3], &stmt.hi)) {
-        return Fail(error, "RANGE bounds must be uint32");
+      stmt.lo_token = std::string(tokens[2]);
+      stmt.hi_token = std::string(tokens[3]);
+      const NumberParse lo = ParseU64(tokens[2], &stmt.lo);
+      const NumberParse hi = ParseU64(tokens[3], &stmt.hi);
+      if (lo == NumberParse::kOutOfRange) {
+        return Fail(error, OutOfRangeMessage(tokens[2]));
       }
+      if (hi == NumberParse::kOutOfRange) {
+        return Fail(error, OutOfRangeMessage(tokens[3]));
+      }
+      stmt.bounds_numeric =
+          lo == NumberParse::kOk && hi == NumberParse::kOk;
       return stmt;
     }
     default: {
-      // FIND/COUNT/INSERT/DELETE: one or more uint32 keys.
+      // FIND/COUNT/INSERT/DELETE: one or more keys. A key token is kept
+      // raw (string tables) and parsed as uint64 when it is a decimal
+      // number; only a digit string too wide for ANY table is a parse
+      // error, with a message distinct from a malformed statement.
       if (tokens.size() < 3) {
         return Fail(error, "expected at least one key");
       }
+      stmt.key_tokens.reserve(tokens.size() - 2);
       stmt.keys.reserve(tokens.size() - 2);
+      stmt.keys_numeric.reserve(tokens.size() - 2);
       for (size_t i = 2; i < tokens.size(); ++i) {
-        uint32_t key = 0;
-        if (!ParseU32(tokens[i], &key)) {
-          return Fail(error,
-                      "bad key '" + std::string(tokens[i]) + "'");
+        uint64_t key = 0;
+        const NumberParse parse = ParseU64(tokens[i], &key);
+        if (parse == NumberParse::kOutOfRange) {
+          return Fail(error, OutOfRangeMessage(tokens[i]));
         }
+        stmt.key_tokens.emplace_back(tokens[i]);
         stmt.keys.push_back(key);
+        stmt.keys_numeric.push_back(parse == NumberParse::kOk);
       }
       return stmt;
     }
@@ -100,7 +130,10 @@ const char* StatementGrammarHelp() {
          "RANGE  <table> <lo> <hi>  count + position span of [lo, hi)\n"
          "JOIN   <outer> <inner>    equi-join pair cardinality\n"
          "INSERT <table> <key>...   enqueue an insert batch\n"
-         "DELETE <table> <key>...   enqueue a delete batch (every copy)\n";
+         "DELETE <table> <key>...   enqueue a delete batch (every copy)\n"
+         "keys: decimal uint64 for integer tables (32-bit tables reject\n"
+         "values above 4294967295 at execute), raw tokens for string\n"
+         "tables\n";
 }
 
 }  // namespace cssidx::serve

@@ -10,7 +10,7 @@
 // The serving layer's statement surface: one executor per verb, in the
 // spirit of SimpleRA's per-verb executor architecture, shrunk to the six
 // verbs a read-mostly index server needs. Statements are a flat token
-// grammar — verb, table name(s), uint32 operands — because the point of
+// grammar — verb, table name(s), key operands — because the point of
 // this layer is the concurrency contract (each statement resolves against
 // ONE snapshot), not query planning.
 //
@@ -20,6 +20,16 @@
 //   JOIN   <outer> <inner>          equi-join pair cardinality
 //   INSERT <table> <key>...         enqueue an insert batch
 //   DELETE <table> <key>...         enqueue a delete batch (every copy)
+//
+// Key operands are width-agnostic at parse time: the grammar does not
+// know whether a table holds 4-byte keys, 8-byte keys, or strings (the
+// §2.1 domain-dictionary path), so every operand is kept as its raw
+// token AND, when the token is a decimal number, as a parsed uint64.
+// The only parse-time key error is a digit string exceeding 2^64-1 —
+// reported with a distinct out-of-range message, never a generic "bad
+// key". Width checks against a table narrower than the parsed value
+// (e.g. 2^32 sent to a 32-bit table) happen at execute time, again with
+// a distinct out-of-range message.
 
 namespace cssidx::serve {
 
@@ -29,8 +39,16 @@ struct Statement {
   Verb verb = Verb::kFind;
   std::string table;   // first table operand
   std::string table2;  // JOIN only: the inner table
-  std::vector<uint32_t> keys;  // FIND/COUNT/INSERT/DELETE operands
-  uint32_t lo = 0, hi = 0;     // RANGE only
+  // FIND/COUNT/INSERT/DELETE operands, raw. String tables probe on the
+  // token itself; numeric tables use the parallel parsed form below.
+  std::vector<std::string> key_tokens;
+  // keys[i] is key_tokens[i] parsed as decimal uint64 where
+  // keys_numeric[i]; 0 (and not meaningful) otherwise.
+  std::vector<uint64_t> keys;
+  std::vector<bool> keys_numeric;
+  std::string lo_token, hi_token;  // RANGE only, raw
+  uint64_t lo = 0, hi = 0;         // parsed forms, valid iff bounds_numeric
+  bool bounds_numeric = false;
 };
 
 /// Parses one statement. Returns nullopt on malformed input and, when

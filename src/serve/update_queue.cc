@@ -23,7 +23,9 @@ UpdateQueue::PushResult UpdateQueue::Push(QueuedUpdate update) {
   }
   ++stats_.enqueued_batches;
   stats_.enqueued_keys +=
-      update.batch.inserts.size() + update.batch.deletes.size();
+      update.batch.inserts.size() + update.batch.deletes.size() +
+      update.batch64.inserts.size() + update.batch64.deletes.size() +
+      update.strings.inserts.size() + update.strings.deletes.size();
   queue_.push_back(std::move(update));
   stats_.depth_high_water = std::max(stats_.depth_high_water, queue_.size());
   not_empty_.notify_one();
@@ -58,35 +60,6 @@ QueueStats UpdateQueue::stats() const {
 size_t UpdateQueue::depth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
-}
-
-workload::UpdateBatch Coalesce(
-    std::span<const workload::UpdateBatch> batches) {
-  workload::UpdateBatch acc;
-  for (const workload::UpdateBatch& next : batches) {
-    if (!next.deletes.empty()) {
-      // A later delete kills every earlier occurrence of the key —
-      // including inserts still waiting in the accumulator.
-      std::vector<uint32_t> doomed = next.deletes;
-      std::sort(doomed.begin(), doomed.end());
-      std::erase_if(acc.inserts, [&](uint32_t k) {
-        return std::binary_search(doomed.begin(), doomed.end(), k);
-      });
-      // Deletes accumulate as a sorted set: deleting twice equals
-      // deleting once (every occurrence goes either way).
-      std::vector<uint32_t> merged;
-      merged.reserve(acc.deletes.size() + doomed.size());
-      std::set_union(acc.deletes.begin(), acc.deletes.end(), doomed.begin(),
-                     doomed.end(), std::back_inserter(merged));
-      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
-      acc.deletes = std::move(merged);
-    }
-    // Inserts append in arrival order; an insert after its key's delete
-    // survives (deletes apply first), matching sequential application.
-    acc.inserts.insert(acc.inserts.end(), next.inserts.begin(),
-                       next.inserts.end());
-  }
-  return acc;
 }
 
 }  // namespace cssidx::serve

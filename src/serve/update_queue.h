@@ -1,11 +1,14 @@
 #ifndef CSSIDX_SERVE_UPDATE_QUEUE_H_
 #define CSSIDX_SERVE_UPDATE_QUEUE_H_
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <iterator>
 #include <mutex>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "workload/batch_update.h"
@@ -40,12 +43,20 @@ struct QueueStats {
   size_t depth_high_water = 0;    // deepest the queue has been
 };
 
+/// String-keyed update batch (§2.1 domain-dictionary tables): same
+/// lifecycle as the integer batches, values instead of keys.
+using StringUpdateBatch = workload::BasicUpdateBatch<std::string>;
+
 /// One queued write: an update batch destined for one table (the server's
 /// table id — the queue itself doesn't interpret it, it is the coalescing
-/// group key).
+/// group key). Exactly one of the three batch members is populated,
+/// matching the destination table's key type; the queue moves whichever
+/// is there.
 struct QueuedUpdate {
   uint32_t table = 0;
-  workload::UpdateBatch batch;
+  workload::UpdateBatch batch;      // 4-byte integer tables
+  workload::UpdateBatch64 batch64;  // 8-byte integer tables
+  StringUpdateBatch strings;        // string (domain-ID) tables
 };
 
 class UpdateQueue {
@@ -100,8 +111,48 @@ class UpdateQueue {
 /// arriving after its key's delete must survive). The result's deletes
 /// are sorted and unique; its inserts stay in arrival order (the writer
 /// sorts a copy at apply time — arrival order is what keeps table-level
-/// RID assignment identical to sequential application).
-workload::UpdateBatch Coalesce(std::span<const workload::UpdateBatch> batches);
+/// RID assignment identical to sequential application). Generic over the
+/// key type — the fold only needs ordering, so 4-byte, 8-byte, and
+/// string batches all coalesce through the same code.
+template <typename KeyT>
+workload::BasicUpdateBatch<KeyT> Coalesce(
+    std::span<const workload::BasicUpdateBatch<KeyT>> batches) {
+  workload::BasicUpdateBatch<KeyT> acc;
+  for (const workload::BasicUpdateBatch<KeyT>& next : batches) {
+    if (!next.deletes.empty()) {
+      // A later delete kills every earlier occurrence of the key —
+      // including inserts still waiting in the accumulator.
+      std::vector<KeyT> doomed = next.deletes;
+      std::sort(doomed.begin(), doomed.end());
+      std::erase_if(acc.inserts, [&](const KeyT& k) {
+        return std::binary_search(doomed.begin(), doomed.end(), k);
+      });
+      // Deletes accumulate as a sorted set: deleting twice equals
+      // deleting once (every occurrence goes either way).
+      std::vector<KeyT> merged;
+      merged.reserve(acc.deletes.size() + doomed.size());
+      std::set_union(acc.deletes.begin(), acc.deletes.end(), doomed.begin(),
+                     doomed.end(), std::back_inserter(merged));
+      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+      acc.deletes = std::move(merged);
+    }
+    // Inserts append in arrival order; an insert after its key's delete
+    // survives (deletes apply first), matching sequential application.
+    acc.inserts.insert(acc.inserts.end(), next.inserts.begin(),
+                       next.inserts.end());
+  }
+  return acc;
+}
+
+/// Deduction helper: template argument deduction does not see through
+/// vector-to-span conversions, so the vector form callers actually write
+/// gets its own overload.
+template <typename KeyT>
+workload::BasicUpdateBatch<KeyT> Coalesce(
+    const std::vector<workload::BasicUpdateBatch<KeyT>>& batches) {
+  return Coalesce(std::span<const workload::BasicUpdateBatch<KeyT>>(
+      batches.data(), batches.size()));
+}
 
 }  // namespace cssidx::serve
 

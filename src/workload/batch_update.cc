@@ -6,31 +6,6 @@
 
 namespace cssidx::workload {
 
-std::vector<uint32_t> ApplyBatch(const std::vector<uint32_t>& sorted_keys,
-                                 const UpdateBatch& batch) {
-  std::vector<uint32_t> deletes = batch.deletes;
-  std::sort(deletes.begin(), deletes.end());
-  std::vector<uint32_t> inserts = batch.inserts;
-  std::sort(inserts.begin(), inserts.end());
-  return ApplySortedBatch(sorted_keys, inserts, deletes);
-}
-
-std::vector<uint32_t> ApplySortedBatch(std::span<const uint32_t> sorted_keys,
-                                       std::span<const uint32_t> inserts,
-                                       std::span<const uint32_t> deletes) {
-  std::vector<uint32_t> survivors;
-  survivors.reserve(sorted_keys.size() + inserts.size());
-  for (uint32_t k : sorted_keys) {
-    if (!std::binary_search(deletes.begin(), deletes.end(), k)) {
-      survivors.push_back(k);
-    }
-  }
-  std::vector<uint32_t> result(survivors.size() + inserts.size());
-  std::merge(survivors.begin(), survivors.end(), inserts.begin(),
-             inserts.end(), result.begin());
-  return result;
-}
-
 UpdateBatch RandomBatch(const std::vector<uint32_t>& sorted_keys,
                         double fraction, uint64_t seed) {
   Pcg32 rng(seed);

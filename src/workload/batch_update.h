@@ -10,27 +10,70 @@
 // array and the directory is rebuilt from scratch. This module implements
 // the merge; rebuild cost is what Figure 9 measures.
 
+#include <algorithm>
+
 namespace cssidx::workload {
 
-struct UpdateBatch {
-  std::vector<uint32_t> inserts;  // need not be sorted
-  std::vector<uint32_t> deletes;  // keys; every occurrence is removed
+/// One batch of inserts and deletes, templated on the key width — the
+/// maintained-index lifecycle is identical for 4- and 8-byte keys.
+template <typename KeyT>
+struct BasicUpdateBatch {
+  std::vector<KeyT> inserts;  // need not be sorted
+  std::vector<KeyT> deletes;  // keys; every occurrence is removed
 };
+
+using UpdateBatch = BasicUpdateBatch<uint32_t>;
+using UpdateBatch64 = BasicUpdateBatch<uint64_t>;
+
+/// ApplyBatch for callers that already hold SORTED insert/delete lists
+/// (a precondition, not checked): same semantics as ApplyBatch, no copies
+/// and no re-sort. The shard-incremental refresh path routes one globally
+/// sorted batch into per-shard sub-ranges and merges each through this.
+template <typename KeyT>
+std::vector<KeyT> ApplySortedBatch(std::span<const KeyT> sorted_keys,
+                                   std::span<const KeyT> inserts,
+                                   std::span<const KeyT> deletes) {
+  std::vector<KeyT> survivors;
+  survivors.reserve(sorted_keys.size() + inserts.size());
+  for (KeyT k : sorted_keys) {
+    if (!std::binary_search(deletes.begin(), deletes.end(), k)) {
+      survivors.push_back(k);
+    }
+  }
+  std::vector<KeyT> result(survivors.size() + inserts.size());
+  std::merge(survivors.begin(), survivors.end(), inserts.begin(),
+             inserts.end(), result.begin());
+  return result;
+}
+
+/// Non-template overload so existing callers keep deducing through
+/// vector-to-span conversions.
+inline std::vector<uint32_t> ApplySortedBatch(
+    std::span<const uint32_t> sorted_keys, std::span<const uint32_t> inserts,
+    std::span<const uint32_t> deletes) {
+  return ApplySortedBatch<uint32_t>(sorted_keys, inserts, deletes);
+}
 
 /// Applies `batch` to `sorted_keys` and returns the new sorted array.
 /// Deletes are applied first, then inserts (so inserting a deleted key
 /// keeps it). Duplicate inserts are kept — the structures support
 /// duplicates per §3.6. Runs in O((n + |batch|) log |batch|).
-std::vector<uint32_t> ApplyBatch(const std::vector<uint32_t>& sorted_keys,
-                                 const UpdateBatch& batch);
+template <typename KeyT>
+std::vector<KeyT> ApplyBatch(const std::vector<KeyT>& sorted_keys,
+                             const BasicUpdateBatch<KeyT>& batch) {
+  std::vector<KeyT> deletes = batch.deletes;
+  std::sort(deletes.begin(), deletes.end());
+  std::vector<KeyT> inserts = batch.inserts;
+  std::sort(inserts.begin(), inserts.end());
+  return ApplySortedBatch<KeyT>(sorted_keys, inserts, deletes);
+}
 
-/// ApplyBatch for callers that already hold SORTED insert/delete lists
-/// (a precondition, not checked): same semantics, no copies and no
-/// re-sort. The shard-incremental refresh path routes one globally
-/// sorted batch into per-shard sub-ranges and merges each through this.
-std::vector<uint32_t> ApplySortedBatch(std::span<const uint32_t> sorted_keys,
-                                       std::span<const uint32_t> inserts,
-                                       std::span<const uint32_t> deletes);
+/// Non-template overload so existing callers keep deducing (braced
+/// argument lists included).
+inline std::vector<uint32_t> ApplyBatch(const std::vector<uint32_t>& sorted_keys,
+                                        const UpdateBatch& batch) {
+  return ApplyBatch<uint32_t>(sorted_keys, batch);
+}
 
 /// Generates a random batch touching roughly `fraction` of the keys:
 /// half deletes of existing keys, half fresh inserts.

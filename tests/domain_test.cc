@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "util/rng.h"
 #include "workload/key_gen.h"
 
 namespace cssidx::domain {
@@ -97,6 +98,87 @@ TEST(StringDomain, AddBatchRemap) {
   EXPECT_EQ(d.size(), 5u);
   EXPECT_EQ(d.Decode(remap[0]), "b");
   EXPECT_EQ(d.Decode(remap[1]), "d");
+}
+
+TEST(StringDomain, RandomValuesRoundTripAgainstSortedDistinctOracle) {
+  // Property test for the serving/engine string path: a dictionary built
+  // from a random multiset of words must behave exactly like the STL
+  // sorted-distinct oracle for Encode, Decode, and LowerBoundId — for
+  // values inside the dictionary AND probe strings that are not (prefixes,
+  // extensions, the empty string).
+  Pcg32 rng(0x5712);
+  const std::string alphabet = "abcdz";
+  auto random_word = [&] {
+    std::string w(1 + rng.Below(6), 'a');
+    for (auto& c : w) c = alphabet[rng.Below(5)];
+    return w;
+  };
+  std::vector<std::string> values(2'000);
+  for (auto& v : values) v = random_word();
+  values.push_back("");  // the empty string sorts first; keep it legal
+
+  std::vector<std::string> oracle = values;
+  std::sort(oracle.begin(), oracle.end());
+  oracle.erase(std::unique(oracle.begin(), oracle.end()), oracle.end());
+
+  auto d = StringDomain::FromValues(values);
+  ASSERT_EQ(d.size(), oracle.size());
+  for (uint32_t id = 0; id < oracle.size(); ++id) {
+    ASSERT_EQ(d.Decode(id), oracle[id]);
+    ASSERT_EQ(d.Encode(oracle[id]), std::optional<uint32_t>(id));
+  }
+  std::vector<std::string> probes;
+  for (int i = 0; i < 500; ++i) probes.push_back(random_word());
+  probes.push_back("");
+  probes.push_back("zzzzzzzz");  // above every word in the alphabet
+  for (const std::string& p : probes) {
+    const auto it = std::lower_bound(oracle.begin(), oracle.end(), p);
+    const auto expect_lb = static_cast<uint32_t>(it - oracle.begin());
+    ASSERT_EQ(d.LowerBoundId(p), expect_lb) << p;
+    if (it != oracle.end() && *it == p) {
+      ASSERT_EQ(d.Encode(p), std::optional<uint32_t>(expect_lb)) << p;
+    } else {
+      ASSERT_FALSE(d.Encode(p).has_value()) << p;
+    }
+  }
+}
+
+TEST(StringDomain, AddBatchRemapIsStrictlyIncreasing) {
+  // The writer-side invariant the serving layer's string apply path leans
+  // on: growing the dictionary remaps old IDs STRICTLY upward (order
+  // preserved, no two old IDs collapse), so a sorted snapshot of ID keys
+  // stays sorted after remapping and feeds straight into ApplySortedBatch.
+  Pcg32 rng(0x5713);
+  const std::string alphabet = "mnopq";
+  auto random_word = [&] {
+    std::string w(1 + rng.Below(5), 'a');
+    for (auto& c : w) c = alphabet[rng.Below(5)];
+    return w;
+  };
+  std::vector<std::string> base(300), grow(300);
+  for (auto& v : base) v = random_word();
+  for (auto& v : grow) v = random_word();
+
+  auto d = StringDomain::FromValues(base);
+  std::vector<std::string> old_values(d.size());
+  for (uint32_t id = 0; id < d.size(); ++id) old_values[id] = d.Decode(id);
+
+  auto remap = d.AddBatch(grow);
+  ASSERT_EQ(remap.size(), old_values.size());
+  for (size_t id = 0; id < remap.size(); ++id) {
+    // Old values stay reachable at their remapped IDs...
+    ASSERT_EQ(d.Decode(remap[id]), old_values[id]);
+    // ...and the remap is strictly increasing.
+    if (id > 0) {
+      ASSERT_GT(remap[id], remap[id - 1]);
+    }
+  }
+  // Every grown-in value is now encodable, and the whole dictionary is
+  // still sorted-distinct.
+  for (const auto& v : grow) ASSERT_TRUE(d.Encode(v).has_value()) << v;
+  for (uint32_t id = 1; id < d.size(); ++id) {
+    ASSERT_LT(d.Decode(id - 1), d.Decode(id));
+  }
 }
 
 TEST(IntDomain, LargeDomainEncodeThroughput) {

@@ -4,8 +4,10 @@
 #include <algorithm>
 #include <map>
 #include <numeric>
+#include <span>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -843,6 +845,148 @@ TEST(Query, DecisionSupportPipeline) {
   for (uint64_t v : revenue) sum_check += v;
   EXPECT_EQ(sum_check, total);
   EXPECT_GT(total, 0u);
+}
+
+// ------------------------------------------------------ string columns
+
+std::vector<std::string> RandomWords(size_t rows,
+                                     std::span<const char* const> vocab,
+                                     uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<std::string> out(rows);
+  for (auto& w : out) w = vocab[rng.Below(static_cast<uint32_t>(vocab.size()))];
+  return out;
+}
+
+TEST(Table, StringColumnIsAnIdColumnWithAnOrderPreservingDictionary) {
+  Table t;
+  t.AddStringColumn("city", {"oslo", "bergen", "oslo", "tromso", "bergen"});
+  t.AddColumn("pop", {7, 3, 7, 1, 3});
+  ASSERT_TRUE(t.HasStringColumn("city"));
+  EXPECT_FALSE(t.HasStringColumn("pop"));
+  EXPECT_THROW(t.StringDomainOf("pop"), std::out_of_range);
+
+  // The stored column is dictionary IDs, and because the dictionary is
+  // sorted, comparing IDs IS comparing values (§2.1).
+  const domain::StringDomain& dom = t.StringDomainOf("city");
+  ASSERT_EQ(dom.size(), 3u);  // bergen oslo tromso
+  EXPECT_EQ(t.Column("city"),
+            (std::vector<uint32_t>{1, 0, 1, 2, 0}));
+  for (size_t i = 0; i + 1 < dom.size(); ++i) {
+    EXPECT_LT(dom.Decode(static_cast<uint32_t>(i)),
+              dom.Decode(static_cast<uint32_t>(i + 1)));
+  }
+  // Decode-on-output: a query result's rows map back to values.
+  std::vector<Rid> oslo = SelectEqual(t, "city", std::string("oslo"));
+  EXPECT_EQ(oslo, (std::vector<Rid>{0, 2}));
+  for (Rid r : oslo) {
+    EXPECT_EQ(dom.Decode(t.Column("city")[r]), "oslo");
+  }
+}
+
+TEST(Query, StringPredicatesMatchScanOracleWithAndWithoutIndex) {
+  constexpr const char* kVocab[] = {"ash",   "birch", "cedar", "elm",
+                                    "fir",   "hazel", "oak",   "pine",
+                                    "rowan", "yew"};
+  const std::vector<std::string> words = RandomWords(800, kVocab, 0x57f);
+  // Probe values include strings outside the vocabulary; range bounds
+  // include prefixes that fall between dictionary entries.
+  const std::vector<std::string> probes = {"cedar", "oak", "maple", ""};
+  const std::vector<std::pair<std::string, std::string>> ranges = {
+      {"birch", "oak"}, {"a", "z"}, {"f", "fz"}, {"oak", "oak"},
+      {"pine", "elm"}};
+
+  for (bool indexed : {false, true}) {
+    SCOPED_TRACE(indexed ? "indexed" : "scan");
+    Table t;
+    t.AddStringColumn("tree", words);
+    if (indexed) t.BuildSortIndex("tree", *IndexSpec::Parse("css:16"));
+    for (const std::string& p : probes) {
+      std::vector<Rid> expected;
+      for (size_t i = 0; i < words.size(); ++i) {
+        if (words[i] == p) expected.push_back(static_cast<Rid>(i));
+      }
+      std::vector<Rid> got = SelectEqual(t, "tree", p);
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, expected) << "value " << p;
+      EXPECT_EQ(CountEqual(t, "tree", p), expected.size());
+    }
+    for (const auto& [lo, hi] : ranges) {
+      std::vector<Rid> expected;
+      for (size_t i = 0; i < words.size(); ++i) {
+        if (words[i] >= lo && words[i] < hi) {
+          expected.push_back(static_cast<Rid>(i));
+        }
+      }
+      std::vector<Rid> got = SelectRange(t, "tree", lo, hi);
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, expected) << "range [" << lo << ", " << hi << ")";
+      EXPECT_EQ(CountRange(t, "tree", lo, hi), expected.size());
+    }
+  }
+}
+
+TEST(Query, IndexedJoinOnStringColumnsJoinsOnValuesNotIds) {
+  // The two dictionaries deliberately disagree: "cedar" is ID 1 on one
+  // side and ID 0 on the other, and each side holds values the other
+  // never saw — a raw ID join would be silently wrong everywhere.
+  constexpr const char* kOuterVocab[] = {"ash", "cedar", "oak", "maple"};
+  constexpr const char* kInnerVocab[] = {"cedar", "oak", "pine", "yew"};
+  const std::vector<std::string> outer_words =
+      RandomWords(300, kOuterVocab, 0x0117);
+  const std::vector<std::string> inner_words =
+      RandomWords(450, kInnerVocab, 0x0118);
+  Table outer, inner;
+  outer.AddStringColumn("tree", outer_words);
+  inner.AddStringColumn("tree", inner_words);
+  inner.BuildSortIndex("tree", *IndexSpec::Parse("part:4/css:16"));
+
+  std::vector<JoinedPair> got = IndexedJoin(outer, "tree", inner, "tree");
+  std::vector<std::pair<Rid, Rid>> got_pairs, expected;
+  for (const JoinedPair& p : got) got_pairs.push_back({p.outer, p.inner});
+  for (size_t o = 0; o < outer_words.size(); ++o) {
+    for (size_t i = 0; i < inner_words.size(); ++i) {
+      if (outer_words[o] == inner_words[i]) {
+        expected.push_back(
+            {static_cast<Rid>(o), static_cast<Rid>(i)});
+      }
+    }
+  }
+  std::sort(got_pairs.begin(), got_pairs.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(got_pairs, expected);
+  ASSERT_FALSE(expected.empty());  // the overlap actually exercised it
+
+  // String vs integer is a type error, not an ID coincidence.
+  Table nums;
+  nums.AddColumn("tree", {0, 1, 2});
+  nums.BuildSortIndex("tree");
+  EXPECT_THROW(IndexedJoin(outer, "tree", nums, "tree"),
+               std::invalid_argument);
+}
+
+TEST(Query, GroupByOnAStringColumnAggregatesPerDictionaryId) {
+  // GROUP BY wants dense domain IDs — which is exactly what a string
+  // column stores, so grouping by it needs no special path; the
+  // dictionary just labels the groups.
+  Table t;
+  t.AddStringColumn("fruit",
+                    {"pear", "apple", "pear", "quince", "apple", "pear"});
+  t.AddColumn("kg", {2, 10, 3, 7, 20, 5});
+  t.BuildSortIndex("fruit");
+  const domain::StringDomain& dom = t.StringDomainOf("fruit");
+  std::vector<Aggregates> groups =
+      GroupBy(t, "fruit", "kg", static_cast<uint32_t>(dom.size()));
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(dom.Decode(0), "apple");
+  EXPECT_EQ(groups[0].count, 2u);
+  EXPECT_EQ(groups[0].sum, 30u);
+  EXPECT_EQ(dom.Decode(1), "pear");
+  EXPECT_EQ(groups[1].count, 3u);
+  EXPECT_EQ(groups[1].sum, 10u);
+  EXPECT_EQ(dom.Decode(2), "quince");
+  EXPECT_EQ(groups[2].count, 1u);
+  EXPECT_EQ(groups[2].sum, 7u);
 }
 
 }  // namespace

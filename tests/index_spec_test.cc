@@ -216,6 +216,55 @@ TEST(IndexSpec, RejectsMalformedPartitionPrefix) {
   EXPECT_FALSE(IndexSpec::Parse("part:8/hash:40").has_value());
 }
 
+TEST(IndexSpec, KeyWidthSuffixParsesAndRoundTrips) {
+  // The width dimension: a trailing "64" on the method token selects
+  // 8-byte keys, composing with node params, the part:K prefix, and @tN.
+  auto wide = IndexSpec::Parse("css64:16");
+  ASSERT_TRUE(wide.has_value());
+  EXPECT_EQ(wide->key_width(), 8);
+  EXPECT_EQ(wide->node_entries(), 16);
+  EXPECT_EQ(wide->ToString(), "css64:16");
+  EXPECT_NE(wide->DisplayName().find("64-bit"), std::string::npos);
+
+  auto composed = IndexSpec::Parse("part:4/css64:16@t2");
+  ASSERT_TRUE(composed.has_value());
+  EXPECT_EQ(composed->key_width(), 8);
+  EXPECT_EQ(composed->partitions(), 4);
+  EXPECT_EQ(composed->probe_threads(), 2);
+  EXPECT_EQ(composed->ToString(), "part:4/css64:16@t2");
+  // Inner() hands the shard builder the same method at the same width.
+  EXPECT_EQ(composed->Inner().key_width(), 8);
+
+  // "lcss:64" is a node param; "lcss64:64" is the width suffix plus the
+  // node param — the grammar keeps them apart.
+  EXPECT_EQ(IndexSpec::Parse("lcss:64")->key_width(), 4);
+  EXPECT_EQ(IndexSpec::Parse("lcss64:64")->key_width(), 8);
+  EXPECT_EQ(IndexSpec::Parse("lcss64:64")->node_entries(), 64);
+
+  // Default width is 4 bytes, and width participates in equality: the
+  // same tree shape over different key types is a different spec.
+  EXPECT_EQ(IndexSpec().key_width(), 4);
+  EXPECT_FALSE(*IndexSpec::Parse("css:16") == *IndexSpec::Parse("css64:16"));
+  EXPECT_EQ(IndexSpec::Parse("css:16")->WithKeyWidth(8),
+            *IndexSpec::Parse("css64:16"));
+
+  // No 64-bit hash build; widths other than 4/8 are off the menu.
+  EXPECT_FALSE(IndexSpec::Parse("hash64").has_value());
+  EXPECT_FALSE(IndexSpec::Parse("hash64:10").has_value());
+  EXPECT_FALSE(IndexSpec::Parse("part:4/hash64:10").has_value());
+  EXPECT_FALSE(IndexSpec().WithKeyWidth(2).OnMenu());
+  EXPECT_FALSE(IndexSpec(Method::kHash, 10).WithKeyWidth(8).OnMenu());
+
+  // Every widenable spec round-trips at width 8 like the 4-byte menu.
+  for (const IndexSpec& spec : AllSpecs()) {
+    IndexSpec widened = spec.WithKeyWidth(8);
+    if (!widened.OnMenu()) continue;
+    auto reparsed = IndexSpec::Parse(widened.ToString());
+    ASSERT_TRUE(reparsed.has_value()) << widened.ToString();
+    EXPECT_EQ(*reparsed, widened) << widened.ToString();
+  }
+}
+
 TEST(IndexSpec, OnMenuMatchesParseForConstructedSpecs) {
   for (const IndexSpec& spec : AllSpecs()) {
     if (!spec.sized()) continue;

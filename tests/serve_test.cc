@@ -38,7 +38,9 @@ TEST(Statement, ParsesEveryVerb) {
   ASSERT_TRUE(find.has_value());
   EXPECT_EQ(find->verb, Verb::kFind);
   EXPECT_EQ(find->table, "t");
-  EXPECT_EQ(find->keys, (std::vector<uint32_t>{1, 2, 3}));
+  EXPECT_EQ(find->keys, (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_EQ(find->key_tokens, (std::vector<std::string>{"1", "2", "3"}));
+  EXPECT_EQ(find->keys_numeric, (std::vector<bool>{true, true, true}));
 
   auto count = ParseStatement("COUNT orders 42");
   ASSERT_TRUE(count.has_value());
@@ -49,6 +51,7 @@ TEST(Statement, ParsesEveryVerb) {
   EXPECT_EQ(range->verb, Verb::kRange);
   EXPECT_EQ(range->lo, 10u);
   EXPECT_EQ(range->hi, 20u);
+  EXPECT_TRUE(range->bounds_numeric);
   EXPECT_TRUE(range->keys.empty());
 
   auto join = ParseStatement("JOIN outer inner");
@@ -60,11 +63,50 @@ TEST(Statement, ParsesEveryVerb) {
   auto insert = ParseStatement("  INSERT \t t  7 ");
   ASSERT_TRUE(insert.has_value());
   EXPECT_EQ(insert->verb, Verb::kInsert);
-  EXPECT_EQ(insert->keys, (std::vector<uint32_t>{7}));
+  EXPECT_EQ(insert->keys, (std::vector<uint64_t>{7}));
 
   auto del = ParseStatement("DELETE t 4294967295");
   ASSERT_TRUE(del.has_value());
-  EXPECT_EQ(del->keys, (std::vector<uint32_t>{4294967295u}));
+  EXPECT_EQ(del->keys, (std::vector<uint64_t>{4294967295u}));
+}
+
+TEST(Statement, GrammarIsKeyWidthAgnostic) {
+  // The regression this locks down: the old grammar parsed keys as
+  // uint32, so "FIND t 4294967296" died at PARSE time and 64-bit tables
+  // were unreachable through statements. Now any decimal up to 2^64-1
+  // parses; whether it fits is the TABLE's call, at execute time.
+  auto wide = ParseStatement("FIND t 4294967296");
+  ASSERT_TRUE(wide.has_value());
+  EXPECT_EQ(wide->keys, (std::vector<uint64_t>{4294967296ull}));
+  ASSERT_TRUE(wide->keys_numeric[0]);
+
+  auto max64 = ParseStatement("FIND t 18446744073709551615");
+  ASSERT_TRUE(max64.has_value());
+  EXPECT_EQ(max64->keys[0], 18446744073709551615ull);
+
+  // Non-numeric tokens are string-table keys, kept raw.
+  auto raw = ParseStatement("FIND t alpha -1");
+  ASSERT_TRUE(raw.has_value());
+  EXPECT_EQ(raw->key_tokens, (std::vector<std::string>{"alpha", "-1"}));
+  EXPECT_EQ(raw->keys_numeric, (std::vector<bool>{false, false}));
+
+  // RANGE keeps raw bound tokens for string tables.
+  auto srange = ParseStatement("RANGE t aardvark zebra");
+  ASSERT_TRUE(srange.has_value());
+  EXPECT_FALSE(srange->bounds_numeric);
+  EXPECT_EQ(srange->lo_token, "aardvark");
+  EXPECT_EQ(srange->hi_token, "zebra");
+
+  // Only one key shape fails at parse time: a digit string too wide for
+  // ANY table — with a message distinct from a malformed statement.
+  std::string error;
+  EXPECT_FALSE(
+      ParseStatement("FIND t 18446744073709551616", &error).has_value());
+  EXPECT_NE(error.find("out of range"), std::string::npos);
+  EXPECT_NE(error.find("2^64-1"), std::string::npos);
+  EXPECT_FALSE(
+      ParseStatement("RANGE t 0 99999999999999999999", &error).has_value());
+  EXPECT_NE(error.find("out of range"), std::string::npos);
 }
 
 TEST(Statement, RejectsMalformedInput) {
@@ -75,9 +117,6 @@ TEST(Statement, RejectsMalformedInput) {
   EXPECT_NE(error.find("SELECT"), std::string::npos);
   EXPECT_FALSE(ParseStatement("FIND", &error).has_value());
   EXPECT_FALSE(ParseStatement("FIND t", &error).has_value());
-  EXPECT_FALSE(ParseStatement("FIND t x", &error).has_value());
-  EXPECT_FALSE(ParseStatement("FIND t -1", &error).has_value());
-  EXPECT_FALSE(ParseStatement("FIND t 4294967296", &error).has_value());
   EXPECT_FALSE(ParseStatement("RANGE t 1", &error).has_value());
   EXPECT_FALSE(ParseStatement("RANGE t 1 2 3", &error).has_value());
   EXPECT_FALSE(ParseStatement("JOIN t", &error).has_value());
@@ -270,6 +309,8 @@ TEST(Server, TableRegistryRules) {
   Server server;
   server.CreateTable("t", {1});
   EXPECT_THROW(server.CreateTable("t", {2}), std::invalid_argument);
+  EXPECT_THROW(server.CreateTable64("t", {2}), std::invalid_argument);
+  EXPECT_THROW(server.CreateStringTable("t", {"x"}), std::invalid_argument);
   EXPECT_THROW(server.CreateTable("bad", {1}, IndexSpec().WithNodeEntries(12)),
                std::invalid_argument);
   EXPECT_THROW(server.TableSnapshot("nope"), std::out_of_range);
@@ -278,6 +319,174 @@ TEST(Server, TableRegistryRules) {
   EXPECT_THROW(server.Start(), std::logic_error);
   server.Stop();
   server.Stop();  // idempotent
+}
+
+// ------------------------------------------------ key width at execute
+
+TEST(Server, ThirtyTwoBitTableChecksKeysAtTheWidthBoundary) {
+  // The regression pair from the grammar widening: 4294967295 (2^32-1)
+  // is a legitimate 32-bit key and must work everywhere; 4294967296
+  // (2^32) parses fine but cannot live in a 32-bit table, so execute
+  // rejects it with a message distinct from "not a number".
+  Server server;
+  server.CreateTable("t", {1, 4294967295u});
+  Session session = server.OpenSession();
+
+  StatementResult max_ok = session.Execute("FIND t 4294967295");
+  ASSERT_TRUE(max_ok.ok());
+  EXPECT_EQ(max_ok.positions, (std::vector<int64_t>{1}));
+
+  StatementResult too_wide = session.Execute("FIND t 4294967296");
+  EXPECT_EQ(too_wide.status, StatementStatus::kBadKey);
+  EXPECT_NE(too_wide.error.find("out of range for 32-bit table"),
+            std::string::npos);
+  EXPECT_NE(too_wide.error.find("4294967295"), std::string::npos);
+  EXPECT_EQ(session.Execute("COUNT t 4294967296").status,
+            StatementStatus::kBadKey);
+  StatementResult insert_wide = session.Execute("INSERT t 4294967296");
+  EXPECT_EQ(insert_wide.status, StatementStatus::kBadKey);
+  EXPECT_EQ(session.stats().writes_enqueued, 0u);
+
+  StatementResult not_numeric = session.Execute("FIND t xyz");
+  EXPECT_EQ(not_numeric.status, StatementStatus::kBadKey);
+  EXPECT_NE(not_numeric.error.find("integer keys"), std::string::npos);
+
+  // RANGE bounds stay width-independent instead of erroring: [lo, hi)
+  // with hi past the table's max clamps to end-of-array, so the max key
+  // is reachable through an exclusive upper bound.
+  StatementResult whole = session.Execute("RANGE t 0 4294967296");
+  ASSERT_TRUE(whole.ok());
+  EXPECT_EQ(whole.count, 2u);
+  StatementResult just_max = session.Execute("RANGE t 4294967295 4294967296");
+  ASSERT_TRUE(just_max.ok());
+  EXPECT_EQ(just_max.range_begin, 1u);
+  EXPECT_EQ(just_max.range_end, 2u);
+  EXPECT_EQ(session.Execute("RANGE t a b").status, StatementStatus::kBadKey);
+}
+
+TEST(Server, SixtyFourBitTableEndToEnd) {
+  constexpr uint64_t kMax = 18446744073709551615ull;
+  Server server;
+  server.CreateTable64("w",
+                       {5, 4294967295ull, 4294967296ull, 4294967301ull, kMax},
+                       *IndexSpec::Parse("css64:16"));
+  EXPECT_THROW(server.TableSnapshot("w"), std::out_of_range);
+  Session session = server.OpenSession();
+
+  // Probes above 2^32 — unreachable before key width became a spec
+  // dimension — and at the very top of the 64-bit space.
+  StatementResult find = session.Execute("FIND w 4294967296 6 " +
+                                         std::to_string(kMax));
+  ASSERT_TRUE(find.ok());
+  EXPECT_EQ(find.positions, (std::vector<int64_t>{2, -1, 4}));
+  StatementResult count = session.Execute("COUNT w 4294967295 4294967296");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.count, 2u);
+  StatementResult range = session.Execute("RANGE w 4294967295 4294967302");
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range.range_begin, 1u);
+  EXPECT_EQ(range.range_end, 4u);
+  EXPECT_EQ(session.Execute("FIND w xyz").status, StatementStatus::kBadKey);
+
+  server.Start();
+  ASSERT_TRUE(session.Execute("INSERT w 4294967297").ok());
+  ASSERT_TRUE(session.Execute("DELETE w 5").ok());
+  server.Stop();
+  EXPECT_EQ(server.TableSnapshot64("w")->keys(),
+            (std::vector<uint64_t>{4294967295ull, 4294967296ull,
+                                   4294967297ull, 4294967301ull, kMax}));
+  StatementResult after = session.Execute("FIND w 4294967297");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.positions, (std::vector<int64_t>{2}));
+}
+
+// ------------------------------------------------------- string tables
+
+TEST(Server, StringTableEndToEnd) {
+  Server server;
+  server.CreateStringTable("fruit", {"cherry", "apple", "banana", "apple"});
+  server.CreateStringTable("basket", {"banana", "durian", "banana"});
+  server.CreateTable("nums", {1, 2});
+  EXPECT_THROW(server.TableSnapshot64("fruit"), std::out_of_range);
+  EXPECT_THROW(server.TableDomain("nums"), std::out_of_range);
+  EXPECT_EQ(server.TableDomain("fruit")->size(), 3u);
+  Session session = server.OpenSession();
+
+  // Point probes on raw tokens: the session encodes through the domain,
+  // probes the ID index, and an unknown value is simply absent.
+  StatementResult find = session.Execute("FIND fruit apple banana durian");
+  ASSERT_TRUE(find.ok());
+  EXPECT_EQ(find.positions, (std::vector<int64_t>{0, 2, -1}));
+  StatementResult count = session.Execute("COUNT fruit apple durian");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.counts, (std::vector<size_t>{2, 0}));
+
+  // Range predicates map through LowerBoundId (§2.1: IDs are
+  // order-preserving), so bounds need not be values in the domain.
+  StatementResult range = session.Execute("RANGE fruit apple banana");
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range.range_begin, 0u);
+  EXPECT_EQ(range.range_end, 2u);
+  StatementResult prefix = session.Execute("RANGE fruit b d");
+  ASSERT_TRUE(prefix.ok());
+  EXPECT_EQ(prefix.count, 2u);  // banana, cherry
+
+  server.Start();
+  // "blueberry" is new to the dictionary: the writer grows a copy of the
+  // domain, remaps the snapshot's IDs, and publishes dictionary + index
+  // as one version.
+  ASSERT_TRUE(session.Execute("INSERT fruit blueberry apple").ok());
+  ASSERT_TRUE(session.Execute("DELETE fruit cherry").ok());
+  server.Stop();
+
+  EXPECT_EQ(server.TableDomain("fruit")->size(), 4u);
+  StatementResult after = session.Execute("FIND fruit blueberry cherry");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.positions, (std::vector<int64_t>{4, -1}));
+  StatementResult apples = session.Execute("COUNT fruit apple");
+  ASSERT_TRUE(apples.ok());
+  EXPECT_EQ(apples.count, 3u);
+
+  // JOIN translates outer IDs into the inner dictionary; values absent
+  // from the inner side contribute nothing. fruit holds {apple x3,
+  // banana, blueberry}; basket holds {banana x2, durian}.
+  StatementResult join = session.Execute("JOIN fruit basket");
+  ASSERT_TRUE(join.ok());
+  EXPECT_EQ(join.count, 2u);  // banana matches twice
+  StatementResult join_back = session.Execute("JOIN basket fruit");
+  ASSERT_TRUE(join_back.ok());
+  EXPECT_EQ(join_back.count, 2u);
+  StatementResult mixed = session.Execute("JOIN fruit nums");
+  EXPECT_EQ(mixed.status, StatementStatus::kBadKey);
+  EXPECT_NE(mixed.error.find("same key type"), std::string::npos);
+}
+
+TEST(Server, StringTableWriterMatchesSerialOracleUnderBacklog) {
+  // Several queued string batches — mixing brand-new values, re-inserts,
+  // and deletes of both — coalesce into one application. The final
+  // column must equal the serial replay on a multiset of strings.
+  Server::Options options;
+  options.queue_capacity = 64;
+  Server server(options);
+  server.CreateStringTable("t", {"pear", "fig", "pear", "lime"});
+  Session session = server.OpenSession();
+  ASSERT_TRUE(session.Execute("INSERT t date fig").ok());
+  ASSERT_TRUE(session.Execute("DELETE t pear date").ok());  // kills queued date
+  ASSERT_TRUE(session.Execute("INSERT t date kiwi kiwi").ok());
+  server.Start();
+  server.Stop();
+
+  // Serial oracle: {pear x2, fig, lime} +date +fig; -pear(all) -date;
+  // +date +kiwi x2  =>  {date, fig x2, kiwi x2, lime}.
+  const auto dom = server.TableDomain("t");
+  // The dictionary never shrinks: pear stays though its rows are gone.
+  ASSERT_EQ(dom->size(), 5u);  // date fig kiwi lime pear
+  std::vector<std::string> decoded;
+  for (uint32_t id : server.TableSnapshot("t")->keys()) {
+    decoded.push_back(dom->Decode(id));
+  }
+  EXPECT_EQ(decoded, (std::vector<std::string>{"date", "fig", "fig", "kiwi",
+                                               "kiwi", "lime"}));
 }
 
 // ------------------------------------- concurrent differential (TSan'd)

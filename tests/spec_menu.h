@@ -55,6 +55,22 @@ inline std::vector<IndexSpec> MenuSpecs(int node_entries, int hash_dir_bits) {
   return specs;
 }
 
+/// DefaultSpecs at 8-byte key width: the same methods, part:K wraps, and
+/// adversarial shard counts, with every spec widened through
+/// WithKeyWidth(8). Specs with no 64-bit build (hash, and part:K over
+/// hash) drop off — OnMenu is the single source of truth for what the
+/// width dimension supports — so a differential suite iterating this
+/// covers the whole wide-key menu and nothing imaginary.
+inline std::vector<IndexSpec> DefaultSpecs64(int node_entries,
+                                             int hash_dir_bits) {
+  std::vector<IndexSpec> specs;
+  for (const IndexSpec& spec : DefaultSpecs(node_entries, hash_dir_bits)) {
+    IndexSpec wide = spec.WithKeyWidth(8);
+    if (wide.OnMenu()) specs.push_back(wide);
+  }
+  return specs;
+}
+
 /// The compact per-method string list used by the parallel-probe suite —
 /// one spec per method family plus partitioned variants, exercising the
 /// grammar path the way CLIs and config files do.
@@ -64,6 +80,16 @@ inline const std::vector<std::string>& SpecStrings() {
       "ttree:16",      "btree:32",      "css:16",
       "lcss:64",       "hash:12",       "part:4/css:16",
       "part:3/btree:32", "part:8/hash:12"};
+  return specs;
+}
+
+/// SpecStrings for 8-byte keys ("64" method suffix — hash has no 64-bit
+/// build, so the hash rows have no counterpart here).
+inline const std::vector<std::string>& SpecStrings64() {
+  static const std::vector<std::string> specs{
+      "bin64",         "tbin64",        "interp64",
+      "ttree64:16",    "btree64:32",    "css64:16",
+      "lcss64:64",     "part:4/css64:16", "part:3/btree64:32"};
   return specs;
 }
 

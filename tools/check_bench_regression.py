@@ -32,6 +32,16 @@ scalar or non-x86 run measures scalar-vs-scalar, where ~1.0 is correct.
 A set floor with no css:* simd rows in a SIMD-dispatching run fails,
 mirroring --min-update-speedup.
 
+Key-width space gate (independent of the baseline file): the bench's
+"key_width_space" object records the measured 8-byte/4-byte full-CSS
+directory ratio at a fixed 64-byte node next to the §5.2 analytic
+model's (nK²/sc, so (8/4)² = 4 up to directory rounding).
+--key-width-space-band (0 = off) fails the gate when CURRENT's measured
+ratio strays from the model ratio by more than the given fraction —
+the wide build must pay exactly the K²-predicted space, no more (a
+padding or layout bug) and no less (a truncated directory). A set band
+with no key_width_space object fails, mirroring the other floors.
+
 Serving-layer gate (independent of the baseline file): --serving-json
 points at a bench_serving JSON and --max-coalesce-ratio (0 = off) caps
 groups_published / enqueued_batches for every pressure row — under
@@ -77,7 +87,7 @@ def load_rows(path):
         doc = json.load(f)
     rows = {}
     for block in ("results", "range_probes", "partitioned", "simd",
-                  "maintenance"):
+                  "maintenance", "key_width"):
         for row in doc.get(block, []):
             key = (block, row["spec"], row["batch"], row.get("threads", 1))
             rows[key] = row
@@ -154,6 +164,10 @@ def main():
                              "speedup for css:* simd rows in CURRENT; only "
                              "binds when CURRENT dispatched a SIMD path "
                              "(0 = off)")
+    parser.add_argument("--key-width-space-band", type=float, default=0.0,
+                        help="allowed fractional deviation of CURRENT's "
+                             "measured 8B/4B space ratio from the analytic "
+                             "model ratio (key_width_space block; 0 = off)")
     parser.add_argument("--serving-json", default=None,
                         help="bench_serving JSON to gate on coalescing "
                              "efficiency (requires --max-coalesce-ratio)")
@@ -238,6 +252,27 @@ def main():
             if checked == 0:
                 print("FAIL: --min-simd-speedup set but CURRENT has no "
                       "css:* simd rows (bench schema changed?)")
+                floor_failed = True
+
+    # Key-width space model check: a within-run invariant of CURRENT (the
+    # analytic ratio is hardware-independent, so no baseline is involved).
+    if args.key_width_space_band > 0:
+        space = cur_doc.get("key_width_space")
+        if not space:
+            print("FAIL: --key-width-space-band set but CURRENT has no "
+                  "key_width_space block (bench schema changed?)")
+            floor_failed = True
+        else:
+            measured = space.get("measured_ratio", 0.0)
+            model = space.get("model_ratio", 0.0)
+            deviation = abs(measured / model - 1.0) if model else float("inf")
+            print(f"key-width space: measured {measured:.3f} vs model "
+                  f"{model:.3f} (deviation {deviation:.3f}, band "
+                  f"{args.key_width_space_band:.2f})")
+            if deviation > args.key_width_space_band:
+                print(f"FAIL: 8B/4B directory space ratio {measured:.3f} "
+                      f"deviates {deviation:.1%} from the analytic "
+                      f"{model:.3f} (band {args.key_width_space_band:.0%})")
                 floor_failed = True
 
     common = sorted(set(base_rows) & set(cur_rows))
