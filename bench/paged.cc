@@ -1,0 +1,181 @@
+// Out-of-core build + probe bench: one column, one spec, a sweep over the
+// buffer-pool budget. For each budget the paged table rebuilds its sort
+// index — routing through the external merge sort once the column
+// exceeds the pool — and then serves batched Find probes from the built
+// index. The numbers make the paper's §5 claim measurable: build cost
+// degrades gracefully as the budget shrinks (sequential run/merge I/O),
+// while probe throughput stays flat because the directory and sorted
+// lists are RAM-resident no matter how small the pool was.
+//
+// The JSON's "paged" block is gated by tools/check_bench_regression.py on
+// build_slowdown_vs_inram — a within-run ratio (paged build over flat
+// in-RAM build of the SAME data on the SAME machine), so the gate
+// transfers across hardware.
+//
+//   $ ./bench_paged [--n=1000000] [--page-bytes=65536] [--spec=css:16]
+//                   [--lookups=200000] [--repeats=3] [--quick]
+//                   [--json=BENCH_paged.json]
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "engine/table.h"
+#include "harness.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace cssidx;
+
+struct SweepRow {
+  size_t buffer_pages = 0;
+  double budget_fraction = 0;  // of the column's pages; 0 = unbounded
+  bool external = false;
+  size_t runs = 0;
+  double build_seconds = 0;
+  double build_slowdown = 0;
+  double probe_mkeys = 0;
+  size_t faults = 0;
+  size_t spill_reads = 0;
+  size_t spill_writes = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto options = bench::Options::Parse(argc, argv);
+  CliArgs args(argc, argv);
+  const size_t n =
+      options.n != 0 ? options.n : (options.quick ? 200'000 : 1'000'000);
+  const auto page_bytes =
+      static_cast<size_t>(args.GetInt("page-bytes", 1 << 16));
+  const std::string spec_text = args.GetString("spec", "css:16");
+  const std::string json_path = args.GetString("json", "BENCH_paged.json");
+  const IndexSpec spec = *IndexSpec::Parse(spec_text);
+
+  Pcg32 rng(options.seed);
+  std::vector<uint32_t> data(n);
+  for (auto& v : data) v = rng.Below(static_cast<uint32_t>(n));
+  std::vector<uint32_t> lookups(options.lookups);
+  for (auto& k : lookups) k = data[rng.Below(static_cast<uint32_t>(n))];
+
+  // Flat in-RAM baseline: the denominator of every gated ratio.
+  engine::Table flat;
+  flat.AddColumn("k", data);
+  double inram_build = 1e300;
+  for (int r = 0; r < options.repeats; ++r) {
+    Timer timer;
+    flat.BuildSortIndex("k", spec);
+    inram_build = std::min(inram_build, timer.Seconds());
+  }
+  const double inram_probe =
+      bench::MinFindBatchSeconds(flat.GetSortIndex("k"), lookups, 256,
+                                 options.repeats);
+
+  const size_t values_per_page = std::max<size_t>(page_bytes / 4, 1);
+  const size_t column_pages = (n + values_per_page - 1) / values_per_page;
+  // Budget sweep: unbounded, then the column shrunk to 1/2, 1/4, 1/16 of
+  // its pages, then a near-minimal pool. Every bounded budget below the
+  // column's page count forces the external build path.
+  std::vector<size_t> budgets{0};
+  for (size_t b : {column_pages / 2, column_pages / 4, column_pages / 16,
+                   size_t{8}}) {
+    b = std::max<size_t>(b, 2);  // a 1-page pool can't even double-buffer
+    if (std::find(budgets.begin(), budgets.end(), b) == budgets.end()) {
+      budgets.push_back(b);
+    }
+  }
+  std::vector<SweepRow> rows;
+  for (size_t budget : budgets) {
+    engine::TableOptions topts;
+    topts.page_bytes = page_bytes;
+    topts.buffer_pages = budget;
+    engine::Table paged(topts);
+    paged.AddColumn("k", data);
+
+    SweepRow row;
+    row.buffer_pages = budget;
+    row.budget_fraction =
+        budget == 0 ? 0.0
+                    : static_cast<double>(budget) /
+                          static_cast<double>(column_pages);
+    const store::BufferStats before = paged.PoolStats();
+    row.build_seconds = 1e300;
+    for (int r = 0; r < options.repeats; ++r) {
+      Timer timer;
+      paged.BuildSortIndex("k", spec);
+      row.build_seconds = std::min(row.build_seconds, timer.Seconds());
+    }
+    const store::BufferStats after = paged.PoolStats();
+    const engine::SortIndex& index = paged.GetSortIndex("k");
+    row.external = index.external_build();
+    row.runs = index.external_runs();
+    row.build_slowdown = row.build_seconds / inram_build;
+    row.faults = after.faults - before.faults;
+    row.spill_reads = after.spill_reads - before.spill_reads;
+    row.spill_writes = after.spill_writes - before.spill_writes;
+    const double probe_sec =
+        bench::MinFindBatchSeconds(index, lookups, 256, options.repeats);
+    row.probe_mkeys =
+        static_cast<double>(lookups.size()) / probe_sec / 1e6;
+    rows.push_back(row);
+  }
+
+  bench::Table table({"buffer_pages", "fraction", "external", "runs",
+                      "build s", "slowdown", "probe Mk/s", "faults",
+                      "spill_rd", "spill_wr"});
+  for (const SweepRow& r : rows) {
+    table.AddRow({r.buffer_pages == 0 ? "unbounded"
+                                      : std::to_string(r.buffer_pages),
+                  bench::Table::Num(r.budget_fraction, 3),
+                  r.external ? "yes" : "no", std::to_string(r.runs),
+                  bench::Table::Num(r.build_seconds, 4),
+                  bench::Table::Num(r.build_slowdown, 2),
+                  bench::Table::Num(r.probe_mkeys, 2),
+                  std::to_string(r.faults), std::to_string(r.spill_reads),
+                  std::to_string(r.spill_writes)});
+  }
+  table.Print("paged build + probe, n=" + std::to_string(n) + ", spec=" +
+              spec_text + ", page_bytes=" + std::to_string(page_bytes) +
+              ", inram_build=" + bench::Table::Num(inram_build, 4) + "s" +
+              ", inram_probe=" +
+              bench::Table::Num(
+                  static_cast<double>(lookups.size()) / inram_probe / 1e6,
+                  2) +
+              " Mk/s");
+
+  FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::printf("cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"paged\",\n  \"n\": %zu,\n"
+               "  \"page_bytes\": %zu,\n  \"column_pages\": %zu,\n"
+               "  \"spec\": \"%s\",\n  \"lookups\": %zu,\n"
+               "  \"inram_build_seconds\": %.6f,\n"
+               "  \"inram_probe_mkeys_per_sec\": %.3f,\n  \"paged\": [\n",
+               n, page_bytes, column_pages, spec_text.c_str(),
+               lookups.size(), inram_build,
+               static_cast<double>(lookups.size()) / inram_probe / 1e6);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    std::fprintf(
+        json,
+        "    {\"buffer_pages\": %zu, \"budget_fraction\": %.4f, "
+        "\"external\": %s, \"runs\": %zu, \"build_seconds\": %.6f, "
+        "\"build_slowdown_vs_inram\": %.3f, \"probe_mkeys_per_sec\": %.3f, "
+        "\"faults\": %zu, \"spill_reads\": %zu, \"spill_writes\": %zu}%s\n",
+        r.buffer_pages, r.budget_fraction, r.external ? "true" : "false",
+        r.runs, r.build_seconds, r.build_slowdown, r.probe_mkeys, r.faults,
+        r.spill_reads, r.spill_writes, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return 0;
+}

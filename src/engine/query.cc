@@ -20,10 +20,11 @@ std::vector<Rid> SelectEqual(const Table& table, const std::string& column,
     return table.GetSortIndex(column).Equal(value);
   }
   std::vector<Rid> out;
-  const auto& col = table.Column(column);
-  for (size_t i = 0; i < col.size(); ++i) {
-    if (col[i] == value) out.push_back(static_cast<Rid>(i));
-  }
+  table.View(column).Scan([&](std::span<const uint32_t> block, size_t base) {
+    for (size_t i = 0; i < block.size(); ++i) {
+      if (block[i] == value) out.push_back(static_cast<Rid>(base + i));
+    }
+  });
   return out;
 }
 
@@ -35,10 +36,13 @@ std::vector<Rid> SelectRange(const Table& table, const std::string& column,
     return table.GetSortIndex(column).Range(lo, hi);
   }
   std::vector<Rid> out;
-  const auto& col = table.Column(column);
-  for (size_t i = 0; i < col.size(); ++i) {
-    if (col[i] >= lo && col[i] < hi) out.push_back(static_cast<Rid>(i));
-  }
+  table.View(column).Scan([&](std::span<const uint32_t> block, size_t base) {
+    for (size_t i = 0; i < block.size(); ++i) {
+      if (block[i] >= lo && block[i] < hi) {
+        out.push_back(static_cast<Rid>(base + i));
+      }
+    }
+  });
   return out;
 }
 
@@ -47,8 +51,11 @@ size_t CountEqual(const Table& table, const std::string& column,
   if (table.HasSortIndex(column)) {
     return table.GetSortIndex(column).CountEqual(value);
   }
-  const auto& col = table.Column(column);
-  return static_cast<size_t>(std::count(col.begin(), col.end(), value));
+  size_t count = 0;
+  table.View(column).Scan([&](std::span<const uint32_t> block, size_t) {
+    count += static_cast<size_t>(std::count(block.begin(), block.end(), value));
+  });
+  return count;
 }
 
 size_t CountRange(const Table& table, const std::string& column, uint32_t lo,
@@ -57,11 +64,12 @@ size_t CountRange(const Table& table, const std::string& column, uint32_t lo,
   if (table.HasSortIndex(column)) {
     return table.GetSortIndex(column).CountRange(lo, hi);
   }
-  const auto& col = table.Column(column);
   size_t count = 0;
-  for (uint32_t v : col) {
-    if (v >= lo && v < hi) ++count;
-  }
+  table.View(column).Scan([&](std::span<const uint32_t> block, size_t) {
+    for (uint32_t v : block) {
+      if (v >= lo && v < hi) ++count;
+    }
+  });
   return count;
 }
 
@@ -105,14 +113,15 @@ std::vector<std::vector<Rid>> SelectRangeBatch(
   // Scan fallback: one pass over the column serves every range (rows
   // outer, bounds inner), instead of re-streaming the column per range.
   std::vector<std::vector<Rid>> out(bounds.size());
-  const auto& col = table.Column(column);
-  for (size_t i = 0; i < col.size(); ++i) {
-    for (size_t b = 0; b < bounds.size(); ++b) {
-      if (col[i] >= bounds[b].first && col[i] < bounds[b].second) {
-        out[b].push_back(static_cast<Rid>(i));
+  table.View(column).Scan([&](std::span<const uint32_t> block, size_t base) {
+    for (size_t i = 0; i < block.size(); ++i) {
+      for (size_t b = 0; b < bounds.size(); ++b) {
+        if (block[i] >= bounds[b].first && block[i] < bounds[b].second) {
+          out[b].push_back(static_cast<Rid>(base + i));
+        }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -121,7 +130,7 @@ std::vector<JoinedPair> IndexedJoin(const Table& outer,
                                     const Table& inner,
                                     const std::string& inner_column) {
   const SortIndex& index = inner.GetSortIndex(inner_column);
-  const auto& outer_col = outer.Column(outer_column);
+  const ColumnView outer_col = outer.View(outer_column);
   std::vector<JoinedPair> out;
   // String columns carry per-table dictionaries, so equal VALUES need not
   // have equal IDs; translate the outer dictionary into the inner one
@@ -160,13 +169,14 @@ std::vector<JoinedPair> IndexedJoin(const Table& outer,
   constexpr size_t kProbeBlock = 64 * kParallelProbeMinShard;
   std::vector<PositionRange> found(std::min(outer_col.size(), kProbeBlock));
   std::vector<uint32_t> translated(translate.empty() ? 0 : found.size());
+  std::vector<uint32_t> stage;  // paged outer columns copy blocks through it
   const auto& rids = index.rids();
   for (size_t base = 0; base < outer_col.size(); base += kProbeBlock) {
     size_t len = std::min(outer_col.size() - base, kProbeBlock);
-    std::span<const uint32_t> probe_keys(&outer_col[base], len);
+    std::span<const uint32_t> probe_keys = outer_col.Block(base, len, stage);
     if (!translate.empty()) {
       for (size_t i = 0; i < len; ++i) {
-        translated[i] = translate[outer_col[base + i]];
+        translated[i] = translate[probe_keys[i]];
       }
       probe_keys = std::span<const uint32_t>(translated.data(), len);
     }
@@ -185,8 +195,8 @@ std::vector<JoinedPair> IndexedJoin(const Table& outer,
 Aggregates Aggregate(const Table& table, const std::string& column,
                      const std::vector<Rid>& rids) {
   Aggregates agg;
-  const auto& col = table.Column(column);
-  for (Rid r : rids) agg.Accumulate(col[r]);
+  const ColumnView col = table.View(column);
+  for (Rid r : rids) agg.Accumulate(col.At(r));
   if (agg.count == 0) agg.min = 0;
   return agg;
 }
@@ -196,7 +206,7 @@ std::vector<Aggregates> GroupBy(const Table& table,
                                 const std::string& value_column,
                                 uint32_t num_groups) {
   std::vector<Aggregates> groups(num_groups);
-  const auto& values = table.Column(value_column);
+  const ColumnView values = table.View(value_column);
   bool accumulated = false;
   if (table.HasSortIndex(group_column)) {
     // Resolve every group key's duplicate run in one EqualRangeBatch (the
@@ -219,18 +229,20 @@ std::vector<Aggregates> GroupBy(const Table& table,
     if (covered <= table.NumRows() / 4) {
       for (uint32_t g = 0; g < num_groups; ++g) {
         for (size_t pos = runs[g].begin; pos < runs[g].end; ++pos) {
-          groups[g].Accumulate(values[rids[pos]]);
+          groups[g].Accumulate(values.At(rids[pos]));
         }
       }
       accumulated = true;
     }
   }
   if (!accumulated) {
-    const auto& keys = table.Column(group_column);
-    for (size_t i = 0; i < keys.size(); ++i) {
-      if (keys[i] >= num_groups) continue;  // outside the dense domain
-      groups[keys[i]].Accumulate(values[i]);
-    }
+    table.View(group_column)
+        .Scan([&](std::span<const uint32_t> block, size_t base) {
+          for (size_t i = 0; i < block.size(); ++i) {
+            if (block[i] >= num_groups) continue;  // outside the dense domain
+            groups[block[i]].Accumulate(values.At(base + i));
+          }
+        });
   }
   for (auto& g : groups) {
     if (g.count == 0) g.min = 0;

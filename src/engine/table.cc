@@ -5,7 +5,43 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/external_build.h"
+
 namespace cssidx::engine {
+
+void ColumnView::Refill(size_t i) const {
+  // Page-aligned blocks: ascending At() sequences (gathers over sorted
+  // RIDs) fault once per page instead of once per value.
+  const size_t vpp = paged_->values_per_page();
+  const size_t base = i - i % vpp;
+  const size_t len = std::min(vpp, paged_->size() - base);
+  cache_.resize(len);
+  paged_->Read(base, cache_);
+  cache_base_ = base;
+}
+
+void ColumnView::Read(size_t start, std::span<uint32_t> out) const {
+  if (flat_ != nullptr) {
+    std::copy_n(flat_->data() + start, out.size(), out.data());
+    return;
+  }
+  paged_->Read(start, out);
+}
+
+std::span<const uint32_t> ColumnView::Block(
+    size_t start, size_t len, std::vector<uint32_t>& scratch) const {
+  if (flat_ != nullptr) return {flat_->data() + start, len};
+  scratch.resize(len);
+  paged_->Read(start, scratch);
+  return {scratch.data(), scratch.size()};
+}
+
+std::vector<uint32_t> ColumnView::Materialize() const {
+  if (flat_ != nullptr) return *flat_;
+  std::vector<uint32_t> out(paged_->size());
+  paged_->Read(0, out);
+  return out;
+}
 
 SortIndex::SortIndex(const std::vector<uint32_t>& column_values,
                      const IndexSpec& spec) {
@@ -30,6 +66,33 @@ SortIndex::SortIndex(const std::vector<uint32_t>& column_values,
     throw std::invalid_argument("index spec off the menu: " +
                                 spec.ToString());
   }
+}
+
+SortIndex SortIndex::FromSorted(std::vector<uint32_t> sorted_keys,
+                                std::vector<Rid> rids, const IndexSpec& spec,
+                                bool spilled, size_t runs) {
+  if (!spec.OnMenu()) {
+    throw std::invalid_argument("index spec off the menu: " +
+                                spec.ToString());
+  }
+  if (sorted_keys.size() != rids.size()) {
+    throw std::invalid_argument(
+        "FromSorted: " + std::to_string(sorted_keys.size()) + " keys vs " +
+        std::to_string(rids.size()) + " rids");
+  }
+  assert(std::is_sorted(sorted_keys.begin(), sorted_keys.end()));
+  SortIndex out;
+  out.rids_ = std::move(rids);
+  out.maintained_ =
+      std::make_unique<MaintainedIndex>(spec, std::move(sorted_keys));
+  out.head_ = out.maintained_->Snapshot();
+  if (!out.head_->index()) {
+    throw std::invalid_argument("index spec off the menu: " +
+                                spec.ToString());
+  }
+  out.external_build_ = spilled;
+  out.external_runs_ = runs;
+  return out;
 }
 
 void SortIndex::ApplyAppend(std::span<const uint32_t> values, Rid first_rid) {
@@ -235,8 +298,28 @@ std::vector<std::vector<Rid>> SortIndex::RangeBatch(
 }
 
 size_t SortIndex::SpaceBytes() const {
+  // Size-based, not capacity-based: what the contents occupy, which is
+  // the quantity the §5 space model predicts. Capacity slack (e.g. from
+  // push_back-grown external-merge output) belongs to ReservedBytes().
+  return head_->keys().size() * sizeof(uint32_t) +
+         rids_.size() * sizeof(Rid) + head_->index().SpaceBytes();
+}
+
+size_t SortIndex::ReservedBytes() const {
   return head_->keys().capacity() * sizeof(uint32_t) +
          rids_.capacity() * sizeof(Rid) + head_->index().SpaceBytes();
+}
+
+Table::Table(const TableOptions& options)
+    : options_(options),
+      buffer_(std::make_unique<store::BufferManager>(store::StoreOptions{
+          options.page_bytes, options.buffer_pages, options.spill_dir})) {}
+
+const store::BufferStats& Table::PoolStats() const {
+  if (buffer_ == nullptr) {
+    throw std::logic_error("PoolStats: table is not paged");
+  }
+  return buffer_->stats();
 }
 
 void Table::AddColumn(const std::string& name, std::vector<uint32_t> values) {
@@ -247,7 +330,14 @@ void Table::AddColumn(const std::string& name, std::vector<uint32_t> values) {
                                 std::to_string(num_rows_));
   }
   num_rows_ = values.size();
-  columns_[name] = std::move(values);
+  ColumnStore cs;
+  if (buffer_ != nullptr) {
+    cs.paged = std::make_unique<store::PagedColumn>(buffer_.get());
+    cs.paged->Append(values);
+  } else {
+    cs.flat = std::move(values);
+  }
+  columns_[name] = std::move(cs);
 }
 
 void Table::AddStringColumn(const std::string& name,
@@ -277,11 +367,31 @@ const domain::StringDomain& Table::StringDomainOf(
   return *it->second;
 }
 
+void Table::ValidateDomainIds(
+    const std::map<std::string, std::vector<uint32_t>>& rows) const {
+  for (const auto& [name, values] : rows) {
+    auto it = domains_.find(name);
+    if (it == domains_.end()) continue;
+    const size_t dictionary = it->second->size();
+    for (uint32_t v : values) {
+      if (v >= dictionary) {
+        throw std::invalid_argument(
+            "insert into string column " + name + ": id " +
+            std::to_string(v) + " not in dictionary of size " +
+            std::to_string(dictionary));
+      }
+    }
+  }
+}
+
 void Table::AppendRows(
     const std::map<std::string, std::vector<uint32_t>>& rows) {
   if (rows.size() != columns_.size()) {
     throw std::invalid_argument("batch column count mismatch");
   }
+  // An empty batch on a zero-column table is a no-op — there is no first
+  // column to take a row count from.
+  if (rows.empty()) return;
   size_t batch_rows = rows.begin()->second.size();
   for (const auto& [name, values] : rows) {
     if (columns_.count(name) == 0) {
@@ -291,10 +401,17 @@ void Table::AppendRows(
       throw std::invalid_argument("ragged batch column " + name);
     }
   }
+  // A raw ID landing in a string column must be a valid dictionary entry,
+  // or the column desyncs from its domain; reject before any mutation.
+  ValidateDomainIds(rows);
   const Rid first_rid = static_cast<Rid>(num_rows_);
   for (const auto& [name, values] : rows) {
-    auto& col = columns_[name];
-    col.insert(col.end(), values.begin(), values.end());
+    ColumnStore& cs = columns_.find(name)->second;
+    if (cs.paged != nullptr) {
+      cs.paged->Append(values);
+    } else {
+      cs.flat.insert(cs.flat.end(), values.begin(), values.end());
+    }
   }
   num_rows_ += batch_rows;
   // Maintenance-on-batch (§2.2), incrementally: each sort index merges
@@ -327,16 +444,19 @@ void Table::DeleteRows(std::span<const Rid> rids) {
 void Table::ApplyUpdate(
     const std::string& key_column, std::vector<uint32_t> delete_keys,
     const std::map<std::string, std::vector<uint32_t>>& insert_rows) {
-  const std::vector<uint32_t>& keys = Column(key_column);
+  ColumnView keys = View(key_column);
   std::sort(delete_keys.begin(), delete_keys.end());
   std::vector<bool> deleted(num_rows_, false);
   size_t removed = 0;
-  for (size_t r = 0; r < num_rows_; ++r) {
-    if (std::binary_search(delete_keys.begin(), delete_keys.end(), keys[r])) {
-      deleted[r] = true;
-      ++removed;
+  keys.Scan([&](std::span<const uint32_t> block, size_t base) {
+    for (size_t i = 0; i < block.size(); ++i) {
+      if (std::binary_search(delete_keys.begin(), delete_keys.end(),
+                             block[i])) {
+        deleted[base + i] = true;
+        ++removed;
+      }
     }
-  }
+  });
   if (removed == 0 && insert_rows.empty()) return;
   DeleteAndAppend(deleted, removed, insert_rows);
 }
@@ -344,8 +464,8 @@ void Table::ApplyUpdate(
 void Table::DeleteAndAppend(
     const std::vector<bool>& deleted, size_t removed,
     const std::map<std::string, std::vector<uint32_t>>& insert_rows) {
-  // Validate the insert batch's shape (AppendRows' rules) before touching
-  // any state; an empty map means deletes only.
+  // Validate the insert batch's shape (AppendRows' rules) and its string
+  // IDs before touching any state; an empty map means deletes only.
   size_t batch_rows = 0;
   if (!insert_rows.empty()) {
     if (insert_rows.size() != columns_.size()) {
@@ -360,6 +480,7 @@ void Table::DeleteAndAppend(
         throw std::invalid_argument("ragged batch column " + name);
       }
     }
+    ValidateDomainIds(insert_rows);
   }
   // Survivors compact in order: new RID = old RID minus deleted rows
   // before it. The remap is what lets each sort index translate its old
@@ -371,17 +492,45 @@ void Table::DeleteAndAppend(
     if (!deleted[r]) ++next;
   }
   const Rid first_rid = static_cast<Rid>(num_rows_ - removed);
-  for (auto& [name, col] : columns_) {
+  for (auto& [name, cs] : columns_) {
     if (removed != 0) {
-      size_t w = 0;
-      for (size_t r = 0; r < col.size(); ++r) {
-        if (!deleted[r]) col[w++] = col[r];
+      if (cs.paged != nullptr) {
+        // Streaming compaction at any buffer budget: the cursor copies
+        // each block out before survivors are written back, and the
+        // write position w never passes the read frontier (w grows by at
+        // most the block length per block), so no unread value is ever
+        // overwritten.
+        store::ColumnCursor cursor(*cs.paged);
+        std::vector<uint32_t> survivors;
+        size_t w = 0;
+        for (std::span<const uint32_t> block = cursor.NextBlock();
+             !block.empty(); block = cursor.NextBlock()) {
+          const size_t base = cursor.position() - block.size();
+          survivors.clear();
+          for (size_t i = 0; i < block.size(); ++i) {
+            if (!deleted[base + i]) survivors.push_back(block[i]);
+          }
+          if (!survivors.empty()) {
+            cs.paged->Write(w, survivors);
+            w += survivors.size();
+          }
+        }
+        cs.paged->Truncate(w);
+      } else {
+        size_t w = 0;
+        for (size_t r = 0; r < cs.flat.size(); ++r) {
+          if (!deleted[r]) cs.flat[w++] = cs.flat[r];
+        }
+        cs.flat.resize(w);
       }
-      col.resize(w);
     }
     if (!insert_rows.empty()) {
       const auto& values = insert_rows.at(name);
-      col.insert(col.end(), values.begin(), values.end());
+      if (cs.paged != nullptr) {
+        cs.paged->Append(values);
+      } else {
+        cs.flat.insert(cs.flat.end(), values.begin(), values.end());
+      }
     }
   }
   num_rows_ = num_rows_ - removed + batch_rows;
@@ -403,7 +552,7 @@ bool Table::HasColumn(const std::string& name) const {
   return columns_.count(name) != 0;
 }
 
-const std::vector<uint32_t>& Table::Column(const std::string& name) const {
+const Table::ColumnStore& Table::StoreOf(const std::string& name) const {
   auto it = columns_.find(name);
   if (it == columns_.end()) {
     throw std::out_of_range("no column named " + name);
@@ -411,9 +560,50 @@ const std::vector<uint32_t>& Table::Column(const std::string& name) const {
   return it->second;
 }
 
+const std::vector<uint32_t>& Table::Column(const std::string& name) const {
+  const ColumnStore& cs = StoreOf(name);
+  if (cs.paged != nullptr) {
+    throw std::logic_error("Column(" + name +
+                           "): paged table has no flat vector; use View() "
+                           "or ReadColumn()");
+  }
+  return cs.flat;
+}
+
+ColumnView Table::View(const std::string& name) const {
+  const ColumnStore& cs = StoreOf(name);
+  if (cs.paged != nullptr) return ColumnView(cs.paged.get());
+  return ColumnView(&cs.flat);
+}
+
+std::vector<uint32_t> Table::ReadColumn(const std::string& name) const {
+  return View(name).Materialize();
+}
+
 const SortIndex& Table::BuildSortIndex(const std::string& column,
                                        const IndexSpec& spec) {
-  auto built = std::make_unique<SortIndex>(Column(column), spec);
+  const ColumnStore& cs = StoreOf(column);
+  std::unique_ptr<SortIndex> built;
+  if (cs.paged == nullptr) {
+    built = std::make_unique<SortIndex>(cs.flat, spec);
+  } else {
+    const size_t budget_values =
+        options_.buffer_pages * buffer_->values_per_page();
+    if (budget_values == 0 || cs.paged->size() <= budget_values) {
+      // Unbounded pool, or the column fits the frame budget: materialize
+      // once and take the in-RAM stable_sort path.
+      built = std::make_unique<SortIndex>(View(column).Materialize(), spec);
+    } else {
+      // Column exceeds the budget: external merge sort under the pool's
+      // byte budget. (key, RID) pairs are twice a value's width, so the
+      // in-RAM run size in pairs is half the pool's value budget.
+      ExternalBuildResult sorted = ExternalSortKeys(
+          *cs.paged, budget_values / 2, buffer_->spill_path());
+      built = std::make_unique<SortIndex>(SortIndex::FromSorted(
+          std::move(sorted.sorted_keys), std::move(sorted.rids), spec,
+          sorted.spilled, sorted.runs));
+    }
+  }
   auto& slot = indexes_[column];
   slot = std::move(built);
   return *slot;

@@ -14,27 +14,109 @@
 #include "core/index_spec.h"
 #include "core/maintained_index.h"
 #include "domain/domain.h"
+#include "store/buffer_manager.h"
+#include "store/paged_column.h"
 
-// Minimal columnar main-memory table, the §2 system context: columns store
-// 4-byte values (raw integers or domain IDs), and ordered access to a
-// column goes through a *sort index* — "a list of record identifiers
-// sorted by some columns" (§2.2) — with a search structure over the sorted
-// key list. Which structure is an IndexSpec: any method in the suite can
+// Minimal columnar table, the §2 system context: columns store 4-byte
+// values (raw integers or domain IDs), and ordered access to a column
+// goes through a *sort index* — "a list of record identifiers sorted by
+// some columns" (§2.2) — with a search structure over the sorted key
+// list. Which structure is an IndexSpec: any method in the suite can
 // serve a column, and probes go through the batch-first AnyIndex facade.
-// Maintenance follows the paper's batch model, but incrementally: an
-// appended row batch merges into each sort index through its
-// MaintainedIndex (shard-incremental for "part:K/" specs) instead of
-// re-sorting the whole column from scratch.
+//
+// Two storage modes. The default keeps every column in one flat in-RAM
+// vector. A Table constructed with TableOptions is *paged*: columns live
+// on fixed-size pages behind a bounded LRU BufferManager (src/store/)
+// that spills to disk, so n >> RAM works end to end — the paper's §5
+// argument that only the CSS directory needs to be RAM-resident, applied
+// to the data under it. In paged mode, column access goes through
+// ColumnView cursors/blocks, mutators stream pages instead of
+// materializing whole vectors, and sort-index construction routes
+// through the external merge sort (core/external_build.h) when the
+// column exceeds the buffer budget. Query results are bit-identical
+// across modes at any buffer size — the paged differential suite's
+// contract.
 
 namespace cssidx::engine {
 
 using Rid = uint32_t;
 
+/// Storage knobs for a paged Table. buffer_pages = 0 means an unbounded
+/// frame pool (pages never spill; the store is a chunked in-RAM column).
+struct TableOptions {
+  size_t page_bytes = 1 << 16;
+  size_t buffer_pages = 0;
+  /// Spill directory ("" = system temp); a unique subdirectory is
+  /// created per table and removed with it.
+  std::string spill_dir;
+};
+
+/// Read facade over one column, uniform across storage modes: flat
+/// columns serve spans in place, paged columns copy through short-lived
+/// page pins (one pinned frame at a time, so any buffer budget works).
+/// Views are cheap to construct and hold a one-block cache so ascending
+/// point reads (At over sorted RIDs) fault once per page, not per value.
+class ColumnView {
+ public:
+  size_t size() const { return flat_ != nullptr ? flat_->size() : paged_->size(); }
+
+  /// Value of row `i`.
+  uint32_t At(size_t i) const {
+    if (flat_ != nullptr) return (*flat_)[i];
+    if (i < cache_base_ || i >= cache_base_ + cache_.size()) Refill(i);
+    return cache_[i - cache_base_];
+  }
+
+  /// Copies rows [start, start + out.size()) into `out`.
+  void Read(size_t start, std::span<uint32_t> out) const;
+
+  /// Rows [start, start + len) as a span: flat columns alias their
+  /// storage (zero copy), paged columns stage through `scratch`.
+  std::span<const uint32_t> Block(size_t start, size_t len,
+                                  std::vector<uint32_t>& scratch) const;
+
+  /// The whole column as one vector (a copy in paged mode).
+  std::vector<uint32_t> Materialize() const;
+
+  /// Streams the column in storage-order blocks:
+  /// fn(std::span<const uint32_t> block, size_t base_row). Flat columns
+  /// make one call covering everything; paged columns one per page.
+  template <typename Fn>
+  void Scan(Fn&& fn) const {
+    if (flat_ != nullptr) {
+      if (!flat_->empty()) fn(std::span<const uint32_t>(*flat_), size_t{0});
+      return;
+    }
+    store::ColumnCursor cursor(*paged_);
+    for (std::span<const uint32_t> block = cursor.NextBlock(); !block.empty();
+         block = cursor.NextBlock()) {
+      fn(block, cursor.position() - block.size());
+    }
+  }
+
+ private:
+  friend class Table;
+  explicit ColumnView(const std::vector<uint32_t>* flat) : flat_(flat) {}
+  explicit ColumnView(const store::PagedColumn* paged) : paged_(paged) {}
+  void Refill(size_t i) const;
+
+  const std::vector<uint32_t>* flat_ = nullptr;
+  const store::PagedColumn* paged_ = nullptr;
+  /// Page-aligned block behind At(); mutable because caching is not an
+  /// observable state change (Table access is externally synchronized).
+  mutable std::vector<uint32_t> cache_;
+  mutable size_t cache_base_ = 0;
+};
+
 /// Ordered secondary index on one column: the column's values sorted, the
 /// matching RID permutation, and an AnyIndex over the sorted values. This
 /// is exactly the paper's indexed representation: the sorted key list
 /// supports range/ordered access, the directory accelerates lookups, and
-/// position i of the key list pairs with rids[i].
+/// position i of the key list pairs with rids[i]. The sorted key/RID
+/// lists and the directory stay RAM-resident in BOTH table storage modes
+/// (the §5 point is that the directory is small; the lists are the
+/// index's working representation) — only their construction differs:
+/// paged tables over budget build them by external merge sort.
 ///
 /// Unordered methods (hash) still serve Equal/Find — the hash stores array
 /// positions, so the leftmost match plus a rightward scan works as for any
@@ -44,6 +126,17 @@ class SortIndex {
  public:
   explicit SortIndex(const std::vector<uint32_t>& column_values,
                      const IndexSpec& spec = IndexSpec());
+
+  /// Wraps already-sorted key/RID lists — the external merge-sort build
+  /// path (core/external_build.h), whose output is bit-identical to the
+  /// stable_sort the other constructor performs. `spilled`/`runs` record
+  /// how the lists were produced, for tests and the bench to assert the
+  /// external path actually ran. Throws if the lists' sizes disagree or
+  /// the spec is off the menu.
+  static SortIndex FromSorted(std::vector<uint32_t> sorted_keys,
+                              std::vector<Rid> rids,
+                              const IndexSpec& spec = IndexSpec(),
+                              bool spilled = false, size_t runs = 0);
 
   // Move-only: two mutating entry points (ApplyAppend) sharing one RID
   // list would silently diverge; the maintained index is single-writer by
@@ -158,23 +251,57 @@ class SortIndex {
   /// The maintenance machinery behind this index (snapshots, writer
   /// stats) — e.g. to check that a part:K append refreshed incrementally.
   const MaintainedIndex& maintained() const { return *maintained_; }
+
+  /// Bytes the index's CURRENT contents occupy: size-based key/RID list
+  /// bytes plus the directory — the quantity the §5 analytic space model
+  /// predicts (fig08's measured-vs-model table compares against it).
+  /// Allocator slack is deliberately excluded; see ReservedBytes().
   size_t SpaceBytes() const;
+  /// Bytes actually reserved, capacity-based: >= SpaceBytes() by exactly
+  /// the allocator slack (e.g. externally-built lists whose final merge
+  /// grew by push_back, or incremental-growth headroom).
+  size_t ReservedBytes() const;
+
+  /// True when this index's lists were produced by a spilled external
+  /// merge sort (FromSorted with spilled = true), and how many sorted
+  /// runs it merged — the paged bench and tests assert the out-of-core
+  /// build path actually ran.
+  bool external_build() const { return external_build_; }
+  size_t external_runs() const { return external_runs_; }
 
  private:
+  SortIndex() = default;
+
   std::vector<Rid> rids_;
   /// Owns the sorted key array and the search structure, versioned. The
   /// head_ cache is the writer's view of the current version: position i
   /// of head_->keys() pairs with rids_[i].
   std::unique_ptr<MaintainedIndex> maintained_;
   std::shared_ptr<const MaintainedIndex::Version> head_;
+  bool external_build_ = false;
+  size_t external_runs_ = 0;
 };
 
-/// Column-store table: named uint32 columns of equal length.
+/// Column-store table: named uint32 columns of equal length, flat in RAM
+/// by default or paged out-of-core when constructed with TableOptions.
 class Table {
  public:
   Table() = default;
 
-  /// Adds a column; all columns must have the same row count.
+  /// Paged mode: columns live on fixed-size pages behind one bounded LRU
+  /// BufferManager shared by all of this table's columns.
+  explicit Table(const TableOptions& options);
+
+  /// Whether this table's columns are paged (out-of-core capable).
+  bool paged() const { return buffer_ != nullptr; }
+  /// Paged-mode knobs (defaults for a flat table).
+  const TableOptions& options() const { return options_; }
+  /// Buffer-pool counters (paged mode only; throws std::logic_error for
+  /// flat tables, which have no pool).
+  const store::BufferStats& PoolStats() const;
+
+  /// Adds a column; all columns must have the same row count. In paged
+  /// mode the values stream onto pages and the vector is released.
   void AddColumn(const std::string& name, std::vector<uint32_t> values);
 
   /// Adds a string column the §2.1 way: the distinct values go into an
@@ -185,7 +312,8 @@ class Table {
   /// through StringDomainOf().LowerBoundId). String columns are a load
   /// path: AppendRows/ApplyUpdate mutate ID columns only (the live
   /// string-update story, with its dictionary growth, is the serving
-  /// layer's writer).
+  /// layer's writer) — and inserted IDs are validated against the
+  /// dictionary, so a column can never desync from its domain.
   void AddStringColumn(const std::string& name,
                        std::vector<std::string> values);
 
@@ -193,14 +321,16 @@ class Table {
   bool HasStringColumn(const std::string& name) const;
 
   /// The dictionary behind a string column (throws if `name` is not one).
-  /// Decode query output with StringDomainOf(c).Decode(Column(c)[rid]).
+  /// Decode query output with StringDomainOf(c).Decode(View(c).At(rid)).
   const domain::StringDomain& StringDomainOf(const std::string& name) const;
 
   /// Appends a batch of rows (one value per existing column, keyed by
   /// name) and refreshes every sort index in place via ApplyAppend — the
   /// OLAP maintenance cycle, without re-sorting whole columns (and, for
   /// "part:K/" specs, rebuilding only the shards the batch touches).
-  /// Throws if the batch's columns do not match the table's.
+  /// Throws if the batch's columns do not match the table's, or if a
+  /// value inserted into a string column is not a valid dictionary ID.
+  /// An empty batch on a zero-column table is a no-op.
   void AppendRows(const std::map<std::string, std::vector<uint32_t>>& rows);
 
   /// Deletes the given rows (by RID; duplicates and any order allowed).
@@ -231,11 +361,26 @@ class Table {
   size_t NumRows() const { return num_rows_; }
   size_t NumColumns() const { return columns_.size(); }
   bool HasColumn(const std::string& name) const;
+
+  /// Flat-mode direct access to a column's backing vector. Paged columns
+  /// have no flat vector to reference — use View()/ReadColumn() there
+  /// (throws std::logic_error to catch mode-blind callers early).
   const std::vector<uint32_t>& Column(const std::string& name) const;
+
+  /// Mode-uniform read access: spans in place for flat columns, cursor/
+  /// block copies for paged ones. The view borrows the column — it stays
+  /// valid until the next mutation of this table.
+  ColumnView View(const std::string& name) const;
+
+  /// The whole column as one vector, in either mode (a copy when paged).
+  std::vector<uint32_t> ReadColumn(const std::string& name) const;
 
   /// Builds (or rebuilds, after batch updates) the sort index on a column
   /// using any method in the suite. Throws std::invalid_argument for specs
-  /// off the menu.
+  /// off the menu. Paged tables whose column exceeds the buffer budget
+  /// build through the external merge sort (the directory and sorted
+  /// lists still come out RAM-resident, and bit-identical to the in-RAM
+  /// build).
   const SortIndex& BuildSortIndex(const std::string& column,
                                   const IndexSpec& spec = IndexSpec());
   /// The sort index previously built on `column` (must exist).
@@ -243,6 +388,13 @@ class Table {
   bool HasSortIndex(const std::string& column) const;
 
  private:
+  /// One column's storage: exactly one of `flat` / `paged` is active,
+  /// per the table's mode.
+  struct ColumnStore {
+    std::vector<uint32_t> flat;
+    std::unique_ptr<store::PagedColumn> paged;
+  };
+
   /// Shared delete/append path: compacts columns per the `deleted` bitmap
   /// (`removed` = popcount), appends `insert_rows`, and refreshes every
   /// sort index with one combined maintenance batch.
@@ -250,8 +402,19 @@ class Table {
       const std::vector<bool>& deleted, size_t removed,
       const std::map<std::string, std::vector<uint32_t>>& insert_rows);
 
+  /// Rejects values that are not valid dictionary IDs for their string
+  /// column — called by every insert path BEFORE any state changes.
+  void ValidateDomainIds(
+      const std::map<std::string, std::vector<uint32_t>>& rows) const;
+
+  const ColumnStore& StoreOf(const std::string& name) const;
+
   size_t num_rows_ = 0;
-  std::map<std::string, std::vector<uint32_t>> columns_;
+  TableOptions options_;
+  /// Paged mode only: the frame pool shared by every column (and the
+  /// spill directory external index builds use).
+  std::unique_ptr<store::BufferManager> buffer_;
+  std::map<std::string, ColumnStore> columns_;
   std::map<std::string, std::unique_ptr<SortIndex>> indexes_;
   /// Dictionaries for string columns; the column itself lives in
   /// columns_ as IDs. unique_ptr: StringDomain is move-only-ish and the

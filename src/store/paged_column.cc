@@ -1,0 +1,82 @@
+#include "store/paged_column.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace cssidx::store {
+
+void PagedColumn::Append(std::span<const uint32_t> values) {
+  size_t start = size_;
+  size_ += values.size();
+  Write(start, values);
+}
+
+void PagedColumn::Write(size_t start, std::span<const uint32_t> values) {
+  assert(start + values.size() <= size_);
+  const size_t vpp = bm_->values_per_page();
+  size_t done = 0;
+  while (done < values.size()) {
+    size_t pos = start + done;
+    auto page = static_cast<uint32_t>(pos / vpp);
+    size_t offset = pos % vpp;
+    size_t len = std::min(vpp - offset, values.size() - done);
+    // A page at or beyond pages_created_ has never existed: materialize
+    // it fresh instead of probing the spill file.
+    bool create = page >= pages_created_;
+    PageRef ref = bm_->Pin({column_, page}, create);
+    if (create) pages_created_ = page + 1;
+    std::memcpy(ref.data().data() + offset, values.data() + done,
+                len * sizeof(uint32_t));
+    ref.MarkDirty();
+    done += len;
+  }
+}
+
+void PagedColumn::Read(size_t start, std::span<uint32_t> out) const {
+  assert(start + out.size() <= size_);
+  const size_t vpp = bm_->values_per_page();
+  size_t done = 0;
+  while (done < out.size()) {
+    size_t pos = start + done;
+    auto page = static_cast<uint32_t>(pos / vpp);
+    size_t offset = pos % vpp;
+    size_t len = std::min(vpp - offset, out.size() - done);
+    PageRef ref = bm_->Pin({column_, page});
+    std::memcpy(out.data() + done, ref.data().data() + offset,
+                len * sizeof(uint32_t));
+    done += len;
+  }
+}
+
+uint32_t PagedColumn::Get(size_t i) const {
+  uint32_t v;
+  Read(i, std::span<uint32_t>(&v, 1));
+  return v;
+}
+
+void PagedColumn::Truncate(size_t n) {
+  assert(n <= size_);
+  size_ = n;
+  const size_t vpp = bm_->values_per_page();
+  auto first_dead = static_cast<uint32_t>((n + vpp - 1) / vpp);
+  bm_->DropTail(column_, first_dead);
+  // Dead pages must be re-created (zero-filled) if the column regrows,
+  // not re-read from stale spill bytes.
+  pages_created_ = std::min(pages_created_, first_dead);
+}
+
+std::span<const uint32_t> ColumnCursor::NextBlock() {
+  if (pos_ >= column_->size()) return {};
+  // Block length: to the end of the current page — keeps every block's
+  // Read a single pin — or to the end of the column.
+  const size_t vpp = column_->values_per_page();
+  size_t remaining = column_->size() - pos_;
+  size_t len = std::min(remaining, vpp - pos_ % vpp);
+  buffer_.resize(len);
+  column_->Read(pos_, buffer_);
+  pos_ += len;
+  return {buffer_.data(), buffer_.size()};
+}
+
+}  // namespace cssidx::store

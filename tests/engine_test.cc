@@ -989,5 +989,88 @@ TEST(Query, GroupByOnAStringColumnAggregatesPerDictionaryId) {
   EXPECT_EQ(groups[2].sum, 7u);
 }
 
+// Regression: AppendRows({}) on a zero-column table used to dereference
+// rows.begin() on an empty map (UB). Both mutators that take a row batch
+// must treat the empty-batch/zero-column case as a no-op.
+TEST(Table, EmptyBatchOnZeroColumnTableIsANoOp) {
+  Table t;
+  t.AppendRows({});
+  EXPECT_EQ(t.NumRows(), 0u);
+  EXPECT_EQ(t.NumColumns(), 0u);
+
+  // ApplyUpdate's insert half goes through the same validation; an empty
+  // insert map (deletes only, none matching) must also be a no-op.
+  Table u = MakeOrders(50, 10, 21);
+  u.BuildSortIndex("customer");
+  u.ApplyUpdate("customer", {1000, 2000}, {});
+  EXPECT_EQ(u.NumRows(), 50u);
+
+  // A zero-row batch with the right columns is equally harmless.
+  u.AppendRows({{"customer", {}}, {"amount", {}}, {"day", {}}});
+  EXPECT_EQ(u.NumRows(), 50u);
+}
+
+// Regression: raw uint32 values inserted into a string (domain-ID) column
+// were not checked against the dictionary, silently desyncing the column
+// from its domain. Invalid IDs must throw — naming the column — and leave
+// the table untouched.
+TEST(Table, InsertedStringIdsAreValidatedAgainstTheDictionary) {
+  Table t;
+  t.AddStringColumn("fruit", {"apple", "pear", "quince"});
+  t.AddColumn("kg", {1, 2, 3});
+  t.BuildSortIndex("fruit");
+  const size_t dict = t.StringDomainOf("fruit").size();  // 3: ids 0..2
+
+  // AppendRows with an out-of-dictionary ID: throws, nothing changes.
+  try {
+    t.AppendRows({{"fruit", {1, static_cast<uint32_t>(dict)}},
+                  {"kg", {4, 5}}});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("fruit"), std::string::npos);
+  }
+  EXPECT_EQ(t.NumRows(), 3u);
+  EXPECT_EQ(t.Column("fruit"), (std::vector<uint32_t>{0, 1, 2}));
+  EXPECT_EQ(t.GetSortIndex("fruit").sorted_keys().size(), 3u);
+
+  // ApplyUpdate's insert half is validated the same way, BEFORE any
+  // deletes are applied.
+  EXPECT_THROW(t.ApplyUpdate("fruit", {0}, {{"fruit", {99}}, {"kg", {6}}}),
+               std::invalid_argument);
+  EXPECT_EQ(t.NumRows(), 3u);
+
+  // Valid IDs still append (and decode) fine.
+  t.AppendRows({{"fruit", {2, 0}}, {"kg", {4, 5}}});
+  EXPECT_EQ(t.NumRows(), 5u);
+  EXPECT_EQ(t.StringDomainOf("fruit").Decode(t.Column("fruit")[3]), "quince");
+}
+
+// Regression: SpaceBytes() reported vector capacity(), overstating the
+// index's size whenever the key/RID lists carry allocator slack — e.g.
+// lists grown by push_back in the external merge and moved in via
+// FromSorted. Contents and reservation are now separate quantities.
+TEST(SortIndex, SpaceBytesReportsContentsNotCapacity) {
+  Pcg32 rng(22);
+  std::vector<uint32_t> col(1000);
+  for (auto& v : col) v = rng.Below(500);
+  const SortIndex fresh(col);
+
+  // The same sorted lists, but with deliberate capacity slack.
+  std::vector<uint32_t> keys(fresh.sorted_keys());
+  std::vector<Rid> rids(fresh.rids());
+  keys.reserve(4096);
+  rids.reserve(4096);
+  const SortIndex slack =
+      SortIndex::FromSorted(std::move(keys), std::move(rids));
+
+  EXPECT_EQ(slack.SpaceBytes(), fresh.SpaceBytes());
+  EXPECT_GT(slack.ReservedBytes(), slack.SpaceBytes());
+  EXPECT_GE(fresh.ReservedBytes(), fresh.SpaceBytes());
+
+  // FromSorted sanity: mismatched list lengths are a caller bug.
+  EXPECT_THROW(SortIndex::FromSorted({1, 2, 3}, {0, 1}),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace cssidx::engine

@@ -1,0 +1,288 @@
+#include "engine/query.h"
+#include "engine/table.h"
+
+#include <map>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "spec_menu.h"
+#include "util/rng.h"
+
+// Paged-vs-in-RAM differential suite: a Table built with TableOptions must
+// answer every query bit-identically to the flat in-RAM Table, at ANY
+// buffer budget — unbounded, a quarter of the data, and a minimal pool
+// where nearly every probe faults. Sort indexes built over columns larger
+// than the budget route through the external merge sort, and their
+// sorted key/RID lists must equal the stable_sort the flat build performs.
+
+namespace cssidx::engine {
+namespace {
+
+constexpr size_t kRows = 4096;
+constexpr uint32_t kCustomers = 160;
+constexpr size_t kPageBytes = 256;  // 64 values/page -> 64 pages per column
+
+struct TableData {
+  std::vector<uint32_t> customer, amount, day;
+};
+
+TableData MakeData(uint64_t seed) {
+  Pcg32 rng(seed);
+  TableData d;
+  d.customer.resize(kRows);
+  d.amount.resize(kRows);
+  d.day.resize(kRows);
+  for (size_t i = 0; i < kRows; ++i) {
+    d.customer[i] = rng.Below(kCustomers);
+    d.amount[i] = 1 + rng.Below(1000);
+    d.day[i] = rng.Below(365);
+  }
+  return d;
+}
+
+Table MakeTable(const TableData& d, const TableOptions* options) {
+  Table t = options != nullptr ? Table(*options) : Table();
+  t.AddColumn("customer", d.customer);
+  t.AddColumn("amount", d.amount);
+  t.AddColumn("day", d.day);
+  return t;
+}
+
+/// Budgets the differential runs at: unbounded, a quarter of one column's
+/// pages, and a minimal pool where every page touch contends.
+std::vector<size_t> Budgets() {
+  const size_t pages = kRows / (kPageBytes / sizeof(uint32_t));
+  return {0, pages / 4, 2};
+}
+
+void ExpectSameAnswers(const Table& flat, const Table& paged,
+                       const std::string& label) {
+  Pcg32 rng(99);
+  for (int q = 0; q < 20; ++q) {
+    const uint32_t v = rng.Below(kCustomers + 5);
+    EXPECT_EQ(SelectEqual(flat, "customer", v),
+              SelectEqual(paged, "customer", v))
+        << label << " Equal(" << v << ")";
+    EXPECT_EQ(CountEqual(flat, "customer", v),
+              CountEqual(paged, "customer", v))
+        << label;
+    const uint32_t lo = rng.Below(kCustomers);
+    const uint32_t hi = lo + rng.Below(20);
+    EXPECT_EQ(SelectRange(flat, "customer", lo, hi),
+              SelectRange(paged, "customer", lo, hi))
+        << label << " Range[" << lo << "," << hi << ")";
+    EXPECT_EQ(CountRange(flat, "customer", lo, hi),
+              CountRange(paged, "customer", lo, hi))
+        << label;
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> bounds;
+  for (int b = 0; b < 16; ++b) {
+    uint32_t lo = rng.Below(kCustomers);
+    bounds.emplace_back(lo, lo + rng.Below(10));
+  }
+  EXPECT_EQ(SelectRangeBatch(flat, "customer", bounds),
+            SelectRangeBatch(paged, "customer", bounds))
+      << label;
+  const auto flat_groups = GroupBy(flat, "customer", "amount", kCustomers);
+  const auto paged_groups = GroupBy(paged, "customer", "amount", kCustomers);
+  ASSERT_EQ(flat_groups.size(), paged_groups.size()) << label;
+  for (size_t g = 0; g < flat_groups.size(); ++g) {
+    EXPECT_EQ(flat_groups[g].count, paged_groups[g].count) << label;
+    EXPECT_EQ(flat_groups[g].sum, paged_groups[g].sum) << label;
+    EXPECT_EQ(flat_groups[g].min, paged_groups[g].min) << label;
+    EXPECT_EQ(flat_groups[g].max, paged_groups[g].max) << label;
+  }
+  const std::vector<Rid> sample = SelectEqual(flat, "customer", 7);
+  const Aggregates fa = Aggregate(flat, "amount", sample);
+  const Aggregates pa = Aggregate(paged, "amount", sample);
+  EXPECT_EQ(fa.count, pa.count) << label;
+  EXPECT_EQ(fa.sum, pa.sum) << label;
+}
+
+TEST(PagedTable, DifferentialAcrossSpecMenuAndBudgets) {
+  const TableData data = MakeData(11);
+  Table flat = MakeTable(data, nullptr);
+  for (const IndexSpec& spec : test_menu::DefaultSpecs(16, 10)) {
+    flat.BuildSortIndex("customer", spec);
+    for (size_t budget : Budgets()) {
+      TableOptions opts;
+      opts.page_bytes = kPageBytes;
+      opts.buffer_pages = budget;
+      Table paged = MakeTable(data, &opts);
+      ASSERT_TRUE(paged.paged());
+      const SortIndex& built = paged.BuildSortIndex("customer", spec);
+      const std::string label =
+          spec.ToString() + " @budget=" + std::to_string(budget);
+      // The sorted lists themselves must match the stable_sort build.
+      EXPECT_EQ(built.sorted_keys(), flat.GetSortIndex("customer").sorted_keys())
+          << label;
+      EXPECT_EQ(built.rids(), flat.GetSortIndex("customer").rids()) << label;
+      ExpectSameAnswers(flat, paged, label);
+    }
+  }
+}
+
+TEST(PagedTable, ScanFallbackDifferentialWithoutIndex) {
+  const TableData data = MakeData(12);
+  const Table flat = MakeTable(data, nullptr);
+  for (size_t budget : Budgets()) {
+    TableOptions opts;
+    opts.page_bytes = kPageBytes;
+    opts.buffer_pages = budget;
+    const Table paged = MakeTable(data, &opts);
+    ExpectSameAnswers(flat, paged, "scan @budget=" + std::to_string(budget));
+  }
+}
+
+TEST(PagedTable, ExternalBuildKicksInAboveBudgetAndMatches) {
+  const TableData data = MakeData(13);
+  Table flat = MakeTable(data, nullptr);
+  flat.BuildSortIndex("customer");
+
+  TableOptions opts;
+  opts.page_bytes = kPageBytes;
+  opts.buffer_pages = 4;  // 256 values << 4096 rows: must go external
+  Table paged = MakeTable(data, &opts);
+  const SortIndex& index = paged.BuildSortIndex("customer");
+  EXPECT_TRUE(index.external_build());
+  EXPECT_GT(index.external_runs(), 1u);
+  EXPECT_EQ(index.sorted_keys(), flat.GetSortIndex("customer").sorted_keys());
+  EXPECT_EQ(index.rids(), flat.GetSortIndex("customer").rids());
+  for (uint32_t v : {0u, 7u, kCustomers - 1, kCustomers + 10}) {
+    EXPECT_EQ(index.Find(v), flat.GetSortIndex("customer").Find(v));
+  }
+  ExpectSameAnswers(flat, paged, "external");
+
+  // An unbounded pool materializes and takes the in-RAM path.
+  TableOptions unbounded;
+  unbounded.page_bytes = kPageBytes;
+  Table big = MakeTable(data, &unbounded);
+  EXPECT_FALSE(big.BuildSortIndex("customer").external_build());
+}
+
+TEST(PagedTable, IndexedJoinMatchesAcrossStorageModes) {
+  const TableData data = MakeData(14);
+  Table flat = MakeTable(data, nullptr);
+  TableOptions opts;
+  opts.page_bytes = kPageBytes;
+  opts.buffer_pages = 2;
+  Table paged = MakeTable(data, &opts);
+
+  // Inner dimension table, flat, with an index.
+  Table dim;
+  std::vector<uint32_t> ids(kCustomers / 2), score(kCustomers / 2);
+  Pcg32 rng(15);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<uint32_t>(2 * i);  // every other customer
+    score[i] = rng.Below(100);
+  }
+  dim.AddColumn("id", std::move(ids));
+  dim.AddColumn("score", std::move(score));
+  dim.BuildSortIndex("id");
+
+  const auto flat_join = IndexedJoin(flat, "customer", dim, "id");
+  const auto paged_join = IndexedJoin(paged, "customer", dim, "id");
+  ASSERT_EQ(flat_join.size(), paged_join.size());
+  for (size_t i = 0; i < flat_join.size(); ++i) {
+    EXPECT_EQ(flat_join[i].outer, paged_join[i].outer);
+    EXPECT_EQ(flat_join[i].inner, paged_join[i].inner);
+  }
+
+  // Paged table as the INNER side: its index serves probes identically.
+  flat.BuildSortIndex("customer");
+  paged.BuildSortIndex("customer");
+  const auto flat_inner = IndexedJoin(dim, "id", flat, "customer");
+  const auto paged_inner = IndexedJoin(dim, "id", paged, "customer");
+  ASSERT_EQ(flat_inner.size(), paged_inner.size());
+  for (size_t i = 0; i < flat_inner.size(); ++i) {
+    EXPECT_EQ(flat_inner[i].outer, paged_inner[i].outer);
+    EXPECT_EQ(flat_inner[i].inner, paged_inner[i].inner);
+  }
+}
+
+TEST(PagedTable, MutatorsMatchFlatTableAtMinimalBudget) {
+  const TableData data = MakeData(16);
+  Table flat = MakeTable(data, nullptr);
+  TableOptions opts;
+  opts.page_bytes = kPageBytes;
+  opts.buffer_pages = 2;
+  Table paged = MakeTable(data, &opts);
+  flat.BuildSortIndex("customer");
+  paged.BuildSortIndex("customer");
+
+  // Append a batch.
+  std::map<std::string, std::vector<uint32_t>> batch{
+      {"customer", {3, 9, 3, 150}},
+      {"amount", {10, 20, 30, 40}},
+      {"day", {1, 2, 3, 4}}};
+  flat.AppendRows(batch);
+  paged.AppendRows(batch);
+  EXPECT_EQ(paged.NumRows(), flat.NumRows());
+  EXPECT_EQ(paged.ReadColumn("customer"), flat.Column("customer"));
+
+  // Delete a scattered set of rows (stream-compacts every paged column).
+  std::vector<Rid> dead;
+  Pcg32 rng(17);
+  for (int i = 0; i < 500; ++i) {
+    dead.push_back(rng.Below(static_cast<uint32_t>(flat.NumRows())));
+  }
+  flat.DeleteRows(dead);
+  paged.DeleteRows(dead);
+  EXPECT_EQ(paged.NumRows(), flat.NumRows());
+  EXPECT_EQ(paged.ReadColumn("customer"), flat.Column("customer"));
+  EXPECT_EQ(paged.ReadColumn("amount"), flat.Column("amount"));
+
+  // Keyed update: delete-by-key plus inserts, one maintenance batch.
+  std::map<std::string, std::vector<uint32_t>> inserts{
+      {"customer", {5, 5}}, {"amount", {7, 8}}, {"day", {9, 10}}};
+  flat.ApplyUpdate("customer", {5, 42}, inserts);
+  paged.ApplyUpdate("customer", {5, 42}, inserts);
+  EXPECT_EQ(paged.NumRows(), flat.NumRows());
+  EXPECT_EQ(paged.ReadColumn("customer"), flat.Column("customer"));
+  EXPECT_EQ(paged.GetSortIndex("customer").sorted_keys(),
+            flat.GetSortIndex("customer").sorted_keys());
+  EXPECT_EQ(paged.GetSortIndex("customer").rids(),
+            flat.GetSortIndex("customer").rids());
+  ExpectSameAnswers(flat, paged, "after mutations");
+}
+
+TEST(PagedTable, StringColumnsWorkPaged) {
+  TableOptions opts;
+  opts.page_bytes = 64;
+  opts.buffer_pages = 2;
+  Table t(opts);
+  std::vector<std::string> cities;
+  const std::vector<std::string> pool{"austin", "boston", "chicago", "denver"};
+  for (int i = 0; i < 300; ++i) cities.push_back(pool[i % pool.size()]);
+  t.AddStringColumn("city", std::move(cities));
+  EXPECT_TRUE(t.HasStringColumn("city"));
+  EXPECT_EQ(SelectEqual(t, "city", std::string("boston")).size(), 75u);
+  EXPECT_EQ(CountRange(t, "city", std::string("b"), std::string("d")), 150u);
+  t.BuildSortIndex("city");
+  EXPECT_EQ(SelectEqual(t, "city", std::string("boston")).size(), 75u);
+}
+
+TEST(PagedTable, ColumnThrowsAndViewServesInPagedMode) {
+  TableOptions opts;
+  opts.page_bytes = 64;
+  opts.buffer_pages = 2;
+  Table t(opts);
+  t.AddColumn("x", {1, 2, 3});
+  EXPECT_THROW(t.Column("x"), std::logic_error);
+  EXPECT_EQ(t.ReadColumn("x"), (std::vector<uint32_t>{1, 2, 3}));
+  ColumnView view = t.View("x");
+  EXPECT_EQ(view.size(), 3u);
+  EXPECT_EQ(view.At(1), 2u);
+  // Pool counters are exposed (and something actually faulted).
+  EXPECT_GT(t.PoolStats().pins, 0u);
+  Table flat;
+  flat.AddColumn("x", {1});
+  EXPECT_THROW(flat.PoolStats(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace cssidx::engine

@@ -54,6 +54,17 @@ enqueued_batches — the queue accepted nothing it did not apply — and
 groups_published can never exceed batches_applied). A set cap with no
 pressure rows to check fails, mirroring --min-update-speedup.
 
+Paged-build gate (independent of the baseline file): --paged-json points
+at a bench_paged JSON and --max-paged-build-slowdown (0 = off) caps
+build_slowdown_vs_inram for every row of the buffer-budget sweep — an
+out-of-core index build may cost more than the flat in-RAM stable_sort,
+but only by a bounded factor, at ANY budget. The slowdown is a
+within-run ratio (both builds ran on the same machine over the same
+data), so the gate transfers across hardware. The sweep must contain at
+least one row that actually took the external path (external = true with
+runs > 1); a set cap with no paged rows, or none external, fails —
+mirroring --min-update-speedup.
+
 Two metrics:
 
   speedup     (default) gate on each row's batched-vs-scalar speedup —
@@ -147,6 +158,43 @@ def check_serving(path, max_coalesce_ratio):
     return failed
 
 
+def check_paged(path, max_slowdown):
+    """Returns True when the paged-build gate FAILED."""
+    with open(path) as f:
+        doc = json.load(f)
+    rows = doc.get("paged", [])
+    failed = False
+    external_seen = 0
+    for row in rows:
+        pages = row.get("buffer_pages", 0)
+        label = "unbounded" if pages == 0 else f"{pages} pages"
+        slowdown = row.get("build_slowdown_vs_inram")
+        external = row.get("external", False)
+        runs = row.get("runs", 0)
+        print(f"paged build: {label:<12} external={str(external):<5} "
+              f"runs={runs:>4} slowdown={slowdown:.3f} "
+              f"(cap {max_slowdown:.2f})")
+        if slowdown is None or slowdown > max_slowdown:
+            print(f"FAIL: paged build at {label}: {slowdown:.2f}x the "
+                  f"in-RAM build (cap {max_slowdown:.2f}x)")
+            failed = True
+        if external:
+            external_seen += 1
+            if runs <= 1:
+                print(f"FAIL: paged build at {label}: external build "
+                      f"reported {runs} run(s) — the merge never happened")
+                failed = True
+    if not rows:
+        print("FAIL: --max-paged-build-slowdown set but the paged JSON has "
+              "no paged rows (bench_paged not run, or schema changed?)")
+        failed = True
+    elif external_seen == 0:
+        print("FAIL: no sweep row took the external build path — budgets "
+              "all exceed the column, so the out-of-core path went untested")
+        failed = True
+    return failed
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -174,6 +222,12 @@ def main():
     parser.add_argument("--max-coalesce-ratio", type=float, default=0.0,
                         help="cap on groups_published/enqueued_batches for "
                              "pressure rows in --serving-json (0 = off)")
+    parser.add_argument("--paged-json", default=None,
+                        help="bench_paged JSON to gate on out-of-core build "
+                             "cost (requires --max-paged-build-slowdown)")
+    parser.add_argument("--max-paged-build-slowdown", type=float, default=0.0,
+                        help="cap on build_slowdown_vs_inram for every row "
+                             "in --paged-json's budget sweep (0 = off)")
     args = parser.parse_args()
 
     # Serving gate: a within-run efficiency invariant, checked against the
@@ -189,6 +243,19 @@ def main():
     elif args.serving_json:
         print("WARNING: --serving-json given without --max-coalesce-ratio; "
               "serving rows not gated")
+
+    # Paged-build gate: also a within-run ratio of CURRENT's machine.
+    paged_failed = False
+    if args.max_paged_build_slowdown > 0:
+        if not args.paged_json:
+            print("FAIL: --max-paged-build-slowdown set without --paged-json")
+            paged_failed = True
+        else:
+            paged_failed = check_paged(args.paged_json,
+                                       args.max_paged_build_slowdown)
+    elif args.paged_json:
+        print("WARNING: --paged-json given without "
+              "--max-paged-build-slowdown; paged rows not gated")
 
     base_doc, base_rows = load_rows(args.baseline)
     cur_doc, cur_rows = load_rows(args.current)
@@ -279,7 +346,7 @@ def main():
     if not common:
         print("WARNING: no common (spec, batch, threads) rows between "
               f"{args.baseline} and {args.current}; nothing to gate")
-        return 1 if (floor_failed or serving_failed) else 0
+        return 1 if (floor_failed or serving_failed or paged_failed) else 0
 
     log_sum = 0.0
     compared = 0
@@ -302,7 +369,7 @@ def main():
 
     if compared == 0:
         print("WARNING: no comparable rows; nothing to gate")
-        return 1 if (floor_failed or serving_failed) else 0
+        return 1 if (floor_failed or serving_failed or paged_failed) else 0
 
     geomean = math.exp(log_sum / compared)
     floor = 1 - args.tolerance
@@ -320,6 +387,9 @@ def main():
         failed = True
     if serving_failed:
         print("FAIL: serving coalesce gate violated (see above)")
+        failed = True
+    if paged_failed:
+        print("FAIL: paged build gate violated (see above)")
         failed = True
     if failed:
         return 1
