@@ -6,18 +6,29 @@
 //
 // Probes are issued through the batch API — the access pattern OLAP
 // front-ends generate — so methods with group-probing kernels are ranked
-// by their real, miss-overlapped throughput.
+// by their real, miss-overlapped throughput. Timing follows the bench
+// harness protocol (§6.1): one untimed warmup pass per candidate, then
+// best-of-`--repeats` wall clock, results fed to the harness's volatile
+// sink so the optimizer cannot delete the probe loop.
+//
+// The measured table is cross-checked against the model-only advisor
+// (src/advisor/): the same workload, described as a WorkloadProfile, is
+// scored analytically and both picks are printed — when they disagree,
+// the gap between the model's ns/probe and the measured one says whether
+// the model or the machine is the outlier.
 //
 //   $ ./index_advisor --budget=2000000 [--n=2000000] [--lookups=50000]
-//                     [--batch=64] [--spec=css:16 --spec-only]
+//                     [--batch=64] [--repeats=3] [--spec=css:16 --spec-only]
+//                     [--need-ordered-access]
 
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
+#include "advisor/advisor.h"
+#include "harness.h"
 #include "core/builder.h"
 #include "util/cli.h"
-#include "util/timer.h"
 #include "workload/key_gen.h"
 #include "workload/lookup_gen.h"
 
@@ -33,16 +44,22 @@ struct Candidate {
   bool ordered;
 };
 
+// One untimed pass to fault in the node array and warm the branch
+// predictors, then the harness's best-of-k measurement (minimum over
+// `repeats` full-batch runs, sink through bench::g_sink).
 double TimeLookups(const AnyIndex& index, const std::vector<Key>& lookups,
-                   size_t batch) {
+                   size_t batch, int repeats) {
   std::vector<int64_t> out(lookups.size());
-  Timer timer;
   FindBlocked(index, lookups, batch, out);
-  double sec = timer.Seconds();
-  uint64_t sink = 0;
-  for (int64_t v : out) sink += static_cast<uint64_t>(v);
-  if (sink == 0xdeadbeef) std::printf("!");  // keep the loop alive
-  return sec;
+  for (int64_t v : out) bench::g_sink = bench::g_sink + static_cast<uint64_t>(v);
+  return bench::MinFindBatchSeconds(index, lookups, batch, repeats);
+}
+
+[[noreturn]] void Die(const char* fmt, const std::string& arg) {
+  std::fprintf(stderr, "error: ");
+  std::fprintf(stderr, fmt, arg.c_str());
+  std::fprintf(stderr, "\n");
+  std::exit(1);
 }
 
 }  // namespace
@@ -53,13 +70,21 @@ int main(int argc, char** argv) {
   size_t budget = static_cast<size_t>(args.GetInt("budget", 2'000'000));
   size_t num_lookups = static_cast<size_t>(args.GetInt("lookups", 50'000));
   size_t batch = static_cast<size_t>(args.GetInt("batch", 64));
+  int repeats = static_cast<int>(args.GetInt("repeats", 3));
   bool need_order = args.GetBool("need-ordered-access", false);
+  bool spec_only = args.GetBool("spec-only", false);
+  if (repeats < 1) repeats = 1;
+  if (spec_only && !args.Has("spec")) {
+    Die("--spec-only needs an explicit --spec=<spec> to measure%s", "");
+  }
 
   auto keys = workload::DistinctSortedKeys(n, 3, 4);
   auto lookups = workload::MatchingLookups(keys, num_lookups, 4);
-  std::printf("advising for n=%zu keys, space budget %.2f MB, batch=%zu%s\n\n",
-              n, budget / 1e6, batch,
-              need_order ? ", ordered access required" : "");
+  std::printf(
+      "advising for n=%zu keys, space budget %.2f MB, batch=%zu, "
+      "best of %d%s\n\n",
+      n, budget / 1e6, batch, repeats,
+      need_order ? ", ordered access required" : "");
 
   // Enumerate the menu: every method at every node size / directory size,
   // deduped so an explicit --spec that is also on the menu runs once.
@@ -74,12 +99,13 @@ int main(int argc, char** argv) {
     // Explicit spec from the command line, e.g. --spec=lcss:64.
     auto spec = IndexSpec::Parse(args.GetString("spec", ""));
     if (!spec) {
-      std::printf("unparseable --spec; %s\n", IndexSpec::GrammarHelp());
+      std::fprintf(stderr, "error: unparseable --spec; %s\n",
+                   IndexSpec::GrammarHelp());
       return 1;
     }
     enlist(*spec);
   }
-  if (!args.GetBool("spec-only", false)) {
+  if (!spec_only) {
     for (const IndexSpec& spec : AllSpecs()) {
       if (!spec.sized()) {
         if (spec.ordered()) enlist(spec);
@@ -101,21 +127,47 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Measure the menu. Every filtered-out candidate is diagnosed so an
+  // empty result names its cause instead of "recommending nothing": an
+  // unbuildable --spec-only spec, a budget nothing fits, or an
+  // ordered-access requirement hash can't meet.
   std::vector<Candidate> candidates;
+  size_t unbuildable = 0, over_budget = 0, unordered = 0;
   for (const IndexSpec& spec : menu) {
     AnyIndex index = BuildIndex(spec, keys);
-    if (!index) continue;
+    if (!index) {
+      ++unbuildable;
+      if (spec_only) {
+        Die("--spec=%s is not buildable for this key set", spec.ToString());
+      }
+      continue;
+    }
     Candidate c{index.Name(), spec.ToString(), index.SpaceBytes(), 0,
                 index.SupportsOrderedAccess()};
-    if (c.space > budget) continue;            // over budget: skip
-    if (need_order && !c.ordered) continue;    // hash can't serve order
-    c.seconds = TimeLookups(index, lookups, batch);
+    if (c.space > budget) {
+      ++over_budget;
+      if (spec_only) {
+        Die("--spec=%s needs more space than --budget allows", spec.ToString());
+      }
+      continue;
+    }
+    if (need_order && !c.ordered) {
+      ++unordered;
+      if (spec_only) {
+        Die("--spec=%s cannot serve --need-ordered-access", spec.ToString());
+      }
+      continue;
+    }
+    c.seconds = TimeLookups(index, lookups, batch, repeats);
     candidates.push_back(std::move(c));
   }
 
   if (candidates.empty()) {
-    std::printf("nothing fits the budget — binary search (0 bytes) always "
-                "works; raise the budget.\n");
+    std::fprintf(stderr,
+                 "error: no candidate survived the filters (%zu unbuildable, "
+                 "%zu over budget, %zu unordered) — binary search (0 bytes) "
+                 "always works; raise --budget or relax the filters.\n",
+                 unbuildable, over_budget, unordered);
     return 1;
   }
   std::sort(candidates.begin(), candidates.end(),
@@ -135,5 +187,31 @@ int main(int argc, char** argv) {
               candidates.front().name.c_str(), candidates.front().spec.c_str(),
               candidates.front().space / 1e6, candidates.front().seconds,
               num_lookups);
+
+  // Cross-check: the model-only advisor on the same workload shape —
+  // all-hit point probes in `batch`-sized groups, no updates.
+  if (!spec_only) {
+    WorkloadProfile profile;
+    size_t full = num_lookups / std::max<size_t>(batch, 1);
+    size_t bucket = 0;
+    for (size_t b = batch; b > 1; b >>= 1) ++bucket;
+    if (bucket >= WorkloadProfile::kBatchBuckets) {
+      bucket = WorkloadProfile::kBatchBuckets - 1;
+    }
+    profile.batch_hist[bucket] = full;
+    profile.point_probes = num_lookups;
+    profile.probe_batches = std::max<uint64_t>(full, 1);
+    advisor::AdvisorOptions opts;
+    opts.space_budget_bytes = budget;
+    opts.need_ordered_access = need_order;
+    auto rec = advisor::Advise(profile, keys.size(), opts);
+    if (rec.ok) {
+      std::printf("model pick:     --spec=%s (modeled %.1f ns/probe)%s\n",
+                  rec.spec.ToString().c_str(), rec.ranked.front().cost_ns,
+                  rec.spec.ToString() == candidates.front().spec
+                      ? " — agrees with measurement"
+                      : "");
+    }
+  }
   return 0;
 }

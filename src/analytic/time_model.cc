@@ -14,7 +14,13 @@ double LogBase(double base, double x) {
 }  // namespace
 
 double MissesPerNode(double node_bytes, double line_bytes) {
-  double s = node_bytes / line_bytes;
+  // §5.1 models a node of s cache lines as log2(s) + 1/s misses. The formula
+  // only makes sense for whole lines: a node always occupies ceil(s) lines
+  // (nodes are line-aligned), and anything at or under one line costs exactly
+  // one miss — log2(s) would go negative for s < 1 and misrank small nodes
+  // now that the advisor consumes these numbers directly.
+  if (!(node_bytes > 0.0) || !(line_bytes > 0.0)) return 1.0;
+  double s = std::ceil(node_bytes / line_bytes);
   if (s <= 1.0) return 1.0;
   return Log2(s) + 1.0 / s;
 }

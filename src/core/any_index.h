@@ -11,6 +11,7 @@
 
 #include "core/index.h"
 #include "core/index_spec.h"
+#include "core/probe_stats.h"
 #include "util/thread_pool.h"
 
 // AnyIndex: value-semantics type erasure over the index templates, for all
@@ -223,21 +224,39 @@ class BasicAnyIndex {
                  const ProbeOptions& opts) const {
     assert(impl_ != nullptr);
     impl_->FindBatch(keys, out, opts);
+    if (stats_) {
+      size_t missed = 0;
+      for (size_t i = 0; i < keys.size(); ++i) missed += out[i] == kNotFound;
+      stats_->RecordFind(keys.size(), missed);
+    }
   }
   void LowerBoundBatch(std::span<const KeyT> keys, std::span<size_t> out,
                        const ProbeOptions& opts) const {
     assert(impl_ != nullptr);
     impl_->LowerBoundBatch(keys, out, opts);
+    if (stats_) stats_->RecordLowerBound(keys.size());
   }
   void EqualRangeBatch(std::span<const KeyT> keys, std::span<PositionRange> out,
                        const ProbeOptions& opts) const {
     assert(impl_ != nullptr);
     impl_->EqualRangeBatch(keys, out, opts);
+    if (stats_) {
+      size_t missed = 0;
+      for (size_t i = 0; i < keys.size(); ++i) {
+        missed += out[i].begin == out[i].end;
+      }
+      stats_->RecordRange(keys.size(), missed);
+    }
   }
   void CountEqualBatch(std::span<const KeyT> keys, std::span<size_t> out,
                        const ProbeOptions& opts) const {
     assert(impl_ != nullptr);
     impl_->CountEqualBatch(keys, out, opts);
+    if (stats_) {
+      size_t missed = 0;
+      for (size_t i = 0; i < keys.size(); ++i) missed += out[i] == 0;
+      stats_->RecordRange(keys.size(), missed);
+    }
   }
 
   /// Scalar probes: batches of one.
@@ -281,10 +300,22 @@ class BasicAnyIndex {
   /// contract.
   const Impl* impl() const { return impl_.get(); }
 
+  /// Opt-in workload observation. Every copy of this facade (including the
+  /// immutable snapshots MaintainedIndex publishes) shares the collector,
+  /// so stats keep accumulating across version swaps and spec changes.
+  /// Detach by attaching nullptr. Not synchronized with concurrent probes
+  /// through *this same facade value* — attach before sharing, as
+  /// MaintainedIndex does at version-build time.
+  void AttachStats(std::shared_ptr<ProbeStatsCollector> stats) {
+    stats_ = std::move(stats);
+  }
+  const std::shared_ptr<ProbeStatsCollector>& stats() const { return stats_; }
+
  private:
   IndexSpec spec_{};
   std::string name_;
   std::shared_ptr<const Impl> impl_;
+  std::shared_ptr<ProbeStatsCollector> stats_;
 };
 
 /// The 4-byte-key facade every existing caller names, and its 8-byte twin.

@@ -12,7 +12,7 @@ template <typename KeyT>
 std::shared_ptr<const typename BasicMaintainedIndex<KeyT>::Version>
 BasicMaintainedIndex<KeyT>::MakeVersion(
     const IndexSpec& spec, std::shared_ptr<const std::vector<KeyT>> keys,
-    uint64_t sequence) {
+    uint64_t sequence) const {
   if (spec.partitioned() && spec.OnMenu() &&
       spec.key_width() == static_cast<int>(sizeof(KeyT))) {
     // Owned build: each shard's keys in their own buffer, so a later
@@ -21,11 +21,13 @@ BasicMaintainedIndex<KeyT>::MakeVersion(
                                                         keys->size());
     BasicAnyIndex<KeyT> index =
         part->ok() ? BasicAnyIndex<KeyT>(spec, part) : BasicAnyIndex<KeyT>();
+    if (index) index.AttachStats(stats_collector_);
     return std::make_shared<const Version>(std::move(keys), std::move(part),
                                            std::move(index), sequence);
   }
   BasicAnyIndex<KeyT> index = BuildIndexT<KeyT>(spec, keys->data(),
                                                 keys->size());
+  if (index) index.AttachStats(stats_collector_);
   return std::make_shared<const Version>(std::move(keys), nullptr,
                                          std::move(index), sequence);
 }
@@ -62,6 +64,27 @@ void BasicMaintainedIndex<KeyT>::ApplySortedBatch(
   stats_.keys_inserted += sorted_inserts.size();
   stats_.keys_deleted += sorted_deletes.size();
   auto old = Snapshot();
+  if (stats_collector_) {
+    // Batch key span over full key range — both lists are sorted, so the
+    // extremes are at the ends. Feeds the advisor's part:K touched-shards
+    // estimate (a narrow span touches few shards).
+    double span_fraction = 0.0;
+    const std::vector<KeyT>& keys = old->keys();
+    if (!keys.empty() && keys.back() > keys.front()) {
+      KeyT lo = !sorted_inserts.empty() ? sorted_inserts.front()
+                                        : sorted_deletes.front();
+      KeyT hi = !sorted_inserts.empty() ? sorted_inserts.back()
+                                        : sorted_deletes.back();
+      if (!sorted_deletes.empty()) {
+        lo = std::min(lo, sorted_deletes.front());
+        hi = std::max(hi, sorted_deletes.back());
+      }
+      span_fraction = static_cast<double>(hi - lo) /
+                      static_cast<double>(keys.back() - keys.front());
+    }
+    stats_collector_->RecordUpdate(sorted_inserts.size(),
+                                   sorted_deletes.size(), span_fraction);
+  }
   std::shared_ptr<const Version> fresh;
   if (const BasicPartitionedIndex<KeyT>* part = old->partitioned()) {
     typename BasicPartitionedIndex<KeyT>::Refreshed refreshed =
@@ -73,9 +96,11 @@ void BasicMaintainedIndex<KeyT>::ApplySortedBatch(
       ++stats_.incremental_refreshes;
     }
     stats_.shards_rebuilt += refreshed.shards_rebuilt;
-    fresh = std::make_shared<const Version>(
-        std::move(refreshed.merged_keys), refreshed.index,
-        BasicAnyIndex<KeyT>(spec_, refreshed.index), ++sequence_);
+    BasicAnyIndex<KeyT> facade(spec_, refreshed.index);
+    facade.AttachStats(stats_collector_);
+    fresh = std::make_shared<const Version>(std::move(refreshed.merged_keys),
+                                            refreshed.index, std::move(facade),
+                                            ++sequence_);
   } else {
     ++stats_.full_rebuilds;
     fresh = MakeVersion(
@@ -96,6 +121,45 @@ void BasicMaintainedIndex<KeyT>::Rebuild(std::vector<KeyT> sorted_keys) {
                       std::make_shared<const std::vector<KeyT>>(
                           std::move(sorted_keys)),
                       ++sequence_));
+}
+
+template <typename KeyT>
+bool BasicMaintainedIndex<KeyT>::RebuildWithSpec(const IndexSpec& new_spec) {
+  IndexSpec forced = new_spec.WithKeyWidth(static_cast<int>(sizeof(KeyT)));
+  if (!forced.OnMenu()) return false;
+  auto old = Snapshot();
+  auto fresh = MakeVersion(forced, old->keys_ptr(), sequence_ + 1);
+  if (!fresh->index()) return false;  // builder refused the spec
+  spec_ = forced;
+  ++sequence_;
+  ++stats_.full_rebuilds;
+  ++stats_.spec_swaps;
+  Publish(std::move(fresh));
+  return true;
+}
+
+template <typename KeyT>
+std::shared_ptr<ProbeStatsCollector> BasicMaintainedIndex<KeyT>::EnableStats() {
+  if (stats_collector_) return stats_collector_;
+  stats_collector_ = std::make_shared<ProbeStatsCollector>();
+  // Republish the current version with the collector attached (same keys,
+  // same structure, same sequence — this is the same logical version, now
+  // observed). Snapshots taken before this call keep probing unrecorded.
+  auto old = Snapshot();
+  BasicAnyIndex<KeyT> facade = old->index();
+  if (facade) facade.AttachStats(stats_collector_);
+  std::shared_ptr<const BasicPartitionedIndex<KeyT>> part;
+  if (old->partitioned() != nullptr) {
+    // Alias on the old Version: it owns the composite, so the new
+    // version's part_ keeps the whole old version alive — fine, they
+    // share every expensive part anyway.
+    part = std::shared_ptr<const BasicPartitionedIndex<KeyT>>(
+        old, old->partitioned());
+  }
+  Publish(std::make_shared<const Version>(old->keys_ptr(), std::move(part),
+                                          std::move(facade),
+                                          old->sequence()));
+  return stats_collector_;
 }
 
 template class BasicMaintainedIndex<Key>;

@@ -66,6 +66,7 @@ struct MaintenanceStats {
   size_t rebalances = 0;            // skew-triggered fence recomputations
   size_t keys_inserted = 0;         // batch insert keys across all batches
   size_t keys_deleted = 0;          // batch delete keys across all batches
+  size_t spec_swaps = 0;            // RebuildWithSpec publishes
 };
 
 template <typename KeyT>
@@ -95,6 +96,11 @@ class BasicMaintainedIndex {
     /// version, so a reader can report which state its results are
     /// consistent-as-of — the serving layer's versioning contract.
     uint64_t sequence() const { return sequence_; }
+    /// Shared ownership of the merged key array — lets a spec swap rebuild
+    /// onto the same keys without copying them.
+    const std::shared_ptr<const std::vector<KeyT>>& keys_ptr() const {
+      return keys_;
+    }
 
    private:
     std::shared_ptr<const std::vector<KeyT>> keys_;
@@ -142,6 +148,25 @@ class BasicMaintainedIndex {
   /// §2.2 batch lifecycle with a batch of "everything"). Publishes one
   /// fresh version (sequence +1) even when the keys are unchanged.
   void Rebuild(std::vector<KeyT> sorted_keys);
+
+  /// Writer: hot-swap the index onto a different spec — the advisor's
+  /// apply path. Rebuilds the CURRENT keys (shared, no copy) under
+  /// `new_spec` (key width forced to KeyT's) and publishes one fresh
+  /// version; readers keep probing the old version until the single
+  /// pointer swap, exactly like a data batch. Returns false (publishing
+  /// nothing) if the spec is off-menu or fails to build.
+  bool RebuildWithSpec(const IndexSpec& new_spec);
+
+  /// Turns on workload observation: every version published from here on
+  /// (and the current one, republished in place with an unchanged
+  /// sequence) carries the collector on its facade, so probes against
+  /// serve-layer snapshots are recorded too. Single-writer context, like
+  /// the other maintenance entry points. Idempotent.
+  std::shared_ptr<ProbeStatsCollector> EnableStats();
+  /// The collector, or nullptr when stats were never enabled.
+  const std::shared_ptr<ProbeStatsCollector>& stats_collector() const {
+    return stats_collector_;
+  }
 
   // The full batch-probe surface, each call against one fresh snapshot
   // (one atomic load per batch — amortized to nothing by the batch-first
@@ -203,9 +228,10 @@ class BasicMaintainedIndex {
   uint64_t sequence() const { return Snapshot()->sequence(); }
 
  private:
-  static std::shared_ptr<const Version> MakeVersion(
+  /// Non-static: stamps stats_collector_ onto the fresh version's facade.
+  std::shared_ptr<const Version> MakeVersion(
       const IndexSpec& spec, std::shared_ptr<const std::vector<KeyT>> keys,
-      uint64_t sequence);
+      uint64_t sequence) const;
 
   void Publish(std::shared_ptr<const Version> fresh) {
     std::lock_guard<std::mutex> lock(current_mu_);
@@ -214,6 +240,7 @@ class BasicMaintainedIndex {
 
   IndexSpec spec_;
   MaintenanceStats stats_;
+  std::shared_ptr<ProbeStatsCollector> stats_collector_;
   /// Next publish's sequence number, minus one. Writer-side state, like
   /// stats_: only the single writer (and the constructor) touch it.
   uint64_t sequence_ = 0;

@@ -1,0 +1,174 @@
+#ifndef CSSIDX_CORE_PROBE_STATS_H_
+#define CSSIDX_CORE_PROBE_STATS_H_
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+// ProbeStatsCollector: the advisor's eyes. An opt-in, per-index bundle of
+// atomic counters fed by the AnyIndex probe funnel (every probe — scalar or
+// batched, any thread policy — passes through the explicit-policy batch
+// methods) and by MaintainedIndex's maintenance path. Recording costs one
+// relaxed fetch_add per *batch* plus an O(batch) scan of results the caller
+// just wrote (still cache-hot), so an attached collector does not perturb
+// the workload it measures. Readers on many threads may record
+// concurrently; Profile() takes a relaxed snapshot — counters are
+// monotonic, and the advisor only consumes ratios, so torn cross-counter
+// reads at worst smear one batch.
+
+namespace cssidx {
+
+/// A plain-value snapshot of everything the collector has seen, with the
+/// derived ratios the advisor scores on. Copyable, no atomics.
+struct WorkloadProfile {
+  /// Log2 batch-size histogram: bucket b counts batches with
+  /// 2^b <= size < 2^(b+1) (bucket 0 = scalar probes of one).
+  static constexpr size_t kBatchBuckets = 24;
+  std::array<uint64_t, kBatchBuckets> batch_hist{};
+
+  uint64_t point_probes = 0;        // FindBatch keys
+  uint64_t lower_bound_probes = 0;  // LowerBoundBatch keys
+  uint64_t range_probes = 0;        // EqualRangeBatch + CountEqualBatch keys
+  uint64_t probe_batches = 0;       // batch calls across all probe kinds
+  /// Probes that missed, out of the kinds where a miss is observable
+  /// (Find -> kNotFound, EqualRange -> empty span, CountEqual -> 0;
+  /// LowerBound has no miss notion).
+  uint64_t misses = 0;
+
+  uint64_t update_batches = 0;
+  uint64_t keys_inserted = 0;
+  uint64_t keys_deleted = 0;
+  /// Sum over update batches of (batch key span / full key range), in
+  /// millionths — feeds the part:K touched-shards estimate.
+  uint64_t update_span_millionths = 0;
+
+  uint64_t TotalProbes() const {
+    return point_probes + lower_bound_probes + range_probes;
+  }
+  /// Share of probes that want a duplicate run, not a single position.
+  double RangeFraction() const {
+    uint64_t t = TotalProbes();
+    return t == 0 ? 0.0 : static_cast<double>(range_probes) / t;
+  }
+  /// Share of miss-observable probes that hit. 1.0 when nothing observed.
+  double HitFraction() const {
+    uint64_t observable = point_probes + range_probes;
+    if (observable == 0) return 1.0;
+    return 1.0 - static_cast<double>(std::min(misses, observable)) /
+                     static_cast<double>(observable);
+  }
+  double MeanBatch() const {
+    return probe_batches == 0
+               ? 0.0
+               : static_cast<double>(TotalProbes()) / probe_batches;
+  }
+  /// Mean fraction of the table's key range one update batch spans —
+  /// ~0 for localized (append-ish) updates, ~1 for uniform scatter.
+  double MeanUpdateSpanFraction() const {
+    if (update_batches == 0) return 0.0;
+    return static_cast<double>(update_span_millionths) / 1e6 / update_batches;
+  }
+  /// Updated keys per probe: >~0.01 starts to matter for rebuild cost.
+  double UpdateRate() const {
+    uint64_t t = TotalProbes();
+    uint64_t u = keys_inserted + keys_deleted;
+    if (t == 0) return u == 0 ? 0.0 : 1.0;
+    return static_cast<double>(u) / t;
+  }
+};
+
+/// The live counters. Attach one (shared_ptr) to an AnyIndex facade — every
+/// copy of the facade, including the snapshots MaintainedIndex publishes,
+/// shares the same collector, so stats accumulate across version swaps.
+class ProbeStatsCollector {
+ public:
+  static constexpr size_t kBatchBuckets = WorkloadProfile::kBatchBuckets;
+
+  void RecordFind(size_t batch, size_t missed) {
+    RecordBatch(batch);
+    point_probes_.fetch_add(batch, std::memory_order_relaxed);
+    if (missed != 0) misses_.fetch_add(missed, std::memory_order_relaxed);
+  }
+  void RecordLowerBound(size_t batch) {
+    RecordBatch(batch);
+    lower_bound_probes_.fetch_add(batch, std::memory_order_relaxed);
+  }
+  void RecordRange(size_t batch, size_t missed) {
+    RecordBatch(batch);
+    range_probes_.fetch_add(batch, std::memory_order_relaxed);
+    if (missed != 0) misses_.fetch_add(missed, std::memory_order_relaxed);
+  }
+  /// One maintenance batch. `span_fraction` = (batch max key - batch min
+  /// key) / (full key range), clamped to [0, 1] by the caller's arithmetic
+  /// being in key space; 0 when either range is empty.
+  void RecordUpdate(size_t inserted, size_t deleted, double span_fraction) {
+    update_batches_.fetch_add(1, std::memory_order_relaxed);
+    if (inserted != 0) {
+      keys_inserted_.fetch_add(inserted, std::memory_order_relaxed);
+    }
+    if (deleted != 0) {
+      keys_deleted_.fetch_add(deleted, std::memory_order_relaxed);
+    }
+    double clamped = std::clamp(span_fraction, 0.0, 1.0);
+    update_span_millionths_.fetch_add(static_cast<uint64_t>(clamped * 1e6),
+                                      std::memory_order_relaxed);
+  }
+
+  WorkloadProfile Profile() const {
+    WorkloadProfile p;
+    for (size_t b = 0; b < kBatchBuckets; ++b) {
+      p.batch_hist[b] = batch_hist_[b].load(std::memory_order_relaxed);
+    }
+    p.point_probes = point_probes_.load(std::memory_order_relaxed);
+    p.lower_bound_probes = lower_bound_probes_.load(std::memory_order_relaxed);
+    p.range_probes = range_probes_.load(std::memory_order_relaxed);
+    p.probe_batches = probe_batches_.load(std::memory_order_relaxed);
+    p.misses = misses_.load(std::memory_order_relaxed);
+    p.update_batches = update_batches_.load(std::memory_order_relaxed);
+    p.keys_inserted = keys_inserted_.load(std::memory_order_relaxed);
+    p.keys_deleted = keys_deleted_.load(std::memory_order_relaxed);
+    p.update_span_millionths =
+        update_span_millionths_.load(std::memory_order_relaxed);
+    return p;
+  }
+
+  void Reset() {
+    for (auto& b : batch_hist_) b.store(0, std::memory_order_relaxed);
+    point_probes_.store(0, std::memory_order_relaxed);
+    lower_bound_probes_.store(0, std::memory_order_relaxed);
+    range_probes_.store(0, std::memory_order_relaxed);
+    probe_batches_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+    update_batches_.store(0, std::memory_order_relaxed);
+    keys_inserted_.store(0, std::memory_order_relaxed);
+    keys_deleted_.store(0, std::memory_order_relaxed);
+    update_span_millionths_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void RecordBatch(size_t batch) {
+    if (batch == 0) return;  // empty spans are legal no-ops, not workload
+    size_t bucket = std::min<size_t>(std::bit_width(batch) - 1,
+                                     kBatchBuckets - 1);
+    batch_hist_[bucket].fetch_add(1, std::memory_order_relaxed);
+    probe_batches_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::array<std::atomic<uint64_t>, kBatchBuckets> batch_hist_{};
+  std::atomic<uint64_t> point_probes_{0};
+  std::atomic<uint64_t> lower_bound_probes_{0};
+  std::atomic<uint64_t> range_probes_{0};
+  std::atomic<uint64_t> probe_batches_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> update_batches_{0};
+  std::atomic<uint64_t> keys_inserted_{0};
+  std::atomic<uint64_t> keys_deleted_{0};
+  std::atomic<uint64_t> update_span_millionths_{0};
+};
+
+}  // namespace cssidx
+
+#endif  // CSSIDX_CORE_PROBE_STATS_H_

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "advisor/advisor.h"
+
 namespace cssidx::serve {
 namespace {
 
@@ -54,6 +56,7 @@ uint32_t Server::CreateTable(const std::string& name,
     throw std::invalid_argument("index spec off the menu: " +
                                 spec.ToString());
   }
+  if (options_.collect_stats) index->EnableStats();
   const uint32_t id = static_cast<uint32_t>(tables_.size());
   tables_.push_back(TableEntry{name, TableKind::kU32, std::move(index)});
   table_ids_[name] = id;
@@ -77,6 +80,7 @@ uint32_t Server::CreateTable64(const std::string& name,
     throw std::invalid_argument("index spec off the menu: " +
                                 spec.ToString());
   }
+  if (options_.collect_stats) index->EnableStats();
   const uint32_t id = static_cast<uint32_t>(tables_.size());
   TableEntry entry;
   entry.name = name;
@@ -112,6 +116,7 @@ uint32_t Server::CreateStringTable(const std::string& name,
     throw std::invalid_argument("index spec off the menu: " +
                                 spec.ToString());
   }
+  if (options_.collect_stats) index->EnableStats();
   const uint32_t id = static_cast<uint32_t>(tables_.size());
   TableEntry entry;
   entry.name = name;
@@ -186,6 +191,26 @@ const MaintenanceStats& Server::TableMaintenanceStats(
                                         : entry->index->stats();
 }
 
+WorkloadProfile Server::TableWorkloadProfile(const std::string& name) const {
+  const TableEntry* entry = FindTable(name);
+  if (entry == nullptr) throw std::out_of_range("unknown table " + name);
+  const std::shared_ptr<ProbeStatsCollector>& collector =
+      entry->kind == TableKind::kU64 ? entry->index64->stats_collector()
+                                     : entry->index->stats_collector();
+  if (!collector) {
+    throw std::logic_error("stats not enabled for table " + name +
+                           " (Server::Options::collect_stats)");
+  }
+  return collector->Profile();
+}
+
+const IndexSpec& Server::TableSpec(const std::string& name) const {
+  const TableEntry* entry = FindTable(name);
+  if (entry == nullptr) throw std::out_of_range("unknown table " + name);
+  return entry->kind == TableKind::kU64 ? entry->index64->spec()
+                                        : entry->index->spec();
+}
+
 const Server::TableEntry* Server::FindTable(const std::string& name) const {
   auto it = table_ids_.find(name);
   return it == table_ids_.end() ? nullptr : &tables_[it->second];
@@ -211,6 +236,19 @@ void Server::WriterLoop() {
     for (uint32_t table : order) {
       std::vector<QueuedUpdate>& updates = groups[table];
       TableEntry& entry = tables_[table];
+      // Spec-swap requests ride the queue (so they serialize with writes)
+      // but never fold into a Coalesce group: pull them out, apply the
+      // cycle's data first, then the last requested swap — the swap sees
+      // every write that preceded it.
+      std::optional<IndexSpec> respec;
+      std::erase_if(updates, [&](const QueuedUpdate& u) {
+        if (u.respec) respec = u.respec_spec;
+        return u.respec;
+      });
+      if (updates.empty()) {
+        ApplyRespec(entry, table, respec, &delta);
+        continue;
+      }
       switch (entry.kind) {
         case TableKind::kU32: {
           std::vector<workload::UpdateBatch> batches;
@@ -344,6 +382,7 @@ void Server::WriterLoop() {
           break;
         }
       }
+      ApplyRespec(entry, table, respec, &delta);
     }
     drained.clear();
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -352,6 +391,47 @@ void Server::WriterLoop() {
     stats_.groups_published += delta.groups_published;
     stats_.keys_inserted += delta.keys_inserted;
     stats_.keys_deleted += delta.keys_deleted;
+  }
+}
+
+void Server::ApplyRespec(TableEntry& entry, uint32_t table,
+                         const std::optional<IndexSpec>& respec,
+                         ServerStats* delta) {
+  if (!respec) return;
+  bool swapped = false;
+  uint64_t after = 0;
+  switch (entry.kind) {
+    case TableKind::kU32:
+      swapped = entry.index->RebuildWithSpec(*respec);
+      after = entry.index->sequence();
+      break;
+    case TableKind::kU64:
+      swapped = entry.index64->RebuildWithSpec(*respec);
+      after = entry.index64->sequence();
+      break;
+    case TableKind::kString: {
+      // Respec the ID index; the dictionary is untouched (IDs don't
+      // renumber), but the (dictionary, index) pair must republish
+      // together so readers see the swap as one version step.
+      swapped = entry.index->RebuildWithSpec(*respec);
+      after = entry.index->sequence();
+      if (swapped) {
+        std::shared_ptr<const StringVersion> head = entry.strings->Snapshot();
+        entry.strings->Publish(std::make_shared<const StringVersion>(
+            StringVersion{head->domain, entry.index->Snapshot()}));
+      }
+      break;
+    }
+  }
+  if (!swapped) return;
+  ++delta->groups_published;
+  if (options_.journal) {
+    AppliedGroup group;
+    group.table = table;
+    group.sequence = after;
+    group.respec = true;
+    group.respec_spec = *respec;
+    journal_.push_back(std::move(group));
   }
 }
 
@@ -633,6 +713,69 @@ StatementResult Session::ExecuteParsed(const Statement& stmt) {
         }
       }
       return result;
+    }
+    case Verb::kAdvise: {
+      // The profile lives on the table's collector (string tables advise
+      // on their ID index — same probes, same mix). Model-only here: the
+      // writer, not the session, pays any rebuild.
+      const std::shared_ptr<ProbeStatsCollector>& collector =
+          table->kind == TableKind::kU64 ? table->index64->stats_collector()
+                                         : table->index->stats_collector();
+      if (!collector) {
+        result.status = StatementStatus::kUnsupported;
+        result.error =
+            "ADVISE needs stats collection (Server::Options::collect_stats)";
+        return result;
+      }
+      advisor::AdvisorOptions opts;
+      opts.space_budget_bytes = server_->options_.advise_space_budget_bytes;
+      opts.key_width = table->kind == TableKind::kU64 ? 8 : 4;
+      size_t n = 0;
+      if (table->kind == TableKind::kU64) {
+        auto snap = table->index64->Snapshot();
+        n = snap->keys().size();
+        result.version = snap->sequence();
+      } else {
+        auto snap = table->index->Snapshot();
+        n = snap->keys().size();
+        result.version = snap->sequence();
+      }
+      advisor::Recommendation rec =
+          advisor::Advise(collector->Profile(), n, opts);
+      if (!rec.ok) {
+        result.status = StatementStatus::kUnsupported;
+        result.error = rec.error;
+        return result;
+      }
+      result.advice = rec.rationale;
+      result.recommended_spec = rec.spec.ToString();
+      if (!stmt.apply) return result;
+      if (!server_->options_.allow_spec_swap) {
+        result.status = StatementStatus::kUnsupported;
+        result.error = "ADVISE APPLY needs Server::Options::allow_spec_swap";
+        return result;
+      }
+      QueuedUpdate update;
+      update.table = static_cast<uint32_t>(table - server_->tables_.data());
+      update.respec = true;
+      update.respec_spec = rec.spec;
+      switch (server_->queue_.Push(std::move(update))) {
+        case UpdateQueue::PushResult::kOk:
+          ++stats_.writes_enqueued;
+          result.applied = true;
+          return result;
+        case UpdateQueue::PushResult::kRejected:
+          ++stats_.writes_rejected;
+          result.status = StatementStatus::kRejected;
+          result.error = "queue full";
+          return result;
+        case UpdateQueue::PushResult::kClosed:
+          ++stats_.writes_rejected;
+          result.status = StatementStatus::kClosed;
+          result.error = "server stopped";
+          return result;
+      }
+      return result;  // unreachable
     }
     case Verb::kInsert:
     case Verb::kDelete: {

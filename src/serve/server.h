@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -64,6 +65,12 @@ struct AppliedGroup {
   std::vector<workload::UpdateBatch> batches;      // 4-byte tables
   std::vector<workload::UpdateBatch64> batches64;  // 8-byte tables
   std::vector<StringUpdateBatch> string_batches;   // string tables
+  /// A spec hot-swap publish (ADVISE ... APPLY): no batch lists; the
+  /// table's keys are unchanged and its index was rebuilt onto
+  /// respec_spec. Differential replays skip these (state is invariant),
+  /// but they witness that exactly one publish happened per swap.
+  bool respec = false;
+  IndexSpec respec_spec;
 };
 
 /// Result of one statement. `version` is the snapshot sequence the reads
@@ -77,6 +84,8 @@ enum class StatementStatus {
   kBadKey,        // key doesn't fit the table: out of the table's width
                   // (distinct out-of-range message) or non-numeric on an
                   // integer table; error says which key and why
+  kUnsupported,   // ADVISE without collect_stats, or APPLY without
+                  // allow_spec_swap; error names the missing option
 };
 
 struct StatementResult {
@@ -88,6 +97,9 @@ struct StatementResult {
   std::vector<size_t> counts;        // COUNT: per-key multiplicities
   size_t range_begin = 0, range_end = 0;  // RANGE: position span
   uint64_t count = 0;  // COUNT total / RANGE size / JOIN cardinality
+  std::string advice;           // ADVISE: the advisor's rationale line
+  std::string recommended_spec; // ADVISE: winning spec, string form
+  bool applied = false;         // ADVISE APPLY: hot-swap enqueued
 
   bool ok() const { return status == StatementStatus::kOk; }
 };
@@ -99,6 +111,15 @@ class Server {
     Admission admission = Admission::kBlock;
     /// Record every coalesced application for differential replay.
     bool journal = false;
+    /// Attach a ProbeStatsCollector to every table, feeding ADVISE.
+    bool collect_stats = false;
+    /// Let ADVISE ... APPLY hot-swap a table's spec through the writer
+    /// thread (one publish, readers never block). Off by default: a
+    /// swap changes performance shape under live traffic.
+    bool allow_spec_swap = false;
+    /// Space budget handed to the advisor (index bytes beyond the
+    /// sorted keys); 0 = unlimited.
+    uint64_t advise_space_budget_bytes = 0;
   };
 
   Server();  // default Options
@@ -167,6 +188,13 @@ class Server {
       const std::string& name) const;
   const MaintenanceStats& TableMaintenanceStats(
       const std::string& name) const;
+  /// Observed workload of a table (Options::collect_stats). Throws if
+  /// stats were never enabled.
+  WorkloadProfile TableWorkloadProfile(const std::string& name) const;
+  /// The spec a table currently serves under. A hot-swap rewrites it on
+  /// the writer thread, so read this before Start() or after Stop()
+  /// (tests), or from the writer itself.
+  const IndexSpec& TableSpec(const std::string& name) const;
 
  private:
   friend class Session;
@@ -213,6 +241,11 @@ class Server {
   const TableEntry* FindTable(const std::string& name) const;
 
   void WriterLoop();
+  /// Writer thread: applies a pending spec swap to one table (no-op when
+  /// `respec` is empty or off-menu), publishing one fresh version and one
+  /// journal marker.
+  void ApplyRespec(TableEntry& entry, uint32_t table,
+                   const std::optional<IndexSpec>& respec, ServerStats* delta);
 
   const Options options_;
   UpdateQueue queue_;

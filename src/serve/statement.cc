@@ -69,6 +69,8 @@ std::optional<Statement> ParseStatement(std::string_view text,
     stmt.verb = Verb::kInsert;
   } else if (verb == "DELETE") {
     stmt.verb = Verb::kDelete;
+  } else if (verb == "ADVISE") {
+    stmt.verb = Verb::kAdvise;
   } else {
     return Fail(error, "unknown verb '" + std::string(verb) + "'");
   }
@@ -76,6 +78,13 @@ std::optional<Statement> ParseStatement(std::string_view text,
   stmt.table = std::string(tokens[1]);
 
   switch (stmt.verb) {
+    case Verb::kAdvise:
+      if (tokens.size() == 3 && tokens[2] == "APPLY") {
+        stmt.apply = true;
+      } else if (tokens.size() != 2) {
+        return Fail(error, "ADVISE takes a table name and an optional APPLY");
+      }
+      return stmt;
     case Verb::kJoin:
       if (tokens.size() != 3) {
         return Fail(error, "JOIN takes exactly two table names");
@@ -131,6 +140,8 @@ const char* StatementGrammarHelp() {
          "JOIN   <outer> <inner>    equi-join pair cardinality\n"
          "INSERT <table> <key>...   enqueue an insert batch\n"
          "DELETE <table> <key>...   enqueue a delete batch (every copy)\n"
+         "ADVISE <table> [APPLY]    advisor recommendation; APPLY enqueues\n"
+         "the hot-swap (needs collect_stats + allow_spec_swap)\n"
          "keys: decimal uint64 for integer tables (32-bit tables reject\n"
          "values above 4294967295 at execute), raw tokens for string\n"
          "tables\n";

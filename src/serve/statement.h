@@ -20,6 +20,8 @@
 //   JOIN   <outer> <inner>          equi-join pair cardinality
 //   INSERT <table> <key>...         enqueue an insert batch
 //   DELETE <table> <key>...         enqueue a delete batch (every copy)
+//   ADVISE <table> [APPLY]          advisor recommendation for the table;
+//                                   APPLY enqueues the hot-swap (flagged)
 //
 // Key operands are width-agnostic at parse time: the grammar does not
 // know whether a table holds 4-byte keys, 8-byte keys, or strings (the
@@ -33,7 +35,7 @@
 
 namespace cssidx::serve {
 
-enum class Verb { kFind, kCount, kRange, kJoin, kInsert, kDelete };
+enum class Verb { kFind, kCount, kRange, kJoin, kInsert, kDelete, kAdvise };
 
 struct Statement {
   Verb verb = Verb::kFind;
@@ -49,6 +51,7 @@ struct Statement {
   std::string lo_token, hi_token;  // RANGE only, raw
   uint64_t lo = 0, hi = 0;         // parsed forms, valid iff bounds_numeric
   bool bounds_numeric = false;
+  bool apply = false;  // ADVISE only: enqueue the recommended hot-swap
 };
 
 /// Parses one statement. Returns nullopt on malformed input and, when

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "core/index_spec.h"
 #include "workload/batch_update.h"
 
 // The write half of the serving layer: a bounded MPSC queue of update
@@ -57,6 +58,13 @@ struct QueuedUpdate {
   workload::UpdateBatch batch;      // 4-byte integer tables
   workload::UpdateBatch64 batch64;  // 8-byte integer tables
   StringUpdateBatch strings;        // string (domain-ID) tables
+  /// A spec hot-swap request (ADVISE ... APPLY) instead of data. Rides
+  /// the same queue so it serializes with writes in arrival order, but
+  /// is never folded into a Coalesce group — the writer splits these out
+  /// and rebuilds through MaintainedIndex::RebuildWithSpec after the
+  /// cycle's data batches.
+  bool respec = false;
+  IndexSpec respec_spec;
 };
 
 class UpdateQueue {

@@ -1,8 +1,25 @@
 #include "util/cli.h"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 namespace cssidx {
+
+namespace {
+
+// Every bench binary and the advisor CLI parse through these accessors, so a
+// malformed flag must stop the run with the flag's name instead of silently
+// truncating ("--n=10e6" -> 10) or yielding 0 ("--budget=abc").
+[[noreturn]] void DieBadFlag(const std::string& name, const std::string& value,
+                             const char* expected) {
+  std::fprintf(stderr, "error: invalid value for --%s: '%s' (expected %s)\n",
+               name.c_str(), value.c_str(), expected);
+  std::exit(2);
+}
+
+}  // namespace
 
 CliArgs::CliArgs(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -27,13 +44,28 @@ bool CliArgs::Has(const std::string& name) const {
 int64_t CliArgs::GetInt(const std::string& name, int64_t def) const {
   auto it = values_.find(name);
   if (it == values_.end()) return def;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  const std::string& v = it->second;
+  errno = 0;
+  char* end = nullptr;
+  long long parsed = std::strtoll(v.c_str(), &end, 10);
+  if (v.empty() || end != v.c_str() + v.size() || errno == ERANGE) {
+    DieBadFlag(name, v, "a base-10 integer");
+  }
+  return parsed;
 }
 
 double CliArgs::GetDouble(const std::string& name, double def) const {
   auto it = values_.find(name);
   if (it == values_.end()) return def;
-  return std::strtod(it->second.c_str(), nullptr);
+  const std::string& v = it->second;
+  errno = 0;
+  char* end = nullptr;
+  double parsed = std::strtod(v.c_str(), &end);
+  if (v.empty() || end != v.c_str() + v.size() || errno == ERANGE ||
+      !std::isfinite(parsed)) {
+    DieBadFlag(name, v, "a finite number");
+  }
+  return parsed;
 }
 
 std::string CliArgs::GetString(const std::string& name,

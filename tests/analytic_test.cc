@@ -71,6 +71,41 @@ TEST(TimeModel, MissesPerNodeFormula) {
   EXPECT_DOUBLE_EQ(MissesPerNode(256, 64), 2.25);
 }
 
+TEST(TimeModel, MissesPerNodeClampsAndRoundsToWholeLines) {
+  // Sub-line nodes must cost exactly one miss — the raw log2(s) formula
+  // would go negative (log2(0.25) + 4 = 2, log2(0.0625) + 16 = 12 are
+  // nonsense the advisor would consume as "huge"); tiny advisor query
+  // points like a 16-byte node on a 64-byte line hit this.
+  EXPECT_DOUBLE_EQ(MissesPerNode(16, 64), 1.0);
+  EXPECT_DOUBLE_EQ(MissesPerNode(4, 64), 1.0);
+  EXPECT_DOUBLE_EQ(MissesPerNode(1, 64), 1.0);
+  // Non-power-of-two ratios occupy whole lines: a 96-byte node spans two
+  // 64-byte lines, same as a 128-byte node.
+  EXPECT_DOUBLE_EQ(MissesPerNode(96, 64), MissesPerNode(128, 64));
+  EXPECT_DOUBLE_EQ(MissesPerNode(96, 64), 1.5);
+  // 3 lines: log2(3) + 1/3.
+  EXPECT_DOUBLE_EQ(MissesPerNode(192, 64), std::log2(3.0) + 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(MissesPerNode(129, 64), std::log2(3.0) + 1.0 / 3.0);
+  // Degenerate inputs fall back to one miss instead of NaN/inf.
+  EXPECT_DOUBLE_EQ(MissesPerNode(0, 64), 1.0);
+  EXPECT_DOUBLE_EQ(MissesPerNode(-8, 64), 1.0);
+  EXPECT_DOUBLE_EQ(MissesPerNode(64, 0), 1.0);
+}
+
+TEST(TimeModel, MissesPerNodeMonotoneAtAdvisorQueryPoints) {
+  // The advisor sweeps the node-size menu at both key widths; misses must
+  // be monotone non-decreasing in node size or specs get misranked.
+  for (double width : {4.0, 8.0}) {
+    double prev = 0.0;
+    for (double m : {4.0, 8.0, 16.0, 24.0, 32.0, 64.0, 128.0}) {
+      double misses = MissesPerNode(m * width, 64.0);
+      EXPECT_GE(misses, prev) << "m=" << m << " width=" << width;
+      EXPECT_GE(misses, 1.0);
+      prev = misses;
+    }
+  }
+}
+
 TEST(TimeModel, CssHasFewestMissesAtLineSizedNodes) {
   Params p = Table1();
   auto rows = TimeModel(p, 16);

@@ -52,5 +52,61 @@ TEST(Cli, NegativeNumbersViaEquals) {
   EXPECT_EQ(args.GetInt("delta", 0), -5);
 }
 
+// Malformed or out-of-range values must stop the run naming the flag, not
+// silently truncate ("--n=10e6" used to parse as 10) or default to 0.
+
+TEST(CliDeathTest, IntRejectsScientificNotation) {
+  CliArgs args = Parse({"--n=10e6"});
+  EXPECT_EXIT(args.GetInt("n", 0), testing::ExitedWithCode(2),
+              "invalid value for --n: '10e6'");
+}
+
+TEST(CliDeathTest, IntRejectsNonNumeric) {
+  CliArgs args = Parse({"--budget=abc"});
+  EXPECT_EXIT(args.GetInt("budget", 0), testing::ExitedWithCode(2),
+              "invalid value for --budget: 'abc'");
+}
+
+TEST(CliDeathTest, IntRejectsTrailingGarbage) {
+  CliArgs args = Parse({"--n=123x"});
+  EXPECT_EXIT(args.GetInt("n", 0), testing::ExitedWithCode(2),
+              "invalid value for --n");
+}
+
+TEST(CliDeathTest, IntRejectsOutOfRange) {
+  CliArgs args = Parse({"--n=99999999999999999999999"});
+  EXPECT_EXIT(args.GetInt("n", 0), testing::ExitedWithCode(2),
+              "invalid value for --n");
+}
+
+TEST(CliDeathTest, IntRejectsEmptyValue) {
+  CliArgs args = Parse({"--n="});
+  EXPECT_EXIT(args.GetInt("n", 0), testing::ExitedWithCode(2),
+              "invalid value for --n");
+}
+
+TEST(CliDeathTest, DoubleRejectsNonNumeric) {
+  CliArgs args = Parse({"--rate=fast"});
+  EXPECT_EXIT(args.GetDouble("rate", 0), testing::ExitedWithCode(2),
+              "invalid value for --rate: 'fast'");
+}
+
+TEST(CliDeathTest, DoubleRejectsOverflowToInfinity) {
+  CliArgs args = Parse({"--rate=1e999"});
+  EXPECT_EXIT(args.GetDouble("rate", 0), testing::ExitedWithCode(2),
+              "invalid value for --rate");
+}
+
+TEST(CliDeathTest, DoubleRejectsTrailingGarbage) {
+  CliArgs args = Parse({"--rate=2.5mb"});
+  EXPECT_EXIT(args.GetDouble("rate", 0), testing::ExitedWithCode(2),
+              "invalid value for --rate");
+}
+
+TEST(Cli, DoubleAcceptsScientificNotation) {
+  CliArgs args = Parse({"--rate=10e6"});
+  EXPECT_DOUBLE_EQ(args.GetDouble("rate", 0), 1e7);
+}
+
 }  // namespace
 }  // namespace cssidx

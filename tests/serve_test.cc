@@ -14,6 +14,7 @@
 #include "serve/update_queue.h"
 #include "util/rng.h"
 #include "workload/batch_update.h"
+#include "workload/key_gen.h"
 
 // The serving layer's concurrency suite. The load-bearing tests run real
 // reader threads against a live writer and verify every recorded probe
@@ -725,6 +726,142 @@ TEST(Server, JoinIsConsistentAcrossTwoSnapshots) {
     }
     ASSERT_EQ(joins[i].count, expected) << "join " << i;
   }
+}
+
+// ------------------------------------------------------------- the advisor
+
+TEST(Statement, AdviseParsesWithOptionalApply) {
+  auto advise = ParseStatement("ADVISE t");
+  ASSERT_TRUE(advise.has_value());
+  EXPECT_EQ(advise->verb, Verb::kAdvise);
+  EXPECT_EQ(advise->table, "t");
+  EXPECT_FALSE(advise->apply);
+
+  auto apply = ParseStatement("ADVISE t APPLY");
+  ASSERT_TRUE(apply.has_value());
+  EXPECT_TRUE(apply->apply);
+
+  std::string error;
+  EXPECT_FALSE(ParseStatement("ADVISE t NOW", &error).has_value());
+  EXPECT_NE(error.find("APPLY"), std::string::npos);
+  EXPECT_FALSE(ParseStatement("ADVISE t APPLY NOW").has_value());
+}
+
+TEST(Server, AdviseNeedsStatsAndApplyNeedsTheSwapFlag) {
+  // Without collect_stats there is no profile to advise from.
+  {
+    Server server;
+    server.CreateTable("t", workload::DistinctSortedKeys(1'000, 3, 4));
+    Session session = server.OpenSession();
+    StatementResult res = session.Execute("ADVISE t");
+    EXPECT_EQ(res.status, StatementStatus::kUnsupported);
+    EXPECT_NE(res.error.find("collect_stats"), std::string::npos);
+  }
+  // With stats but no swap flag, ADVISE reports and APPLY is refused.
+  Server::Options options;
+  options.collect_stats = true;
+  Server server(options);
+  server.CreateTable("t", workload::DistinctSortedKeys(1'000, 3, 4));
+  server.CreateTable64("wide", {5, 9, 1, 7});
+  server.CreateStringTable("s", {"ada", "cobol", "forth"});
+  Session session = server.OpenSession();
+
+  EXPECT_EQ(session.Execute("ADVISE nosuch").status,
+            StatementStatus::kUnknownTable);
+  for (const char* table : {"t", "wide", "s"}) {
+    StatementResult res = session.Execute(std::string("ADVISE ") + table);
+    ASSERT_EQ(res.status, StatementStatus::kOk) << table << ": " << res.error;
+    EXPECT_FALSE(res.recommended_spec.empty()) << table;
+    EXPECT_FALSE(res.advice.empty()) << table;
+    EXPECT_FALSE(res.applied) << table;
+    EXPECT_TRUE(IndexSpec::Parse(res.recommended_spec).has_value())
+        << res.recommended_spec;
+  }
+  StatementResult apply = session.Execute("ADVISE t APPLY");
+  EXPECT_EQ(apply.status, StatementStatus::kUnsupported);
+  EXPECT_NE(apply.error.find("allow_spec_swap"), std::string::npos);
+}
+
+TEST(Server, AdviseApplyHotSwapsUnderLiveReadersBitIdentically) {
+  Server::Options options;
+  options.collect_stats = true;
+  options.allow_spec_swap = true;
+  options.journal = true;
+  Server server(options);
+  auto keys = workload::DistinctSortedKeys(20'000, 17, 4);
+  server.CreateTable("t", keys);  // sorted input: position of keys[i] is i
+  server.Start();
+
+  // The probe set every reader replays, with its ground-truth positions —
+  // the swap rebuilds the same key array, so answers must never change.
+  std::vector<uint32_t> probe_keys;
+  std::vector<int64_t> expected;
+  for (size_t i = 0; i < 16; ++i) {
+    size_t pos = i * 1'000 + 117;
+    probe_keys.push_back(keys[pos]);
+    expected.push_back(static_cast<int64_t>(pos));
+  }
+  probe_keys.push_back(keys.back() + 1);  // absent
+  expected.push_back(-1);
+  const std::string find = KeysStatement("FIND", "t", probe_keys);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  auto reader = [&] {
+    Session session = server.OpenSession();
+    while (!stop.load(std::memory_order_relaxed)) {
+      StatementResult res = session.Execute(find);
+      EXPECT_EQ(res.status, StatementStatus::kOk);
+      EXPECT_EQ(res.positions, expected);
+      reads.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::thread r1(reader), r2(reader);
+
+  Session session = server.OpenSession();
+  // Feed the collector, then swap.
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(session.Execute(find).ok());
+  }
+  StatementResult applied = session.Execute("ADVISE t APPLY");
+  ASSERT_EQ(applied.status, StatementStatus::kOk) << applied.error;
+  ASSERT_TRUE(applied.applied);
+  ASSERT_FALSE(applied.recommended_spec.empty());
+
+  // No data writes are queued, so the first published group IS the swap.
+  while (server.writer_stats().groups_published == 0) {
+    std::this_thread::yield();
+  }
+  // Let the readers cross the swap a few more times.
+  uint64_t seen = reads.load(std::memory_order_relaxed);
+  while (reads.load(std::memory_order_relaxed) < seen + 20) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  r1.join();
+  r2.join();
+
+  StatementResult after = session.Execute(find);
+  ASSERT_EQ(after.status, StatementStatus::kOk);
+  EXPECT_EQ(after.positions, expected);
+  server.Stop();
+
+  // Exactly one publish, and it is the respec marker; the table now serves
+  // under the recommended spec.
+  ASSERT_EQ(server.applied_groups().size(), 1u);
+  const AppliedGroup& group = server.applied_groups().front();
+  EXPECT_TRUE(group.respec);
+  EXPECT_EQ(group.respec_spec.ToString(), applied.recommended_spec);
+  EXPECT_TRUE(group.batches.empty());
+  EXPECT_EQ(server.TableSpec("t").ToString(), applied.recommended_spec);
+  EXPECT_EQ(server.TableMaintenanceStats("t").spec_swaps, 1u);
+  EXPECT_EQ(server.writer_stats().groups_published, 1u);
+
+  // The collector kept observing across the swap: the profile holds the
+  // pre-swap statements plus everything the readers issued.
+  WorkloadProfile profile = server.TableWorkloadProfile("t");
+  EXPECT_GE(profile.point_probes,
+            probe_keys.size() * (reads.load() + 32));
 }
 
 }  // namespace

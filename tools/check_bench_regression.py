@@ -54,6 +54,15 @@ enqueued_batches — the queue accepted nothing it did not apply — and
 groups_published can never exceed batches_applied). A set cap with no
 pressure rows to check fails, mirroring --min-update-speedup.
 
+Advisor gate (independent of the baseline file): --advisor-json points at
+a bench_advisor JSON and --min-advisor-ratio (0 = off) sets a floor on
+best_static/picked throughput for every workload-mix row — the
+self-tuning advisor's pick must deliver at least the given fraction of
+the best static spec's throughput on every mix (1.0 = always ties the
+menu, 0.8 = within 25% slower). The ratio is measured within one run on
+one machine, so the gate transfers across runner hardware. A set floor
+with no advisor rows fails, mirroring --min-update-speedup.
+
 Paged-build gate (independent of the baseline file): --paged-json points
 at a bench_paged JSON and --max-paged-build-slowdown (0 = off) caps
 build_slowdown_vs_inram for every row of the buffer-budget sweep — an
@@ -158,6 +167,31 @@ def check_serving(path, max_coalesce_ratio):
     return failed
 
 
+def check_advisor(path, min_ratio):
+    """Returns True when the advisor gate FAILED."""
+    with open(path) as f:
+        doc = json.load(f)
+    rows = doc.get("advisor", [])
+    failed = False
+    for row in rows:
+        mix = row.get("mix", "?")
+        picked = row.get("picked_spec", "?")
+        best = row.get("best_static_spec", "?")
+        ratio = row.get("ratio")
+        print(f"advisor: {mix:<18} picked={picked:<16} best={best:<16} "
+              f"ratio={ratio:.3f} (floor {min_ratio:.2f})")
+        if ratio is None or ratio < min_ratio:
+            print(f"FAIL: advisor pick {picked} on {mix} delivers only "
+                  f"{ratio:.2f}x the best static spec {best} "
+                  f"(floor {min_ratio:.2f}x)")
+            failed = True
+    if not rows:
+        print("FAIL: --min-advisor-ratio set but the advisor JSON has no "
+              "advisor rows (bench_advisor not run, or schema changed?)")
+        failed = True
+    return failed
+
+
 def check_paged(path, max_slowdown):
     """Returns True when the paged-build gate FAILED."""
     with open(path) as f:
@@ -222,6 +256,13 @@ def main():
     parser.add_argument("--max-coalesce-ratio", type=float, default=0.0,
                         help="cap on groups_published/enqueued_batches for "
                              "pressure rows in --serving-json (0 = off)")
+    parser.add_argument("--advisor-json", default=None,
+                        help="bench_advisor JSON to gate on adaptive-vs-"
+                             "static throughput (requires "
+                             "--min-advisor-ratio)")
+    parser.add_argument("--min-advisor-ratio", type=float, default=0.0,
+                        help="floor on best_static/picked throughput for "
+                             "every mix row in --advisor-json (0 = off)")
     parser.add_argument("--paged-json", default=None,
                         help="bench_paged JSON to gate on out-of-core build "
                              "cost (requires --max-paged-build-slowdown)")
@@ -243,6 +284,19 @@ def main():
     elif args.serving_json:
         print("WARNING: --serving-json given without --max-coalesce-ratio; "
               "serving rows not gated")
+
+    # Advisor gate: a within-run ratio of CURRENT's machine.
+    advisor_failed = False
+    if args.min_advisor_ratio > 0:
+        if not args.advisor_json:
+            print("FAIL: --min-advisor-ratio set without --advisor-json")
+            advisor_failed = True
+        else:
+            advisor_failed = check_advisor(args.advisor_json,
+                                           args.min_advisor_ratio)
+    elif args.advisor_json:
+        print("WARNING: --advisor-json given without --min-advisor-ratio; "
+              "advisor rows not gated")
 
     # Paged-build gate: also a within-run ratio of CURRENT's machine.
     paged_failed = False
@@ -346,7 +400,8 @@ def main():
     if not common:
         print("WARNING: no common (spec, batch, threads) rows between "
               f"{args.baseline} and {args.current}; nothing to gate")
-        return 1 if (floor_failed or serving_failed or paged_failed) else 0
+        return 1 if (floor_failed or serving_failed or paged_failed or
+                     advisor_failed) else 0
 
     log_sum = 0.0
     compared = 0
@@ -369,7 +424,8 @@ def main():
 
     if compared == 0:
         print("WARNING: no comparable rows; nothing to gate")
-        return 1 if (floor_failed or serving_failed or paged_failed) else 0
+        return 1 if (floor_failed or serving_failed or paged_failed or
+                     advisor_failed) else 0
 
     geomean = math.exp(log_sum / compared)
     floor = 1 - args.tolerance
@@ -390,6 +446,9 @@ def main():
         failed = True
     if paged_failed:
         print("FAIL: paged build gate violated (see above)")
+        failed = True
+    if advisor_failed:
+        print("FAIL: advisor pick gate violated (see above)")
         failed = True
     if failed:
         return 1
